@@ -1,0 +1,25 @@
+-- An 8-bit timer, entered through the structural VHDL front end
+-- (Figure 11's "VHDL" input path).  Try:
+--
+--   dune exec bin/milo_cli.exe -- optimize examples/timer.vhd -t ecl --delay 5.0
+--
+entity timer8 is
+  port ( clk  : in bit;
+         rst  : in bit;
+         en   : in bit;
+         lim  : in bit_vector(7 downto 0);
+         q    : out bit_vector(7 downto 0);
+         hit  : out bit );
+end timer8;
+
+architecture structural of timer8 is
+  signal count : bit_vector(7 downto 0);
+begin
+  cnt0 : counter generic map (bits => 8, fns => "up", controls => "reset,enable")
+         port map (clk => clk, rst => rst, en => en, q => count, cout => open);
+
+  cmp0 : comparator generic map (bits => 8, fns => "eq")
+         port map (a => count, b => lim, eq => hit);
+
+  q <= count;
+end structural;
