@@ -1,0 +1,180 @@
+(* The MILO command-line interface.
+
+     milo compile  DESIGN.mil [-o OUT]        expand to generic macros
+     milo map      DESIGN.mil -t ecl [-o OUT] compile + technology map
+     milo optimize DESIGN.mil -t ecl --delay 6.5 [-o OUT]
+                                              the full MILO flow
+     milo stats    DESIGN.mil -t ecl          baseline statistics
+     milo symbol   "reg bits=4 fns=LOAD controls=RST"
+                                              render a component symbol
+
+   DESIGN.mil uses the textual netlist format (see lib/netlist/parser.ml
+   or any file written by `milo compile`). *)
+
+open Cmdliner
+
+let read_design path =
+  let vhdl =
+    Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
+  in
+  if Filename.check_suffix path ".pla" then
+    try Milo_pla.Pla.to_design ~name:(Filename.remove_extension (Filename.basename path))
+          (Milo_pla.Pla.of_file path)
+    with Milo_pla.Pla.Pla_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  else if Filename.check_suffix path ".eqn" then
+    try Milo_pla.Equations.of_file path
+    with Milo_pla.Equations.Equation_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  else if vhdl then
+    try Milo_vhdl.Elaborate.design_of_file path with
+    | Milo_vhdl.Parser.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+    | Milo_vhdl.Lexer.Lex_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+    | Milo_vhdl.Elaborate.Elaboration_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1
+  else
+    try Milo_netlist.Parser.of_file path
+    with Milo_netlist.Parser.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+
+let write_design out design =
+  match out with
+  | None -> print_string (Milo_netlist.Writer.to_string design)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Milo_netlist.Writer.to_string design);
+      close_out oc;
+      Printf.printf "wrote %s (%s)\n" path (Milo_netlist.Writer.summary design)
+
+let technology_of = function
+  | "ecl" -> Milo.Flow.Ecl
+  | "cmos" -> Milo.Flow.Cmos
+  | other ->
+      Printf.eprintf "unknown technology %s (ecl|cmos)\n" other;
+      exit 1
+
+(* --- arguments -------------------------------------------------------- *)
+
+let design_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.mil")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+         ~doc:"Write the resulting netlist to $(docv).")
+
+let tech_arg =
+  Arg.(value & opt string "ecl" & info [ "t"; "technology" ] ~docv:"TECH"
+         ~doc:"Target technology library: ecl or cmos.")
+
+let delay_arg =
+  Arg.(value & opt (some float) None & info [ "delay" ] ~docv:"NS"
+         ~doc:"Required worst-path delay in nanoseconds.")
+
+let area_arg =
+  Arg.(value & opt (some float) None & info [ "area" ] ~docv:"CELLS"
+         ~doc:"Area budget in cells.")
+
+let power_arg =
+  Arg.(value & opt (some float) None & info [ "power" ] ~docv:"MW"
+         ~doc:"Power budget in milliwatts.")
+
+(* --- commands --------------------------------------------------------- *)
+
+let compile_cmd =
+  let run path out =
+    let design = read_design path in
+    let db = Milo_compilers.Database.create () in
+    let lib = Milo_library.Generic.get () in
+    let expanded = Milo_compilers.Compile.expand_design db lib design in
+    let flat = Milo_compilers.Database.flatten db expanded in
+    write_design out flat;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Expand microarchitecture components to generic macros.")
+    Term.(ret (const run $ design_arg $ out_arg))
+
+let map_cmd =
+  let run path tech out =
+    let design = read_design path in
+    let mapped, _ =
+      Milo.Flow.human_baseline ~technology:(technology_of tech) design
+    in
+    write_design out mapped;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Compile and map onto a technology library (no optimization).")
+    Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
+
+let optimize_cmd =
+  let run path tech delay area power out =
+    let design = read_design path in
+    let technology = technology_of tech in
+    let constraints =
+      Milo.Constraints.make ?required_delay:delay ?max_area:area
+        ?max_power:power ()
+    in
+    let human = Milo.Flow.baseline_stats ~technology design in
+    let res = Milo.Flow.run ~technology ~constraints design in
+    Printf.printf "baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"
+      human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
+    print_string (Milo.Report.summary res);
+    (match out with
+    | Some _ -> write_design out res.Milo.Flow.optimized
+    | None -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the full MILO flow against the given constraints.")
+    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ area_arg $ power_arg $ out_arg))
+
+let stats_cmd =
+  let run path tech =
+    let design = read_design path in
+    let s = Milo.Flow.baseline_stats ~technology:(technology_of tech) design in
+    Printf.printf
+      "delay %.2f ns\narea %.1f cells\npower %.1f mW\ngates %d\ncomponents %d\n"
+      s.Milo.Flow.delay s.Milo.Flow.area s.Milo.Flow.power s.Milo.Flow.gates
+      s.Milo.Flow.comps;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Baseline (compile + map, unoptimized) statistics.")
+    Term.(ret (const run $ design_arg $ tech_arg))
+
+let symbol_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KINDSPEC")
+  in
+  let run spec =
+    let text = Printf.sprintf "design sym\ncomp x %s\n" spec in
+    match Milo_netlist.Parser.of_string text with
+    | exception Milo_netlist.Parser.Parse_error (_, msg) ->
+        Printf.eprintf "bad component spec: %s\n" msg;
+        `Error (false, msg)
+    | d ->
+        let c = Milo_netlist.Design.find_comp d "x" in
+        print_string
+          (Milo_compilers.Symbol.render
+             (Milo_compilers.Symbol.generate c.Milo_netlist.Design.kind));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "symbol"
+       ~doc:"Render the schematic symbol for a component spec, e.g. \
+             'reg bits=4 fns=LOAD controls=RST'.")
+    Term.(ret (const run $ spec_arg))
+
+let () =
+  let doc = "MILO: a microarchitecture and logic optimizer" in
+  let info = Cmd.info "milo" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; map_cmd; optimize_cmd; stats_cmd; symbol_cmd ]))

@@ -1,0 +1,1 @@
+examples/abadd_walkthrough.mli:

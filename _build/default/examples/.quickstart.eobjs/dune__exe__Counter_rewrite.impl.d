@@ -1,0 +1,1 @@
+examples/counter_rewrite.ml: Format List Milo Milo_compilers Milo_critic Milo_designs Milo_library Milo_netlist Milo_rules Milo_sim Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Milo Milo_compilers Milo_library Milo_netlist Milo_sim Printf

@@ -1,0 +1,52 @@
+(* Technology exploration: the same captured design mapped and optimized
+   onto the ECL gate array and the CMOS standard-cell library, with the
+   carry-mode tradeoff examined through the microarchitecture critic's
+   compile-and-measure feedback loop (Section 6.3).
+
+   Run with:  dune exec examples/technology_explorer.exe *)
+
+module T = Milo_netlist.Types
+
+let () =
+  let case = Milo_designs.Suite.design6 () in
+  let design = case.Milo_designs.Suite.case_design in
+  Printf.printf "design: %s\n\n" (Milo_netlist.Writer.summary design);
+
+  (* Compare the two technologies end to end. *)
+  Printf.printf "%-6s %12s %12s %12s | %12s %12s %12s\n" "tech" "base delay"
+    "base area" "base power" "MILO delay" "MILO area" "MILO power";
+  List.iter
+    (fun (name, tech) ->
+      let human = Milo.Flow.baseline_stats ~technology:tech design in
+      let res =
+        Milo.Flow.run ~technology:tech
+          ~constraints:case.Milo_designs.Suite.constraints design
+      in
+      Printf.printf "%-6s %12.2f %12.1f %12.1f | %12.2f %12.1f %12.1f\n" name
+        human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power
+        res.Milo.Flow.final.Milo.Flow.delay res.Milo.Flow.final.Milo.Flow.area
+        res.Milo.Flow.final.Milo.Flow.power)
+    [ ("ECL", Milo.Flow.Ecl); ("CMOS", Milo.Flow.Cmos) ];
+
+  (* The carry-mode tradeoff, measured through the critic's feedback
+     loop: compile both parameterizations down and compare. *)
+  print_endline "\ncarry-mode tradeoff on the 8-bit ALU (Section 6.3 feedback):";
+  let db = Milo_compilers.Database.create () in
+  let lib = Milo_library.Generic.get () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  List.iter
+    (fun mode ->
+      let kind = T.Arith_unit { bits = 8; fns = [ T.Add; T.Sub ]; mode } in
+      let d = Milo_netlist.Design.create ("probe_" ^ T.kind_name kind) in
+      let cid = Milo_netlist.Design.add_comp d kind in
+      List.iter
+        (fun (p, dir) ->
+          let nid = Milo_netlist.Design.add_port d p dir in
+          Milo_netlist.Design.connect d cid p nid)
+        (T.pins_of_kind kind);
+      let stats = Milo_critic.Micro_critic.evaluate_design db lib target d in
+      Printf.printf "  %-12s delay %.2f ns, area %.1f cells, power %.1f mW\n"
+        (T.carry_mode_name mode) stats.Milo_critic.Micro_critic.stat_delay
+        stats.Milo_critic.Micro_critic.stat_area
+        stats.Milo_critic.Micro_critic.stat_power)
+    [ T.Ripple; T.Lookahead ]

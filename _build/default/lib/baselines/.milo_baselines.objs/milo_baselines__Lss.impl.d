@@ -1,0 +1,1 @@
+lib/baselines/lss.ml: List Milo_compilers Milo_critic Milo_library Milo_minimize Milo_netlist Milo_rules Milo_techmap Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/lss.mli: Milo_compilers Milo_netlist Milo_techmap

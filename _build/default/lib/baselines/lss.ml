@@ -1,0 +1,176 @@
+(* An LSS-style baseline flow (the paper's Section 2.1.3 survey system):
+   four description levels, each produced by a naive translator and
+   cleaned by local transformations —
+
+     high level  ->  AND/OR  ->  NAND/NOR  ->  technology specific
+
+   The translators are deliberately simple ("achieved through naive
+   transformations that may produce unnecessary NANDs and NORs"); the
+   per-level optimizers are the recognize-act engine over the local
+   transformation rules.  Used as the mixed-strategy comparison point
+   against the full MILO flow and the algorithms-only DAGON mapper. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Milo_rules.Rule
+module Macro = Milo_library.Macro
+module Gate_shape = Milo_critic.Gate_shape
+
+let generic_ctx design =
+  let lib = Milo_library.Generic.get () in
+  R.make_context lib (Milo_compilers.Gate_comp.generic_set lib) design
+
+let local_transforms design =
+  let ctx = generic_ctx design in
+  Milo_rules.Engine.ops_run_incremental ctx
+    (Milo_critic.Critic.logic @ Milo_critic.Critic.area
+   @ Milo_critic.Critic.cleanup)
+
+(* Already at the AND/OR level (or atomic)? *)
+let keep_at_and_or m =
+  match Gate_shape.of_macro m with
+  | Some { Gate_shape.fn = T.And | T.Or | T.Inv | T.Buf; _ } -> true
+  | Some _ -> false
+  | None -> Gate_shape.is_const m <> None
+
+(* --- Level 2: AND/OR ---------------------------------------------------- *)
+
+(* Decompose every single-output combinational macro into AND/OR/INV
+   gates through its minimized SOP (the LSS AND/OR translator). *)
+let to_and_or design =
+  let d = D.copy design in
+  let lib = Milo_library.Generic.get () in
+  let set = Milo_compilers.Gate_comp.generic_set lib in
+  let ctx = generic_ctx d in
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro mname -> (
+          let m = Milo_library.Technology.find lib mname in
+          match Macro.single_output_tt m with
+          | Some tt
+            when (not (Macro.is_sequential m)) && not (keep_at_and_or m) -> (
+              match D.connection d c.D.id (List.nth m.Macro.outputs 0) with
+              | None -> ()
+              | Some out ->
+                  let ins =
+                    List.map (fun pin -> D.connection d c.D.id pin) m.Macro.inputs
+                  in
+                  if List.for_all (fun x -> x <> None) ins then begin
+                    let ins = List.map Option.get ins in
+                    let cover = Milo_minimize.Espresso.minimize_tt tt in
+                    let expr = Milo_minimize.Factor.of_cover cover in
+                    D.remove_comp d c.D.id;
+                    if D.net_opt d out <> None then begin
+                      let src =
+                        Milo_compilers.Gate_comp.build_expr d set
+                          ~var_net:(fun v -> List.nth ins v)
+                          expr
+                      in
+                      R.reroute ctx (D.new_log ()) ~signal:src ~old_net:out
+                    end
+                  end)
+          | Some _ | None -> ())
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+      | T.Constant _ | T.Instance _ ->
+          ())
+    (D.comps d);
+  d
+
+(* --- Level 3: NAND/NOR --------------------------------------------------- *)
+
+let translate_inverted d lib (c : D.comp) inv_fn arity =
+  let mname = Printf.sprintf "%s%d" (T.gate_fn_name inv_fn) arity in
+  if Milo_library.Technology.mem lib mname then
+    match D.connection d c.D.id "Y" with
+    | None -> ()
+    | Some out ->
+        D.set_kind d c.D.id (T.Macro mname);
+        (* the naive translator's compensating inverter *)
+        let mid = D.new_net d in
+        D.connect d c.D.id "Y" mid;
+        let inv = D.add_comp d (T.Macro "INV") in
+        D.connect d inv "A0" mid;
+        D.connect d inv "Y" out
+
+(* Naive translation: AND -> NAND+INV, OR -> NOR+INV.  The level
+   optimizer's double-inverter rule then removes the debris, exactly as
+   the paper describes ("these extra gates are removed by the optimizer
+   at this level"). *)
+let to_nand_nor design =
+  let d = D.copy design in
+  let lib = Milo_library.Generic.get () in
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro mname -> (
+          let m = Milo_library.Technology.find lib mname in
+          match Gate_shape.of_macro m with
+          | Some { Gate_shape.fn = T.And; arity } ->
+              translate_inverted d lib c T.Nand arity
+          | Some { Gate_shape.fn = T.Or; arity } ->
+              translate_inverted d lib c T.Nor arity
+          | Some _ | None -> ())
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+      | T.Constant _ | T.Instance _ ->
+          ())
+    (D.comps d);
+  d
+
+(* --- The full LSS flow ---------------------------------------------------- *)
+
+type level_report = { level_name : string; comps : int; transforms : int }
+
+let optimize ?target db design =
+  let target =
+    match target with
+    | Some t -> t
+    | None -> Milo_techmap.Table_map.ecl_target ()
+  in
+  let lib = Milo_library.Generic.get () in
+  let reports = ref [] in
+  let record name d n =
+    reports :=
+      { level_name = name; comps = D.num_comps d; transforms = n } :: !reports
+  in
+  (* Level 1: high level.  LSS performs limited transformations on the
+     high-level operators before decomposition. *)
+  let high = D.copy design in
+  let ctx = generic_ctx high in
+  let n1 =
+    List.fold_left
+      (fun acc (r : R.t) ->
+        acc
+        + List.length
+            (List.filter
+               (fun s -> r.R.apply ctx s (D.new_log ()))
+               (r.R.find ctx)))
+      0 Milo_critic.Critic.micro
+  in
+  record "high-level" high n1;
+  (* Translate: compile + flatten to generic macros. *)
+  let expanded = Milo_compilers.Compile.expand_design db lib high in
+  let flat = Milo_compilers.Database.flatten db expanded in
+  (* Level 2: AND/OR. *)
+  let and_or = to_and_or flat in
+  let n2 = local_transforms and_or in
+  record "and-or" and_or n2;
+  (* Level 3: NAND/NOR. *)
+  let nand_nor = to_nand_nor and_or in
+  let n3 = local_transforms nand_nor in
+  record "nand-nor" nand_nor n3;
+  (* Level 4: technology specific. *)
+  let mapped = Milo_techmap.Table_map.map_design target nand_nor in
+  let tech_ctx =
+    R.make_context target.Milo_techmap.Table_map.tech
+      target.Milo_techmap.Table_map.set mapped
+  in
+  let n4 =
+    Milo_rules.Engine.ops_run_incremental tech_ctx
+      (Milo_critic.Critic.logic @ Milo_critic.Critic.area
+     @ Milo_critic.Critic.cleanup)
+  in
+  record "technology" mapped n4;
+  (mapped, List.rev !reports)

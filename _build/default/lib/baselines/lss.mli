@@ -1,0 +1,22 @@
+(** An LSS-style baseline flow (Section 2.1.3): four description levels
+    (high level, AND/OR, NAND/NOR, technology) with naive translators
+    and local-transformation optimizers at each level. *)
+
+module D = Milo_netlist.Design
+
+val to_and_or : D.t -> D.t
+(** Decompose single-output macros into AND/OR/INV gates via minimized
+    SOP (fresh copy). *)
+
+val to_nand_nor : D.t -> D.t
+(** Naive AND→NAND+INV / OR→NOR+INV translation (fresh copy). *)
+
+type level_report = { level_name : string; comps : int; transforms : int }
+
+val optimize :
+  ?target:Milo_techmap.Table_map.target ->
+  Milo_compilers.Database.t ->
+  D.t ->
+  D.t * level_report list
+(** Run all four levels; returns the technology design and the
+    per-level transform counts. *)

@@ -1,0 +1,1 @@
+lib/boolfunc/cover.ml: Cube Hashtbl List String Truth_table

@@ -1,0 +1,1 @@
+lib/boolfunc/cover.mli: Cube Truth_table

@@ -1,0 +1,1 @@
+lib/boolfunc/cube.ml: Array List Stdlib String

@@ -1,0 +1,1 @@
+lib/boolfunc/cube.mli:

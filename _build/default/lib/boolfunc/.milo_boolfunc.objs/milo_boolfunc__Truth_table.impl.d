@@ -1,0 +1,1 @@
+lib/boolfunc/truth_table.ml: Array Format Int64 List Stdlib

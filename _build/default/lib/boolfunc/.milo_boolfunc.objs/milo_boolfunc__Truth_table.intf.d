@@ -1,0 +1,1 @@
+lib/boolfunc/truth_table.mli: Format

@@ -1,0 +1,1 @@
+lib/compilers/arith_comp.mli: Ctx Milo_netlist

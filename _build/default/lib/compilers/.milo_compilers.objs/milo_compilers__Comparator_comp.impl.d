@@ -1,0 +1,1 @@
+lib/compilers/comparator_comp.ml: Ctx Gate_comp Lazy List Milo_netlist Printf

@@ -1,0 +1,1 @@
+lib/compilers/comparator_comp.mli: Ctx Milo_netlist

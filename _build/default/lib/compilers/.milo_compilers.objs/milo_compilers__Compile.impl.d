@@ -1,0 +1,1 @@
+lib/compilers/compile.ml: Arith_comp Comparator_comp Counter_comp Ctx Database Decoder_comp Gate_comp List Logic_unit_comp Milo_netlist Mux_comp Printf Register_comp

@@ -1,0 +1,1 @@
+lib/compilers/compile.mli: Database Milo_library Milo_netlist

@@ -1,0 +1,1 @@
+lib/compilers/counter_comp.ml: Ctx Gate_comp Lazy List Milo_netlist Mux_comp Printf

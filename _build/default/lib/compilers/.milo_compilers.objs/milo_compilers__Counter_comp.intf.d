@@ -1,0 +1,1 @@
+lib/compilers/counter_comp.mli: Ctx Milo_netlist

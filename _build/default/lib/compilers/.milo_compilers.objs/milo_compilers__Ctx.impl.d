@@ -1,0 +1,1 @@
+lib/compilers/ctx.ml: Database Gate_comp List Milo_library Milo_netlist

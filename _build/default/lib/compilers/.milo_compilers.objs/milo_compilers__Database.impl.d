@@ -1,0 +1,1 @@
+lib/compilers/database.ml: Hashtbl List Milo_library Milo_netlist Printf

@@ -1,0 +1,1 @@
+lib/compilers/database.mli: Milo_library Milo_netlist

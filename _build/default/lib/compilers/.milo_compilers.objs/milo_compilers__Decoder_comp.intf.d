@@ -1,0 +1,1 @@
+lib/compilers/decoder_comp.mli: Ctx Milo_netlist

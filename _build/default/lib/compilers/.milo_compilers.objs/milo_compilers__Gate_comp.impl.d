@@ -1,0 +1,1 @@
+lib/compilers/gate_comp.ml: Array List Milo_library Milo_minimize Milo_netlist Option Printf

@@ -1,0 +1,1 @@
+lib/compilers/gate_comp.mli: Milo_library Milo_minimize Milo_netlist

@@ -1,0 +1,1 @@
+lib/compilers/logic_unit_comp.ml: Ctx Gate_comp List Milo_netlist Printf

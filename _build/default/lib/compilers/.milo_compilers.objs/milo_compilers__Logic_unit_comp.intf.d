@@ -1,0 +1,1 @@
+lib/compilers/logic_unit_comp.mli: Ctx Milo_netlist

@@ -1,0 +1,1 @@
+lib/compilers/mux_comp.ml: Ctx Gate_comp List Milo_netlist Printf

@@ -1,0 +1,1 @@
+lib/compilers/mux_comp.mli: Ctx Gate_comp Milo_netlist

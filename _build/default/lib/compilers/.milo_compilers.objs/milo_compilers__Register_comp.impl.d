@@ -1,0 +1,1 @@
+lib/compilers/register_comp.ml: Ctx Gate_comp List Milo_library Milo_netlist Mux_comp Option Printf

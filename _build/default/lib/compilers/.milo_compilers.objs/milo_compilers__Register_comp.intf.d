@@ -1,0 +1,1 @@
+lib/compilers/register_comp.mli: Ctx Milo_netlist

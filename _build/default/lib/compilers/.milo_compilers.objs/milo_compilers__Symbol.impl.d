@@ -1,0 +1,1 @@
+lib/compilers/symbol.ml: Buffer List Milo_netlist Printf String

@@ -1,0 +1,1 @@
+lib/compilers/symbol.mli: Milo_netlist

@@ -1,0 +1,139 @@
+(* The arithmetic unit compiler (Figure 12: # bits, functions among
+   +,-,INC,DEC, mode ripple / carry-lookahead).
+
+   Structure: a chain of 4-bit adder slices (ADD4 or ADD4CLA by mode)
+   plus 1-bit full adders for the remainder; the second operand and the
+   carry-in are steered per function:
+
+     ADD: X=B cin=CIN | SUB: X=~B cin=CIN | INC: X=0 cin=1 | DEC: X=1 cin=0
+
+   Multi-function units steer X and cin through multiplexors driven by
+   the F select field — the arithmetic compiler calls the multiplexor
+   compiler, the same compiler-calls-compiler hierarchy as the paper's
+   register example. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let compile ctx ~bits ~fns ~mode =
+  if fns = [] then invalid_arg "Arith_comp.compile: no functions";
+  let kind = T.Arith_unit { bits; fns; mode } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let needs_b = List.exists (fun f -> f = T.Add || f = T.Sub) fns in
+  let nfns = List.length fns in
+  let a_ports =
+    List.init bits (fun i -> D.add_port d (Printf.sprintf "A%d" i) T.Input)
+  in
+  let b_ports =
+    if needs_b then
+      List.init bits (fun i -> D.add_port d (Printf.sprintf "B%d" i) T.Input)
+    else []
+  in
+  let cin_port = D.add_port d "CIN" T.Input in
+  let f_ports =
+    List.init (T.clog2 nfns) (fun i ->
+        D.add_port d (Printf.sprintf "F%d" i) T.Input)
+  in
+  let s_ports =
+    List.init bits (fun i -> D.add_port d (Printf.sprintf "S%d" i) T.Output)
+  in
+  let cout_port = D.add_port d "COUT" T.Output in
+  let vdd = lazy (Ctx.vdd ctx d) in
+  let vss = lazy (Ctx.vss ctx d) in
+  let inv_b =
+    lazy
+      (List.map (fun b -> Gate_comp.build d set T.Inv [ b ]) b_ports)
+  in
+  (* Per-function second-operand bit and carry-in. *)
+  let x_for fn b =
+    match fn with
+    | T.Add -> List.nth b_ports b
+    | T.Sub -> List.nth (Lazy.force inv_b) b
+    | T.Inc -> Lazy.force vss
+    | T.Dec -> Lazy.force vdd
+  in
+  let cin_for fn =
+    match fn with
+    | T.Add | T.Sub -> cin_port
+    | T.Inc -> Lazy.force vdd
+    | T.Dec -> Lazy.force vss
+  in
+  let x_nets, cin_net =
+    match fns with
+    | [ fn ] -> (List.init bits (x_for fn), cin_for fn)
+    | _ ->
+        (* Steer X through a multi-bit mux and cin through a 1-bit mux,
+           both selected by the F field.  The muxes are padded to a
+           power of two by repeating the last function so out-of-range
+           selects clamp to it. *)
+        let padded = 1 lsl T.clog2 nfns in
+        let nth_fn i = List.nth fns (min i (nfns - 1)) in
+        let xsub =
+          ctx.Ctx.subcompile
+            (T.Multiplexor { bits; inputs = padded; enable = false })
+        in
+        let xmux = Ctx.add_instance d ~name:"xsel" xsub in
+        List.iter
+          (fun i ->
+            List.iteri
+              (fun b _ ->
+                D.connect d xmux (Printf.sprintf "D%d_%d" i b)
+                  (x_for (nth_fn i) b))
+              a_ports)
+          (List.init padded (fun i -> i));
+        List.iteri
+          (fun i f -> D.connect d xmux (Printf.sprintf "S%d" i) f)
+          f_ports;
+        let x_nets =
+          List.init bits (fun b ->
+              let n = D.new_net d in
+              D.connect d xmux (Printf.sprintf "Y%d" b) n;
+              n)
+        in
+        let csub =
+          ctx.Ctx.subcompile
+            (T.Multiplexor { bits = 1; inputs = padded; enable = false })
+        in
+        let cmux = Ctx.add_instance d ~name:"cinsel" csub in
+        List.iter
+          (fun i ->
+            D.connect d cmux (Printf.sprintf "D%d_0" i) (cin_for (nth_fn i)))
+          (List.init padded (fun i -> i));
+        List.iteri
+          (fun i f -> D.connect d cmux (Printf.sprintf "S%d" i) f)
+          f_ports;
+        let cn = D.new_net d in
+        D.connect d cmux "Y0" cn;
+        (x_nets, cn)
+  in
+  (* Adder slice chain, LSB first. *)
+  let slice_macro = match mode with T.Ripple -> "ADD4" | T.Lookahead -> "ADD4CLA" in
+  let rec build_slices offset carry =
+    if offset >= bits then carry
+    else if bits - offset >= 4 then begin
+      let cid = D.add_comp d (T.Macro slice_macro) in
+      for i = 0 to 3 do
+        D.connect d cid (Printf.sprintf "A%d" i) (List.nth a_ports (offset + i));
+        D.connect d cid (Printf.sprintf "B%d" i) (List.nth x_nets (offset + i));
+        D.connect d cid (Printf.sprintf "S%d" i) (List.nth s_ports (offset + i))
+      done;
+      D.connect d cid "CIN" carry;
+      let co = D.new_net d in
+      D.connect d cid "COUT" co;
+      build_slices (offset + 4) co
+    end
+    else begin
+      let cid = D.add_comp d (T.Macro "ADD1") in
+      D.connect d cid "A" (List.nth a_ports offset);
+      D.connect d cid "B" (List.nth x_nets offset);
+      D.connect d cid "S" (List.nth s_ports offset);
+      D.connect d cid "CIN" carry;
+      let co = D.new_net d in
+      D.connect d cid "COUT" co;
+      build_slices (offset + 1) co
+    end
+  in
+  let final_carry = build_slices 0 cin_net in
+  Ctx.bind_output ctx d final_carry cout_port;
+  d

@@ -1,0 +1,10 @@
+(** The arithmetic unit compiler: 4-bit adder slice chains (ripple or
+    carry-lookahead) with function steering for ADD/SUB/INC/DEC through
+    compiler-generated multiplexors. *)
+
+val compile :
+  Ctx.t ->
+  bits:int ->
+  fns:Milo_netlist.Types.arith_fn list ->
+  mode:Milo_netlist.Types.carry_mode ->
+  Milo_netlist.Design.t

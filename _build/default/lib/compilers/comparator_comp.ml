@@ -1,0 +1,82 @@
+(* The comparator compiler: unsigned comparison from CMP4/CMP2 slices
+   (high bits padded with VSS on both operands), cascaded MSB-down:
+
+     eq = eqH & eqL;  lt = ltH | (eqH & ltL);  gt = gtH | (eqH & gtL)
+
+   The requested functions are derived from the cascade outputs. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let compile ctx ~bits ~fns =
+  let kind = T.Comparator { bits; fns } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let a_ports =
+    List.init bits (fun i -> D.add_port d (Printf.sprintf "A%d" i) T.Input)
+  in
+  let b_ports =
+    List.init bits (fun i -> D.add_port d (Printf.sprintf "B%d" i) T.Input)
+  in
+  let out_ports = List.map (fun fn -> (fn, D.add_port d (T.cmp_fn_name fn) T.Output)) fns in
+  let vss = lazy (Ctx.vss ctx d) in
+  let bit_net ports i = if i < bits then List.nth ports i else Lazy.force vss in
+  (* Slice the operands into 4-bit (or one 2-bit) chunks, LSB first. *)
+  let rec slice_widths remaining =
+    if remaining <= 0 then []
+    else if remaining <= 2 then [ 2 ]
+    else 4 :: slice_widths (remaining - 4)
+  in
+  let widths = slice_widths bits in
+  let slices =
+    let rec go offset = function
+      | [] -> []
+      | w :: rest ->
+          let mname = if w = 2 then "CMP2" else "CMP4" in
+          let cid = D.add_comp d (T.Macro mname) in
+          for i = 0 to w - 1 do
+            D.connect d cid (Printf.sprintf "A%d" i) (bit_net a_ports (offset + i));
+            D.connect d cid (Printf.sprintf "B%d" i) (bit_net b_ports (offset + i))
+          done;
+          let out pin =
+            let n = D.new_net d in
+            D.connect d cid pin n;
+            n
+          in
+          (out "EQ", out "LT", out "GT") :: go (offset + w) rest
+    in
+    go 0 widths
+  in
+  (* Cascade from the most significant slice down. *)
+  let combine (eq_h, lt_h, gt_h) (eq_l, lt_l, gt_l) =
+    let eq = Gate_comp.build d set T.And [ eq_h; eq_l ] in
+    let lt =
+      Gate_comp.build d set T.Or
+        [ lt_h; Gate_comp.build d set T.And [ eq_h; lt_l ] ]
+    in
+    let gt =
+      Gate_comp.build d set T.Or
+        [ gt_h; Gate_comp.build d set T.And [ eq_h; gt_l ] ]
+    in
+    (eq, lt, gt)
+  in
+  let eq, lt, gt =
+    match List.rev slices with
+    | [] -> invalid_arg "Comparator_comp: zero bits"
+    | msb :: rest -> List.fold_left combine msb rest
+  in
+  let fn_net = function
+    | T.Eq -> eq
+    | T.Lt -> lt
+    | T.Gt -> gt
+    | T.Ne -> Gate_comp.build d set T.Inv [ eq ]
+    | T.Le -> Gate_comp.build d set T.Or [ lt; eq ]
+    | T.Ge -> Gate_comp.build d set T.Inv [ lt ]
+  in
+  (* Build every requested function's net first, then bind: binding
+     merges nets, which would invalidate nets still to be read. *)
+  let built = List.map (fun (fn, port) -> (fn_net fn, port)) out_ports in
+  List.iter (fun (net, port) -> Ctx.bind_output ctx d net port) built;
+  (* Unused cascade outputs stay as dangling driver-only nets, which is
+     legal; drop them if truly unconnected to anything downstream. *)
+  d

@@ -1,0 +1,5 @@
+(** The comparator compiler: unsigned comparison from CMP4/CMP2 slices
+    cascaded MSB-down; derives any of EQ/NE/LT/GT/LE/GE. *)
+
+val compile :
+  Ctx.t -> bits:int -> fns:Milo_netlist.Types.cmp_fn list -> Milo_netlist.Design.t

@@ -1,0 +1,72 @@
+(* The design-compiler dispatcher: compiles any microarchitecture
+   component kind into a generic-macro design, caching results in the
+   design database ("see if the requested design already exists in the
+   database").  Compilers call each other through the context's
+   [subcompile] hook (register → multiplexor, arithmetic → multiplexor),
+   producing the hierarchy of the paper's Figure 16. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Uncompilable of string
+
+let rec compile_kind db lib (kind : T.kind) : string =
+  let name = T.kind_name kind in
+  if Database.mem db name then name
+  else begin
+    let ctx =
+      {
+        Ctx.db;
+        lib;
+        set = Gate_comp.generic_set lib;
+        subcompile = (fun k -> compile_kind db lib k);
+      }
+    in
+    let design =
+      match kind with
+      | T.Gate (fn, n) -> Gate_comp.compile ctx.Ctx.set (fn, n)
+      | T.Multiplexor { bits; inputs; enable } ->
+          Mux_comp.compile ctx ~bits ~inputs ~enable
+      | T.Decoder { bits; enable } -> Decoder_comp.compile ctx ~bits ~enable
+      | T.Comparator { bits; fns } -> Comparator_comp.compile ctx ~bits ~fns
+      | T.Logic_unit { bits; fn; inputs } ->
+          Logic_unit_comp.compile ctx ~bits ~fn ~inputs
+      | T.Arith_unit { bits; fns; mode } -> Arith_comp.compile ctx ~bits ~fns ~mode
+      | T.Register { bits; kind = reg_kind; fns; controls; inverting } ->
+          Register_comp.compile ctx ~bits ~reg_kind ~fns ~controls ~inverting
+      | T.Counter { bits; fns; controls } ->
+          Counter_comp.compile ctx ~bits ~fns ~controls
+      | T.Constant _ | T.Macro _ | T.Instance _ ->
+          raise
+            (Uncompilable
+               (Printf.sprintf "%s is not a compilable micro component" name))
+    in
+    Database.register db design;
+    name
+  end
+
+(* Compile every microarchitecture component of a captured design,
+   replacing each one by an Instance of its compiled sub-design.  The
+   result is hierarchical; [Database.flatten] expands it fully. *)
+let expand_design db lib design =
+  let d = D.copy design in
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _ ->
+          let sub = compile_kind db lib c.D.kind in
+          D.set_kind d c.D.id (T.Instance sub)
+      | T.Constant lvl ->
+          (* Constants become library constant macros. *)
+          let mname = match lvl with T.Vdd -> "VDD" | T.Vss -> "VSS" in
+          D.set_kind d c.D.id (T.Macro mname)
+      | T.Macro _ | T.Instance _ -> ())
+    (D.comps d);
+  d
+
+(* Compile a single kind and return its (hierarchical) design. *)
+let compile db lib kind = Database.get db (compile_kind db lib kind)
+
+(* Compile a kind and return it fully flattened to generic macros. *)
+let compile_flat db lib kind = Database.flatten db (compile db lib kind)

@@ -1,0 +1,19 @@
+(** The design-compiler dispatcher: any microarchitecture kind to a
+    generic-macro design, cached in the design database, with the
+    compiler-calls-compiler hierarchy of the paper's Figure 16. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Uncompilable of string
+
+val compile_kind : Database.t -> Milo_library.Technology.t -> T.kind -> string
+(** Compile (or fetch from the database) the design for a kind; returns
+    its database name. *)
+
+val expand_design : Database.t -> Milo_library.Technology.t -> D.t -> D.t
+(** Replace every micro component of a captured design by an Instance of
+    its compiled sub-design (constants become constant macros). *)
+
+val compile : Database.t -> Milo_library.Technology.t -> T.kind -> D.t
+val compile_flat : Database.t -> Milo_library.Technology.t -> T.kind -> D.t

@@ -1,0 +1,148 @@
+(* The counter compiler (Figure 12: # bits, load/up/down functions,
+   set/reset/enable controls).
+
+   Structure: a chain of CNT4/CNT2 MSI counter macros, LSB first,
+   cascaded through their enable pins (stage k counts only when every
+   lower stage is at its terminal count), plus a discrete T-flip-flop
+   slice for an odd top bit.  SET is synthesized through the load path
+   (load all-ones, with RST gated off so SET keeps priority). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let compile ctx ~bits ~fns ~controls =
+  if fns = [] then invalid_arg "Counter_comp.compile: no functions";
+  let kind = T.Counter { bits; fns; controls } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let has f = List.mem f fns in
+  let ctl c = List.mem c controls in
+  let has_load = has T.Count_load in
+  let has_updown = has T.Count_up && has T.Count_down in
+  let d_ports =
+    if has_load then
+      List.init bits (fun b -> D.add_port d (Printf.sprintf "D%d" b) T.Input)
+    else []
+  in
+  let ld_port = if has_load then Some (D.add_port d "LD" T.Input) else None in
+  let up_port = if has_updown then Some (D.add_port d "UP" T.Input) else None in
+  let clk_port = D.add_port d "CLK" T.Input in
+  let set_port = if ctl T.Set then Some (D.add_port d "SET" T.Input) else None in
+  let rst_port = if ctl T.Reset then Some (D.add_port d "RST" T.Input) else None in
+  let en_port = if ctl T.Enable then Some (D.add_port d "EN" T.Input) else None in
+  let q_ports =
+    List.init bits (fun b -> D.add_port d (Printf.sprintf "Q%d" b) T.Output)
+  in
+  let cout_port = D.add_port d "COUT" T.Output in
+  let vdd = lazy (Ctx.vdd ctx d) in
+  let vss = lazy (Ctx.vss ctx d) in
+  (* Direction net feeding every stage's UP pin. *)
+  let up_net =
+    match up_port with
+    | Some u -> u
+    | None -> if has T.Count_down then Lazy.force vss else Lazy.force vdd
+  in
+  (* SET is wrapped through the load path: effective load and data. *)
+  let wrap_set = set_port <> None in
+  let ld_eff =
+    (* load request gated by the global enable (EN=0 must hold). *)
+    let base =
+      match (ld_port, en_port) with
+      | Some ld, Some en -> Gate_comp.build d set T.And [ ld; en ]
+      | Some ld, None -> ld
+      | None, _ -> Lazy.force vss
+    in
+    match set_port with
+    | Some sp -> Gate_comp.build d set T.Or [ base; sp ]
+    | None -> base
+  in
+  let data_eff b =
+    let base =
+      if has_load then List.nth d_ports b else Lazy.force vss
+    in
+    match set_port with
+    | Some sp ->
+        if has_load then Gate_comp.build d set T.Or [ base; sp ] else sp
+    | None -> base
+  in
+  let rst_eff =
+    match (rst_port, set_port) with
+    | Some rp, Some sp ->
+        let nset = Gate_comp.build d set T.Inv [ sp ] in
+        Gate_comp.build d set T.And [ rp; nset ]
+    | Some rp, None -> rp
+    | None, _ -> Lazy.force vss
+  in
+  let need_load_path = has_load || wrap_set in
+  (* Stage widths, LSB first: 4s, then 2, then an odd final bit. *)
+  let rec widths remaining =
+    if remaining = 0 then []
+    else if remaining >= 4 then 4 :: widths (remaining - 4)
+    else if remaining >= 2 then 2 :: widths (remaining - 2)
+    else [ 1 ]
+  in
+  (* Build one MSI counter stage; returns its COUT net. *)
+  let msi_stage offset w carry =
+    let mname = if w = 4 then "CNT4" else "CNT2" in
+    let cid = D.add_comp d ~name:(Printf.sprintf "st%d" offset) (T.Macro mname) in
+    for i = 0 to w - 1 do
+      D.connect d cid
+        (Printf.sprintf "D%d" i)
+        (if need_load_path then data_eff (offset + i) else Lazy.force vss);
+      D.connect d cid (Printf.sprintf "Q%d" i) (List.nth q_ports (offset + i))
+    done;
+    D.connect d cid "LD" ld_eff;
+    D.connect d cid "UP" up_net;
+    D.connect d cid "CLK" clk_port;
+    D.connect d cid "RST" rst_eff;
+    (* Count only when the carry chain allows it; loading re-enables the
+       stage regardless of the chain. *)
+    let stage_en = Gate_comp.build d set T.Or [ carry; ld_eff ] in
+    D.connect d cid "EN" stage_en;
+    let co = D.new_net d in
+    D.connect d cid "COUT" co;
+    co
+  in
+  (* A single-bit slice from a discrete flip-flop: toggles on carry,
+     loads through a mux, reset native.  Returns its terminal-count
+     net. *)
+  let tff_stage offset carry =
+    let q = List.nth q_ports offset in
+    let toggled = Gate_comp.build d set T.Xor [ q; carry ] in
+    let data =
+      if need_load_path then
+        Mux_comp.mux1 d set [ toggled; data_eff offset ] [ ld_eff ]
+      else toggled
+    in
+    let ff_macro = if rst_port <> None || wrap_set then "DFF_R" else "DFF" in
+    let ff = D.add_comp d ~name:(Printf.sprintf "tff%d" offset) (T.Macro ff_macro) in
+    D.connect d ff "D" data;
+    D.connect d ff "CLK" clk_port;
+    if ff_macro = "DFF_R" then D.connect d ff "RST" rst_eff;
+    D.connect d ff "Q" q;
+    (* Terminal count: q when counting up, ~q when counting down. *)
+    match (has_updown, has T.Count_down) with
+    | true, _ -> Gate_comp.build d set T.Xnor [ q; up_net ]
+    | false, true -> Gate_comp.build d set T.Inv [ q ]
+    | false, false -> q
+  in
+  let rec chain offset carry couts = function
+    | [] -> (carry, List.rev couts)
+    | w :: rest ->
+        let co =
+          if w = 1 then tff_stage offset carry else msi_stage offset w carry
+        in
+        let next_carry = Gate_comp.build d set T.And [ carry; co ] in
+        chain (offset + w) next_carry (co :: couts) rest
+  in
+  let en0 = match en_port with Some en -> en | None -> Lazy.force vdd in
+  let _, couts = chain 0 en0 [] (widths bits) in
+  (* Whole-counter terminal count. *)
+  let cout_net =
+    match couts with
+    | [] -> invalid_arg "Counter_comp: zero bits"
+    | [ single ] -> single
+    | several -> Gate_comp.build d set T.And several
+  in
+  Ctx.bind_output ctx d cout_net cout_port;
+  d

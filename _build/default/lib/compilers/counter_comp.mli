@@ -1,0 +1,10 @@
+(** The counter compiler: CNT4/CNT2 MSI chains cascaded through enable,
+    a discrete T-flip-flop slice for odd widths, load/up/down functions
+    and set/reset/enable controls (SET synthesized via the load path). *)
+
+val compile :
+  Ctx.t ->
+  bits:int ->
+  fns:Milo_netlist.Types.count_fn list ->
+  controls:Milo_netlist.Types.control list ->
+  Milo_netlist.Design.t

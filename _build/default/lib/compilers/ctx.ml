@@ -1,0 +1,55 @@
+(* Shared compiler context: the design database, the generic library,
+   its gate set, and the recursive dispatch hook that lets one design
+   compiler call another (the paper's register compiler calls the
+   multiplexor compiler). *)
+
+type t = {
+  db : Database.t;
+  lib : Milo_library.Technology.t;
+  set : Gate_comp.gate_set;
+  subcompile : Milo_netlist.Types.kind -> string;
+      (* compile a dependency; returns its design-database name *)
+}
+
+let resolver ctx = Database.resolver ctx.db [ ctx.lib ]
+
+(* Instantiate a previously compiled sub-design. *)
+let add_instance ?log d ?name sub_name =
+  Milo_netlist.Design.add_comp ?log ?name d
+    (Milo_netlist.Types.Instance sub_name)
+
+(* Compile a dependency and instantiate it in one step. *)
+let instantiate ?log ctx d ?name kind =
+  let sub_name = ctx.subcompile kind in
+  add_instance ?log d ?name sub_name
+
+(* Merge [src_net] into [port_net]: every pin on the source net (driver
+   and sinks alike) moves to the port net, so a value built on an
+   internal net reaches the design's output port.  A source that is
+   itself a port is buffered instead. *)
+let bind_output ctx d src_net port_net =
+  let module D = Milo_netlist.Design in
+  let resolve = resolver ctx in
+  let buffer_from nid =
+    let b = D.add_comp d (Milo_netlist.Types.Macro "BUF") in
+    D.connect d b "A0" nid;
+    D.connect d b "Y" port_net
+  in
+  match D.driver ~resolve d src_net with
+  | D.Src_comp (_, _) ->
+      if (D.net d src_net).D.nport <> None then
+        (* The signal already drives a port (e.g. a counter whose Q is
+           also its terminal count): bridge with a buffer rather than
+           stealing the driver. *)
+        buffer_from src_net
+      else begin
+        let pins = (D.net d src_net).D.npins in
+        List.iter (fun (cid, pin) -> D.connect d cid pin port_net) pins;
+        if (D.net d src_net).D.npins = [] && (D.net d src_net).D.nport = None
+        then D.remove_net d src_net
+      end
+  | D.Src_port p -> buffer_from (D.port_net d p)
+  | D.Src_none -> invalid_arg "Ctx.bind_output: undriven source net"
+
+let vdd ?log ctx d = Gate_comp.add_const ?log d ctx.set Milo_netlist.Types.Vdd
+let vss ?log ctx d = Gate_comp.add_const ?log d ctx.set Milo_netlist.Types.Vss

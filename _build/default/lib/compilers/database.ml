@@ -1,0 +1,124 @@
+(* The design database: compiled designs cached by name, exactly the
+   paper's "see if the requested design already exists in the database;
+   if so, exit".  Also resolves hierarchical Instance references and can
+   flatten them away for simulation / mapping. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+type t = { designs : (string, D.t) Hashtbl.t }
+
+let create () = { designs = Hashtbl.create 32 }
+let find t name = Hashtbl.find_opt t.designs name
+let mem t name = Hashtbl.mem t.designs name
+
+let register t d =
+  let name = D.name d in
+  if not (Hashtbl.mem t.designs name) then Hashtbl.replace t.designs name d
+
+let replace t d = Hashtbl.replace t.designs (D.name d) d
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.designs [] |> List.sort compare
+
+let get t name =
+  match find t name with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Database.get: no design %s" name)
+
+let instance_pins t name =
+  let d = get t name in
+  List.map (fun (p, dir, _) -> (p, dir)) (D.ports d)
+
+(* A resolver that handles Instance references from this database and
+   delegates Macro references to the given technologies. *)
+let resolver t techs : D.resolver =
+ fun kind nm ->
+  match kind with
+  | T.Instance _ -> instance_pins t nm
+  | T.Macro _ ->
+      let rec go = function
+        | [] -> invalid_arg (Printf.sprintf "Database.resolver: unknown macro %s" nm)
+        | tech :: rest -> (
+            match Milo_library.Technology.find_opt tech nm with
+            | Some m -> m.Milo_library.Macro.pins
+            | None -> go rest)
+      in
+      go techs
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Constant _ ->
+      T.pins_of_kind kind
+
+(* Inline one instance component: copy the sub-design's components into
+   the parent, stitching port nets to the instance's connections. *)
+let inline_instance t parent cid =
+  let c = D.comp parent cid in
+  let sub_name =
+    match c.D.kind with
+    | T.Instance n -> n
+    | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+    | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+    | T.Constant _ | T.Macro _ ->
+        invalid_arg "Database.inline_instance: not an instance"
+  in
+  let sub = get t sub_name in
+  let conns = D.connections parent cid in
+  D.remove_comp parent cid;
+  (* Map sub nets to parent nets: port nets use the instance connection
+     (or a fresh stub), internal nets get fresh parent nets. *)
+  let net_map = Hashtbl.create 16 in
+  List.iter
+    (fun (n : D.net) ->
+      match n.D.nport with
+      | Some (p, _) ->
+          let parent_net =
+            match List.assoc_opt p conns with
+            | Some nid -> nid
+            | None -> D.new_net ~name:(c.D.cname ^ "/" ^ p) parent
+          in
+          Hashtbl.replace net_map n.D.nid parent_net
+      | None ->
+          Hashtbl.replace net_map n.D.nid
+            (D.new_net ~name:(c.D.cname ^ "/" ^ n.D.nname) parent))
+    (D.nets sub);
+  List.iter
+    (fun (sc : D.comp) ->
+      let nid =
+        D.add_comp ~name:(c.D.cname ^ "/" ^ sc.D.cname) parent sc.D.kind
+      in
+      List.iter
+        (fun (pin, snet) ->
+          D.connect parent nid pin (Hashtbl.find net_map snet))
+        (D.connections sub sc.D.id))
+    (D.comps sub)
+
+(* Expand all hierarchy, recursively. *)
+let flatten t design =
+  let d = D.copy design in
+  let rec pass () =
+    let instances =
+      List.filter_map
+        (fun (c : D.comp) ->
+          match c.D.kind with T.Instance _ -> Some c.D.id | _ -> None)
+        (D.comps d)
+    in
+    if instances <> [] then begin
+      List.iter (fun cid -> inline_instance t d cid) instances;
+      pass ()
+    end
+  in
+  pass ();
+  d
+
+(* Expand just the top level of hierarchy (Figure 18 optimizes level by
+   level before expanding the next). *)
+let flatten_once t design =
+  let d = D.copy design in
+  let instances =
+    List.filter_map
+      (fun (c : D.comp) ->
+        match c.D.kind with T.Instance _ -> Some c.D.id | _ -> None)
+      (D.comps d)
+  in
+  List.iter (fun cid -> inline_instance t d cid) instances;
+  d

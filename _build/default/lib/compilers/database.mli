@@ -1,0 +1,32 @@
+(** The design database: compiled designs cached by name ("see if the
+    requested design already exists in the database"), Instance
+    resolution, and hierarchy flattening. *)
+
+module D = Milo_netlist.Design
+
+type t
+
+val create : unit -> t
+val find : t -> string -> D.t option
+val mem : t -> string -> bool
+val register : t -> D.t -> unit
+(** No-op if a design of that name already exists. *)
+
+val replace : t -> D.t -> unit
+val names : t -> string list
+val get : t -> string -> D.t
+val instance_pins : t -> string -> (string * Milo_netlist.Types.dir) list
+
+val resolver : t -> Milo_library.Technology.t list -> D.resolver
+(** Resolves Instance pins from this database and Macro pins from the
+    given technologies (first match wins). *)
+
+val inline_instance : t -> D.t -> int -> unit
+(** Replace one Instance component by the contents of its sub-design. *)
+
+val flatten : t -> D.t -> D.t
+(** Copy with all hierarchy recursively expanded. *)
+
+val flatten_once : t -> D.t -> D.t
+(** Copy with only the top level of hierarchy expanded (the Figure 18
+    level-by-level optimization order). *)

@@ -1,0 +1,53 @@
+(* The decoder compiler: k-to-2^k decoders from DEC1x2 / DEC2x4 macros;
+   wider decoders split into a low and a high half joined by an AND
+   grid; enables gate through the high half where possible. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let compile ctx ~bits ~enable =
+  let kind = T.Decoder { bits; enable } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let a_ports =
+    List.init bits (fun i -> D.add_port d (Printf.sprintf "A%d" i) T.Input)
+  in
+  let en_port = if enable then Some (D.add_port d "EN" T.Input) else None in
+  let y_ports =
+    List.init (1 lsl bits) (fun j ->
+        D.add_port d (Printf.sprintf "Y%d" j) T.Output)
+  in
+  (* Decode [addr] nets into 2^k one-hot nets (no enable). *)
+  let rec decode addr =
+    match addr with
+    | [] -> invalid_arg "Decoder_comp: zero bits"
+    | [ a0 ] ->
+        let cid = D.add_comp d (T.Macro "DEC1x2") in
+        D.connect d cid "A0" a0;
+        List.init 2 (fun j ->
+            let n = D.new_net d in
+            D.connect d cid (Printf.sprintf "Y%d" j) n;
+            n)
+    | [ a0; a1 ] ->
+        let cid = D.add_comp d (T.Macro "DEC2x4") in
+        D.connect d cid "A0" a0;
+        D.connect d cid "A1" a1;
+        List.init 4 (fun j ->
+            let n = D.new_net d in
+            D.connect d cid (Printf.sprintf "Y%d" j) n;
+            n)
+    | a0 :: a1 :: rest ->
+        let low = decode [ a0; a1 ] in
+        let high = decode rest in
+        List.concat_map
+          (fun h -> List.map (fun l -> Gate_comp.build d set T.And [ l; h ]) low)
+          high
+  in
+  let hot = decode a_ports in
+  let gated =
+    match en_port with
+    | None -> hot
+    | Some en -> List.map (fun h -> Gate_comp.build d set T.And [ h; en ]) hot
+  in
+  List.iteri (fun j g -> Ctx.bind_output ctx d g (List.nth y_ports j)) gated;
+  d

@@ -1,0 +1,4 @@
+(** The decoder compiler: k-to-2^k decoders from DEC1x2/DEC2x4 macros
+    with an AND grid for wider address fields. *)
+
+val compile : Ctx.t -> bits:int -> enable:bool -> Milo_netlist.Design.t

@@ -1,0 +1,199 @@
+(* The gate compiler: builds an i-input gate as a tree of library gates,
+   generalizing the paper's i-input OR algorithm ("find an OR gate in the
+   database with num_or_inputs <= num_left_over_outputs", level by
+   level).  Parameterized by the available gate set so the same builder
+   serves the generic library and each technology library. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Which macro implements a gate function at a given arity, if any. *)
+type gate_set = {
+  tech : Milo_library.Technology.t;
+  gate_macro : T.gate_fn -> int -> string option;
+  const_macro : T.level -> string;
+}
+
+let named_set ~prefix tech =
+  let gate_macro fn n =
+    let name =
+      if n = 1 then
+        match fn with
+        | T.Inv -> Printf.sprintf "%sINV" prefix
+        | T.Buf -> Printf.sprintf "%sBUF" prefix
+        | T.And | T.Or | T.Nand | T.Nor | T.Xor | T.Xnor ->
+            Printf.sprintf "%s%s1" prefix (T.gate_fn_name fn)
+      else Printf.sprintf "%s%s%d" prefix (T.gate_fn_name fn) n
+    in
+    if Milo_library.Technology.mem tech name then Some name else None
+  in
+  let const_macro lvl =
+    let name =
+      Printf.sprintf "%s%s" prefix (match lvl with T.Vdd -> "VDD" | T.Vss -> "VSS")
+    in
+    if Milo_library.Technology.mem tech name then name
+    else invalid_arg ("Gate_comp: no constant macro " ^ name)
+  in
+  { tech; gate_macro; const_macro }
+
+let generic_set tech = named_set ~prefix:"" tech
+
+let resolver set = Milo_library.Technology.resolver set.tech
+
+let arities set fn =
+  List.filter (fun n -> set.gate_macro fn n <> None) [ 2; 3; 4; 5; 6; 8 ]
+
+let largest_arity set fn limit =
+  List.fold_left
+    (fun acc n -> if n <= limit then Some n else acc)
+    None
+    (arities set fn)
+
+(* Add a single library gate driving a fresh net. *)
+let add_gate ?log d set fn ins =
+  let n = List.length ins in
+  match set.gate_macro fn n with
+  | None ->
+      unsupported "no %d-input %s macro available" n (T.gate_fn_name fn)
+  | Some mname ->
+      let cid = D.add_comp ?log d (T.Macro mname) in
+      List.iteri
+        (fun i nid -> D.connect ?log d cid (Printf.sprintf "A%d" i) nid)
+        ins;
+      let out = D.new_net ?log d in
+      D.connect ?log d cid "Y" out;
+      out
+
+let add_const ?log d set lvl =
+  let cid = D.add_comp ?log d (T.Macro (set.const_macro lvl)) in
+  let out = D.new_net ?log d in
+  D.connect ?log d cid "Y" out;
+  out
+
+(* Reduce a list of nets with an associative gate function (AND, OR,
+   XOR), level by level, using the widest available gates first — the
+   paper's OR-compiler algorithm. *)
+let rec tree ?log d set fn nets =
+  match nets with
+  | [] -> invalid_arg "Gate_comp.tree: no inputs"
+  | [ single ] -> single
+  | _ ->
+      let rec level remaining acc =
+        match remaining with
+        | [] -> List.rev acc
+        | [ last ] -> List.rev (last :: acc)
+        | _ ->
+            let k = List.length remaining in
+            let arity =
+              match largest_arity set fn k with
+              | Some a -> a
+              | None ->
+                  unsupported "no %s gates available" (T.gate_fn_name fn)
+            in
+            let rec take i xs acc' =
+              if i = 0 then (List.rev acc', xs)
+              else
+                match xs with
+                | [] -> (List.rev acc', [])
+                | x :: rest -> take (i - 1) rest (x :: acc')
+            in
+            let group, rest = take arity remaining [] in
+            level rest (add_gate ?log d set fn group :: acc)
+      in
+      tree ?log d set fn (level nets [])
+
+(* Build an arbitrary gate function over input nets; returns the output
+   net.  Non-associative functions decompose into inner trees plus a
+   root/inverter stage. *)
+let rec build ?log d set fn nets =
+  let n = List.length nets in
+  match fn with
+  | T.Buf | T.Inv -> (
+      assert (n = 1);
+      match set.gate_macro fn 1 with
+      | Some _ -> add_gate ?log d set fn nets
+      | None ->
+          if fn = T.Buf then List.hd nets
+          else unsupported "no inverter available")
+  | T.And | T.Or | T.Xor ->
+      if set.gate_macro fn n <> None then add_gate ?log d set fn nets
+      else tree ?log d set fn nets
+  | T.Nand | T.Nor | T.Xnor -> (
+      if set.gate_macro fn n <> None then add_gate ?log d set fn nets
+      else
+        (* Inner tree of the positive function, inverted root.  When a
+           smaller inverted-root gate exists, group the inputs so the
+           root itself inverts. *)
+        let pos = match fn with
+          | T.Nand -> T.And
+          | T.Nor -> T.Or
+          | T.Xnor -> T.Xor
+          | T.And | T.Or | T.Xor | T.Inv | T.Buf -> assert false
+        in
+        match largest_arity set fn n with
+        | Some root_arity when n > 1 ->
+            (* Partition inputs into [root_arity] groups, positive trees
+               per group, inverted gate at the root. *)
+            let groups = Array.make root_arity [] in
+            List.iteri
+              (fun i nid -> groups.(i mod root_arity) <- nid :: groups.(i mod root_arity))
+              nets;
+            let heads =
+              Array.to_list groups
+              |> List.filter (fun g -> g <> [])
+              |> List.map (fun g ->
+                     match g with
+                     | [ one ] -> one
+                     | _ -> build ?log d set pos g)
+            in
+            add_gate ?log d set fn heads
+        | Some _ | None ->
+            let inner = build ?log d set pos nets in
+            build ?log d set T.Inv [ inner ])
+
+(* Build a factored expression (from the minimizer) over variable nets. *)
+let rec build_expr ?log d set ~var_net expr =
+  match (expr : Milo_minimize.Factor.expr) with
+  | Milo_minimize.Factor.Const b ->
+      add_const ?log d set (if b then T.Vdd else T.Vss)
+  | Milo_minimize.Factor.Lit (v, true) -> var_net v
+  | Milo_minimize.Factor.Lit (v, false) ->
+      build ?log d set T.Inv [ var_net v ]
+  | Milo_minimize.Factor.Not_e e ->
+      let inner = build_expr ?log d set ~var_net e in
+      build ?log d set T.Inv [ inner ]
+  | Milo_minimize.Factor.And_e es ->
+      let ins = List.map (build_expr ?log d set ~var_net) es in
+      build ?log d set T.And ins
+  | Milo_minimize.Factor.Or_e es ->
+      let ins = List.map (build_expr ?log d set ~var_net) es in
+      build ?log d set T.Or ins
+
+(* Compile a Gate micro component into a stand-alone design whose ports
+   match the kind's pins (A1..An, Y). *)
+let compile set (fn, n) =
+  let n = T.gate_arity fn n in
+  let kind = T.Gate (fn, n) in
+  let d = D.create (T.kind_name kind) in
+  let ins =
+    List.init n (fun i -> D.add_port d (Printf.sprintf "A%d" (i + 1)) T.Input)
+  in
+  let y = D.add_port d "Y" T.Output in
+  let out = build d set fn ins in
+  (* Alias the result onto the output port: retarget the driver. *)
+  let resolve = resolver set in
+  (match D.driver ~resolve d out with
+  | D.Src_comp (cid, pin) ->
+      D.connect d cid pin y;
+      if (D.net d out).D.npins = [] then D.remove_net d out
+  | D.Src_port p ->
+      (* Degenerate case (BUF with no macro): insert a buffer. *)
+      let b = D.add_comp d (T.Macro (Option.get (set.gate_macro T.Buf 1))) in
+      D.connect d b "A0" (D.port_net d p);
+      D.connect d b "Y" y
+  | D.Src_none -> invalid_arg "Gate_comp.compile: undriven output");
+  d

@@ -1,0 +1,49 @@
+(** The gate compiler: n-input gate trees from available library gates,
+    generalizing the paper's i-input OR compiler algorithm.  Reused by
+    every other compiler and by the technology mapper (with the
+    technology's own gate set). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Unsupported of string
+
+type gate_set = {
+  tech : Milo_library.Technology.t;
+  gate_macro : T.gate_fn -> int -> string option;
+  const_macro : T.level -> string;
+}
+
+val named_set : prefix:string -> Milo_library.Technology.t -> gate_set
+(** Gate set using the naming convention [<prefix><FN><arity>], e.g.
+    ["E_OR3"]. *)
+
+val generic_set : Milo_library.Technology.t -> gate_set
+val resolver : gate_set -> D.resolver
+val arities : gate_set -> T.gate_fn -> int list
+val largest_arity : gate_set -> T.gate_fn -> int -> int option
+
+val add_gate : ?log:D.log -> D.t -> gate_set -> T.gate_fn -> int list -> int
+(** Add one library gate over the given input nets; returns the fresh
+    output net.  @raise Unsupported if no macro of that arity exists. *)
+
+val add_const : ?log:D.log -> D.t -> gate_set -> T.level -> int
+val tree : ?log:D.log -> D.t -> gate_set -> T.gate_fn -> int list -> int
+(** Level-by-level reduction with the widest available gates (the
+    paper's OR-compiler loop); associative functions only. *)
+
+val build : ?log:D.log -> D.t -> gate_set -> T.gate_fn -> int list -> int
+(** Build any gate function over input nets; returns the output net. *)
+
+val build_expr :
+  ?log:D.log ->
+  D.t ->
+  gate_set ->
+  var_net:(int -> int) ->
+  Milo_minimize.Factor.expr ->
+  int
+(** Build a factored expression; [var_net] maps expression variables to
+    nets. *)
+
+val compile : gate_set -> T.gate_fn * int -> D.t
+(** Stand-alone design for a Gate micro component (ports A1..An, Y). *)

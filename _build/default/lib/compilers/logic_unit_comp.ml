@@ -1,0 +1,25 @@
+(* The logic unit compiler: a bitwise gate function over multi-bit
+   operands — one gate tree per output bit. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let compile ctx ~bits ~fn ~inputs =
+  let kind = T.Logic_unit { bits; fn; inputs } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let data =
+    List.init inputs (fun i ->
+        List.init bits (fun b ->
+            D.add_port d (Printf.sprintf "D%d_%d" i b) T.Input))
+  in
+  let y_ports =
+    List.init bits (fun b -> D.add_port d (Printf.sprintf "Y%d" b) T.Output)
+  in
+  List.iteri
+    (fun b y ->
+      let ins = List.map (fun operand -> List.nth operand b) data in
+      let out = Gate_comp.build d set fn ins in
+      Ctx.bind_output ctx d out y)
+    y_ports;
+  d

@@ -1,0 +1,9 @@
+(** The logic unit compiler: bitwise gate function over multi-bit
+    operands, one gate tree per bit. *)
+
+val compile :
+  Ctx.t ->
+  bits:int ->
+  fn:Milo_netlist.Types.gate_fn ->
+  inputs:int ->
+  Milo_netlist.Design.t

@@ -1,0 +1,127 @@
+(* The multiplexor compiler: n-to-1, multi-bit, optional enable.
+
+   Single-bit selection trees are built from MUX4/MUX2 macros with VSS
+   padding (out-of-range select values produce 0, matching the
+   behavioural semantics); multi-bit muxes instantiate the single-bit
+   design per bit — the hierarchy the paper's Figure 16 shows
+   (MUX2:1:4 at the top, MUX2:1:1 inside REG4). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let vss ?log d set = Gate_comp.add_const ?log d set T.Vss
+
+(* Select [data] (padded with VSS) by [sels]; returns the output net. *)
+let rec mux1 ?log d set data sels =
+  let pad_to n xs =
+    let len = List.length xs in
+    if len >= n then xs else xs @ List.init (n - len) (fun _ -> vss ?log d set)
+  in
+  match (data, sels) with
+  | [], _ -> invalid_arg "Mux_comp.mux1: no data"
+  | [ single ], [] -> single
+  | _, [] -> invalid_arg "Mux_comp.mux1: out of select bits"
+  | _, [ s ] ->
+      let cid = D.add_comp ?log d (T.Macro "MUX2") in
+      (match pad_to 2 data with
+      | [ d0; d1 ] ->
+          D.connect ?log d cid "D0" d0;
+          D.connect ?log d cid "D1" d1
+      | _ -> assert false);
+      D.connect ?log d cid "S0" s;
+      let out = D.new_net ?log d in
+      D.connect ?log d cid "Y" out;
+      out
+  | _, s0 :: s1 :: rest ->
+      if List.length data <= 4 && rest = [] then begin
+        let cid = D.add_comp ?log d (T.Macro "MUX4") in
+        List.iteri
+          (fun i nid -> D.connect ?log d cid (Printf.sprintf "D%d" i) nid)
+          (pad_to 4 data);
+        D.connect ?log d cid "S0" s0;
+        D.connect ?log d cid "S1" s1;
+        let out = D.new_net ?log d in
+        D.connect ?log d cid "Y" out;
+        out
+      end
+      else begin
+        (* Leaves of MUX4 on the two low select bits, recurse above. *)
+        let rec chunk4 = function
+          | [] -> []
+          | xs ->
+              let rec take i ys acc =
+                if i = 0 then (List.rev acc, ys)
+                else
+                  match ys with
+                  | [] -> (List.rev acc, [])
+                  | y :: rest' -> take (i - 1) rest' (y :: acc)
+              in
+              let group, restd = take 4 xs [] in
+              group :: chunk4 restd
+        in
+        let leaves =
+          List.map
+            (fun group -> mux1 ?log d set (pad_to 4 group) [ s0; s1 ])
+            (chunk4 data)
+        in
+        mux1 ?log d set leaves rest
+      end
+
+let compile ctx ~bits ~inputs ~enable =
+  let kind = T.Multiplexor { bits; inputs; enable } in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let s = T.clog2 inputs in
+  let data_ports =
+    List.init inputs (fun i ->
+        List.init bits (fun b ->
+            D.add_port d (Printf.sprintf "D%d_%d" i b) T.Input))
+  in
+  let sel_ports =
+    List.init s (fun i -> D.add_port d (Printf.sprintf "S%d" i) T.Input)
+  in
+  let en_port = if enable then Some (D.add_port d "EN" T.Input) else None in
+  let y_ports =
+    List.init bits (fun b -> D.add_port d (Printf.sprintf "Y%d" b) T.Output)
+  in
+  if bits = 1 then begin
+    let data = List.map (fun l -> List.nth l 0) data_ports in
+    let out = mux1 d set data sel_ports in
+    let final =
+      match en_port with
+      | Some en -> Gate_comp.build d set T.And [ out; en ]
+      | None -> out
+    in
+    (* Retarget the final driver onto the port net. *)
+    let resolve = Ctx.resolver ctx in
+    (match D.driver ~resolve d final with
+    | D.Src_comp (cid, pin) ->
+        D.connect d cid pin (List.nth y_ports 0);
+        if (D.net d final).D.npins = [] then D.remove_net d final
+    | D.Src_port p ->
+        let b = D.add_comp d (T.Macro "BUF") in
+        D.connect d b "A0" (D.port_net d p);
+        D.connect d b "Y" (List.nth y_ports 0)
+    | D.Src_none -> invalid_arg "Mux_comp.compile: undriven output")
+  end
+  else begin
+    (* One single-bit mux instance per bit (register-compiler style
+       hierarchy). *)
+    let sub = ctx.Ctx.subcompile (T.Multiplexor { bits = 1; inputs; enable }) in
+    List.iteri
+      (fun b y ->
+        let inst = Ctx.add_instance d ~name:(Printf.sprintf "bit%d" b) sub in
+        List.iteri
+          (fun i l ->
+            D.connect d inst (Printf.sprintf "D%d_0" i) (List.nth l b))
+          data_ports;
+        List.iteri
+          (fun i snet -> D.connect d inst (Printf.sprintf "S%d" i) snet)
+          sel_ports;
+        (match en_port with
+        | Some en -> D.connect d inst "EN" en
+        | None -> ());
+        D.connect d inst "Y0" y)
+      y_ports
+  end;
+  d

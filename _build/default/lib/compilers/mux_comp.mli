@@ -1,0 +1,11 @@
+(** The multiplexor compiler: n-to-1, multi-bit, optional enable.
+    Multi-bit muxes instantiate the single-bit design per bit. *)
+
+module D = Milo_netlist.Design
+
+val mux1 :
+  ?log:D.log -> D.t -> Gate_comp.gate_set -> int list -> int list -> int
+(** [mux1 d set data sels] builds a selection tree over the data nets;
+    returns the output net.  Out-of-range selects produce 0. *)
+
+val compile : Ctx.t -> bits:int -> inputs:int -> enable:bool -> D.t

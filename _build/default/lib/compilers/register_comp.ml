@@ -1,0 +1,192 @@
+(* The register compiler (Figure 12: # bits, latch/edge, load/shift
+   functions, set/reset/enable controls, inverting outputs).
+
+   As in the paper: a multiplexor is placed in front of each flip-flop
+   when the register has several functions, produced by a call to the
+   multiplexor compiler.  Controls are taken natively from the richest
+   matching flip-flop macro; whatever the macro lacks is wrapped into
+   the data path with the correct priority (SET > RST > not-EN hold). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+type ff_choice = {
+  ff_macro : string;
+  native_set : bool;
+  native_reset : bool;
+  native_enable : bool;
+}
+
+(* Richest flip-flop/latch macro whose native controls are a subset of
+   the requested ones. *)
+let choose_ff lib ~latch ~set ~reset ~enable =
+  let candidates =
+    if latch then
+      [ ("DLATCH_R", false, true, false); ("DLATCH", false, false, false) ]
+    else
+      [
+        ("DFF_SR", true, true, false);
+        ("DFF_RE", false, true, true);
+        ("DFF_S", true, false, false);
+        ("DFF_R", false, true, false);
+        ("DFF_E", false, false, true);
+        ("DFF", false, false, false);
+      ]
+  in
+  let fits (name, s, r, e) =
+    Milo_library.Technology.mem lib name
+    && ((not s) || set) && ((not r) || reset) && ((not e) || enable)
+  in
+  let score (_, s, r, e) =
+    (if s then 1 else 0) + (if r then 1 else 0) + if e then 1 else 0
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        if not (fits c) then acc
+        else
+          match acc with
+          | Some b when score b >= score c -> acc
+          | _ -> Some c)
+      None candidates
+  in
+  match best with
+  | Some (ff_macro, native_set, native_reset, native_enable) ->
+      { ff_macro; native_set; native_reset; native_enable }
+  | None -> invalid_arg "Register_comp: no flip-flop macro available"
+
+let compile ctx ~bits ~reg_kind ~fns ~controls ~inverting =
+  if fns = [] then invalid_arg "Register_comp.compile: no functions";
+  let kind =
+    T.Register { bits; kind = reg_kind; fns; controls; inverting }
+  in
+  let d = D.create (T.kind_name kind) in
+  let set = ctx.Ctx.set in
+  let has f = List.mem f fns in
+  let ctl c = List.mem c controls in
+  let d_ports =
+    if has T.Load then
+      List.init bits (fun b -> D.add_port d (Printf.sprintf "D%d" b) T.Input)
+    else []
+  in
+  let sil_port = if has T.Shift_left then Some (D.add_port d "SIL" T.Input) else None in
+  let sir_port = if has T.Shift_right then Some (D.add_port d "SIR" T.Input) else None in
+  let m_ports =
+    List.init (T.clog2 (List.length fns)) (fun i ->
+        D.add_port d (Printf.sprintf "M%d" i) T.Input)
+  in
+  let clk_port = D.add_port d "CLK" T.Input in
+  let set_port = if ctl T.Set then Some (D.add_port d "SET" T.Input) else None in
+  let rst_port = if ctl T.Reset then Some (D.add_port d "RST" T.Input) else None in
+  let en_port = if ctl T.Enable then Some (D.add_port d "EN" T.Input) else None in
+  let q_ports =
+    List.init bits (fun b -> D.add_port d (Printf.sprintf "Q%d" b) T.Output)
+  in
+  let choice =
+    choose_ff ctx.Ctx.lib
+      ~latch:(reg_kind = T.Latch)
+      ~set:(ctl T.Set) ~reset:(ctl T.Reset) ~enable:(ctl T.Enable)
+  in
+  (* Internal state nets (the true, non-inverted flip-flop outputs). *)
+  let q_nets =
+    if inverting then List.init bits (fun b -> D.new_net ~name:(Printf.sprintf "q%d" b) d)
+    else q_ports
+  in
+  let nth_q b = List.nth q_nets b in
+  (* Data for each function at bit b. *)
+  let fn_data fn b =
+    match fn with
+    | T.Load -> List.nth d_ports b
+    | T.Shift_right ->
+        if b = bits - 1 then Option.get sir_port else nth_q (b + 1)
+    | T.Shift_left -> if b = 0 then Option.get sil_port else nth_q (b - 1)
+  in
+  let ffs =
+    List.init bits (fun b ->
+        (* Function selection: the mux the paper places in front of each
+           flip-flop, built by the multiplexor compiler. *)
+        let selected =
+          match fns with
+          | [ fn ] -> fn_data fn b
+          | _ ->
+              (* Pad the function mux to a power of two by repeating the
+                 last function, so out-of-range mode selects clamp to it
+                 (matching the behavioural semantics). *)
+              let padded = 1 lsl T.clog2 (List.length fns) in
+              let sub =
+                ctx.Ctx.subcompile
+                  (T.Multiplexor { bits = 1; inputs = padded; enable = false })
+              in
+              let mux =
+                Ctx.add_instance d ~name:(Printf.sprintf "msel%d" b) sub
+              in
+              let nth_fn i = List.nth fns (min i (List.length fns - 1)) in
+              List.iter
+                (fun i ->
+                  D.connect d mux (Printf.sprintf "D%d_0" i)
+                    (fn_data (nth_fn i) b))
+                (List.init padded (fun i -> i));
+              List.iteri
+                (fun i m -> D.connect d mux (Printf.sprintf "S%d" i) m)
+                m_ports;
+              let n = D.new_net d in
+              D.connect d mux "Y0" n;
+              n
+        in
+        (* Wrap non-native controls into the data path, respecting the
+           priority SET > RST > hold. *)
+        let with_en =
+          match (en_port, choice.native_enable) with
+          | Some en, false ->
+              Mux_comp.mux1 d set [ nth_q b; selected ] [ en ]
+          | Some _, true | None, _ -> selected
+        in
+        let with_rst =
+          match (rst_port, choice.native_reset) with
+          | Some rst, false ->
+              let nrst = Gate_comp.build d set T.Inv [ rst ] in
+              Gate_comp.build d set T.And [ with_en; nrst ]
+          | Some _, true | None, _ -> with_en
+        in
+        let with_set =
+          match (set_port, choice.native_set) with
+          | Some sp, false -> Gate_comp.build d set T.Or [ with_rst; sp ]
+          | Some _, true | None, _ -> with_rst
+        in
+        let ff =
+          D.add_comp d ~name:(Printf.sprintf "ff%d" b)
+            (T.Macro choice.ff_macro)
+        in
+        D.connect d ff "D" with_set;
+        D.connect d ff "CLK" clk_port;
+        (match (set_port, choice.native_set) with
+        | Some sp, true -> D.connect d ff "SET" sp
+        | Some _, false | None, _ -> ());
+        (match (rst_port, choice.native_reset) with
+        | Some rp, true ->
+            (* If SET is wrapped into the data path while RST is native,
+               gate RST so SET keeps its priority. *)
+            let rp =
+              match (set_port, choice.native_set) with
+              | Some sp, false ->
+                  let nset = Gate_comp.build d set T.Inv [ sp ] in
+                  Gate_comp.build d set T.And [ rp; nset ]
+              | Some _, true | None, _ -> rp
+            in
+            D.connect d ff "RST" rp
+        | Some _, false | None, _ -> ());
+        (match (en_port, choice.native_enable) with
+        | Some en, true -> D.connect d ff "EN" en
+        | Some _, false | None, _ -> ());
+        D.connect d ff "Q" (nth_q b);
+        ff)
+  in
+  ignore ffs;
+  (* Inverting outputs: invert the state onto the Q ports. *)
+  if inverting then
+    List.iteri
+      (fun b q ->
+        let inv = Gate_comp.build d set T.Inv [ nth_q b ] in
+        Ctx.bind_output ctx d inv q)
+      q_ports;
+  d

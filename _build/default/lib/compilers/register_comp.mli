@@ -1,0 +1,14 @@
+(** The register compiler: per-bit flip-flops/latches with a
+    compiler-generated multiplexor in front when the register has
+    several functions (load / shift left / shift right), native or
+    data-path-wrapped set/reset/enable controls, optional inverting
+    outputs. *)
+
+val compile :
+  Ctx.t ->
+  bits:int ->
+  reg_kind:Milo_netlist.Types.reg_kind ->
+  fns:Milo_netlist.Types.reg_fn list ->
+  controls:Milo_netlist.Types.control list ->
+  inverting:bool ->
+  Milo_netlist.Design.t

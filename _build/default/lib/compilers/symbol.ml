@@ -1,0 +1,79 @@
+(* The symbol compiler: produces the schematic-capture symbol for a
+   microarchitecture component — its name, pin list grouped by side, and
+   a one-line description.  (In the paper the symbol compiler feeds the
+   Mentor schematic capture menu; here the symbol is a printable
+   record the CLI and examples render.) *)
+
+module T = Milo_netlist.Types
+
+type t = {
+  symbol_name : string;
+  kind : T.kind;
+  left_pins : string list;  (* inputs *)
+  right_pins : string list;  (* outputs *)
+  description : string;
+}
+
+let describe (kind : T.kind) =
+  match kind with
+  | T.Gate (fn, n) ->
+      Printf.sprintf "%d-input %s gate" (T.gate_arity fn n) (T.gate_fn_name fn)
+  | T.Multiplexor { bits; inputs; enable } ->
+      Printf.sprintf "%d-to-1 multiplexor, %d-bit slice%s" inputs bits
+        (if enable then ", with enable" else "")
+  | T.Decoder { bits; enable } ->
+      Printf.sprintf "%d-to-%d decoder%s" bits (1 lsl bits)
+        (if enable then ", with enable" else "")
+  | T.Comparator { bits; fns } ->
+      Printf.sprintf "%d-bit comparator (%s)" bits
+        (String.concat "/" (List.map T.cmp_fn_name fns))
+  | T.Logic_unit { bits; fn; inputs } ->
+      Printf.sprintf "%d-bit %d-operand %s logic unit" bits inputs
+        (T.gate_fn_name fn)
+  | T.Arith_unit { bits; fns; mode } ->
+      Printf.sprintf "%d-bit arithmetic unit (%s), %s carry" bits
+        (String.concat "/" (List.map T.arith_fn_name fns))
+        (String.lowercase_ascii (T.carry_mode_name mode))
+  | T.Register { bits; kind = rk; fns; controls; inverting } ->
+      Printf.sprintf "%d-bit %s register (%s)%s%s" bits
+        (match rk with T.Latch -> "latch" | T.Edge_triggered -> "edge-triggered")
+        (String.concat "/" (List.map T.reg_fn_name fns))
+        (if controls = [] then ""
+         else ", " ^ String.concat "/" (List.map T.control_name controls))
+        (if inverting then ", inverting" else "")
+  | T.Counter { bits; fns; controls } ->
+      Printf.sprintf "%d-bit counter (%s)%s" bits
+        (String.concat "/" (List.map T.count_fn_name fns))
+        (if controls = [] then ""
+         else ", " ^ String.concat "/" (List.map T.control_name controls))
+  | T.Constant T.Vdd -> "logic 1"
+  | T.Constant T.Vss -> "logic 0"
+  | T.Macro m -> Printf.sprintf "library macro %s" m
+  | T.Instance i -> Printf.sprintf "instance of %s" i
+
+let generate (kind : T.kind) =
+  let pins = T.pins_of_kind kind in
+  {
+    symbol_name = T.kind_name kind;
+    kind;
+    left_pins =
+      List.filter_map (fun (p, d) -> if d = T.Input then Some p else None) pins;
+    right_pins =
+      List.filter_map (fun (p, d) -> if d = T.Output then Some p else None) pins;
+    description = describe kind;
+  }
+
+let render sym =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s — %s\n" sym.symbol_name sym.description);
+  let rec rows ls rs =
+    match (ls, rs) with
+    | [], [] -> ()
+    | _ ->
+        let l, ls' = match ls with [] -> ("", []) | x :: r -> (x, r) in
+        let r, rs' = match rs with [] -> ("", []) | x :: r -> (x, r) in
+        Buffer.add_string b (Printf.sprintf "  %-8s | %8s\n" l r);
+        rows ls' rs'
+  in
+  rows sym.left_pins sym.right_pins;
+  Buffer.contents b

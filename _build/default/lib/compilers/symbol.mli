@@ -1,0 +1,16 @@
+(** The symbol compiler: printable schematic-capture symbols for
+    microarchitecture components. *)
+
+module T = Milo_netlist.Types
+
+type t = {
+  symbol_name : string;
+  kind : T.kind;
+  left_pins : string list;
+  right_pins : string list;
+  description : string;
+}
+
+val describe : T.kind -> string
+val generate : T.kind -> t
+val render : t -> string

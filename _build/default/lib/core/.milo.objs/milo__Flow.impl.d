@@ -1,0 +1,1 @@
+lib/core/flow.ml: Constraints List Milo_compilers Milo_critic Milo_estimate Milo_library Milo_netlist Milo_optimizer Milo_rules Milo_techmap Milo_timing Option

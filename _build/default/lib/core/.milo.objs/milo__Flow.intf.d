@@ -1,0 +1,1 @@
+lib/core/flow.mli: Constraints Milo_compilers Milo_library Milo_netlist Milo_optimizer Milo_techmap

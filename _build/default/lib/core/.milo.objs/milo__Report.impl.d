@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Flow List Milo_optimizer Printf String

@@ -1,0 +1,22 @@
+(* User constraints (Figure 11's input parameters): path delays, area
+   and power budgets the design optimizers must meet. *)
+
+type t = {
+  required_delay : float option;  (** ns, on the worst path *)
+  max_area : float option;  (** cells *)
+  max_power : float option;  (** mW *)
+  input_arrivals : (string * float) list;  (** late-arriving inputs *)
+}
+
+let none =
+  { required_delay = None; max_area = None; max_power = None; input_arrivals = [] }
+
+let delay ns = { none with required_delay = Some ns }
+
+let make ?required_delay ?max_area ?max_power ?(input_arrivals = []) () =
+  { required_delay; max_area; max_power; input_arrivals }
+
+let meets t ~delay:d ~area ~power =
+  (match t.required_delay with Some r -> d <= r +. 1e-9 | None -> true)
+  && (match t.max_area with Some a -> area <= a +. 1e-9 | None -> true)
+  && match t.max_power with Some p -> power <= p +. 1e-9 | None -> true

@@ -1,0 +1,21 @@
+(** User constraints: path delay, area and power budgets plus
+    late-arriving input offsets. *)
+
+type t = {
+  required_delay : float option;
+  max_area : float option;
+  max_power : float option;
+  input_arrivals : (string * float) list;
+}
+
+val none : t
+val delay : float -> t
+val make :
+  ?required_delay:float ->
+  ?max_area:float ->
+  ?max_power:float ->
+  ?input_arrivals:(string * float) list ->
+  unit ->
+  t
+
+val meets : t -> delay:float -> area:float -> power:float -> bool

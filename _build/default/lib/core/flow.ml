@@ -1,0 +1,139 @@
+(* The MILO flow (Figure 11):
+
+     capture -> microarchitecture critic -> logic compilers ->
+     technology mapper -> logic optimizer (time / area / power
+     optimizers over the five experts) -> optimized design.
+
+   [human_baseline] is the comparison flow for the Figure 19
+   experiment: direct compilation and conservative technology mapping
+   with no optimization passes. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Milo_rules.Rule
+module Database = Milo_compilers.Database
+module Compile = Milo_compilers.Compile
+module Table_map = Milo_techmap.Table_map
+
+type technology = Ecl | Cmos
+
+let target_of = function
+  | Ecl -> Table_map.ecl_target ()
+  | Cmos -> Table_map.cmos_target ()
+
+type stats = {
+  delay : float;
+  area : float;
+  power : float;
+  gates : int;
+  comps : int;
+}
+
+let stats_of ?(input_arrivals = []) target design =
+  let env name = Milo_library.Technology.find target.Table_map.tech name in
+  let sta = Milo_timing.Sta.analyze ~input_arrivals env design in
+  {
+    delay = Milo_timing.Sta.worst_delay sta;
+    area = Milo_estimate.Estimate.area env design;
+    power = Milo_estimate.Estimate.power env design;
+    gates =
+      Milo_netlist.Stats.two_input_equiv
+        ~macro_gates:(fun m -> (env m).Milo_library.Macro.gates)
+        design;
+    comps = D.num_comps design;
+  }
+
+type result = {
+  micro_design : D.t;  (** after the microarchitecture critic *)
+  micro_applications : (string * string) list;  (** rule, site description *)
+  optimized : D.t;  (** final technology-specific design *)
+  final : stats;
+  optimizer_report : Milo_optimizer.Logic_optimizer.report;
+  database : Database.t;
+}
+
+(* --- Microarchitecture critic pass ----------------------------------- *)
+
+(* Cost of a microarchitecture design: compile it down, map it, measure
+   (Section 6.3's statistics feedback). *)
+let micro_cost db lib target constraints design () =
+  let stats =
+    Milo_critic.Micro_critic.evaluate_design
+      ~input_arrivals:constraints.Constraints.input_arrivals db lib target
+      design
+  in
+  let penalty =
+    match constraints.Constraints.required_delay with
+    | Some r when stats.Milo_critic.Micro_critic.stat_delay > r ->
+        1000.0 *. (stats.Milo_critic.Micro_critic.stat_delay -. r)
+    | Some _ | None -> 0.0
+  in
+  stats.Milo_critic.Micro_critic.stat_area
+  +. (0.05 *. stats.Milo_critic.Micro_critic.stat_power)
+  +. penalty
+
+let micro_pass ?(max_steps = 16) db lib target constraints design =
+  let ctx =
+    R.make_context ~extra_resolve:(Database.resolver db [ lib ]) lib
+      (Milo_compilers.Gate_comp.generic_set lib)
+      design
+  in
+  let cost = micro_cost db lib target constraints design in
+  let apps =
+    Milo_rules.Engine.greedy_pass ~max_steps ctx ~cost ~cleanups:[]
+      Milo_critic.Critic.micro
+  in
+  List.map
+    (fun (a : Milo_rules.Engine.application) ->
+      (a.Milo_rules.Engine.rule.R.rule_name, a.Milo_rules.Engine.site.R.descr))
+    apps
+
+(* --- Full MILO flow --------------------------------------------------- *)
+
+let run ?(technology = Ecl) ?(constraints = Constraints.none) design =
+  let db = Database.create () in
+  let lib = Milo_library.Generic.get () in
+  let target = target_of technology in
+  let micro_design = D.copy design in
+  let micro_applications =
+    micro_pass db lib target constraints micro_design
+  in
+  let expanded = Compile.expand_design db lib micro_design in
+  let required =
+    Option.value ~default:infinity constraints.Constraints.required_delay
+  in
+  let optimized, optimizer_report =
+    Milo_optimizer.Logic_optimizer.optimize ~required
+      ~input_arrivals:constraints.Constraints.input_arrivals db target expanded
+  in
+  let final =
+    stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
+      optimized
+  in
+  {
+    micro_design;
+    micro_applications;
+    optimized;
+    final;
+    optimizer_report;
+    database = db;
+  }
+
+(* --- Human baseline --------------------------------------------------- *)
+
+(* What a careful but unaided engineer enters at the technology level:
+   the compiled design mapped macro for macro, no optimization.
+   Conservative choices: ripple carry everywhere, standard power. *)
+let human_baseline ?(technology = Ecl) design =
+  let db = Database.create () in
+  let lib = Milo_library.Generic.get () in
+  let target = target_of technology in
+  let expanded = Compile.expand_design db lib design in
+  let flat = Database.flatten db expanded in
+  let mapped = Table_map.map_design target flat in
+  (mapped, db)
+
+let baseline_stats ?(technology = Ecl) ?(input_arrivals = []) design =
+  let target = target_of technology in
+  let mapped, _ = human_baseline ~technology design in
+  stats_of ~input_arrivals target mapped

@@ -1,0 +1,56 @@
+(** The MILO flow of Figure 11: microarchitecture critic → logic
+    compilers → technology mapper → hierarchical logic optimizer; plus
+    the human-baseline comparison flow for the Figure 19 experiment. *)
+
+module D = Milo_netlist.Design
+
+type technology = Ecl | Cmos
+
+val target_of : technology -> Milo_techmap.Table_map.target
+
+type stats = {
+  delay : float;
+  area : float;
+  power : float;
+  gates : int;
+  comps : int;
+}
+
+val stats_of :
+  ?input_arrivals:(string * float) list ->
+  Milo_techmap.Table_map.target ->
+  D.t ->
+  stats
+(** Timing/area/power of a technology-mapped design. *)
+
+type result = {
+  micro_design : D.t;
+  micro_applications : (string * string) list;
+  optimized : D.t;
+  final : stats;
+  optimizer_report : Milo_optimizer.Logic_optimizer.report;
+  database : Milo_compilers.Database.t;
+}
+
+val micro_pass :
+  ?max_steps:int ->
+  Milo_compilers.Database.t ->
+  Milo_library.Technology.t ->
+  Milo_techmap.Table_map.target ->
+  Constraints.t ->
+  D.t ->
+  (string * string) list
+(** Run the microarchitecture critic in place; returns the applied
+    rules. *)
+
+val run : ?technology:technology -> ?constraints:Constraints.t -> D.t -> result
+
+val human_baseline :
+  ?technology:technology -> D.t -> D.t * Milo_compilers.Database.t
+(** Direct compile + conservative map, no optimization. *)
+
+val baseline_stats :
+  ?technology:technology ->
+  ?input_arrivals:(string * float) list ->
+  D.t ->
+  stats

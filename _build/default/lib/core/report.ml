@@ -1,0 +1,77 @@
+(* Result reporting: the Figure 19 comparison rows and flow summaries. *)
+
+type row = {
+  row_name : string;
+  complexity : int;  (* two-input-equivalent gates *)
+  delay_human : float;
+  delay_milo : float;
+  area_human : float;
+  area_milo : float;
+  power_human : float;
+  power_milo : float;
+}
+
+let percent_improvement before after =
+  if before <= 0.0 then 0.0 else 100.0 *. (before -. after) /. before
+
+let row_of_stats ~name ~(human : Flow.stats) ~(milo : Flow.stats) =
+  {
+    row_name = name;
+    complexity = human.Flow.gates;
+    delay_human = human.Flow.delay;
+    delay_milo = milo.Flow.delay;
+    area_human = human.Flow.area;
+    area_milo = milo.Flow.area;
+    power_human = human.Flow.power;
+    power_milo = milo.Flow.power;
+  }
+
+let header =
+  Printf.sprintf "%-8s %10s | %8s %8s %6s | %8s %8s %6s" "Design"
+    "Complexity" "Delay/H" "Delay/M" "Impr%" "Area/H" "Area/M" "Impr%"
+
+let format_row r =
+  Printf.sprintf "%-8s %10d | %8.2f %8.2f %5.0f%% | %8.1f %8.1f %5.0f%%"
+    r.row_name r.complexity r.delay_human r.delay_milo
+    (percent_improvement r.delay_human r.delay_milo)
+    r.area_human r.area_milo
+    (percent_improvement r.area_human r.area_milo)
+
+let print_table rows =
+  print_endline header;
+  print_endline (String.make (String.length header) '-');
+  List.iter (fun r -> print_endline (format_row r)) rows
+
+let summary (res : Flow.result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "final: delay %.2f ns, area %.1f cells, power %.1f mW, %d gates, %d comps\n"
+       res.Flow.final.Flow.delay res.Flow.final.Flow.area
+       res.Flow.final.Flow.power res.Flow.final.Flow.gates
+       res.Flow.final.Flow.comps);
+  if res.Flow.micro_applications <> [] then begin
+    Buffer.add_string b "microarchitecture critic:\n";
+    List.iter
+      (fun (rule, descr) ->
+        Buffer.add_string b (Printf.sprintf "  %s: %s\n" rule descr))
+      res.Flow.micro_applications
+  end;
+  List.iter
+    (fun (e : Milo_optimizer.Logic_optimizer.report_entry) ->
+      if e.Milo_optimizer.Logic_optimizer.applications > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "  level %s: %d rules, area %.1f -> %.1f\n"
+             e.Milo_optimizer.Logic_optimizer.level_design
+             e.Milo_optimizer.Logic_optimizer.applications
+             e.Milo_optimizer.Logic_optimizer.area_before
+             e.Milo_optimizer.Logic_optimizer.area_after))
+    res.Flow.optimizer_report.Milo_optimizer.Logic_optimizer.entries;
+  (match res.Flow.optimizer_report.Milo_optimizer.Logic_optimizer.timing with
+  | Some t ->
+      Buffer.add_string b
+        (Printf.sprintf "  timing: %s, final %.2f ns, %d strategy steps\n"
+           (if t.Milo_optimizer.Time_opt.met then "met" else "NOT met")
+           t.Milo_optimizer.Time_opt.final_delay
+           (List.length t.Milo_optimizer.Time_opt.steps))
+  | None -> ());
+  Buffer.contents b

@@ -1,0 +1,19 @@
+(** Reporting: Figure 19-style comparison rows and flow summaries. *)
+
+type row = {
+  row_name : string;
+  complexity : int;
+  delay_human : float;
+  delay_milo : float;
+  area_human : float;
+  area_milo : float;
+  power_human : float;
+  power_milo : float;
+}
+
+val percent_improvement : float -> float -> float
+val row_of_stats : name:string -> human:Flow.stats -> milo:Flow.stats -> row
+val header : string
+val format_row : row -> string
+val print_table : row list -> unit
+val summary : Flow.result -> string

@@ -1,0 +1,1 @@
+lib/critic/area_rules.ml: Gate_shape Hashtbl List Milo_library Milo_netlist Milo_rules Option Printf String

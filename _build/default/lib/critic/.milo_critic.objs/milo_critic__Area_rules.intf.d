@@ -1,0 +1,1 @@
+lib/critic/area_rules.mli: Milo_rules

@@ -1,0 +1,1 @@
+lib/critic/cleanup_rules.mli: Milo_rules

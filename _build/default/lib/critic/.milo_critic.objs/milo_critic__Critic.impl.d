@@ -1,0 +1,1 @@
+lib/critic/critic.ml: Area_rules Cleanup_rules Electric_rules Logic_rules Micro_critic Muxff_rules Power_rules Timing_rules

@@ -1,0 +1,1 @@
+lib/critic/critic.mli: Milo_rules

@@ -1,0 +1,1 @@
+lib/critic/electric_rules.ml: List Milo_compilers Milo_netlist Milo_rules Printf

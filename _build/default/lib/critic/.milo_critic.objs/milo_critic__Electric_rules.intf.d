@@ -1,0 +1,1 @@
+lib/critic/electric_rules.mli: Milo_rules

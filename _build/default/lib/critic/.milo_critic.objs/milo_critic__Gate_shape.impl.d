@@ -1,0 +1,1 @@
+lib/critic/gate_shape.ml: List Milo_boolfunc Milo_library Milo_netlist Printf Truth_table

@@ -1,0 +1,1 @@
+lib/critic/gate_shape.mli: Milo_library Milo_netlist

@@ -1,0 +1,1 @@
+lib/critic/logic_rules.mli: Milo_rules

@@ -1,0 +1,1 @@
+lib/critic/micro_critic.ml: Gate_shape List Milo_compilers Milo_estimate Milo_library Milo_netlist Milo_rules Milo_techmap Milo_timing Printf

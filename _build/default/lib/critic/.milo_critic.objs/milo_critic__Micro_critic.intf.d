@@ -1,0 +1,1 @@
+lib/critic/micro_critic.mli: Milo_compilers Milo_library Milo_netlist Milo_rules Milo_techmap

@@ -1,0 +1,1 @@
+lib/critic/muxff_rules.ml: Gate_shape List Milo_library Milo_netlist Milo_rules Printf

@@ -1,0 +1,1 @@
+lib/critic/muxff_rules.mli: Milo_rules

@@ -1,0 +1,1 @@
+lib/critic/power_rules.ml: List Milo_library Milo_netlist Milo_rules

@@ -1,0 +1,1 @@
+lib/critic/power_rules.mli: Milo_rules

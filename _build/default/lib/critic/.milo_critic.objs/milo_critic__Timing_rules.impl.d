@@ -1,0 +1,1 @@
+lib/critic/timing_rules.ml: Gate_shape List Milo_compilers Milo_library Milo_netlist Milo_rules Printf String

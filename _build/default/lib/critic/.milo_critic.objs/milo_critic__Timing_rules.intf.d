@@ -1,0 +1,1 @@
+lib/critic/timing_rules.mli: Milo_rules

@@ -1,0 +1,3 @@
+(** Rule set: see the implementation for the individual rules. *)
+
+val rules : Milo_rules.Rule.t list

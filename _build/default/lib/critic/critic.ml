@@ -1,0 +1,12 @@
+(* Aggregated rule sets: the five experts of the logic optimizer
+   (Figure 17) plus cleanups and the microarchitecture critic. *)
+
+let logic = Logic_rules.rules @ Muxff_rules.rules
+let timing = Timing_rules.rules
+let area = Area_rules.rules
+let power = Power_rules.rules
+let electric = Electric_rules.rules
+let cleanup = Cleanup_rules.rules
+let micro = Micro_critic.rules
+
+let all_logic_level = logic @ timing @ area @ power @ electric @ cleanup

@@ -1,0 +1,11 @@
+(** Aggregated rule sets: the five experts of Figure 17, the cleanup
+    class, and the microarchitecture critic's rules. *)
+
+val logic : Milo_rules.Rule.t list
+val timing : Milo_rules.Rule.t list
+val area : Milo_rules.Rule.t list
+val power : Milo_rules.Rule.t list
+val electric : Milo_rules.Rule.t list
+val cleanup : Milo_rules.Rule.t list
+val micro : Milo_rules.Rule.t list
+val all_logic_level : Milo_rules.Rule.t list

@@ -1,0 +1,7 @@
+(** The electric critic: electrical rule checking and correction
+    (fanout violations fixed by buffering). *)
+
+val max_fanout : int
+val fanout_buffer : Milo_rules.Rule.t
+val violations : Milo_rules.Rule.context -> (string * int) list
+val rules : Milo_rules.Rule.t list

@@ -1,0 +1,28 @@
+(** The microarchitecture critic (Section 6.3): parameter/interconnect
+    driven transformations — adder+register → counter (Figure 14/15),
+    A+1 → incrementer, ripple ↔ carry-lookahead, hold-mux → enable,
+    comparator output pruning — plus the compile-and-measure feedback
+    loop that supplies design statistics (Figure 16). *)
+
+val adder_register_to_counter : Milo_rules.Rule.t
+val add_one_to_inc : Milo_rules.Rule.t
+val ripple_to_cla : Milo_rules.Rule.t
+val cla_to_ripple : Milo_rules.Rule.t
+val hold_mux_to_enable : Milo_rules.Rule.t
+val comparator_prune : Milo_rules.Rule.t
+val rules : Milo_rules.Rule.t list
+
+type stats = {
+  stat_delay : float;
+  stat_area : float;
+  stat_power : float;
+  stat_gates : int;
+}
+
+val evaluate_design :
+  ?input_arrivals:(string * float) list ->
+  Milo_compilers.Database.t ->
+  Milo_library.Technology.t ->
+  Milo_techmap.Table_map.target ->
+  Milo_netlist.Design.t ->
+  stats

@@ -1,0 +1,5 @@
+(** The 2:1-mux-into-MUXFF2 fusion producing 4:1-mux flip-flop macros
+    (the second merge of the paper's ABADD example, Figure 18). *)
+
+val mux_into_muxff : Milo_rules.Rule.t
+val rules : Milo_rules.Rule.t list

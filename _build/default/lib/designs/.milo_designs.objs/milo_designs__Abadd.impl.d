@@ -1,0 +1,1 @@
+lib/designs/abadd.ml: Build List Milo Milo_netlist Printf

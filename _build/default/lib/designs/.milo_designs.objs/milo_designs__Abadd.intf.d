@@ -1,0 +1,1 @@
+lib/designs/abadd.mli: Milo Milo_netlist

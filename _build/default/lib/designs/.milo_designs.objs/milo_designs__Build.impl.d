@@ -1,0 +1,1 @@
+lib/designs/build.ml: List Milo_compilers Milo_library Milo_netlist Printf

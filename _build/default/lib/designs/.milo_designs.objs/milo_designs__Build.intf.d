@@ -1,0 +1,1 @@
+lib/designs/build.mli: Milo_compilers Milo_library Milo_netlist

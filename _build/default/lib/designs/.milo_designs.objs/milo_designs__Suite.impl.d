@@ -1,0 +1,1 @@
+lib/designs/suite.ml: Build List Milo Milo_netlist Printf

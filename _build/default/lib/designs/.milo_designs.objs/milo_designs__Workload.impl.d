@@ -1,0 +1,1 @@
+lib/designs/workload.ml: Array Build List Milo_library Milo_netlist Printf Random

@@ -1,0 +1,1 @@
+lib/designs/workload.mli: Milo_netlist

@@ -1,0 +1,44 @@
+(* The ABADD example of Figures 16 and 18: a 4-bit adder feeding a 2:1
+   multiplexor into a 4-bit shift register, with a timing constraint
+   from input A to output C.  Compiling it exercises the
+   register-compiler-calls-mux-compiler hierarchy (ADD4, MUX2:1:4,
+   REG4, MUX2:1:1); optimizing it exercises the mux+flip-flop merges and
+   the ripple->carry-lookahead tradeoff the paper walks through. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module B = Build
+
+let design () =
+  let b = B.start "ABADD" in
+  let a = B.input_bus b "A" 4 in
+  let x = B.input_bus b "B" 4 in
+  let sel = B.input b "SEL" in
+  let sin = B.input b "SIN" in
+  let mode = B.input b "MODE" in
+  let clk = B.input b "CLK" in
+  let c = B.output_bus b "C" 4 in
+  let add = B.comp b ~name:"add4"
+      (T.Arith_unit { bits = 4; fns = [ T.Add ]; mode = T.Ripple }) in
+  List.iteri (fun i n -> B.pin b add (Printf.sprintf "A%d" i) n) a;
+  List.iteri (fun i n -> B.pin b add (Printf.sprintf "B%d" i) n) x;
+  B.pin b add "CIN" (B.vss b);
+  let sum = B.out_bus b add "S" 4 in
+  let mux = B.comp b ~name:"mux"
+      (T.Multiplexor { bits = 4; inputs = 2; enable = false }) in
+  List.iteri (fun i n -> B.pin b mux (Printf.sprintf "D0_%d" i) n) sum;
+  List.iteri (fun i n -> B.pin b mux (Printf.sprintf "D1_%d" i) n) x;
+  B.pin b mux "S0" sel;
+  let muxed = B.out_bus b mux "Y" 4 in
+  let reg = B.comp b ~name:"reg4"
+      (T.Register { bits = 4; kind = T.Edge_triggered;
+                    fns = [ T.Load; T.Shift_right ]; controls = [];
+                    inverting = false }) in
+  List.iteri (fun i n -> B.pin b reg (Printf.sprintf "D%d" i) n) muxed;
+  B.pin b reg "SIR" sin;
+  B.pin b reg "M0" mode;
+  B.pin b reg "CLK" clk;
+  B.expose_bus b (B.out_bus b reg "Q" 4) c;
+  B.finish b
+
+let constraints = Milo.Constraints.make ~required_delay:6.5 ()

@@ -1,0 +1,4 @@
+(** The ABADD walkthrough example of Figures 16 and 18. *)
+
+val design : unit -> Milo_netlist.Design.t
+val constraints : Milo.Constraints.t

@@ -1,0 +1,368 @@
+(* The eight Figure 19 test circuits.
+
+   The paper does not name its circuits; these synthetic equivalents
+   match the published two-input-equivalent complexities (48, 52, 13,
+   47, 18, 288, 442, 149) and the entry styles: designs 1-5 are entered
+   at the logic level with generic components, designs 6-8 at the
+   microarchitecture level with 4-15 compiler-generated components.
+   Logic-level entries are deliberately naive (2-input gates, separate
+   inverters) — the way a schematic would be drawn — leaving the
+   optimizer the same room the paper's circuits gave it. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module B = Build
+
+type case = {
+  case_name : string;
+  case_design : D.t;
+  constraints : Milo.Constraints.t;
+  paper_complexity : int;
+  paper_delay_impr : float;  (* percent, Figure 19 *)
+  paper_area_impr : float;
+}
+
+(* Design 1 (~48 gates): 4-to-16 address decoder with enable, drawn from
+   1:2 decoders and 2-input AND gates. *)
+let design1 () =
+  let b = B.start "dec4x16" in
+  let a = B.input_bus b "A" 4 in
+  let en = B.input b "EN" in
+  let y = B.output_bus b "Y" 16 in
+  let inv = List.map (fun n -> B.gate b T.Inv [ n ]) a in
+  let bit i j = if j land (1 lsl i) <> 0 then List.nth a i else List.nth inv i in
+  List.iteri
+    (fun j yj ->
+      let t = B.gate b T.And [ bit 0 j; bit 1 j; bit 2 j; bit 3 j ] in
+      let gated = B.gate b T.And [ t; en ] in
+      B.expose b gated yj)
+    y;
+  {
+    case_name = "1";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:3.0 ();
+    paper_complexity = 48;
+    paper_delay_impr = 25.0;
+    paper_area_impr = 25.0;
+  }
+
+(* Design 2 (~52 gates): 8-bit odd-parity generator/checker with a
+   byte-equal comparator, all from 2-input gates. *)
+let design2 () =
+  let b = B.start "parity8" in
+  let x = B.input_bus b "X" 8 in
+  let yb = B.input_bus b "YB" 8 in
+  let par = B.output b "PAR" in
+  let eq = B.output b "EQ" in
+  let rec xor_tree = function
+    | [] -> B.vss b
+    | [ n ] -> n
+    | n1 :: n2 :: rest -> xor_tree (B.gate b T.Xor [ n1; n2 ] :: rest)
+  in
+  B.expose b (xor_tree x) par;
+  let diffs = List.map2 (fun a c -> B.gate b T.Xor [ a; c ]) x yb in
+  let ors =
+    let rec tree = function
+      | [] -> B.vss b
+      | [ n ] -> n
+      | n1 :: n2 :: rest -> tree (B.gate b T.Or [ n1; n2 ] :: rest)
+    in
+    tree diffs
+  in
+  B.expose b (B.gate b T.Inv [ ors ]) eq;
+  {
+    case_name = "2";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:6.0 ();
+    paper_complexity = 52;
+    paper_delay_impr = 23.0;
+    paper_area_impr = 17.0;
+  }
+
+(* Design 3 (~13 gates): single-bit ALU cell — sum, carry and a
+   function-select mux from discrete gates. *)
+let design3 () =
+  let b = B.start "alucell" in
+  let a = B.input b "A" and bb = B.input b "B" and cin = B.input b "CIN" in
+  let sel = B.input b "SEL" in
+  let y = B.output b "Y" and cout = B.output b "COUT" in
+  let axb = B.gate b T.Xor [ a; bb ] in
+  let sum = B.gate b T.Xor [ axb; cin ] in
+  let c1 = B.gate b T.And [ a; bb ] in
+  let c2 = B.gate b T.And [ axb; cin ] in
+  B.expose b (B.gate b T.Or [ c1; c2 ]) cout;
+  (* y = sel ? sum : (a AND b) from gates *)
+  let nsel = B.gate b T.Inv [ sel ] in
+  let t1 = B.gate b T.And [ sum; sel ] in
+  let t2 = B.gate b T.And [ c1; nsel ] in
+  B.expose b (B.gate b T.Or [ t1; t2 ]) y;
+  {
+    case_name = "3";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:2.8 ();
+    paper_complexity = 13;
+    paper_delay_impr = 35.0;
+    paper_area_impr = 14.0;
+  }
+
+(* Design 4 (~47 gates): 4-bit ripple-carry adder/subtractor with
+   overflow detect, from discrete gates. *)
+let design4 () =
+  let b = B.start "addsub4" in
+  let a = B.input_bus b "A" 4 in
+  let x = B.input_bus b "B" 4 in
+  let sub = B.input b "SUB" in
+  let s = B.output_bus b "S" 4 in
+  let cout = B.output b "COUT" in
+  let ovf = B.output b "OVF" in
+  let xs = List.map (fun n -> B.gate b T.Xor [ n; sub ]) x in
+  let rec ripple carry acc carries = function
+    | [] -> (List.rev acc, List.rev carries, carry)
+    | (ai, bi) :: rest ->
+        let axb = B.gate b T.Xor [ ai; bi ] in
+        let sum = B.gate b T.Xor [ axb; carry ] in
+        let c1 = B.gate b T.And [ ai; bi ] in
+        let c2 = B.gate b T.And [ axb; carry ] in
+        let nc = B.gate b T.Or [ c1; c2 ] in
+        ripple nc (sum :: acc) (nc :: carries) rest
+  in
+  let sums, carries, final_c = ripple sub [] [] (List.combine a xs) in
+  (* overflow = carry into msb XOR carry out (built before the carry net
+     is merged into its output port) *)
+  let c_in_msb = List.nth carries 2 in
+  let ovf_net = B.gate b T.Xor [ c_in_msb; final_c ] in
+  B.expose_bus b sums s;
+  B.expose b final_c cout;
+  B.expose b ovf_net ovf;
+  {
+    case_name = "4";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:7.0 ();
+    paper_complexity = 47;
+    paper_delay_impr = 36.0;
+    paper_area_impr = 38.0;
+  }
+
+(* Design 5 (~18 gates): 2-bit magnitude comparator from gates. *)
+let design5 () =
+  let b = B.start "cmp2gate" in
+  let a = B.input_bus b "A" 2 in
+  let x = B.input_bus b "B" 2 in
+  let gt = B.output b "GT" and lt = B.output b "LT" and eq = B.output b "EQ" in
+  let nb = List.map (fun n -> B.gate b T.Inv [ n ]) x in
+  let na = List.map (fun n -> B.gate b T.Inv [ n ]) a in
+  let eqbit i =
+    B.gate b T.Inv [ B.gate b T.Xor [ List.nth a i; List.nth x i ] ]
+  in
+  let eq0 = eqbit 0 and eq1 = eqbit 1 in
+  B.expose b (B.gate b T.And [ eq0; eq1 ]) eq;
+  let gt1 = B.gate b T.And [ List.nth a 1; List.nth nb 1 ] in
+  let gt0 = B.gate b T.And [ eq1; B.gate b T.And [ List.nth a 0; List.nth nb 0 ] ] in
+  B.expose b (B.gate b T.Or [ gt1; gt0 ]) gt;
+  let lt1 = B.gate b T.And [ List.nth na 1; List.nth x 1 ] in
+  let lt0 = B.gate b T.And [ eq1; B.gate b T.And [ List.nth na 0; List.nth x 0 ] ] in
+  B.expose b (B.gate b T.Or [ lt1; lt0 ]) lt;
+  {
+    case_name = "5";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:2.6 ();
+    paper_complexity = 18;
+    paper_delay_impr = 19.0;
+    paper_area_impr = 25.0;
+  }
+
+(* Design 6 (~288 gates, microarchitecture entry, 8 components): an
+   8-bit accumulator datapath — ALU, operand mux, accumulator register,
+   loop counter, limit comparator, mode decoder. *)
+let design6 () =
+  let b = B.start "datapath8" in
+  let din = B.input_bus b "DIN" 8 in
+  let imm = B.input_bus b "IMM" 8 in
+  let sel_src = B.input b "SRC" in
+  let fsel = B.input b "F" in
+  let cin = B.input b "CIN" in
+  let clk = B.input b "CLK" in
+  let rst = B.input b "RST" in
+  let ld = B.input b "LDACC" in
+  let mode = B.input_bus b "MODE" 2 in
+  let q = B.output_bus b "Q" 8 in
+  let limit = B.output b "LIMIT" in
+  let phase = B.output_bus b "PH" 4 in
+  let cnt_q = B.output_bus b "CNT" 4 in
+  (* operand mux: DIN vs IMM *)
+  let mux = B.comp b ~name:"srcmux" (T.Multiplexor { bits = 8; inputs = 2; enable = false }) in
+  List.iteri (fun i n -> B.pin b mux (Printf.sprintf "D0_%d" i) n) din;
+  List.iteri (fun i n -> B.pin b mux (Printf.sprintf "D1_%d" i) n) imm;
+  B.pin b mux "S0" sel_src;
+  let opnd = B.out_bus b mux "Y" 8 in
+  (* ALU: add/sub *)
+  let alu = B.comp b ~name:"alu" (T.Arith_unit { bits = 8; fns = [ T.Add; T.Sub ]; mode = T.Ripple }) in
+  let acc = B.comp b ~name:"acc"
+      (T.Register { bits = 8; kind = T.Edge_triggered; fns = [ T.Load ];
+                    controls = [ T.Reset; T.Enable ]; inverting = false }) in
+  let acc_q = B.out_bus b acc "Q" 8 in
+  List.iteri (fun i n -> B.pin b alu (Printf.sprintf "A%d" i) n) acc_q;
+  List.iteri (fun i n -> B.pin b alu (Printf.sprintf "B%d" i) n) opnd;
+  B.pin b alu "CIN" cin;
+  B.pin b alu "F0" fsel;
+  let alu_s = B.out_bus b alu "S" 8 in
+  List.iteri (fun i n -> B.pin b acc (Printf.sprintf "D%d" i) n) alu_s;
+  B.pin b acc "CLK" clk;
+  B.pin b acc "RST" rst;
+  B.pin b acc "EN" ld;
+  (* loop counter + comparator against the immediate low nibble *)
+  let cnt = B.comp b ~name:"cnt"
+      (T.Counter { bits = 4; fns = [ T.Count_up ]; controls = [ T.Reset; T.Enable ] }) in
+  B.pin b cnt "CLK" clk;
+  B.pin b cnt "RST" rst;
+  B.pin b cnt "EN" ld;
+  let cq = B.out_bus b cnt "Q" 4 in
+  let cmp = B.comp b ~name:"cmp" (T.Comparator { bits = 4; fns = [ T.Ge ] }) in
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "A%d" i) n) cq;
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "B%d" i) n)
+    (List.filteri (fun i _ -> i < 4) imm);
+  B.expose b (B.out_pin b cmp "GE") limit;
+  (* mode decoder *)
+  let dec = B.comp b ~name:"mdec" (T.Decoder { bits = 2; enable = false }) in
+  List.iteri (fun i n -> B.pin b dec (Printf.sprintf "A%d" i) n) mode;
+  B.expose_bus b (B.out_bus b dec "Y" 4) phase;
+  B.expose_bus b acc_q q;
+  B.expose_bus b cq cnt_q;
+  {
+    case_name = "6";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:9.3 ();
+    paper_complexity = 288;
+    paper_delay_impr = 5.0;
+    paper_area_impr = 15.0;
+  }
+
+(* Design 7 (~442 gates, microarchitecture entry, 6 components): a
+   16-bit ALU/register datapath with a shifting result register. *)
+let design7 () =
+  let b = B.start "datapath16" in
+  let din = B.input_bus b "DIN" 16 in
+  let opb = B.input_bus b "OPB" 16 in
+  let f = B.input_bus b "F" 2 in
+  let cin = B.input b "CIN" in
+  let clk = B.input b "CLK" in
+  let rst = B.input b "RST" in
+  let mode = B.input b "M" in
+  let sin = B.input b "SIN" in
+  let q = B.output_bus b "Q" 16 in
+  let flags = B.output_bus b "FL" 2 in
+  let alu = B.comp b ~name:"alu"
+      (T.Arith_unit { bits = 16; fns = [ T.Add; T.Sub; T.Inc; T.Dec ]; mode = T.Ripple }) in
+  let res = B.comp b ~name:"res"
+      (T.Register { bits = 16; kind = T.Edge_triggered;
+                    fns = [ T.Load; T.Shift_right ]; controls = [ T.Reset ];
+                    inverting = false }) in
+  let res_q = B.out_bus b res "Q" 16 in
+  List.iteri (fun i n -> B.pin b alu (Printf.sprintf "A%d" i) n) res_q;
+  List.iteri (fun i n -> B.pin b alu (Printf.sprintf "B%d" i) n) din;
+  B.pin b alu "CIN" cin;
+  List.iteri (fun i n -> B.pin b alu (Printf.sprintf "F%d" i) n) f;
+  let alu_s = B.out_bus b alu "S" 16 in
+  List.iteri (fun i n -> B.pin b res (Printf.sprintf "D%d" i) n) alu_s;
+  B.pin b res "CLK" clk;
+  B.pin b res "RST" rst;
+  B.pin b res "M0" mode;
+  B.pin b res "SIR" sin;
+  (* zero and compare flags against OPB *)
+  let cmp = B.comp b ~name:"cmp" (T.Comparator { bits = 8; fns = [ T.Eq; T.Lt ] }) in
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "A%d" i) n)
+    (List.filteri (fun i _ -> i < 8) res_q);
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "B%d" i) n)
+    (List.filteri (fun i _ -> i < 8) opb);
+  B.expose b (B.out_pin b cmp "EQ") (List.nth flags 0);
+  B.expose b (B.out_pin b cmp "LT") (List.nth flags 1);
+  B.expose_bus b res_q q;
+  {
+    case_name = "7";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:16.0 ();
+    paper_complexity = 442;
+    paper_delay_impr = 12.0;
+    paper_area_impr = 8.0;
+  }
+
+(* Design 8 (~149 gates, microarchitecture entry, 5 components): an
+   8-bit timer — loadable up/down counter, terminal comparator, holding
+   register for the captured count. *)
+let design8 () =
+  let b = B.start "timer8" in
+  let limit_in = B.input_bus b "LIM" 8 in
+  let clk = B.input b "CLK" in
+  let rst = B.input b "RST" in
+  let en = B.input b "EN" in
+  let ld = B.input b "LD" in
+  let up = B.input b "UP" in
+  let cap = B.input b "CAP" in
+  let q = B.output_bus b "Q" 8 in
+  let held = B.output_bus b "H" 4 in
+  let hit = B.output b "HIT" in
+  let cnt = B.comp b ~name:"cnt"
+      (T.Counter { bits = 8; fns = [ T.Count_load; T.Count_up; T.Count_down ];
+                   controls = [ T.Reset; T.Enable ] }) in
+  List.iteri (fun i n -> B.pin b cnt (Printf.sprintf "D%d" i) n) limit_in;
+  B.pin b cnt "LD" ld;
+  B.pin b cnt "UP" up;
+  B.pin b cnt "CLK" clk;
+  B.pin b cnt "RST" rst;
+  B.pin b cnt "EN" en;
+  let cq = B.out_bus b cnt "Q" 8 in
+  (* terminal comparator *)
+  let cmp = B.comp b ~name:"cmp" (T.Comparator { bits = 8; fns = [ T.Eq ] }) in
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "A%d" i) n) cq;
+  List.iteri (fun i n -> B.pin b cmp (Printf.sprintf "B%d" i) n) limit_in;
+  (* capture register on the low nibble *)
+  let hold = B.comp b ~name:"hold"
+      (T.Register { bits = 4; kind = T.Edge_triggered; fns = [ T.Load ];
+                    controls = [ T.Reset; T.Enable ]; inverting = false }) in
+  List.iteri (fun i n -> B.pin b hold (Printf.sprintf "D%d" i) n)
+    (List.filteri (fun i _ -> i < 4) cq);
+  B.pin b hold "CLK" clk;
+  B.pin b hold "RST" rst;
+  B.pin b hold "EN" cap;
+  B.expose_bus b (B.out_bus b hold "Q" 4) held;
+  B.expose b (B.out_pin b cmp "EQ") hit;
+  B.expose_bus b cq q;
+  {
+    case_name = "8";
+    case_design = B.finish b;
+    constraints = Milo.Constraints.make ~required_delay:4.2 ();
+    paper_complexity = 149;
+    paper_delay_impr = 8.0;
+    paper_area_impr = 2.0;
+  }
+
+(* The naive accumulator of Figure 14: an adder accumulating +1 into a
+   register — the pattern the microarchitecture critic rewrites into a
+   counter (used by the micro-critic experiment and tests). *)
+let accumulator ?(bits = 8) () =
+  let b = B.start (Printf.sprintf "acc%d" bits) in
+  let clk = B.input b "CLK" in
+  let rst = B.input b "RST" in
+  let q = B.output_bus b "Q" bits in
+  let add = B.comp b ~name:"add"
+      (T.Arith_unit { bits; fns = [ T.Add ]; mode = T.Ripple }) in
+  let reg = B.comp b ~name:"reg"
+      (T.Register { bits; kind = T.Edge_triggered; fns = [ T.Load ];
+                    controls = [ T.Reset ]; inverting = false }) in
+  let one = B.vdd b and zero = B.vss b in
+  B.pin b add "B0" one;
+  List.iter (fun i -> B.pin b add (Printf.sprintf "B%d" i) zero)
+    (List.init (bits - 1) (fun i -> i + 1));
+  B.pin b add "CIN" zero;
+  let reg_q = B.out_bus b reg "Q" bits in
+  List.iteri (fun i n -> B.pin b add (Printf.sprintf "A%d" i) n) reg_q;
+  let s = B.out_bus b add "S" bits in
+  List.iteri (fun i n -> B.pin b reg (Printf.sprintf "D%d" i) n) s;
+  B.pin b reg "CLK" clk;
+  B.pin b reg "RST" rst;
+  B.expose_bus b reg_q q;
+  B.finish b
+
+let all () =
+  [ design1 (); design2 (); design3 (); design4 (); design5 ();
+    design6 (); design7 (); design8 () ]

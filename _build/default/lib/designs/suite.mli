@@ -1,0 +1,28 @@
+(** The eight Figure 19 test circuits: designs 1-5 entered at the logic
+    level with generic components, designs 6-8 at the microarchitecture
+    level. *)
+
+module D = Milo_netlist.Design
+
+type case = {
+  case_name : string;
+  case_design : D.t;
+  constraints : Milo.Constraints.t;
+  paper_complexity : int;
+  paper_delay_impr : float;
+  paper_area_impr : float;
+}
+
+val design1 : unit -> case
+val design2 : unit -> case
+val design3 : unit -> case
+val design4 : unit -> case
+val design5 : unit -> case
+val design6 : unit -> case
+val design7 : unit -> case
+val design8 : unit -> case
+
+(** The naive Figure 14 adder+register accumulator (for the
+    microarchitecture-critic experiment). *)
+val accumulator : ?bits:int -> unit -> D.t
+val all : unit -> case list

@@ -1,0 +1,125 @@
+(* Workload generators for the scaling / metarules / mapper benches:
+   pseudo-random combinational logic over generic gates, reproducible by
+   seed. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module B = Build
+
+(* Random combinational network of roughly [gates] two-input-equivalent
+   gates over [inputs] primary inputs; every sink-less net becomes an
+   output.  The generator biases toward 2-input gates with occasional
+   3-input ones and inverters — naive schematic style. *)
+let random_logic ?(inputs = 8) ?(outputs = 4) ~gates ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let b = B.start (Printf.sprintf "rand%d_%d" gates seed) in
+  let ins = B.input_bus b "I" inputs in
+  let pool = ref (Array.of_list ins) in
+  let pick () = !pool.(Random.State.int rng (Array.length !pool)) in
+  let push n = pool := Array.append !pool [| n |] in
+  let budget = ref gates in
+  while !budget > 0 do
+    let choice = Random.State.int rng 10 in
+    let n =
+      if choice < 4 then begin
+        budget := !budget - 1;
+        B.gate b (if Random.State.bool rng then T.And else T.Or) [ pick (); pick () ]
+      end
+      else if choice < 6 then begin
+        budget := !budget - 1;
+        B.gate b (if Random.State.bool rng then T.Nand else T.Nor) [ pick (); pick () ]
+      end
+      else if choice < 8 then begin
+        budget := !budget - 2;
+        B.gate b T.And [ pick (); pick (); pick () ]
+      end
+      else if choice < 9 then begin
+        budget := !budget - 3;
+        B.gate b T.Xor [ pick (); pick () ]
+      end
+      else begin
+        (* inverter chains give the cleanup rules something to find *)
+        budget := !budget - 1;
+        B.gate b T.Inv [ pick () ]
+      end
+    in
+    push n
+  done;
+  (* Expose the last nets with no sinks as outputs (up to [outputs]),
+     padding from the end of the pool. *)
+  let resolve kind nm =
+    match kind with
+    | T.Macro _ ->
+        (Milo_library.Technology.find b.B.lib nm).Milo_library.Macro.pins
+    | T.Instance _ | T.Gate _ | T.Multiplexor _ | T.Decoder _
+    | T.Comparator _ | T.Logic_unit _ | T.Arith_unit _ | T.Register _
+    | T.Counter _ | T.Constant _ ->
+        T.pins_of_kind kind
+  in
+  let sinkless =
+    List.filter
+      (fun (n : D.net) ->
+        n.D.nport = None
+        && D.fanout ~resolve b.B.design n.D.nid = 0
+        && D.driver ~resolve b.B.design n.D.nid <> D.Src_none)
+      (D.nets b.B.design)
+  in
+  let chosen =
+    let rec take i = function
+      | [] -> []
+      | x :: rest -> if i = 0 then [] else x :: take (i - 1) rest
+    in
+    take outputs (List.rev sinkless)
+  in
+  List.iteri
+    (fun i (n : D.net) ->
+      let p = D.add_port b.B.design (Printf.sprintf "O%d" i) T.Output in
+      B.expose b n.D.nid p)
+    chosen;
+  (* Any remaining sink-less nets keep their logic alive through one
+     wide OR into a final output. *)
+  let rest =
+    List.filter
+      (fun (n : D.net) ->
+        n.D.nport = None
+        && D.fanout ~resolve b.B.design n.D.nid = 0
+        && D.driver ~resolve b.B.design n.D.nid <> D.Src_none
+        && D.net_opt b.B.design n.D.nid <> None)
+      (D.nets b.B.design)
+  in
+  (match rest with
+  | [] -> ()
+  | nets ->
+      let rec or_tree = function
+        | [] -> assert false
+        | [ n ] -> n
+        | n1 :: n2 :: r -> or_tree (B.gate b T.Or [ n1; n2 ] :: r)
+      in
+      let all = or_tree (List.map (fun (n : D.net) -> n.D.nid) nets) in
+      let p = D.add_port b.B.design "OSUM" T.Output in
+      B.expose b all p);
+  B.finish b
+
+(* A mux-rich design (MSI macros) where the table mapper's high-level
+   entries beat gate-level covering (the E8 comparison). *)
+let msi_rich ?(seed = 1) () =
+  let rng = Random.State.make [| seed |] in
+  let b = B.start (Printf.sprintf "msirich%d" seed) in
+  let ins = B.input_bus b "I" 10 in
+  let sels = B.input_bus b "S" 4 in
+  let outs = B.output_bus b "O" 4 in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  List.iteri
+    (fun i o ->
+      let m = D.add_comp b.B.design ~name:(Printf.sprintf "m%d" i) (T.Macro "MUX4") in
+      List.iter
+        (fun j -> D.connect b.B.design m (Printf.sprintf "D%d" j) (pick ins))
+        [ 0; 1; 2; 3 ];
+      D.connect b.B.design m "S0" (List.nth sels (i mod 4));
+      D.connect b.B.design m "S1" (List.nth sels ((i + 1) mod 4));
+      let y = D.new_net b.B.design in
+      D.connect b.B.design m "Y" y;
+      let anded = B.gate b T.And [ y; pick ins ] in
+      B.expose b anded o)
+    outs;
+  B.finish b

@@ -1,0 +1,8 @@
+(** Workload generators: seeded pseudo-random combinational logic and an
+    MSI-rich design for the mapper comparison. *)
+
+val random_logic :
+  ?inputs:int -> ?outputs:int -> gates:int -> seed:int -> unit ->
+  Milo_netlist.Design.t
+
+val msi_rich : ?seed:int -> unit -> Milo_netlist.Design.t

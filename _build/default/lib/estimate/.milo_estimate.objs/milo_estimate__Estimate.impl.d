@@ -1,0 +1,1 @@
+lib/estimate/estimate.ml: Float List Milo_library Milo_netlist Printf

@@ -1,0 +1,1 @@
+lib/estimate/estimate.mli: Milo_library Milo_netlist

@@ -1,0 +1,1 @@
+lib/library/cmos.ml: Array Defs Lazy List Macro Milo_boolfunc Milo_netlist Printf Technology Truth_table

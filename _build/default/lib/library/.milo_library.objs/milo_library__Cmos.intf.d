@@ -1,0 +1,1 @@
+lib/library/cmos.mli: Macro Technology

@@ -1,0 +1,1 @@
+lib/library/defs.ml: Array List Macro Milo_boolfunc Milo_netlist Printf Truth_table

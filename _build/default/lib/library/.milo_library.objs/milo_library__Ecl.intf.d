@@ -1,0 +1,1 @@
+lib/library/ecl.mli: Macro Technology

@@ -1,0 +1,1 @@
+lib/library/generic.ml: Defs Lazy List Macro Milo_netlist Printf Technology

@@ -1,0 +1,1 @@
+lib/library/generic.mli: Macro Technology

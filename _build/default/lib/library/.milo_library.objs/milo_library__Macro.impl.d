@@ -1,0 +1,1 @@
+lib/library/macro.ml: Array Float List Milo_boolfunc Milo_netlist Option Printf Truth_table

@@ -1,0 +1,1 @@
+lib/library/macro.mli: Milo_boolfunc Milo_netlist Truth_table

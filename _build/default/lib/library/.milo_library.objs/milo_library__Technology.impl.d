@@ -1,0 +1,1 @@
+lib/library/technology.ml: Hashtbl List Macro Milo_boolfunc Milo_netlist Option Printf String Truth_table

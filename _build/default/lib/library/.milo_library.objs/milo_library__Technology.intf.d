@@ -1,0 +1,1 @@
+lib/library/technology.mli: Macro Milo_boolfunc Milo_netlist Truth_table

@@ -1,0 +1,5 @@
+(** Synthetic CMOS standard-cell technology library: NAND/NOR/AOI-rich,
+    no high-power variants (strategy 2 is ECL-only in the paper). *)
+
+val macros : Macro.t list
+val get : unit -> Technology.t

@@ -1,0 +1,7 @@
+(** Synthetic ECL gate-array technology library: OR/NOR-rich, dual-output
+    OR/NOR macros, high-power variants of every core gate (strategy 2's
+    lever), complex OR-AND gates, and MSI macros including the
+    mux-with-flip-flop merges the paper's REG4 example uses. *)
+
+val macros : Macro.t list
+val get : unit -> Technology.t

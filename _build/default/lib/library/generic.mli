@@ -1,0 +1,6 @@
+(** The generic component library of Figure 13: standard gates, 2:1/4:1
+    muxes, 1:2/2:4 decoders, 1/4-bit adders (ripple and carry-lookahead),
+    2/4-bit comparators and counters, and 1-bit register variants. *)
+
+val macros : Macro.t list
+val get : unit -> Technology.t

@@ -1,0 +1,1 @@
+lib/minimize/covering.ml: Cube List Milo_boolfunc

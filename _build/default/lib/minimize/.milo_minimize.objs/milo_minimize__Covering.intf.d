@@ -1,0 +1,1 @@
+lib/minimize/covering.mli: Cube Milo_boolfunc

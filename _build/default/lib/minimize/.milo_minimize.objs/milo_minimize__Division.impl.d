@@ -1,0 +1,1 @@
+lib/minimize/division.ml: List Milo_boolfunc Option

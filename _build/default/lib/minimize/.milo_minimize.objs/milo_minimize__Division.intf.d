@@ -1,0 +1,1 @@
+lib/minimize/division.mli: Milo_boolfunc

@@ -1,0 +1,1 @@
+lib/minimize/espresso.ml: Cover Cube List Milo_boolfunc Quine Truth_table

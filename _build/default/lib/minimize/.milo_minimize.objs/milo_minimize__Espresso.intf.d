@@ -1,0 +1,1 @@
+lib/minimize/espresso.mli: Cover Milo_boolfunc Truth_table

@@ -1,0 +1,1 @@
+lib/minimize/factor.ml: Division List String

@@ -1,0 +1,1 @@
+lib/minimize/factor.mli: Division Milo_boolfunc

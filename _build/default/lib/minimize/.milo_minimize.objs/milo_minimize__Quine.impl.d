@@ -1,0 +1,1 @@
+lib/minimize/quine.ml: Array Cover Covering Cube Hashtbl List Milo_boolfunc Set

@@ -1,0 +1,1 @@
+lib/minimize/quine.mli: Cover Cube Milo_boolfunc

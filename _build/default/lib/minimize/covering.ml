@@ -1,0 +1,66 @@
+(* Unate covering: pick a minimal-cost subset of candidate cubes covering
+   the target minterms.  Exact branch and bound for small instances,
+   greedy beyond. *)
+
+open Milo_boolfunc
+
+let cost cubes =
+  List.fold_left (fun acc c -> acc +. 1.0 +. (0.1 *. float_of_int (Cube.literal_count c))) 0.0 cubes
+
+let greedy ~candidates ~targets =
+  let rec go chosen targets =
+    if targets = [] then List.rev chosen
+    else
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let covered =
+              List.length (List.filter (fun m -> Cube.eval_index p m) targets)
+            in
+            match acc with
+            | Some (_, bestc) when bestc >= covered -> acc
+            | _ when covered = 0 -> acc
+            | _ -> Some (p, covered))
+          None candidates
+      in
+      match best with
+      | None -> List.rev chosen (* uncoverable targets: caller's bug *)
+      | Some (p, _) ->
+          go (p :: chosen)
+            (List.filter (fun m -> not (Cube.eval_index p m)) targets)
+  in
+  go [] targets
+
+let exact ~candidates ~targets =
+  (* Branch and bound on the first uncovered target. *)
+  let best = ref None in
+  let best_cost = ref infinity in
+  let rec go chosen targets =
+    let c = cost chosen in
+    if c >= !best_cost then ()
+    else
+      match targets with
+      | [] ->
+          best := Some (List.rev chosen);
+          best_cost := c
+      | m :: _ ->
+          let options = List.filter (fun p -> Cube.eval_index p m) candidates in
+          List.iter
+            (fun p ->
+              go (p :: chosen)
+                (List.filter (fun m' -> not (Cube.eval_index p m')) targets))
+            options
+  in
+  go [] targets;
+  !best
+
+(* Choose exact when the instance is small enough for branch and bound. *)
+let solve ?(exact_limit = 14) ~candidates ~targets () =
+  if targets = [] then []
+  else if
+    List.length targets <= exact_limit && List.length candidates <= exact_limit
+  then
+    match exact ~candidates ~targets with
+    | Some sol -> sol
+    | None -> greedy ~candidates ~targets
+  else greedy ~candidates ~targets

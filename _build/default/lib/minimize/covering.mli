@@ -1,0 +1,16 @@
+(** Unate covering: minimal-cost cube subsets covering target minterms. *)
+
+open Milo_boolfunc
+
+val cost : Cube.t list -> float
+val greedy : candidates:Cube.t list -> targets:int list -> Cube.t list
+val exact : candidates:Cube.t list -> targets:int list -> Cube.t list option
+
+val solve :
+  ?exact_limit:int ->
+  candidates:Cube.t list ->
+  targets:int list ->
+  unit ->
+  Cube.t list
+(** Exact branch-and-bound when the instance is at most [exact_limit]
+    on both sides (default 14), greedy otherwise. *)

@@ -1,0 +1,63 @@
+(* Espresso-style heuristic two-level minimization: EXPAND against the
+   off-set, IRREDUNDANT, iterate.  Heuristic counterpart to the exact
+   Quine-McCluskey path; used when the collapsed cone is too wide to
+   enumerate minterms. *)
+
+open Milo_boolfunc
+
+(* Expand one cube: greedily drop literals (in decreasing-gain order: we
+   simply scan) while the cube stays disjoint from the off-set. *)
+let expand_cube offset cube =
+  let disjoint c =
+    not (List.exists (fun oc -> Cube.intersect c oc <> None) (Cover.cubes offset))
+  in
+  List.fold_left
+    (fun c (v, _) ->
+      let c' = Cube.remove_var c v in
+      if disjoint c' then c' else c)
+    cube (Cube.literals cube)
+
+let expand ~offset cover =
+  Cover.create (Cover.n cover)
+    (List.map (expand_cube offset) (Cover.cubes cover))
+  |> Cover.single_cube_containment
+
+(* Remove cubes whose minterms are already covered by the rest plus the
+   don't-care set. *)
+let irredundant ?dc cover =
+  let n = Cover.n cover in
+  let dc_cubes = match dc with Some d -> Cover.cubes d | None -> [] in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let others = Cover.create n (kept @ rest @ dc_cubes) in
+        if Cover.covers_cube others c then go kept rest else go (c :: kept) rest
+  in
+  Cover.create n (go [] (Cover.cubes cover))
+
+let minimize ?dc cover =
+  let n = Cover.n cover in
+  let dc_cover = match dc with Some d -> d | None -> Cover.create n [] in
+  let on_dc = Cover.union cover dc_cover in
+  let offset = Cover.complement on_dc in
+  let rec iterate cov i =
+    if i >= 4 then cov
+    else
+      let expanded = expand ~offset cov in
+      let irred = irredundant ~dc:dc_cover expanded in
+      if Cover.size irred = Cover.size cov
+         && Cover.literal_count irred >= Cover.literal_count cov
+      then irred
+      else iterate irred (i + 1)
+  in
+  iterate (Cover.single_cube_containment cover) 0
+
+(* Minimize a function given as a truth table; exact when small via
+   Quine-McCluskey, heuristic above that. *)
+let minimize_tt ?(dc = []) tt =
+  let vars = Truth_table.vars tt in
+  let on = ref [] in
+  for m = 0 to (1 lsl vars) - 1 do
+    if Truth_table.eval_index tt m && not (List.mem m dc) then on := m :: !on
+  done;
+  Quine.minimize ~vars ~on:!on ~dc

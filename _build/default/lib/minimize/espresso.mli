@@ -1,0 +1,10 @@
+(** Espresso-style heuristic two-level minimization: expand against the
+    off-set, remove redundant cubes, iterate. *)
+
+open Milo_boolfunc
+
+val expand : offset:Cover.t -> Cover.t -> Cover.t
+val irredundant : ?dc:Cover.t -> Cover.t -> Cover.t
+val minimize : ?dc:Cover.t -> Cover.t -> Cover.t
+val minimize_tt : ?dc:int list -> Truth_table.t -> Cover.t
+(** Exact minimization of a truth-table function (≤ 6 vars). *)

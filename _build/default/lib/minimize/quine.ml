@@ -1,0 +1,72 @@
+(* Quine-McCluskey prime implicant generation (exact), the stand-in for
+   the paper's ESPRESSO IIC reference in strategy 7. *)
+
+open Milo_boolfunc
+
+(* All prime implicants of the function with the given on-set and
+   don't-care minterms. *)
+let primes ~vars ~on ~dc =
+  let module CS = Set.Make (struct
+    type t = Cube.t
+
+    let compare = Cube.compare
+  end) in
+  let initial =
+    List.sort_uniq compare (on @ dc) |> List.map (Cube.of_minterm vars)
+  in
+  let rec go current acc =
+    if current = [] then acc
+    else begin
+      let merged = Hashtbl.create 64 in
+      let next = ref CS.empty in
+      let arr = Array.of_list current in
+      let len = Array.length arr in
+      for i = 0 to len - 1 do
+        for j = i + 1 to len - 1 do
+          match Cube.consensus_merge arr.(i) arr.(j) with
+          | Some c ->
+              Hashtbl.replace merged arr.(i) ();
+              Hashtbl.replace merged arr.(j) ();
+              next := CS.add c !next
+          | None -> ()
+        done
+      done;
+      let survivors =
+        List.filter (fun c -> not (Hashtbl.mem merged c)) current
+      in
+      go (CS.elements !next) (survivors @ acc)
+    end
+  in
+  let all = go initial [] in
+  (* Keep only maximal cubes (merging can leave contained cubes). *)
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' -> (not (Cube.equal c c')) && Cube.contains c' c)
+           all))
+    all
+  |> List.sort_uniq Cube.compare
+
+(* Exact-ish minimization: essential primes, then branch-and-bound cover
+   of the remainder when small, greedy otherwise. *)
+let minimize ~vars ~on ~dc =
+  if on = [] then Cover.create vars []
+  else
+    let ps = primes ~vars ~on ~dc in
+    let covers_of m = List.filter (fun p -> Cube.eval_index p m) ps in
+    let essential, remaining_minterms =
+      List.fold_left
+        (fun (ess, rem) m ->
+          match covers_of m with
+          | [ p ] -> ((if List.exists (Cube.equal p) ess then ess else p :: ess), rem)
+          | _ -> (ess, m :: rem))
+        ([], []) on
+    in
+    let uncovered =
+      List.filter
+        (fun m -> not (List.exists (fun p -> Cube.eval_index p m) essential))
+        remaining_minterms
+    in
+    let chosen = Covering.solve ~candidates:ps ~targets:uncovered () in
+    Cover.create vars (essential @ chosen)

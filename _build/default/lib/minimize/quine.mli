@@ -1,0 +1,11 @@
+(** Quine–McCluskey exact prime-implicant generation and two-level
+    minimization (the strategy-7 minimizer core). *)
+
+open Milo_boolfunc
+
+val primes : vars:int -> on:int list -> dc:int list -> Cube.t list
+(** All prime implicants of the function defined by the on-set and
+    don't-care minterm lists. *)
+
+val minimize : vars:int -> on:int list -> dc:int list -> Cover.t
+(** Minimal (essential + covered) SOP cover of the on-set. *)

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Hashtbl List Printf Types

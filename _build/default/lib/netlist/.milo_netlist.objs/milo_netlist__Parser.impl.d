@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Design List Printf String Types

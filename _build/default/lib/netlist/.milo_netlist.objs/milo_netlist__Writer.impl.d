@@ -1,0 +1,1 @@
+lib/netlist/writer.ml: Buffer Design Format List Printf String Types

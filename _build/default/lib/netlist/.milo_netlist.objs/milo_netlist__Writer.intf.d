@@ -1,0 +1,1 @@
+lib/netlist/writer.mli: Design Format Types

@@ -1,0 +1,334 @@
+(* Mutable netlist with an undo log.
+
+   SOCRATES-style optimization applies a rule, measures the result and
+   backtracks by replaying a log of changes (Section 2.2.2 of the paper).
+   Every mutator here optionally records inverse information into a [log];
+   [undo] restores the design exactly. *)
+
+type resolver = Types.kind -> string -> (string * Types.dir) list
+
+type comp = {
+  id : int;
+  mutable cname : string;
+  mutable kind : Types.kind;
+  conns : (string, int) Hashtbl.t;
+}
+
+type net = {
+  nid : int;
+  mutable nname : string;
+  mutable npins : (int * string) list;
+  mutable nport : (string * Types.dir) option;
+}
+
+type entry =
+  | E_add_comp of int
+  | E_remove_comp of int * string * Types.kind * (string * int) list
+  | E_connect of int * string * int option
+  | E_add_net of int
+  | E_remove_net of int * string * (string * Types.dir) option
+  | E_set_kind of int * Types.kind
+
+type log = entry list ref
+
+type t = {
+  dname : string;
+  comps : (int, comp) Hashtbl.t;
+  nets : (int, net) Hashtbl.t;
+  mutable ports : (string * Types.dir * int) list;
+  mutable next_comp : int;
+  mutable next_net : int;
+}
+
+let new_log () : log = ref []
+let record log e = match log with None -> () | Some l -> l := e :: !l
+
+let create dname =
+  {
+    dname;
+    comps = Hashtbl.create 64;
+    nets = Hashtbl.create 64;
+    ports = [];
+    next_comp = 0;
+    next_net = 0;
+  }
+
+let name t = t.dname
+let comp t id = Hashtbl.find t.comps id
+let comp_opt t id = Hashtbl.find_opt t.comps id
+let net t id = Hashtbl.find t.nets id
+let net_opt t id = Hashtbl.find_opt t.nets id
+let ports t = List.rev t.ports
+
+let comps t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.comps []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let nets t =
+  Hashtbl.fold (fun _ n acc -> n :: acc) t.nets []
+  |> List.sort (fun a b -> compare a.nid b.nid)
+
+let num_comps t = Hashtbl.length t.comps
+let num_nets t = Hashtbl.length t.nets
+
+let find_comp t cname =
+  let found =
+    Hashtbl.fold
+      (fun _ c acc -> if c.cname = cname then Some c else acc)
+      t.comps None
+  in
+  match found with Some c -> c | None -> raise Not_found
+
+let fresh_net_raw t nname =
+  let nid = t.next_net in
+  t.next_net <- nid + 1;
+  let nname = if nname = "" then Printf.sprintf "n%d" nid else nname in
+  let n = { nid; nname; npins = []; nport = None } in
+  Hashtbl.replace t.nets nid n;
+  nid
+
+let new_net ?log ?(name = "") t =
+  let nid = fresh_net_raw t name in
+  record log (E_add_net nid);
+  nid
+
+let add_port ?net:reuse t pname dir =
+  if List.exists (fun (p, _, _) -> p = pname) t.ports then
+    invalid_arg (Printf.sprintf "Design.add_port: duplicate port %s" pname);
+  let nid = match reuse with Some nid -> nid | None -> fresh_net_raw t pname in
+  let n = Hashtbl.find t.nets nid in
+  (match n.nport with
+  | Some (p, _) ->
+      invalid_arg
+        (Printf.sprintf "Design.add_port: net already bound to port %s" p)
+  | None -> n.nport <- Some (pname, dir));
+  t.ports <- (pname, dir, nid) :: t.ports;
+  nid
+
+let port_net t pname =
+  let rec go = function
+    | [] -> raise Not_found
+    | (p, _, nid) :: _ when p = pname -> nid
+    | _ :: rest -> go rest
+  in
+  go t.ports
+
+let add_comp ?log ?(name = "") t kind =
+  let id = t.next_comp in
+  t.next_comp <- id + 1;
+  let cname = if name = "" then Printf.sprintf "u%d" id else name in
+  let c = { id; cname; kind; conns = Hashtbl.create 8 } in
+  Hashtbl.replace t.comps id c;
+  record log (E_add_comp id);
+  id
+
+let detach_pin t cid pin =
+  let c = Hashtbl.find t.comps cid in
+  match Hashtbl.find_opt c.conns pin with
+  | None -> None
+  | Some nid ->
+      Hashtbl.remove c.conns pin;
+      (match Hashtbl.find_opt t.nets nid with
+      | Some n -> n.npins <- List.filter (fun p -> p <> (cid, pin)) n.npins
+      | None -> ());
+      Some nid
+
+let attach_pin t cid pin nid =
+  let c = Hashtbl.find t.comps cid in
+  let n = Hashtbl.find t.nets nid in
+  Hashtbl.replace c.conns pin nid;
+  n.npins <- (cid, pin) :: n.npins
+
+let connect ?log t cid pin nid =
+  let prev = detach_pin t cid pin in
+  attach_pin t cid pin nid;
+  record log (E_connect (cid, pin, prev))
+
+let disconnect ?log t cid pin =
+  match detach_pin t cid pin with
+  | None -> ()
+  | Some prev -> record log (E_connect (cid, pin, Some prev))
+
+let connection t cid pin = Hashtbl.find_opt (comp t cid).conns pin
+
+let connections t cid =
+  Hashtbl.fold (fun pin nid acc -> (pin, nid) :: acc) (comp t cid).conns []
+  |> List.sort compare
+
+let remove_comp ?log t cid =
+  let c = Hashtbl.find t.comps cid in
+  let saved = connections t cid in
+  List.iter (fun (pin, _) -> ignore (detach_pin t cid pin)) saved;
+  Hashtbl.remove t.comps cid;
+  record log (E_remove_comp (cid, c.cname, c.kind, saved))
+
+let remove_net ?log t nid =
+  let n = Hashtbl.find t.nets nid in
+  if n.npins <> [] then
+    invalid_arg
+      (Printf.sprintf "Design.remove_net: net %s still has pins" n.nname);
+  if n.nport <> None then
+    invalid_arg
+      (Printf.sprintf "Design.remove_net: net %s is bound to a port" n.nname);
+  Hashtbl.remove t.nets nid;
+  record log (E_remove_net (nid, n.nname, n.nport))
+
+let set_kind ?log t cid kind =
+  let c = Hashtbl.find t.comps cid in
+  let old = c.kind in
+  c.kind <- kind;
+  record log (E_set_kind (cid, old))
+
+let undo_entry t = function
+  | E_add_comp cid ->
+      let c = Hashtbl.find t.comps cid in
+      let pins = Hashtbl.fold (fun pin _ acc -> pin :: acc) c.conns [] in
+      List.iter (fun pin -> ignore (detach_pin t cid pin)) pins;
+      Hashtbl.remove t.comps cid
+  | E_remove_comp (cid, cname, kind, saved) ->
+      let c = { id = cid; cname; kind; conns = Hashtbl.create 8 } in
+      Hashtbl.replace t.comps cid c;
+      List.iter (fun (pin, nid) -> attach_pin t cid pin nid) saved
+  | E_connect (cid, pin, prev) -> (
+      ignore (detach_pin t cid pin);
+      match prev with None -> () | Some nid -> attach_pin t cid pin nid)
+  | E_add_net nid -> Hashtbl.remove t.nets nid
+  | E_remove_net (nid, nname, nport) ->
+      Hashtbl.replace t.nets nid { nid; nname; npins = []; nport }
+  | E_set_kind (cid, old) ->
+      let c = Hashtbl.find t.comps cid in
+      c.kind <- old
+
+let undo t (log : log) =
+  List.iter (undo_entry t) !log;
+  log := []
+
+let commit (log : log) = log := []
+
+let entries (log : log) = List.rev !log
+
+(* --- Queries -------------------------------------------------------- *)
+
+let pin_dir ?resolve t cid pin =
+  let c = comp t cid in
+  let pins = Types.pins_of_kind ?resolve c.kind in
+  match List.assoc_opt pin pins with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Design.pin_dir: %s has no pin %s"
+           (Types.kind_name c.kind) pin)
+
+type source = Src_comp of int * string | Src_port of string | Src_none
+
+let driver ?resolve t nid =
+  let n = net t nid in
+  let from_port =
+    match n.nport with
+    | Some (p, Types.Input) -> Some (Src_port p)
+    | Some (_, Types.Output) | None -> None
+  in
+  let from_comp =
+    List.fold_left
+      (fun acc (cid, pin) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if pin_dir ?resolve t cid pin = Types.Output then
+              Some (Src_comp (cid, pin))
+            else None)
+      None n.npins
+  in
+  match (from_comp, from_port) with
+  | Some s, _ -> s
+  | None, Some s -> s
+  | None, None -> Src_none
+
+let sinks ?resolve t nid =
+  let n = net t nid in
+  List.filter (fun (cid, pin) -> pin_dir ?resolve t cid pin = Types.Input)
+    n.npins
+
+let fanout ?resolve t nid =
+  let n = net t nid in
+  let port_load =
+    match n.nport with Some (_, Types.Output) -> 1 | _ -> 0
+  in
+  List.length (sinks ?resolve t nid) + port_load
+
+let copy t =
+  let t' = create t.dname in
+  t'.next_comp <- t.next_comp;
+  t'.next_net <- t.next_net;
+  Hashtbl.iter
+    (fun nid n ->
+      Hashtbl.replace t'.nets nid
+        { nid; nname = n.nname; npins = n.npins; nport = n.nport })
+    t.nets;
+  Hashtbl.iter
+    (fun cid c ->
+      Hashtbl.replace t'.comps cid
+        { id = cid; cname = c.cname; kind = c.kind; conns = Hashtbl.copy c.conns })
+    t.comps;
+  t'.ports <- t.ports;
+  t'
+
+let check ?resolve t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Hashtbl.iter
+    (fun cid c ->
+      let pins = Types.pins_of_kind ?resolve c.kind in
+      List.iter
+        (fun (pin, d) ->
+          match (Hashtbl.find_opt c.conns pin, d) with
+          | None, Types.Input ->
+              err "comp %s (%s): input pin %s unconnected" c.cname
+                (Types.kind_name c.kind) pin
+          | _, _ -> ())
+        pins;
+      Hashtbl.iter
+        (fun pin nid ->
+          if not (List.mem_assoc pin pins) then
+            err "comp %s: connection on unknown pin %s" c.cname pin;
+          match Hashtbl.find_opt t.nets nid with
+          | None -> err "comp %s pin %s: dangling net %d" c.cname pin nid
+          | Some n ->
+              if not (List.mem (cid, pin) n.npins) then
+                err "net %s: missing back-reference to %s.%s" n.nname c.cname
+                  pin)
+        c.conns)
+    t.comps;
+  Hashtbl.iter
+    (fun nid n ->
+      let drivers =
+        List.filter
+          (fun (cid, pin) -> pin_dir ?resolve t cid pin = Types.Output)
+          n.npins
+      in
+      let port_driver =
+        match n.nport with Some (_, Types.Input) -> 1 | _ -> 0
+      in
+      let total = List.length drivers + port_driver in
+      if total > 1 then err "net %s (%d): multiple drivers" n.nname nid;
+      List.iter
+        (fun (cid, pin) ->
+          match Hashtbl.find_opt t.comps cid with
+          | None -> err "net %s: pin of removed comp %d.%s" n.nname cid pin
+          | Some c ->
+              if Hashtbl.find_opt c.conns pin <> Some nid then
+                err "net %s: stale pin %s.%s" n.nname c.cname pin)
+        n.npins)
+    t.nets;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let signature t =
+  let comp_sig c =
+    (c.id, c.cname, Types.kind_name c.kind, connections t c.id)
+  in
+  let net_sig n = (n.nid, n.nname, List.sort compare n.npins, n.nport) in
+  ( List.map comp_sig (comps t),
+    List.map net_sig (nets t),
+    ports t )
+
+let equal_structure a b = signature a = signature b

@@ -1,0 +1,99 @@
+(** Mutable netlist with an undo log.
+
+    The design is a graph of components (parameterized microarchitecture
+    elements or library macros) and nets.  All mutators optionally record
+    inverse information into a {!log}; {!undo} restores the design exactly
+    — this is the change-log backtracking mechanism SOCRATES uses during
+    lookahead (paper Section 2.2.2). *)
+
+type resolver = Types.kind -> string -> (string * Types.dir) list
+(** Resolves the pin interface of [Macro]/[Instance] references. *)
+
+type comp = {
+  id : int;
+  mutable cname : string;
+  mutable kind : Types.kind;
+  conns : (string, int) Hashtbl.t;  (** pin name -> net id *)
+}
+
+type net = {
+  nid : int;
+  mutable nname : string;
+  mutable npins : (int * string) list;  (** attached (comp, pin) pairs *)
+  mutable nport : (string * Types.dir) option;
+      (** design port bound to this net, if any *)
+}
+
+type entry
+(** One undoable edit. *)
+
+type log = entry list ref
+
+type t
+
+val new_log : unit -> log
+val create : string -> t
+val name : t -> string
+
+val comp : t -> int -> comp
+val comp_opt : t -> int -> comp option
+val net : t -> int -> net
+val net_opt : t -> int -> net option
+val ports : t -> (string * Types.dir * int) list
+val comps : t -> comp list
+val nets : t -> net list
+val num_comps : t -> int
+val num_nets : t -> int
+
+val find_comp : t -> string -> comp
+(** Find a component by name.  @raise Not_found if absent. *)
+
+val new_net : ?log:log -> ?name:string -> t -> int
+val add_port : ?net:int -> t -> string -> Types.dir -> int
+(** Declare a design port; creates (or adopts) the net it is bound to.
+    Ports are not undoable: they define the design's interface. *)
+
+val port_net : t -> string -> int
+(** Net bound to a port.  @raise Not_found if no such port. *)
+
+val add_comp : ?log:log -> ?name:string -> t -> Types.kind -> int
+val connect : ?log:log -> t -> int -> string -> int -> unit
+(** [connect t comp pin net] attaches the pin, detaching any previous
+    connection first. *)
+
+val disconnect : ?log:log -> t -> int -> string -> unit
+val connection : t -> int -> string -> int option
+val connections : t -> int -> (string * int) list
+val remove_comp : ?log:log -> t -> int -> unit
+val remove_net : ?log:log -> t -> int -> unit
+(** @raise Invalid_argument if the net still has pins or a port. *)
+
+val set_kind : ?log:log -> t -> int -> Types.kind -> unit
+
+val undo : t -> log -> unit
+(** Undo every recorded edit (most recent first) and clear the log. *)
+
+val commit : log -> unit
+(** Drop the recorded edits, keeping the changes. *)
+
+val entries : log -> entry list
+(** Recorded edits in application order. *)
+
+(** Where a net's value comes from. *)
+type source = Src_comp of int * string | Src_port of string | Src_none
+
+val pin_dir : ?resolve:resolver -> t -> int -> string -> Types.dir
+val driver : ?resolve:resolver -> t -> int -> source
+val sinks : ?resolve:resolver -> t -> int -> (int * string) list
+val fanout : ?resolve:resolver -> t -> int -> int
+(** Number of input pins plus output ports fed by the net. *)
+
+val copy : t -> t
+(** Deep structural copy. *)
+
+val check : ?resolve:resolver -> t -> (unit, string list) result
+(** Structural validation: all input pins connected, single driver per
+    net, connectivity indexes consistent. *)
+
+val equal_structure : t -> t -> bool
+(** Structural equality (used to property-test apply-then-undo). *)

@@ -1,0 +1,274 @@
+(* Parser for the textual netlist format emitted by [Writer].
+
+   Grammar (one statement per line, '#' starts a comment):
+
+     design NAME
+     port (in|out) NAME
+     comp NAME KINDSPEC
+     join ENDPOINT ENDPOINT*      where ENDPOINT = portname | comp.pin
+*)
+
+exception Parse_error of int * string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (lineno, s))) fmt
+
+let split_fields s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let split_commas s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let kv_args lineno fields =
+  List.map
+    (fun f ->
+      match String.index_opt f '=' with
+      | Some i ->
+          (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1))
+      | None -> fail lineno "expected key=value, got %s" f)
+    fields
+
+let get lineno kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> fail lineno "missing argument %s" key
+
+let get_opt kvs key default =
+  match List.assoc_opt key kvs with Some v -> v | None -> default
+
+let int_of lineno s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail lineno "expected integer, got %s" s
+
+let bool_of lineno s =
+  match s with
+  | "1" | "true" -> true
+  | "0" | "false" -> false
+  | _ -> fail lineno "expected boolean 0/1, got %s" s
+
+let gate_fn_of lineno s : Types.gate_fn =
+  match String.uppercase_ascii s with
+  | "AND" -> And
+  | "OR" -> Or
+  | "NAND" -> Nand
+  | "NOR" -> Nor
+  | "XOR" -> Xor
+  | "XNOR" -> Xnor
+  | "INV" -> Inv
+  | "BUF" -> Buf
+  | other -> fail lineno "unknown gate function %s" other
+
+let cmp_fn_of lineno s : Types.cmp_fn =
+  match String.uppercase_ascii s with
+  | "EQ" -> Eq
+  | "NE" -> Ne
+  | "LT" -> Lt
+  | "GT" -> Gt
+  | "LE" -> Le
+  | "GE" -> Ge
+  | other -> fail lineno "unknown comparator function %s" other
+
+let arith_fn_of lineno s : Types.arith_fn =
+  match String.uppercase_ascii s with
+  | "ADD" -> Add
+  | "SUB" -> Sub
+  | "INC" -> Inc
+  | "DEC" -> Dec
+  | other -> fail lineno "unknown arithmetic function %s" other
+
+let reg_fn_of lineno s : Types.reg_fn =
+  match String.uppercase_ascii s with
+  | "LOAD" -> Load
+  | "SHL" -> Shift_left
+  | "SHR" -> Shift_right
+  | other -> fail lineno "unknown register function %s" other
+
+let count_fn_of lineno s : Types.count_fn =
+  match String.uppercase_ascii s with
+  | "LOAD" -> Count_load
+  | "UP" -> Count_up
+  | "DOWN" -> Count_down
+  | other -> fail lineno "unknown counter function %s" other
+
+let control_of lineno s : Types.control =
+  match String.uppercase_ascii s with
+  | "SET" -> Set
+  | "RST" | "RESET" -> Reset
+  | "EN" | "ENABLE" -> Enable
+  | other -> fail lineno "unknown control %s" other
+
+let parse_kind lineno fields : Types.kind =
+  match fields with
+  | "gate" :: fn :: rest ->
+      let n = match rest with [ n ] -> int_of lineno n | _ -> 2 in
+      Gate (gate_fn_of lineno fn, n)
+  | [ "const"; "VDD" ] -> Constant Vdd
+  | [ "const"; "VSS" ] -> Constant Vss
+  | "mux" :: rest ->
+      let kvs = kv_args lineno rest in
+      Multiplexor
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          inputs = int_of lineno (get lineno kvs "inputs");
+          enable = bool_of lineno (get_opt kvs "enable" "0");
+        }
+  | "dec" :: rest ->
+      let kvs = kv_args lineno rest in
+      Decoder
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          enable = bool_of lineno (get_opt kvs "enable" "0");
+        }
+  | "cmp" :: rest ->
+      let kvs = kv_args lineno rest in
+      Comparator
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          fns = List.map (cmp_fn_of lineno) (split_commas (get lineno kvs "fns"));
+        }
+  | "lu" :: rest ->
+      let kvs = kv_args lineno rest in
+      Logic_unit
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          fn = gate_fn_of lineno (get lineno kvs "fn");
+          inputs = int_of lineno (get lineno kvs "inputs");
+        }
+  | "au" :: rest ->
+      let kvs = kv_args lineno rest in
+      Arith_unit
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          fns =
+            List.map (arith_fn_of lineno) (split_commas (get lineno kvs "fns"));
+          mode =
+            (match String.uppercase_ascii (get_opt kvs "mode" "RIPPLE") with
+            | "RIPPLE" -> Ripple
+            | "CLA" | "LOOKAHEAD" -> Lookahead
+            | other -> fail lineno "unknown carry mode %s" other);
+        }
+  | "reg" :: rest ->
+      let kvs = kv_args lineno rest in
+      Register
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          kind =
+            (match String.uppercase_ascii (get_opt kvs "type" "E") with
+            | "L" | "LATCH" -> Latch
+            | "E" | "EDGE" -> Edge_triggered
+            | other -> fail lineno "unknown register type %s" other);
+          fns = List.map (reg_fn_of lineno) (split_commas (get lineno kvs "fns"));
+          controls =
+            List.map (control_of lineno)
+              (split_commas (get_opt kvs "controls" ""));
+          inverting = bool_of lineno (get_opt kvs "inverting" "0");
+        }
+  | "cnt" :: rest ->
+      let kvs = kv_args lineno rest in
+      Counter
+        {
+          bits = int_of lineno (get lineno kvs "bits");
+          fns =
+            List.map (count_fn_of lineno) (split_commas (get lineno kvs "fns"));
+          controls =
+            List.map (control_of lineno)
+              (split_commas (get_opt kvs "controls" ""));
+        }
+  | [ "macro"; m ] -> Macro m
+  | [ "inst"; i ] -> Instance i
+  | _ -> fail lineno "cannot parse component kind: %s" (String.concat " " fields)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let design = ref None in
+  let d lineno =
+    match !design with
+    | Some d -> d
+    | None -> fail lineno "statement before 'design'"
+  in
+  let endpoint_net lineno dsn ep =
+    match String.index_opt ep '.' with
+    | None -> (
+        try Design.port_net dsn ep
+        with Not_found -> fail lineno "unknown port %s" ep)
+    | Some i ->
+        let cname = String.sub ep 0 i in
+        let pin = String.sub ep (i + 1) (String.length ep - i - 1) in
+        let c = try Design.find_comp dsn cname
+          with Not_found -> fail lineno "unknown component %s" cname in
+        (match Design.connection dsn c.Design.id pin with
+        | Some nid -> nid
+        | None -> fail lineno "%s.%s not yet joined" cname pin)
+  in
+  let connect_endpoint lineno dsn nid ep =
+    match String.index_opt ep '.' with
+    | None -> fail lineno "port %s cannot be joined to an existing net" ep
+    | Some i ->
+        let cname = String.sub ep 0 i in
+        let pin = String.sub ep (i + 1) (String.length ep - i - 1) in
+        let c = try Design.find_comp dsn cname
+          with Not_found -> fail lineno "unknown component %s" cname in
+        Design.connect dsn c.Design.id pin nid
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match split_fields (String.trim line) with
+      | [] -> ()
+      | [ "design"; name ] -> design := Some (Design.create name)
+      | [ "port"; "in"; p ] -> ignore (Design.add_port (d lineno) p Types.Input)
+      | [ "port"; "out"; p ] ->
+          ignore (Design.add_port (d lineno) p Types.Output)
+      | "comp" :: name :: spec ->
+          ignore (Design.add_comp ~name (d lineno) (parse_kind lineno spec))
+      | "join" :: (first :: rest as eps) ->
+          let dsn = d lineno in
+          (* Use the first endpoint that already has a net (ports always
+             do); otherwise create a fresh net. *)
+          let existing =
+            List.find_map
+              (fun ep ->
+                match String.index_opt ep '.' with
+                | None -> Some (endpoint_net lineno dsn ep)
+                | Some _ -> (
+                    let i = String.index ep '.' in
+                    let cname = String.sub ep 0 i in
+                    let pin =
+                      String.sub ep (i + 1) (String.length ep - i - 1)
+                    in
+                    match Design.find_comp dsn cname with
+                    | c -> Design.connection dsn c.Design.id pin
+                    | exception Not_found ->
+                        fail lineno "unknown component %s" cname))
+              eps
+          in
+          let nid =
+            match existing with
+            | Some nid -> nid
+            | None -> Design.new_net dsn
+          in
+          List.iter
+            (fun ep ->
+              match String.index_opt ep '.' with
+              | None ->
+                  if endpoint_net lineno dsn ep <> nid then
+                    fail lineno "cannot merge port %s into another net" ep
+              | Some _ -> connect_endpoint lineno dsn nid ep)
+            (first :: rest)
+      | other -> fail lineno "cannot parse: %s" (String.concat " " other))
+    lines;
+  match !design with
+  | Some d -> d
+  | None -> raise (Parse_error (0, "no 'design' statement"))
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,9 @@
+(** Parser for the textual netlist format (see {!Writer}).  This is the
+    design-entry front end standing in for the paper's schematic capture
+    and VHDL compiler. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val of_string : string -> Design.t
+val of_file : string -> Design.t

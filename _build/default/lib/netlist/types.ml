@@ -1,0 +1,201 @@
+(* Shared vocabulary for the MILO netlist IR.
+
+   Components are the parameterized microarchitecture elements of the
+   paper's Figure 12 plus references to library macros and hierarchical
+   design instances.  Pin names are fixed conventions derived from the
+   component kind so that compilers, simulators and rules agree without
+   consulting any external schema. *)
+
+type dir = Input | Output
+
+type level = Vdd | Vss
+
+type gate_fn = And | Or | Nand | Nor | Xor | Xnor | Inv | Buf
+
+type arith_fn = Add | Sub | Inc | Dec
+
+type carry_mode = Ripple | Lookahead
+
+type cmp_fn = Eq | Ne | Lt | Gt | Le | Ge
+
+type reg_kind = Latch | Edge_triggered
+
+type reg_fn = Load | Shift_left | Shift_right
+
+type count_fn = Count_load | Count_up | Count_down
+
+type control = Set | Reset | Enable
+
+type kind =
+  | Gate of gate_fn * int
+  | Multiplexor of { bits : int; inputs : int; enable : bool }
+  | Decoder of { bits : int; enable : bool }
+  | Comparator of { bits : int; fns : cmp_fn list }
+  | Logic_unit of { bits : int; fn : gate_fn; inputs : int }
+  | Arith_unit of { bits : int; fns : arith_fn list; mode : carry_mode }
+  | Register of {
+      bits : int;
+      kind : reg_kind;
+      fns : reg_fn list;
+      controls : control list;
+      inverting : bool;
+    }
+  | Counter of { bits : int; fns : count_fn list; controls : control list }
+  | Constant of level
+  | Macro of string
+  | Instance of string
+
+let gate_fn_name = function
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Inv -> "INV"
+  | Buf -> "BUF"
+
+let arith_fn_name = function
+  | Add -> "ADD"
+  | Sub -> "SUB"
+  | Inc -> "INC"
+  | Dec -> "DEC"
+
+let cmp_fn_name = function
+  | Eq -> "EQ"
+  | Ne -> "NE"
+  | Lt -> "LT"
+  | Gt -> "GT"
+  | Le -> "LE"
+  | Ge -> "GE"
+
+let control_name = function Set -> "SET" | Reset -> "RST" | Enable -> "EN"
+
+let reg_fn_name = function
+  | Load -> "LOAD"
+  | Shift_left -> "SHL"
+  | Shift_right -> "SHR"
+
+let count_fn_name = function
+  | Count_load -> "LOAD"
+  | Count_up -> "UP"
+  | Count_down -> "DOWN"
+
+let carry_mode_name = function Ripple -> "RIPPLE" | Lookahead -> "CLA"
+
+(* Number of gate inputs: Inv and Buf always have exactly one. *)
+let gate_arity fn n = match fn with Inv | Buf -> 1 | _ -> n
+
+let clog2 n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let range_pins prefix n dir =
+  List.init n (fun i -> (Printf.sprintf "%s%d" prefix i, dir))
+
+let matrix_pins prefix rows cols dir =
+  List.concat
+    (List.init rows (fun i ->
+         List.init cols (fun b -> (Printf.sprintf "%s%d_%d" prefix i b, dir))))
+
+(* The pin interface of a micro-architecture component.  [Macro] and
+   [Instance] pins live in the library / design database and must be
+   resolved by the caller. *)
+let pins_of_kind ?resolve kind =
+  match kind with
+  | Gate (fn, n) ->
+      List.init (gate_arity fn n) (fun i ->
+          (Printf.sprintf "A%d" (i + 1), Input))
+      @ [ ("Y", Output) ]
+  | Constant _ -> [ ("Y", Output) ]
+  | Multiplexor { bits; inputs; enable } ->
+      matrix_pins "D" inputs bits Input
+      @ range_pins "S" (clog2 inputs) Input
+      @ (if enable then [ ("EN", Input) ] else [])
+      @ range_pins "Y" bits Output
+  | Decoder { bits; enable } ->
+      range_pins "A" bits Input
+      @ (if enable then [ ("EN", Input) ] else [])
+      @ range_pins "Y" (1 lsl bits) Output
+  | Comparator { bits; fns } ->
+      range_pins "A" bits Input @ range_pins "B" bits Input
+      @ List.map (fun fn -> (cmp_fn_name fn, Output)) fns
+  | Logic_unit { bits; fn = _; inputs } ->
+      matrix_pins "D" inputs bits Input @ range_pins "Y" bits Output
+  | Arith_unit { bits; fns; mode = _ } ->
+      let needs_b = List.exists (fun f -> f = Add || f = Sub) fns in
+      let sel = clog2 (List.length fns) in
+      range_pins "A" bits Input
+      @ (if needs_b then range_pins "B" bits Input else [])
+      @ [ ("CIN", Input) ]
+      @ range_pins "F" sel Input
+      @ range_pins "S" bits Output
+      @ [ ("COUT", Output) ]
+  | Register { bits; kind = _; fns; controls; inverting = _ } ->
+      let has f = List.mem f fns in
+      let ctl c = List.mem c controls in
+      (if has Load then range_pins "D" bits Input else [])
+      @ (if has Shift_left then [ ("SIL", Input) ] else [])
+      @ (if has Shift_right then [ ("SIR", Input) ] else [])
+      @ range_pins "M" (clog2 (List.length fns)) Input
+      @ [ ("CLK", Input) ]
+      @ (if ctl Set then [ ("SET", Input) ] else [])
+      @ (if ctl Reset then [ ("RST", Input) ] else [])
+      @ (if ctl Enable then [ ("EN", Input) ] else [])
+      @ range_pins "Q" bits Output
+  | Counter { bits; fns; controls } ->
+      let has f = List.mem f fns in
+      let ctl c = List.mem c controls in
+      (if has Count_load then range_pins "D" bits Input @ [ ("LD", Input) ]
+       else [])
+      @ (if has Count_up && has Count_down then [ ("UP", Input) ] else [])
+      @ [ ("CLK", Input) ]
+      @ (if ctl Set then [ ("SET", Input) ] else [])
+      @ (if ctl Reset then [ ("RST", Input) ] else [])
+      @ (if ctl Enable then [ ("EN", Input) ] else [])
+      @ range_pins "Q" bits Output
+      @ [ ("COUT", Output) ]
+  | Macro name | Instance name -> (
+      match resolve with
+      | Some f -> f kind name
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Types.pins_of_kind: unresolved reference %s" name)
+      )
+
+(* Sequential components break combinational timing/simulation paths. *)
+let is_sequential_kind = function
+  | Register _ | Counter _ -> true
+  | Gate _ | Multiplexor _ | Decoder _ | Comparator _ | Logic_unit _
+  | Arith_unit _ | Constant _ | Macro _ | Instance _ ->
+      false
+
+let kind_name = function
+  | Gate (fn, n) -> Printf.sprintf "%s%d" (gate_fn_name fn) (gate_arity fn n)
+  | Multiplexor { bits; inputs; enable } ->
+      Printf.sprintf "MUX%d:1:%d%s" inputs bits (if enable then "E" else "")
+  | Decoder { bits; enable } ->
+      Printf.sprintf "DEC%d:%d%s" bits (1 lsl bits) (if enable then "E" else "")
+  | Comparator { bits; fns } ->
+      Printf.sprintf "CMP%d[%s]" bits
+        (String.concat "," (List.map cmp_fn_name fns))
+  | Logic_unit { bits; fn; inputs } ->
+      Printf.sprintf "LU%d:%s%d" bits (gate_fn_name fn) inputs
+  | Arith_unit { bits; fns; mode } ->
+      Printf.sprintf "AU%d[%s]:%s" bits
+        (String.concat "," (List.map arith_fn_name fns))
+        (carry_mode_name mode)
+  | Register { bits; kind; fns; controls; inverting } ->
+      Printf.sprintf "REG%d:%s[%s][%s]%s" bits
+        (match kind with Latch -> "L" | Edge_triggered -> "E")
+        (String.concat "," (List.map reg_fn_name fns))
+        (String.concat "," (List.map control_name controls))
+        (if inverting then "N" else "")
+  | Counter { bits; fns; controls } ->
+      Printf.sprintf "CNT%d[%s][%s]" bits
+        (String.concat "," (List.map count_fn_name fns))
+        (String.concat "," (List.map control_name controls))
+  | Constant Vdd -> "VDD"
+  | Constant Vss -> "VSS"
+  | Macro name -> name
+  | Instance name -> Printf.sprintf "@%s" name

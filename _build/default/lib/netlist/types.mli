@@ -1,0 +1,80 @@
+(** Shared vocabulary for the MILO netlist IR: component kinds (the
+    parameterized microarchitecture components of the paper's Figure 12),
+    pin-name conventions and small helpers. *)
+
+type dir = Input | Output
+
+type level = Vdd | Vss
+
+type gate_fn = And | Or | Nand | Nor | Xor | Xnor | Inv | Buf
+
+type arith_fn = Add | Sub | Inc | Dec
+
+type carry_mode = Ripple | Lookahead
+
+type cmp_fn = Eq | Ne | Lt | Gt | Le | Ge
+
+type reg_kind = Latch | Edge_triggered
+
+type reg_fn = Load | Shift_left | Shift_right
+
+type count_fn = Count_load | Count_up | Count_down
+
+type control = Set | Reset | Enable
+
+(** A component kind.  Micro-architecture kinds carry the parameters the
+    paper's logic compilers accept; [Macro] references a library macro by
+    name; [Instance] references a compiled sub-design in the design
+    database (hierarchy). *)
+type kind =
+  | Gate of gate_fn * int  (** function and number of inputs *)
+  | Multiplexor of { bits : int; inputs : int; enable : bool }
+  | Decoder of { bits : int; enable : bool }
+  | Comparator of { bits : int; fns : cmp_fn list }
+  | Logic_unit of { bits : int; fn : gate_fn; inputs : int }
+  | Arith_unit of { bits : int; fns : arith_fn list; mode : carry_mode }
+  | Register of {
+      bits : int;
+      kind : reg_kind;
+      fns : reg_fn list;
+      controls : control list;
+      inverting : bool;
+    }
+  | Counter of { bits : int; fns : count_fn list; controls : control list }
+  | Constant of level
+  | Macro of string
+  | Instance of string
+
+val gate_fn_name : gate_fn -> string
+val arith_fn_name : arith_fn -> string
+val cmp_fn_name : cmp_fn -> string
+val control_name : control -> string
+val reg_fn_name : reg_fn -> string
+val count_fn_name : count_fn -> string
+val carry_mode_name : carry_mode -> string
+
+val gate_arity : gate_fn -> int -> int
+(** [gate_arity fn n] is [n] except for [Inv]/[Buf], which always take 1. *)
+
+val clog2 : int -> int
+(** Ceiling log2; [clog2 1 = 0]. *)
+
+val range_pins : string -> int -> dir -> (string * dir) list
+(** [range_pins "A" 3 Input] is [A0; A1; A2], all inputs. *)
+
+val matrix_pins : string -> int -> int -> dir -> (string * dir) list
+(** [matrix_pins "D" inputs bits dir] is the [D<i>_<b>] pin matrix. *)
+
+val pins_of_kind :
+  ?resolve:(kind -> string -> (string * dir) list) ->
+  kind ->
+  (string * dir) list
+(** Pin interface of a component kind, in canonical order.  [resolve] is
+    consulted for [Macro] and [Instance] references; without it those
+    raise [Invalid_argument]. *)
+
+val is_sequential_kind : kind -> bool
+(** True for registers and counters, which break combinational paths. *)
+
+val kind_name : kind -> string
+(** Compact printable name, e.g. ["AND3"], ["MUX2:1:4"], ["AU4[ADD]:CLA"]. *)

@@ -1,0 +1,63 @@
+(* Textual netlist emission.  The format round-trips through [Parser] and
+   stands in for the paper's schematic-capture / VHDL front end. *)
+
+let kind_spec (k : Types.kind) =
+  let open Types in
+  let names f xs = String.concat "," (List.map f xs) in
+  match k with
+  | Gate (fn, n) -> Printf.sprintf "gate %s %d" (gate_fn_name fn) (gate_arity fn n)
+  | Constant Vdd -> "const VDD"
+  | Constant Vss -> "const VSS"
+  | Multiplexor { bits; inputs; enable } ->
+      Printf.sprintf "mux bits=%d inputs=%d enable=%d" bits inputs
+        (if enable then 1 else 0)
+  | Decoder { bits; enable } ->
+      Printf.sprintf "dec bits=%d enable=%d" bits (if enable then 1 else 0)
+  | Comparator { bits; fns } ->
+      Printf.sprintf "cmp bits=%d fns=%s" bits (names cmp_fn_name fns)
+  | Logic_unit { bits; fn; inputs } ->
+      Printf.sprintf "lu bits=%d fn=%s inputs=%d" bits (gate_fn_name fn) inputs
+  | Arith_unit { bits; fns; mode } ->
+      Printf.sprintf "au bits=%d fns=%s mode=%s" bits (names arith_fn_name fns)
+        (carry_mode_name mode)
+  | Register { bits; kind; fns; controls; inverting } ->
+      Printf.sprintf "reg bits=%d type=%s fns=%s controls=%s inverting=%d" bits
+        (match kind with Latch -> "L" | Edge_triggered -> "E")
+        (names reg_fn_name fns) (names control_name controls)
+        (if inverting then 1 else 0)
+  | Counter { bits; fns; controls } ->
+      Printf.sprintf "cnt bits=%d fns=%s controls=%s" bits
+        (names count_fn_name fns) (names control_name controls)
+  | Macro m -> Printf.sprintf "macro %s" m
+  | Instance i -> Printf.sprintf "inst %s" i
+
+let endpoint d (cid, pin) =
+  Printf.sprintf "%s.%s" (Design.comp d cid).Design.cname pin
+
+let to_string d =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "design %s" (Design.name d);
+  List.iter
+    (fun (p, dir, _) ->
+      line "port %s %s" (match dir with Types.Input -> "in" | Types.Output -> "out") p)
+    (Design.ports d);
+  List.iter
+    (fun (c : Design.comp) -> line "comp %s %s" c.Design.cname (kind_spec c.Design.kind))
+    (Design.comps d);
+  List.iter
+    (fun (n : Design.net) ->
+      let eps =
+        (match n.Design.nport with Some (p, _) -> [ p ] | None -> [])
+        @ List.map (endpoint d) (List.sort compare n.Design.npins)
+      in
+      if List.length eps >= 1 then line "join %s" (String.concat " " eps))
+    (Design.nets d);
+  Buffer.contents buf
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let summary d =
+  Printf.sprintf "%s: %d components, %d nets, %d ports" (Design.name d)
+    (Design.num_comps d) (Design.num_nets d)
+    (List.length (Design.ports d))

@@ -1,0 +1,10 @@
+(** Textual netlist emission (round-trips through {!Parser}). *)
+
+val kind_spec : Types.kind -> string
+(** Parseable kind specification, e.g. ["gate AND 3"]. *)
+
+val to_string : Design.t -> string
+val pp : Format.formatter -> Design.t -> unit
+
+val summary : Design.t -> string
+(** One-line size summary. *)

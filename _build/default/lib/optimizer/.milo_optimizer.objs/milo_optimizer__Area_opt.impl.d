@@ -1,0 +1,1 @@
+lib/optimizer/area_opt.ml: Milo_rules

@@ -1,0 +1,1 @@
+lib/optimizer/area_opt.mli: Milo_rules

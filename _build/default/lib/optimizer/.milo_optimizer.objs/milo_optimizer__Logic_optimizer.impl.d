@@ -1,0 +1,1 @@
+lib/optimizer/logic_optimizer.ml: Area_opt Hashtbl List Milo_compilers Milo_critic Milo_library Milo_netlist Milo_rules Milo_techmap Time_opt

@@ -1,0 +1,1 @@
+lib/optimizer/logic_optimizer.mli: Milo_compilers Milo_netlist Milo_techmap Time_opt

@@ -1,0 +1,1 @@
+lib/optimizer/power_opt.ml: Milo_rules

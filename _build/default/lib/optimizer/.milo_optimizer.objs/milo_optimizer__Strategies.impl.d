@@ -1,0 +1,1 @@
+lib/optimizer/strategies.ml: Float List Milo_boolfunc Milo_compilers Milo_critic Milo_library Milo_minimize Milo_netlist Milo_rules Milo_timing Option Printf String Truth_table

@@ -1,0 +1,1 @@
+lib/optimizer/strategies.mli: Milo_netlist Milo_rules Milo_timing

@@ -1,0 +1,1 @@
+lib/optimizer/time_opt.ml: Float List Milo_estimate Milo_library Milo_netlist Milo_rules Milo_timing Strategies

@@ -1,0 +1,1 @@
+lib/optimizer/time_opt.mli: Milo_rules Milo_timing Strategies

@@ -1,0 +1,26 @@
+(* The area optimizer: greedy gain-measured application of the logic and
+   area critics' rules, with the timing constraint enforced as a penalty
+   so area recovery avoids critical paths (Section 3's "area
+   optimizations ... avoid critical or near-critical paths"). *)
+
+module R = Milo_rules.Rule
+module Engine = Milo_rules.Engine
+
+let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
+  let m = Engine.measure_fn ctx ~input_arrivals () in
+  let penalty =
+    if m.Engine.delay > required then 1000.0 *. (m.Engine.delay -. required)
+    else 0.0
+  in
+  m.Engine.area +. (0.05 *. m.Engine.power) +. penalty
+
+let optimize ?(required = infinity) ?(input_arrivals = []) ?(max_steps = 200)
+    ~rules ~cleanups ctx =
+  let cost = cost_fn ~required ~input_arrivals ctx in
+  Engine.greedy_pass ~max_steps ctx ~cost ~cleanups rules
+
+(* Area recovery with lookahead (used by the metarules experiment). *)
+let optimize_lookahead ?(required = infinity) ?(input_arrivals = [])
+    ?(params = Milo_rules.Search.default_params) ?stats ~rules ~cleanups ctx =
+  let cost = cost_fn ~required ~input_arrivals ctx in
+  Milo_rules.Search.run ~params ?stats ctx ~cost ~cleanups rules

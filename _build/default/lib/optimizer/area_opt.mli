@@ -1,0 +1,30 @@
+(** The area optimizer: gain-measured greedy (or lookahead) application
+    of area rules under a timing-constraint penalty. *)
+
+module R = Milo_rules.Rule
+
+val cost_fn :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  R.context ->
+  unit ->
+  float
+
+val optimize :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  ?max_steps:int ->
+  rules:R.t list ->
+  cleanups:R.t list ->
+  R.context ->
+  Milo_rules.Engine.application list
+
+val optimize_lookahead :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  ?params:Milo_rules.Search.params ->
+  ?stats:Milo_rules.Search.stats ->
+  rules:R.t list ->
+  cleanups:R.t list ->
+  R.context ->
+  float

@@ -1,0 +1,165 @@
+(* The logic optimizer (Section 6.4, Figure 18): hierarchical,
+   technology-specific optimization.
+
+   Each compiled sub-design is mapped and optimized at the lowest level
+   of the hierarchy first; then the next level up is expanded in terms
+   of the already-optimized lower designs and optimized itself, until
+   the whole design is one flat, optimized, technology-specific netlist.
+   "Since the logic compilers produce near-optimal designs, little
+   optimization is required -- for the most part a cleanup of the
+   technology mapper's design (such as inverter elimination, or merging
+   of components)." *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Milo_rules.Rule
+module Database = Milo_compilers.Database
+module Table_map = Milo_techmap.Table_map
+
+type report_entry = {
+  level_design : string;
+  applications : int;
+  area_before : float;
+  area_after : float;
+}
+
+type report = {
+  entries : report_entry list;
+  timing : Time_opt.outcome option;
+}
+
+(* Sub-design names reachable from a design, deepest first. *)
+let instance_order db design =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit d =
+    List.iter
+      (fun (c : D.comp) ->
+        match c.D.kind with
+        | T.Instance name ->
+            if not (Hashtbl.mem seen name) then begin
+              Hashtbl.replace seen name ();
+              visit (Database.get db name);
+              order := name :: !order
+            end
+        | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+        | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+        | T.Constant _ | T.Macro _ ->
+            ())
+      (D.comps d)
+  in
+  visit design;
+  List.rev !order
+
+let make_ctx _db tech_db target design =
+  R.make_context
+    ~extra_resolve:(Database.resolver tech_db [ target.Table_map.tech ])
+    target.Table_map.tech target.Table_map.set design
+
+(* Greedy area/quality pass over one level of the hierarchy.  Uses a
+   structural cost (area + gate count) so it applies to sub-designs with
+   instances, where full STA is not yet meaningful. *)
+let level_cost target tech_db ctx () =
+  let area (c : D.comp) =
+    match c.D.kind with
+    | T.Macro m -> (Milo_library.Technology.find target.Table_map.tech m).Milo_library.Macro.area
+    | T.Instance i ->
+        (* Optimized sub-designs were measured when they were done. *)
+        List.fold_left
+          (fun acc (sc : D.comp) ->
+            acc
+            +.
+            match sc.D.kind with
+            | T.Macro m ->
+                (Milo_library.Technology.find target.Table_map.tech m)
+                  .Milo_library.Macro.area
+            | T.Instance _ | T.Gate _ | T.Multiplexor _ | T.Decoder _
+            | T.Comparator _ | T.Logic_unit _ | T.Arith_unit _ | T.Register _
+            | T.Counter _ | T.Constant _ ->
+                0.0)
+          0.0
+          (D.comps (Database.get tech_db i))
+    | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+    | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+    | T.Constant _ ->
+        0.0
+  in
+  List.fold_left (fun acc c -> acc +. area c) 0.0 (D.comps ctx.R.design)
+
+let optimize_level db tech_db target design =
+  let ctx = make_ctx db tech_db target design in
+  let cost = level_cost target tech_db ctx in
+  let before = cost () in
+  (* Per-level passes use only the logic critic's always-good rules
+     ("for the most part a cleanup of the technology mapper's design");
+     timing-sensitive area recovery happens on the flat design where the
+     constraint can be enforced. *)
+  let apps =
+    Milo_rules.Engine.greedy_pass ctx ~cost
+      ~cleanups:Milo_critic.Critic.cleanup Milo_critic.Critic.logic
+  in
+  {
+    level_design = D.name design;
+    applications = List.length apps;
+    area_before = before;
+    area_after = cost ();
+  }
+
+(* Optimize a hierarchical generic design bottom-up, producing one flat
+   technology-specific design (Figure 18's process), then run the time
+   optimizer against the constraint and recover area off the critical
+   paths. *)
+let optimize ?(required = infinity) ?(input_arrivals = []) db target design =
+  let tech_db = Database.create () in
+  let entries = ref [] in
+  (* 1. Map and optimize every sub-design, deepest first. *)
+  List.iter
+    (fun name ->
+      let sub = Database.get db name in
+      let mapped = Table_map.map_design ~keep_instances:true target sub in
+      let entry = optimize_level db tech_db target mapped in
+      entries := entry :: !entries;
+      Database.register tech_db mapped)
+    (instance_order db design);
+  (* 2. Map the top level, expand one level at a time, optimizing after
+     each expansion. *)
+  let top = ref (Table_map.map_design ~keep_instances:true target design) in
+  let has_instances d =
+    List.exists
+      (fun (c : D.comp) ->
+        match c.D.kind with
+        | T.Instance _ -> true
+        | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+        | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+        | T.Constant _ | T.Macro _ ->
+            false)
+      (D.comps d)
+  in
+  entries := optimize_level db tech_db target !top :: !entries;
+  while has_instances !top do
+    top := Database.flatten_once tech_db !top;
+    entries := optimize_level db tech_db target !top :: !entries
+  done;
+  (* 3. Electric correctness, then timing against the constraint, then
+     area recovery off the critical paths. *)
+  let d = !top in
+  let ctx = make_ctx db tech_db target d in
+  let log = D.new_log () in
+  Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
+  D.commit log;
+  let timing =
+    if required < infinity then
+      Some
+        (Time_opt.optimize ~required ~input_arrivals
+           ~cleanups:Milo_critic.Critic.cleanup ctx)
+    else None
+  in
+  let _ =
+    Area_opt.optimize ~required ~input_arrivals
+      ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
+      ~cleanups:Milo_critic.Critic.cleanup ctx
+  in
+  let log = D.new_log () in
+  Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
+  D.commit log;
+  (d, { entries = List.rev !entries; timing })

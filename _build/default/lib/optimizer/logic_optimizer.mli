@@ -1,0 +1,31 @@
+(** The hierarchical logic optimizer of Figure 18: map and optimize each
+    compiled sub-design bottom-up, expand level by level, then meet
+    timing and recover area on the flat technology design. *)
+
+module D = Milo_netlist.Design
+
+type report_entry = {
+  level_design : string;
+  applications : int;
+  area_before : float;
+  area_after : float;
+}
+
+type report = {
+  entries : report_entry list;
+  timing : Time_opt.outcome option;
+}
+
+val instance_order : Milo_compilers.Database.t -> D.t -> string list
+(** Sub-design names reachable from a design, deepest first. *)
+
+val optimize :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  Milo_compilers.Database.t ->
+  Milo_techmap.Table_map.target ->
+  D.t ->
+  D.t * report
+(** [optimize db target design] takes a hierarchical generic design
+    (from [Compile.expand_design]) and returns the flat, optimized,
+    technology-specific design with a per-level report. *)

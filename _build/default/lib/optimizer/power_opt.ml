@@ -1,0 +1,18 @@
+(* The power optimizer: power-weighted greedy application of the power
+   critic's rules under the timing constraint. *)
+
+module R = Milo_rules.Rule
+module Engine = Milo_rules.Engine
+
+let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
+  let m = Engine.measure_fn ctx ~input_arrivals () in
+  let penalty =
+    if m.Engine.delay > required then 1000.0 *. (m.Engine.delay -. required)
+    else 0.0
+  in
+  m.Engine.power +. (0.05 *. m.Engine.area) +. penalty
+
+let optimize ?(required = infinity) ?(input_arrivals = []) ?(max_steps = 200)
+    ~rules ~cleanups ctx =
+  let cost = cost_fn ~required ~input_arrivals ctx in
+  Engine.greedy_pass ~max_steps ctx ~cost ~cleanups rules

@@ -1,0 +1,20 @@
+(** The power optimizer: power-weighted greedy rule application under
+    the timing constraint. *)
+
+module R = Milo_rules.Rule
+
+val cost_fn :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  R.context ->
+  unit ->
+  float
+
+val optimize :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  ?max_steps:int ->
+  rules:R.t list ->
+  cleanups:R.t list ->
+  R.context ->
+  Milo_rules.Engine.application list

@@ -1,0 +1,40 @@
+(** The eight timing strategies of Section 4 (Figure 9). *)
+
+module D = Milo_netlist.Design
+module R = Milo_rules.Rule
+module Sta = Milo_timing.Sta
+
+type result = Applied of string | Not_applicable
+
+val swap_signals : R.context -> Sta.t -> Sta.path -> D.log -> result
+val high_power : R.context -> Sta.t -> Sta.path -> D.log -> result
+val factor_path : R.context -> Sta.t -> Sta.path -> D.log -> result
+
+val macro_select :
+  allow_cost:bool -> R.context -> Sta.t -> Sta.path -> D.log -> result
+(** Strategies 4 (no cost) and 6 (with cost): hash-table lookup of a
+    better macro for a small cone. *)
+
+val duplicate_logic : R.context -> Sta.t -> Sta.path -> D.log -> result
+
+val collapse_minimize :
+  ?max_leaves:int -> R.context -> Sta.t -> Sta.path -> D.log -> result
+(** Strategy 7: collapse the endpoint cone to two levels, minimize
+    exactly, re-factor by weak division, rebuild. *)
+
+val mux_duplicate : R.context -> Sta.t -> Sta.path -> D.log -> result
+(** Strategy 8: duplicate the cone with the late input tied to 0/1 and
+    select with a multiplexor. *)
+
+type strategy = {
+  id : int;
+  strat_name : string;
+  run : R.context -> Sta.t -> Sta.path -> D.log -> result;
+}
+
+val all : strategy list
+val by_id : int -> strategy
+
+val order_for : deficit:float -> required:float -> int list
+(** Strategy order as a function of how far the path is from the
+    constraint (Section 4.1.3). *)

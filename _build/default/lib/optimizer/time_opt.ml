@@ -1,0 +1,101 @@
+(* The time optimizer (Figure 8):
+
+     timing analysis -> pick the critical path furthest from spec ->
+     pick a control strategy by slack -> try strategies/rules; keep a
+     transformation only if it reduces the worst endpoint arrival ->
+     repeat until the constraint is met or all strategies are exhausted. *)
+
+module D = Milo_netlist.Design
+module R = Milo_rules.Rule
+module Sta = Milo_timing.Sta
+
+type step = {
+  step_strategy : string;
+  step_detail : string;
+  delay_before : float;
+  delay_after : float;
+}
+
+type outcome = { met : bool; final_delay : float; steps : step list }
+
+let analyze ctx ~input_arrivals =
+  let env name = Milo_library.Technology.find ctx.R.tech name in
+  Sta.analyze ~input_arrivals env ctx.R.design
+
+(* The worst arrival among endpoints (what the constraint binds). *)
+let worst ctx ~input_arrivals = Sta.worst_delay (analyze ctx ~input_arrivals)
+
+let area ctx =
+  let env name = Milo_library.Technology.find ctx.R.tech name in
+  Milo_estimate.Estimate.area env ctx.R.design
+
+(* Try one strategy on the most critical path; keep the edit only if the
+   worst delay strictly improves without a runaway area cost (the
+   two-level collapse of an XOR-rich cone can explode, as the paper
+   notes about the Logic Consultant's minimizer). *)
+let try_strategy ctx ~input_arrivals ~cleanups (s : Strategies.strategy) =
+  let sta = analyze ctx ~input_arrivals in
+  match Milo_timing.Paths.most_critical sta with
+  | None -> None
+  | Some path -> (
+      let before = Sta.worst_delay sta in
+      let area_before = area ctx in
+      let log = D.new_log () in
+      match s.Strategies.run ctx sta path log with
+      | Strategies.Not_applicable ->
+          D.undo ctx.R.design log;
+          None
+      | Strategies.Applied detail ->
+          Milo_rules.Engine.run_cleanups ctx cleanups log;
+          let after = worst ctx ~input_arrivals in
+          let area_after = area ctx in
+          let area_ok =
+            area_after <= Float.max (area_before *. 1.25) (area_before +. 4.0)
+          in
+          if after < before -. 1e-9 && area_ok then begin
+            D.commit log;
+            Some
+              {
+                step_strategy = s.Strategies.strat_name;
+                step_detail = detail;
+                delay_before = before;
+                delay_after = after;
+              }
+          end
+          else begin
+            D.undo ctx.R.design log;
+            None
+          end)
+
+let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64)
+    ~cleanups ctx =
+  let steps = ref [] in
+  let rec loop n =
+    let current = worst ctx ~input_arrivals in
+    if current <= required || n >= max_steps then current
+    else begin
+      let deficit = current -. required in
+      let order = Strategies.order_for ~deficit ~required:(Float.max required current) in
+      let rec try_all = function
+        | [] -> None
+        | id :: rest -> (
+            match
+              try_strategy ctx ~input_arrivals ~cleanups (Strategies.by_id id)
+            with
+            | Some step -> Some step
+            | None -> try_all rest)
+      in
+      match try_all order with
+      | Some step ->
+          steps := step :: !steps;
+          loop (n + 1)
+      | None -> current
+    end
+  in
+  let final_delay = loop 0 in
+  { met = final_delay <= required; final_delay; steps = List.rev !steps }
+
+(* Unconstrained "make it as fast as possible": iterate until no
+   strategy improves. *)
+let minimize_delay ?(input_arrivals = []) ?(max_steps = 64) ~cleanups ctx =
+  optimize ~required:0.0 ~input_arrivals ~max_steps ~cleanups ctx

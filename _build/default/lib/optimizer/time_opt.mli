@@ -1,0 +1,41 @@
+(** The time optimizer of Figure 8: strategy selection by slack over the
+    most critical path, keeping only transformations that reduce the
+    worst endpoint arrival. *)
+
+module R = Milo_rules.Rule
+
+type step = {
+  step_strategy : string;
+  step_detail : string;
+  delay_before : float;
+  delay_after : float;
+}
+
+type outcome = { met : bool; final_delay : float; steps : step list }
+
+val analyze :
+  R.context -> input_arrivals:(string * float) list -> Milo_timing.Sta.t
+
+val worst : R.context -> input_arrivals:(string * float) list -> float
+
+val try_strategy :
+  R.context ->
+  input_arrivals:(string * float) list ->
+  cleanups:R.t list ->
+  Strategies.strategy ->
+  step option
+
+val optimize :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  ?max_steps:int ->
+  cleanups:R.t list ->
+  R.context ->
+  outcome
+
+val minimize_delay :
+  ?input_arrivals:(string * float) list ->
+  ?max_steps:int ->
+  cleanups:R.t list ->
+  R.context ->
+  outcome

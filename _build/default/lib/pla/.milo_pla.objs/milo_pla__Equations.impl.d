@@ -1,0 +1,1 @@
+lib/pla/equations.ml: Filename Hashtbl List Milo_compilers Milo_library Milo_netlist Printf String

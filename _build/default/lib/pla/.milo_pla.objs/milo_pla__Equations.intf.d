@@ -1,0 +1,1 @@
+lib/pla/equations.mli: Milo_netlist

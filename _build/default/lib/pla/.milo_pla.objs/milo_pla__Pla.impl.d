@@ -1,0 +1,1 @@
+lib/pla/pla.ml: Buffer Cover Cube List Milo_boolfunc Milo_compilers Milo_library Milo_minimize Milo_netlist Printf String

@@ -1,0 +1,1 @@
+lib/pla/pla.mli: Cover Milo_boolfunc Milo_netlist

@@ -1,0 +1,231 @@
+(* Boolean-equation input (the paper's Figure 1 lists "a set of boolean
+   equations" beside PLA format and schematics):
+
+     # sum-of-products with the usual operators
+     carry = a & b | (a ^ b) & cin;
+     sum   = a ^ b ^ cin;
+
+   Operators: ! or ~ (not), & or * (and), ^ (xor), | or + (or), with
+   parentheses; precedence not > and > xor > or.  Every identifier that
+   is never defined is a primary input; every defined name becomes an
+   output port (and may be used in later equations). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Equation_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Equation_error (line, s))) fmt
+
+type token =
+  | Tid of string
+  | Tconst of bool
+  | Tnot
+  | Tand
+  | Tor
+  | Txor
+  | Tlparen
+  | Trparen
+  | Teq
+  | Tsemi
+  | Teof
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\r' -> ()
+    | '\n' -> incr line
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done;
+        decr i
+    | '!' | '~' -> push Tnot
+    | '&' | '*' -> push Tand
+    | '|' | '+' -> push Tor
+    | '^' -> push Txor
+    | '(' -> push Tlparen
+    | ')' -> push Trparen
+    | '=' -> push Teq
+    | ';' -> push Tsemi
+    | '0' -> push (Tconst false)
+    | '1' -> push (Tconst true)
+    | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let s = ref !i in
+        while
+          !s < n
+          &&
+          let c' = src.[!s] in
+          (c' >= 'a' && c' <= 'z')
+          || (c' >= 'A' && c' <= 'Z')
+          || (c' >= '0' && c' <= '9')
+          || c' = '_'
+        do
+          incr s
+        done;
+        push (Tid (String.sub src !i (!s - !i)));
+        i := !s - 1
+    | c -> fail !line "unexpected character %c" c);
+    incr i
+  done;
+  push Teof;
+  List.rev !tokens
+
+type expr =
+  | X_var of string
+  | X_const of bool
+  | X_not of expr
+  | X_op of T.gate_fn * expr list
+
+(* precedence: or < xor < and < unary *)
+let parse_equations src =
+  let tokens = ref (tokenize src) in
+  let peek () = match !tokens with (t, _) :: _ -> t | [] -> Teof in
+  let line () = match !tokens with (_, l) :: _ -> l | [] -> 0 in
+  let advance () = match !tokens with _ :: rest -> tokens := rest | [] -> () in
+  let rec parse_or () =
+    let first = parse_xor () in
+    let rec go acc =
+      if peek () = Tor then begin
+        advance ();
+        go (parse_xor () :: acc)
+      end
+      else acc
+    in
+    match go [ first ] with [ single ] -> single | xs -> X_op (T.Or, List.rev xs)
+  and parse_xor () =
+    let first = parse_and () in
+    let rec go acc =
+      if peek () = Txor then begin
+        advance ();
+        go (parse_and () :: acc)
+      end
+      else acc
+    in
+    match go [ first ] with [ single ] -> single | xs -> X_op (T.Xor, List.rev xs)
+  and parse_and () =
+    let first = parse_unary () in
+    let rec go acc =
+      if peek () = Tand then begin
+        advance ();
+        go (parse_unary () :: acc)
+      end
+      else acc
+    in
+    match go [ first ] with [ single ] -> single | xs -> X_op (T.And, List.rev xs)
+  and parse_unary () =
+    match peek () with
+    | Tnot ->
+        advance ();
+        X_not (parse_unary ())
+    | Tlparen ->
+        advance ();
+        let e = parse_or () in
+        if peek () <> Trparen then fail (line ()) "expected )";
+        advance ();
+        e
+    | Tid name ->
+        advance ();
+        X_var name
+    | Tconst b ->
+        advance ();
+        X_const b
+    | _ -> fail (line ()) "expected an operand"
+  in
+  let equations = ref [] in
+  let rec go () =
+    match peek () with
+    | Teof -> ()
+    | Tid name ->
+        advance ();
+        if peek () <> Teq then fail (line ()) "expected = after %s" name;
+        advance ();
+        let e = parse_or () in
+        if peek () <> Tsemi then fail (line ()) "expected ; to end equation";
+        advance ();
+        equations := (name, e) :: !equations;
+        go ()
+    | _ -> fail (line ()) "expected an equation (name = expr;)"
+  in
+  go ();
+  List.rev !equations
+
+(* Elaborate the equations into a generic gate netlist. *)
+let to_design ?(name = "equations") src =
+  let equations = parse_equations src in
+  if equations = [] then fail 0 "no equations";
+  let defined = List.map fst equations in
+  (* free variables, in first-use order *)
+  let inputs = ref [] in
+  let rec scan = function
+    | X_var v ->
+        if (not (List.mem v defined)) && not (List.mem v !inputs) then
+          inputs := v :: !inputs
+    | X_const _ -> ()
+    | X_not e -> scan e
+    | X_op (_, es) -> List.iter scan es
+  in
+  List.iter (fun (_, e) -> scan e) equations;
+  let d = D.create name in
+  let lib = Milo_library.Generic.get () in
+  let set = Milo_compilers.Gate_comp.generic_set lib in
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.replace env v (D.add_port d v T.Input))
+    (List.rev !inputs);
+  (* output ports first so equations can reference earlier outputs *)
+  List.iter
+    (fun (nm, _) ->
+      if Hashtbl.mem env nm then fail 0 "%s defined twice (or shadows an input)" nm;
+      Hashtbl.replace env nm (D.add_port d nm T.Output))
+    equations;
+  let rec build = function
+    | X_var v -> Hashtbl.find env v
+    | X_const b ->
+        Milo_compilers.Gate_comp.add_const d set (if b then T.Vdd else T.Vss)
+    | X_not e -> Milo_compilers.Gate_comp.build d set T.Inv [ build e ]
+    | X_op (fn, es) ->
+        Milo_compilers.Gate_comp.build d set fn (List.map build es)
+  in
+  List.iter
+    (fun (nm, e) ->
+      let port = Hashtbl.find env nm in
+      let src_net = build e in
+      (* the expression's root gate drives the output port directly *)
+      let resolve kind mnm =
+        match kind with
+        | T.Macro _ ->
+            (Milo_library.Technology.find lib mnm).Milo_library.Macro.pins
+        | T.Instance _ | T.Gate _ | T.Multiplexor _ | T.Decoder _
+        | T.Comparator _ | T.Logic_unit _ | T.Arith_unit _ | T.Register _
+        | T.Counter _ | T.Constant _ ->
+            T.pins_of_kind kind
+      in
+      match D.driver ~resolve d src_net with
+      | D.Src_comp (_, _) when (D.net d src_net).D.nport = None ->
+          let pins = (D.net d src_net).D.npins in
+          List.iter (fun (cid, pin) -> D.connect d cid pin port) pins;
+          (match D.net_opt d src_net with
+          | Some net when net.D.npins = [] && net.D.nport = None ->
+              D.remove_net d src_net
+          | Some _ | None -> ())
+      | D.Src_comp (_, _) | D.Src_port _ ->
+          (* aliasing a port or an already-bound net: buffer *)
+          let b = D.add_comp d (T.Macro "BUF") in
+          D.connect d b "A0" src_net;
+          D.connect d b "Y" port
+      | D.Src_none -> fail 0 "%s has no logic" nm)
+    equations;
+  d
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  to_design ~name:(Filename.remove_extension (Filename.basename path)) src

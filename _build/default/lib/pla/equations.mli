@@ -1,0 +1,9 @@
+(** Boolean-equation input ("a set of boolean equations", Figure 1):
+    parse [name = expr;] lines over !/&/^/| and build a generic gate
+    netlist.  Undefined identifiers become input ports; every defined
+    name becomes an output port. *)
+
+exception Equation_error of int * string
+
+val to_design : ?name:string -> string -> Milo_netlist.Design.t
+val of_file : string -> Milo_netlist.Design.t

@@ -1,0 +1,16 @@
+(** Berkeley Espresso [.pla] reader/writer and netlist construction —
+    the "PLA format" input path of the paper's Figure 1. *)
+
+exception Pla_error of int * string
+
+open Milo_boolfunc
+
+type t = { inputs : string list; outputs : string list; covers : Cover.t list }
+
+val of_string : string -> t
+val of_file : string -> t
+val to_design : ?name:string -> t -> Milo_netlist.Design.t
+(** Minimize each output exactly, factor by weak division, build a
+    generic gate netlist. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rules/cone.ml: Array Hashtbl List Milo_boolfunc Milo_library Milo_netlist Milo_sim Rule Truth_table

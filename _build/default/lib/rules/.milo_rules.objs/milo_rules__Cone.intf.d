@@ -1,0 +1,1 @@
+lib/rules/cone.mli: Milo_boolfunc Milo_library Milo_netlist Rule Truth_table

@@ -1,0 +1,1 @@
+lib/rules/engine.ml: Format Hashtbl List Milo_estimate Milo_library Milo_netlist Milo_timing Option Rule

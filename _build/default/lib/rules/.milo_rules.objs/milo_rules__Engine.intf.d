@@ -1,0 +1,1 @@
+lib/rules/engine.mli: Format Milo_netlist Rule

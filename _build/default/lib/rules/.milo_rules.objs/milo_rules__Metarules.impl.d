@@ -1,0 +1,1 @@
+lib/rules/metarules.ml: List Rule Search

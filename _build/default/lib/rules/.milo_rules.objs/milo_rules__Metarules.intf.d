@@ -1,0 +1,1 @@
+lib/rules/metarules.mli: Rule Search

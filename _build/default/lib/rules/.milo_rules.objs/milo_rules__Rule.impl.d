@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Hashtbl List Milo_compilers Milo_library Milo_netlist Printf

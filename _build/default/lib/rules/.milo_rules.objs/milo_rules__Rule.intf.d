@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Hashtbl Milo_compilers Milo_library Milo_netlist

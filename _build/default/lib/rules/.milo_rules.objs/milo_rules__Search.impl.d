@@ -1,0 +1,1 @@
+lib/rules/search.ml: Engine Float Hashtbl List Milo_netlist Rule

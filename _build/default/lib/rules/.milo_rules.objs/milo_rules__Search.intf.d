@@ -1,0 +1,1 @@
+lib/rules/search.mli: Hashtbl Rule

@@ -1,0 +1,159 @@
+(* Single-output combinational cones: the unit of the hash-table macro
+   selection (strategies 4/6), the two-level collapse (strategy 7) and
+   the mux duplication (strategy 8).
+
+   A cone is the transitive combinational fanin of a net, cut off at
+   ports, sequential outputs, multi-output macros and the leaf budget.
+   Its function is computed by local evaluation, as a truth table
+   (≤ 6 leaves) or a minterm cover (≤ [max_enum] leaves). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Rule
+module Macro = Milo_library.Macro
+open Milo_boolfunc
+
+type t = {
+  out_net : int;
+  leaves : int list;  (* nets, in variable order *)
+  comps : int list;  (* cone components, any order *)
+}
+
+(* The driving comb single-output macro of a net, if expandable. *)
+let expandable ctx nid =
+  match R.driver_comp ctx nid with
+  | Some (c, _) -> (
+      match R.macro_of ctx c with
+      | Some m
+        when (not (Macro.is_sequential m))
+             && List.length m.Macro.outputs = 1
+             && (match m.Macro.behavior with
+                | Macro.Combinational _ -> true
+                | Macro.Comb_eval _ | Macro.Seq_dff _ | Macro.Seq_counter _ ->
+                    false) ->
+          Some (c, m)
+      | Some _ | None -> None)
+  | None -> None
+
+(* Extract a cone rooted at [out_net].  Expansion is breadth-first and
+   stops when adding a component would exceed the leaf budget. *)
+let extract ctx ~max_leaves out_net =
+  let leaves = ref [] in
+  let comps = ref [] in
+  let rec grow frontier =
+    match frontier with
+    | [] -> ()
+    | nid :: rest -> (
+        match expandable ctx nid with
+        | None ->
+            if not (List.mem nid !leaves) then leaves := nid :: !leaves;
+            grow rest
+        | Some (c, m) ->
+            if List.mem c.D.id !comps then grow rest
+            else begin
+              let ins =
+                List.filter_map
+                  (fun pin -> D.connection ctx.R.design c.D.id pin)
+                  m.Macro.inputs
+              in
+              (* Conservative budget check. *)
+              let new_leaves =
+                List.filter
+                  (fun n -> (not (List.mem n !leaves)) && expandable ctx n = None)
+                  (List.sort_uniq compare ins)
+              in
+              if
+                List.length !leaves + List.length new_leaves > max_leaves
+                && !comps <> []
+              then begin
+                (* Treat this net as a leaf instead of expanding. *)
+                if not (List.mem nid !leaves) then leaves := nid :: !leaves;
+                grow rest
+              end
+              else begin
+                comps := c.D.id :: !comps;
+                grow (ins @ rest)
+              end
+            end)
+  in
+  grow [ out_net ];
+  let leaves = List.sort_uniq compare !leaves in
+  if List.length leaves > max_leaves then None
+  else Some { out_net; leaves; comps = !comps }
+
+(* Evaluate the cone output under a leaf assignment. *)
+let eval ctx cone assignment =
+  let memo = Hashtbl.create 16 in
+  let rec value nid =
+    match Hashtbl.find_opt memo nid with
+    | Some v -> v
+    | None ->
+        let v =
+          match List.assoc_opt nid assignment with
+          | Some v -> v
+          | None -> (
+              match expandable ctx nid with
+              | Some (c, m) when List.mem c.D.id cone.comps ->
+                  let pvs =
+                    List.map
+                      (fun pin ->
+                        ( pin,
+                          match D.connection ctx.R.design c.D.id pin with
+                          | Some n -> value n
+                          | None -> false ))
+                      m.Macro.inputs
+                  in
+                  let outs = Milo_sim.Eval.macro_comb_outputs m pvs in
+                  List.assoc (List.nth m.Macro.outputs 0) outs
+              | Some _ | None -> false)
+        in
+        Hashtbl.replace memo nid v;
+        v
+  in
+  value cone.out_net
+
+let truth_table ctx cone =
+  let n = List.length cone.leaves in
+  if n > Truth_table.max_vars then None
+  else
+    Some
+      (Truth_table.of_fun n (fun a ->
+           eval ctx cone (List.mapi (fun i nid -> (nid, a.(i))) cone.leaves)))
+
+(* On-set minterms by enumeration (strategy 7's collapse). *)
+let minterms ctx cone =
+  let n = List.length cone.leaves in
+  let on = ref [] in
+  for m = 0 to (1 lsl n) - 1 do
+    let assignment =
+      List.mapi (fun i nid -> (nid, m land (1 lsl i) <> 0)) cone.leaves
+    in
+    if eval ctx cone assignment then on := m :: !on
+  done;
+  !on
+
+(* Replace the cone's logic: disconnect the old driver from [out_net]
+   and let [build] produce the replacement net from the leaves; dead old
+   logic is left for the cleanup rules.  Returns false if the output has
+   no driver. *)
+let replace ctx log cone ~build =
+  match R.driver_comp ctx cone.out_net with
+  | None -> false
+  | Some (old_driver, out_pin) ->
+      D.disconnect ~log ctx.R.design old_driver.D.id out_pin;
+      let src = build () in
+      R.reroute ctx log ~signal:src ~old_net:cone.out_net;
+      true
+
+(* Estimated area of the cone's exclusive logic (components whose
+   outputs stay inside the cone). *)
+let area ctx cone =
+  List.fold_left
+    (fun acc cid ->
+      match D.comp_opt ctx.R.design cid with
+      | Some c -> (
+          match R.macro_of ctx c with
+          | Some m -> acc +. m.Macro.area
+          | None -> acc)
+      | None -> acc)
+    0.0 cone.comps

@@ -1,0 +1,23 @@
+(** Single-output combinational cones: extraction, evaluation and
+    replacement — the machinery behind strategies 4, 6, 7 and 8. *)
+
+module D = Milo_netlist.Design
+module R = Rule
+open Milo_boolfunc
+
+type t = { out_net : int; leaves : int list; comps : int list }
+
+val expandable : R.context -> int -> (D.comp * Milo_library.Macro.t) option
+val extract : R.context -> max_leaves:int -> int -> t option
+val eval : R.context -> t -> (int * bool) list -> bool
+val truth_table : R.context -> t -> Truth_table.t option
+(** [None] when the cone has more than 6 leaves. *)
+
+val minterms : R.context -> t -> int list
+(** On-set minterm enumeration (2^leaves evaluations). *)
+
+val replace : R.context -> D.log -> t -> build:(unit -> int) -> bool
+(** Disconnect the old driver and merge the net [build] returns into the
+    cone output.  Dead logic is left for the cleanup rules. *)
+
+val area : R.context -> t -> float

@@ -1,0 +1,299 @@
+(* The recognize-act engine.
+
+   Three control disciplines from the paper's survey, all over the same
+   rule representation:
+
+   - [ops_pass]: strictly rule-based control with OPS-style conflict
+     resolution (refraction, recency, specificity) — the R1 / Logic
+     Consultant discipline.  No measurement, no backtracking.
+   - [greedy_pass]: measure-the-gain control — apply a candidate,
+     run cleanup rules, measure the cost function, undo, and commit the
+     best candidate (Logic Consultant's gain evaluation with its
+     one-rule cleanup lookahead).
+   - deeper lookahead lives in [Search] (SOCRATES). *)
+
+module D = Milo_netlist.Design
+
+type measure = { delay : float; area : float; power : float }
+
+let pp_measure ppf m =
+  Format.fprintf ppf "delay=%.2fns area=%.1fcells power=%.1fmW" m.delay m.area
+    m.power
+
+(* Cost function over measurements; lower is better. *)
+type objective = measure -> float
+
+let weighted ?(w_delay = 1.0) ?(w_area = 1.0) ?(w_power = 0.2) () m =
+  (w_delay *. m.delay) +. (w_area *. m.area) +. (w_power *. m.power)
+
+let measure_fn ctx ~input_arrivals () =
+  let env name = Milo_library.Technology.find ctx.Rule.tech name in
+  let sta = Milo_timing.Sta.analyze ~input_arrivals env ctx.Rule.design in
+  {
+    delay = Milo_timing.Sta.worst_delay sta;
+    area = Milo_estimate.Estimate.area env ctx.Rule.design;
+    power = Milo_estimate.Estimate.power env ctx.Rule.design;
+  }
+
+(* Apply every applicable cleanup rule until none fires (bounded).  The
+   Logic Consultant examines its high-priority rules after each regular
+   rule application. *)
+let run_cleanups ctx cleanups log =
+  let budget = ref (4 * (1 + D.num_comps ctx.Rule.design)) in
+  let rec pass () =
+    let fired =
+      List.exists
+        (fun (r : Rule.t) ->
+          let sites = r.Rule.find ctx in
+          List.exists
+            (fun site ->
+              decr budget;
+              !budget > 0 && Rule.site_alive ctx site
+              && r.Rule.apply ctx site log)
+            sites)
+        cleanups
+    in
+    if fired && !budget > 0 then pass ()
+  in
+  pass ()
+
+type application = {
+  rule : Rule.t;
+  site : Rule.site;
+  gain : float;  (** cost decrease including cleanups *)
+}
+
+(* Candidate evaluation: apply rule + cleanups, measure, undo. *)
+let evaluate ctx ~cost ~cleanups (r : Rule.t) site =
+  let before = cost () in
+  let log = D.new_log () in
+  if not (r.Rule.apply ctx site log) then begin
+    D.undo ctx.Rule.design log;
+    None
+  end
+  else begin
+    run_cleanups ctx cleanups log;
+    let after = cost () in
+    D.undo ctx.Rule.design log;
+    Some (before -. after)
+  end
+
+(* One greedy step: evaluate all candidates, commit the best if it
+   improves the cost.  Returns the applied candidate. *)
+let greedy_step ?(min_gain = 1e-9) ctx ~cost ~cleanups rules =
+  let candidates =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        List.map (fun site -> (r, site)) (r.Rule.find ctx))
+      rules
+  in
+  let best =
+    List.fold_left
+      (fun acc (r, site) ->
+        match evaluate ctx ~cost ~cleanups r site with
+        | None -> acc
+        | Some gain -> (
+            match acc with
+            | Some { gain = g; _ } when g >= gain -> acc
+            | _ -> Some { rule = r; site; gain }))
+      None candidates
+  in
+  match best with
+  | Some app when app.gain > min_gain ->
+      let log = D.new_log () in
+      let ok = app.rule.Rule.apply ctx app.site log in
+      assert ok;
+      run_cleanups ctx cleanups log;
+      D.commit log;
+      Some app
+  | Some _ | None -> None
+
+let greedy_pass ?(max_steps = 1000) ctx ~cost ~cleanups rules =
+  let rec go n acc =
+    if n >= max_steps then List.rev acc
+    else
+      match greedy_step ctx ~cost ~cleanups rules with
+      | Some app -> go (n + 1) (app :: acc)
+      | None -> List.rev acc
+  in
+  go 0 []
+
+(* --- OPS-style strictly rule-based control --------------------------- *)
+
+type ops_state = {
+  fired : (string * int list, unit) Hashtbl.t;  (* refraction memory *)
+  recency : (int, int) Hashtbl.t;  (* comp -> timestamp *)
+  mutable clock : int;
+}
+
+let ops_create () =
+  { fired = Hashtbl.create 256; recency = Hashtbl.create 256; clock = 0 }
+
+let ops_recency st cid =
+  Option.value ~default:0 (Hashtbl.find_opt st.recency cid)
+
+let ops_touch st cids =
+  st.clock <- st.clock + 1;
+  List.iter (fun cid -> Hashtbl.replace st.recency cid st.clock) cids
+
+(* One recognize-act cycle: conflict set = all (rule, site) matches;
+   resolution: refraction, then recency of the matched components, then
+   specificity (site size), then rule order.  Returns false when the
+   conflict set is empty. *)
+let ops_cycle ctx st rules =
+  let conflict =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        List.filter_map
+          (fun (site : Rule.site) ->
+            let key = (r.Rule.rule_name, site.Rule.site_comps) in
+            if Hashtbl.mem st.fired key then None else Some (r, site))
+          (r.Rule.find ctx))
+      rules
+  in
+  let score (r, (site : Rule.site)) =
+    let rec_max =
+      List.fold_left (fun acc c -> max acc (ops_recency st c)) 0
+        site.Rule.site_comps
+    in
+    (rec_max, List.length site.Rule.site_comps, -(Hashtbl.hash r.Rule.rule_name land 0xFF))
+  in
+  match conflict with
+  | [] -> false
+  | first :: rest ->
+      let r, site =
+        List.fold_left
+          (fun acc cand -> if score cand > score acc then cand else acc)
+          first rest
+      in
+      let log = D.new_log () in
+      let applied = r.Rule.apply ctx site log in
+      D.commit log;
+      Hashtbl.replace st.fired (r.Rule.rule_name, site.Rule.site_comps) ();
+      if applied then ops_touch st site.Rule.site_comps;
+      true
+
+let ops_run ?(max_cycles = 2000) ctx rules =
+  let st = ops_create () in
+  let rec go n = if n >= max_cycles then n else if ops_cycle ctx st rules then go (n + 1) else n in
+  go 0
+
+(* Incremental recognize-act, the Rete discipline of Section 2.2.1:
+   "once a test has been performed on a tree node, it is not redone
+   until a change in data occurs upon which the attribute is dependent".
+   The conflict set is computed once, then maintained incrementally:
+   after a firing, only sites in the neighbourhood of the touched
+   components are re-matched; stale sites are re-validated by [apply]
+   itself (which refuses sites that no longer match). *)
+let ops_run_incremental ?(max_cycles = 100000) ?(radius = 2) ctx rules =
+  let st = ops_create () in
+  let design = ctx.Rule.design in
+  let conflict :
+      (string * int list, Rule.t * Rule.site) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let add_sites () =
+    List.iter
+      (fun (r : Rule.t) ->
+        List.iter
+          (fun (site : Rule.site) ->
+            let key = (r.Rule.rule_name, site.Rule.site_comps) in
+            if not (Hashtbl.mem st.fired key) then
+              Hashtbl.replace conflict key (r, site))
+          (r.Rule.find ctx))
+      rules
+  in
+  (* Initial full match. *)
+  ctx.Rule.focus := None;
+  add_sites ();
+  let neighbourhood touched =
+    let tbl = Hashtbl.create 32 in
+    let rec expand frontier depth =
+      if depth > radius then ()
+      else begin
+        let next = ref [] in
+        List.iter
+          (fun cid ->
+            if not (Hashtbl.mem tbl cid) then begin
+              Hashtbl.replace tbl cid ();
+              match D.comp_opt design cid with
+              | None -> ()
+              | Some c ->
+                  Hashtbl.iter
+                    (fun _pin nid ->
+                      match D.net_opt design nid with
+                      | None -> ()
+                      | Some net ->
+                          List.iter
+                            (fun (cid', _) ->
+                              if not (Hashtbl.mem tbl cid') then
+                                next := cid' :: !next)
+                            net.D.npins)
+                    c.D.conns
+            end)
+          frontier;
+        expand !next (depth + 1)
+      end
+    in
+    expand touched 0;
+    tbl
+  in
+  let score (_, (site : Rule.site)) =
+    let rec_max =
+      List.fold_left (fun acc c -> max acc (ops_recency st c)) 0
+        site.Rule.site_comps
+    in
+    (rec_max, List.length site.Rule.site_comps)
+  in
+  let cycles = ref 0 in
+  let rec loop () =
+    if !cycles >= max_cycles || Hashtbl.length conflict = 0 then ()
+    else begin
+      (* Select the best live site. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun key entry ->
+          match !best with
+          | Some (_, bentry) when score bentry >= score entry -> ()
+          | _ -> best := Some (key, entry))
+        conflict;
+      match !best with
+      | None -> ()
+      | Some (key, (r, site)) ->
+          Hashtbl.remove conflict key;
+          Hashtbl.replace st.fired key ();
+          (* Re-test the pattern before firing (the Rete discipline): the
+             design may have changed since the site entered the conflict
+             set, and rule side conditions (fanout, connectivity) must
+             still hold. *)
+          let still_matches () =
+            let tbl = Hashtbl.create 4 in
+            List.iter (fun cid -> Hashtbl.replace tbl cid ()) site.Rule.site_comps;
+            ctx.Rule.focus := Some tbl;
+            let found = r.Rule.find ctx in
+            ctx.Rule.focus := None;
+            List.exists
+              (fun (s : Rule.site) ->
+                s.Rule.site_comps = site.Rule.site_comps
+                && s.Rule.site_data = site.Rule.site_data)
+              found
+          in
+          if Rule.site_alive ctx site && still_matches () then begin
+            let log = D.new_log () in
+            let applied = r.Rule.apply ctx site log in
+            D.commit log;
+            if applied then begin
+              incr cycles;
+              ops_touch st site.Rule.site_comps;
+              (* Re-match only around the touched components. *)
+              let hood = neighbourhood site.Rule.site_comps in
+              ctx.Rule.focus := Some hood;
+              add_sites ();
+              ctx.Rule.focus := None
+            end
+          end;
+          loop ()
+    end
+  in
+  loop ();
+  !cycles

@@ -1,0 +1,63 @@
+(** The recognize–act engine: OPS-style strictly rule-based control
+    (refraction / recency / specificity), and measured greedy control
+    with cleanup-rule lookahead (the Logic Consultant's discipline). *)
+
+module D = Milo_netlist.Design
+
+type measure = { delay : float; area : float; power : float }
+
+val pp_measure : Format.formatter -> measure -> unit
+
+type objective = measure -> float
+
+val weighted :
+  ?w_delay:float -> ?w_area:float -> ?w_power:float -> unit -> objective
+
+val measure_fn :
+  Rule.context -> input_arrivals:(string * float) list -> unit -> measure
+(** Timing/area/power of the current (technology-mapped) design. *)
+
+val run_cleanups : Rule.context -> Rule.t list -> D.log -> unit
+(** Fire applicable cleanup rules to a bounded fixpoint, recording into
+    the same log. *)
+
+type application = { rule : Rule.t; site : Rule.site; gain : float }
+
+val evaluate :
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t ->
+  Rule.site ->
+  float option
+(** Gain of applying the rule (with cleanups) at the site: apply,
+    measure, undo. *)
+
+val greedy_step :
+  ?min_gain:float ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  application option
+
+val greedy_pass :
+  ?max_steps:int ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  application list
+
+type ops_state
+
+val ops_create : unit -> ops_state
+val ops_cycle : Rule.context -> ops_state -> Rule.t list -> bool
+val ops_run : ?max_cycles:int -> Rule.context -> Rule.t list -> int
+(** Run recognize–act to quiescence; returns the cycle count. *)
+
+val ops_run_incremental :
+  ?max_cycles:int -> ?radius:int -> Rule.context -> Rule.t list -> int
+(** Recognize–act with Rete-style incremental matching: after each
+    firing, only the neighbourhood of the touched components is
+    re-examined; a full scan runs only to confirm quiescence. *)

@@ -1,0 +1,190 @@
+(* First-class rewrite rules over netlists.
+
+   A rule has an antecedent ([find]: all match sites in the design) and
+   a consequent ([apply]: perform the local transformation, recording
+   its changelog so the engine can measure and backtrack — the paper's
+   SOCRATES keeps exactly such a log).  Rules are grouped in classes
+   mirroring the five experts of Figure 17 plus the cleanup class of the
+   Logic Consultant and the microarchitecture critic's rules. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Macro = Milo_library.Macro
+module Technology = Milo_library.Technology
+
+type rule_class =
+  | Logic  (** always improves both delay and area *)
+  | Timing  (** speed at the expense of area/power *)
+  | Area  (** area at the expense of speed *)
+  | Power  (** power at the expense of speed *)
+  | Electric  (** corrects electrical violations (fanout) *)
+  | Cleanup  (** high-priority clean-up after other rules *)
+  | Micro  (** microarchitecture-level transformation *)
+
+let class_name = function
+  | Logic -> "logic"
+  | Timing -> "timing"
+  | Area -> "area"
+  | Power -> "power"
+  | Electric -> "electric"
+  | Cleanup -> "cleanup"
+  | Micro -> "micro"
+
+type context = {
+  design : D.t;
+  tech : Technology.t;  (** library the design's macros come from *)
+  set : Milo_compilers.Gate_comp.gate_set;
+  resolve : D.resolver;
+  focus : (int, unit) Hashtbl.t option ref;
+      (** when set, [find] only examines these components — the
+          Rete-style incremental matching of Section 2.2.1 *)
+}
+
+let make_context ?(extra_resolve : D.resolver option) tech set design =
+  let resolve kind nm =
+    match kind with
+    | T.Macro _ when Technology.mem tech nm -> (Technology.find tech nm).Macro.pins
+    | T.Macro _ | T.Instance _ -> (
+        match extra_resolve with
+        | Some f -> f kind nm
+        | None ->
+            invalid_arg (Printf.sprintf "Rule.context: unresolved %s" nm))
+    | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+    | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+    | T.Constant _ ->
+        T.pins_of_kind kind
+  in
+  { design; tech; set; resolve; focus = ref None }
+
+let find_macro ctx name = Technology.find_opt ctx.tech name
+
+let macro_of ctx (c : D.comp) =
+  match c.D.kind with
+  | T.Macro m -> Technology.find_opt ctx.tech m
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Constant _ | T.Instance _
+    ->
+      None
+
+type site = { site_comps : int list; site_data : int list; descr : string }
+
+let site ?(data = []) ~comps descr =
+  { site_comps = comps; site_data = data; descr }
+
+type t = {
+  rule_name : string;
+  rule_class : rule_class;
+  find : context -> site list;
+  apply : context -> site -> D.log -> bool;
+      (** returns false if the site is stale (no longer matches) *)
+}
+
+let make ~name ~cls ~find ~apply =
+  { rule_name = name; rule_class = cls; find; apply }
+
+(* --- Helpers shared by rule implementations -------------------------- *)
+
+(* Components eligible for matching: all of them, or just the focus set
+   during incremental recognize-act. *)
+let scan_comps ctx =
+  match !(ctx.focus) with
+  | None -> D.comps ctx.design
+  | Some tbl ->
+      Hashtbl.fold
+        (fun cid () acc ->
+          match D.comp_opt ctx.design cid with
+          | Some c -> c :: acc
+          | None -> acc)
+        tbl []
+
+(* All components whose kind is a macro satisfying [pred]. *)
+let macro_comps ctx pred =
+  List.filter_map
+    (fun (c : D.comp) ->
+      match macro_of ctx c with
+      | Some m when pred c m -> Some c
+      | Some _ | None -> None)
+    (scan_comps ctx)
+
+(* The single driver component of a net, if combinational macro. *)
+let driver_comp ctx nid =
+  match D.driver ~resolve:ctx.resolve ctx.design nid with
+  | D.Src_comp (cid, pin) -> Some (D.comp ctx.design cid, pin)
+  | D.Src_port _ | D.Src_none -> None
+
+let fanout ctx nid = D.fanout ~resolve:ctx.resolve ctx.design nid
+
+(* Replace component [cid] by macro [mname], rewiring pins through
+   [pin_map : new_pin -> old_pin].  Pins absent from the map are left
+   unconnected. *)
+let replace_macro ctx log cid mname pin_map =
+  let old_conns = D.connections ctx.design cid in
+  List.iter (fun (pin, _) -> D.disconnect ~log ctx.design cid pin) old_conns;
+  D.set_kind ~log ctx.design cid (T.Macro mname);
+  let m = Technology.find ctx.tech mname in
+  List.iter
+    (fun (new_pin, _) ->
+      match pin_map new_pin with
+      | Some old_pin -> (
+          match List.assoc_opt old_pin old_conns with
+          | Some nid -> D.connect ~log ctx.design cid new_pin nid
+          | None -> ())
+      | None -> ())
+    m.Macro.pins
+
+(* Delete a component and any nets it leaves dangling (no pins, no
+   port). *)
+let remove_comp_and_dangling ctx log cid =
+  let conns = D.connections ctx.design cid in
+  D.remove_comp ~log ctx.design cid;
+  List.iter
+    (fun (_, nid) ->
+      match D.net_opt ctx.design nid with
+      | Some n when n.D.npins = [] && n.D.nport = None ->
+          D.remove_net ~log ctx.design nid
+      | Some _ | None -> ())
+    conns
+
+(* Move every pin (and port binding stays) from [src] onto [dst]. *)
+let merge_net_into ctx log ~src ~dst =
+  let pins = (D.net ctx.design src).D.npins in
+  List.iter (fun (cid, pin) -> D.connect ~log ctx.design cid pin dst) pins;
+  match D.net_opt ctx.design src with
+  | Some n when n.D.npins = [] && n.D.nport = None ->
+      D.remove_net ~log ctx.design src
+  | Some _ | None -> ()
+
+let net_is_port ctx nid = (D.net ctx.design nid).D.nport <> None
+
+(* Route [signal]'s value to the consumers of [old_net].  Unlike a plain
+   merge, this handles [signal] being an input-port net (whose "driver"
+   cannot move): then the old net's pins move onto the signal net; if
+   both nets are port-bound, a buffer bridges them. *)
+let reroute ctx log ~signal ~old_net =
+  if signal = old_net then ()
+  else
+    let comp_driven =
+      match driver_comp ctx signal with Some _ -> true | None -> false
+    in
+    if comp_driven && not (net_is_port ctx signal) then
+      merge_net_into ctx log ~src:signal ~dst:old_net
+    else if not (net_is_port ctx old_net) then begin
+      let pins = (D.net ctx.design old_net).D.npins in
+      List.iter (fun (cid, pin) -> D.connect ~log ctx.design cid pin signal) pins;
+      match D.net_opt ctx.design old_net with
+      | Some n when n.D.npins = [] && n.D.nport = None ->
+          D.remove_net ~log ctx.design old_net
+      | Some _ | None -> ()
+    end
+    else begin
+      (* Both port-bound: bridge with a buffer. *)
+      let out =
+        Milo_compilers.Gate_comp.build ~log ctx.design ctx.set
+          Milo_netlist.Types.Buf [ signal ]
+      in
+      if out <> signal then merge_net_into ctx log ~src:out ~dst:old_net
+    end
+
+(* Does the site still refer to live components? *)
+let site_alive ctx site =
+  List.for_all (fun cid -> D.comp_opt ctx.design cid <> None) site.site_comps

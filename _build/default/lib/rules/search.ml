@@ -1,0 +1,161 @@
+(* SOCRATES-style lookahead: a depth-first search tree whose nodes are
+   circuit states and whose arcs are rule applications, bounded by the
+   metarule control parameters of [CoBa85]:
+
+     B       — breadth: sons per node
+     D_max   — depth of the search tree
+     D_app   — how many moves of the best sequence are executed
+     N       — neighbourhood: rule sites must touch a component within
+               path distance N of the first move's site
+     Δcost   — maximum cost increase tolerated for a single move
+
+   Backtracking restores the circuit through the change log. *)
+
+module D = Milo_netlist.Design
+
+type params = {
+  b : int;
+  d_max : int;
+  d_app : int;
+  n_hood : int;  (* 0 = unrestricted *)
+  delta_cost : float;
+}
+
+let default_params = { b = 3; d_max = 3; d_app = 1; n_hood = 0; delta_cost = 10.0 }
+
+(* Component ids within [n] hops of the seed components. *)
+let neighbourhood ctx seeds n =
+  let design = ctx.Rule.design in
+  let visited = Hashtbl.create 32 in
+  let rec expand frontier depth =
+    if depth > n then ()
+    else begin
+      let next = ref [] in
+      List.iter
+        (fun cid ->
+          if not (Hashtbl.mem visited cid) then begin
+            Hashtbl.replace visited cid ();
+            match D.comp_opt design cid with
+            | None -> ()
+            | Some c ->
+                Hashtbl.iter
+                  (fun _pin nid ->
+                    match D.net_opt design nid with
+                    | None -> ()
+                    | Some net ->
+                        List.iter
+                          (fun (cid', _) ->
+                            if not (Hashtbl.mem visited cid') then
+                              next := cid' :: !next)
+                          net.D.npins)
+                  c.D.conns
+          end)
+        frontier;
+      expand !next (depth + 1)
+    end
+  in
+  expand seeds 0;
+  visited
+
+type stats = { mutable nodes : int; mutable evals : int }
+
+(* Candidate moves at the current state. *)
+let moves ctx rules ~allowed =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      List.filter_map
+        (fun (site : Rule.site) ->
+          let ok =
+            match allowed with
+            | None -> true
+            | Some tbl ->
+                List.exists (fun cid -> Hashtbl.mem tbl cid) site.Rule.site_comps
+          in
+          if ok then Some (r, site) else None)
+        (r.Rule.find ctx))
+    rules
+
+(* Depth-first search returning the cost of the best reachable state and
+   the move sequence to it.  The circuit is restored before returning. *)
+let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
+  let st = match stats with Some s -> s | None -> { nodes = 0; evals = 0 } in
+  let root_cost = cost () in
+  (* Order candidate moves by immediate gain and keep the best B. *)
+  let ranked ~allowed =
+    let cands = moves ctx rules ~allowed in
+    let scored =
+      List.filter_map
+        (fun (r, site) ->
+          st.evals <- st.evals + 1;
+          match Engine.evaluate ctx ~cost ~cleanups r site with
+          | None -> None
+          | Some gain ->
+              if -.gain > params.delta_cost then None else Some (gain, r, site))
+        cands
+    in
+    let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) scored in
+    List.filteri (fun i _ -> i < params.b) sorted
+  in
+  let rec dfs depth ~allowed current_cost =
+    st.nodes <- st.nodes + 1;
+    if depth >= params.d_max then (current_cost, [])
+    else
+      let best = ref (current_cost, []) in
+      List.iter
+        (fun (_, (r : Rule.t), site) ->
+          if Rule.site_alive ctx site then begin
+            let log = D.new_log () in
+            if r.Rule.apply ctx site log then begin
+              Engine.run_cleanups ctx cleanups log;
+              let c = cost () in
+              let allowed' =
+                match allowed with
+                | Some _ -> allowed
+                | None ->
+                    if params.n_hood > 0 then
+                      Some (neighbourhood ctx site.Rule.site_comps params.n_hood)
+                    else None
+              in
+              let sub_cost, sub_moves = dfs (depth + 1) ~allowed:allowed' c in
+              let total = Float.min c sub_cost in
+              if total < fst !best then
+                best := (total, (r, site) :: (if sub_cost < c then sub_moves else []));
+              D.undo ctx.Rule.design log
+            end
+            else D.undo ctx.Rule.design log
+          end)
+        (ranked ~allowed);
+      !best
+  in
+  let best_cost, seq = dfs 0 ~allowed:None root_cost in
+  if best_cost >= root_cost -. 1e-9 || seq = [] then None
+  else begin
+    (* Execute the first D_app moves of the winning sequence. *)
+    let rec exec k = function
+      | [] -> ()
+      | (r, site) :: rest ->
+          if k < params.d_app && Rule.site_alive ctx site then begin
+            let log = D.new_log () in
+            if r.Rule.apply ctx site log then begin
+              Engine.run_cleanups ctx cleanups log;
+              D.commit log
+            end
+            else D.undo ctx.Rule.design log;
+            exec (k + 1) rest
+          end
+    in
+    exec 0 seq;
+    Some (root_cost -. cost ())
+  end
+
+(* Run lookahead steps until no improving sequence remains. *)
+let run ?(params = default_params) ?(max_steps = 200) ?stats ctx ~cost
+    ~cleanups rules =
+  let rec go n total =
+    if n >= max_steps then total
+    else
+      match search ~params ?stats ctx ~cost ~cleanups rules with
+      | Some gain when gain > 1e-9 -> go (n + 1) (total +. gain)
+      | Some _ | None -> total
+  in
+  go 0 0.0

@@ -1,0 +1,41 @@
+(** SOCRATES-style lookahead search with the metarule control parameters
+    of [CoBa85]: breadth B, depth D_max, application depth D_app,
+    neighbourhood N and per-move cost tolerance Δcost. *)
+
+type params = {
+  b : int;
+  d_max : int;
+  d_app : int;
+  n_hood : int;
+  delta_cost : float;
+}
+
+val default_params : params
+
+val neighbourhood :
+  Rule.context -> int list -> int -> (int, unit) Hashtbl.t
+(** Component ids within the given path distance of the seeds. *)
+
+type stats = { mutable nodes : int; mutable evals : int }
+
+val search :
+  ?params:params ->
+  ?stats:stats ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  float option
+(** One lookahead step: build the bounded search tree, execute the first
+    D_app moves of the best sequence.  Returns the realized gain. *)
+
+val run :
+  ?params:params ->
+  ?max_steps:int ->
+  ?stats:stats ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  float
+(** Iterate lookahead steps to quiescence; returns the total gain. *)

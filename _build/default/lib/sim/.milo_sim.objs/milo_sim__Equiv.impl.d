@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Format List Milo_netlist Printf Random Simulator String

@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array List Milo_library Milo_netlist Printf

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Eval Hashtbl List Milo_library Milo_netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Hashtbl Milo_library Milo_netlist

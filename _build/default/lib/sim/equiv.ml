@@ -1,0 +1,109 @@
+(* Equivalence checking by simulation.  Designs are compared on their
+   shared port interface: exhaustively when the input count is small,
+   with random vectors otherwise; sequential designs are compared in
+   lock-step from the reset state over random stimulus. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+type result = Equivalent | Mismatch of { inputs : (string * bool) list; port : string }
+
+let input_ports d =
+  List.filter_map
+    (fun (p, dir, _) -> if dir = T.Input then Some p else None)
+    (D.ports d)
+
+let output_ports d =
+  List.filter_map
+    (fun (p, dir, _) -> if dir = T.Output then Some p else None)
+    (D.ports d)
+
+let vector_of_int names v =
+  List.mapi (fun i p -> (p, v land (1 lsl i) <> 0)) names
+
+let random_vector rng names =
+  List.map (fun p -> (p, Random.State.bool rng)) names
+
+let compare_outputs outs1 outs2 =
+  List.fold_left
+    (fun acc (p, v) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match List.assoc_opt p outs2 with
+          | Some v2 when v2 = v -> None
+          | Some _ | None -> Some p))
+    None outs1
+
+(* Combinational equivalence; [max_exhaustive] bounds the exhaustive
+   sweep (default 2^12 vectors), beyond which [vectors] random vectors
+   are used. *)
+let combinational ?(max_exhaustive = 12) ?(vectors = 512) ?(seed = 0x5eed)
+    env1 d1 env2 d2 =
+  let ins = input_ports d1 in
+  let ins2 = input_ports d2 in
+  if List.sort compare ins <> List.sort compare ins2 then
+    invalid_arg "Equiv.combinational: input port mismatch";
+  if List.sort compare (output_ports d1) <> List.sort compare (output_ports d2)
+  then invalid_arg "Equiv.combinational: output port mismatch";
+  let s1 = Simulator.create env1 d1 and s2 = Simulator.create env2 d2 in
+  let check inputs =
+    let o1 = Simulator.outputs s1 inputs and o2 = Simulator.outputs s2 inputs in
+    match compare_outputs o1 o2 with
+    | None -> None
+    | Some port -> Some (Mismatch { inputs; port })
+  in
+  let n = List.length ins in
+  let trial_inputs =
+    if n <= max_exhaustive then
+      List.init (1 lsl n) (fun v -> vector_of_int ins v)
+    else
+      let rng = Random.State.make [| seed |] in
+      List.init vectors (fun _ -> random_vector rng ins)
+  in
+  let rec go = function
+    | [] -> Equivalent
+    | inputs :: rest -> (
+        match check inputs with None -> go rest | Some m -> m)
+  in
+  go trial_inputs
+
+(* Sequential equivalence over [cycles] random input vectors applied in
+   lock-step from reset, comparing outputs before each edge. *)
+let sequential ?(cycles = 256) ?(runs = 8) ?(seed = 0x5eed) env1 d1 env2 d2 =
+  let ins = input_ports d1 in
+  if List.sort compare ins <> List.sort compare (input_ports d2) then
+    invalid_arg "Equiv.sequential: input port mismatch";
+  let rng = Random.State.make [| seed |] in
+  let rec run r =
+    if r >= runs then Equivalent
+    else begin
+      let s1 = Simulator.create env1 d1 and s2 = Simulator.create env2 d2 in
+      Simulator.reset s1;
+      Simulator.reset s2;
+      let rec cycle c =
+        if c >= cycles then None
+        else
+          let inputs = random_vector rng ins in
+          let o1 = Simulator.outputs s1 inputs
+          and o2 = Simulator.outputs s2 inputs in
+          match compare_outputs o1 o2 with
+          | Some port -> Some (Mismatch { inputs; port })
+          | None ->
+              Simulator.step s1 inputs;
+              Simulator.step s2 inputs;
+              cycle (c + 1)
+      in
+      match cycle 0 with None -> run (r + 1) | Some m -> m
+    end
+  in
+  run 0
+
+let is_equivalent = function Equivalent -> true | Mismatch _ -> false
+
+let pp_result ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Mismatch { inputs; port } ->
+      Format.fprintf ppf "mismatch on %s under {%s}" port
+        (String.concat "; "
+           (List.map (fun (p, v) -> Printf.sprintf "%s=%b" p v) inputs))

@@ -1,0 +1,36 @@
+(** Equivalence checking by simulation: exhaustive for small input
+    counts, random-vector otherwise; lock-step state simulation for
+    sequential designs. *)
+
+module D = Milo_netlist.Design
+
+type result =
+  | Equivalent
+  | Mismatch of { inputs : (string * bool) list; port : string }
+
+val combinational :
+  ?max_exhaustive:int ->
+  ?vectors:int ->
+  ?seed:int ->
+  Simulator.env ->
+  D.t ->
+  Simulator.env ->
+  D.t ->
+  result
+(** Compare two designs with identical port interfaces.  Exhaustive up
+    to [max_exhaustive] inputs (default 12), then [vectors] random
+    vectors. *)
+
+val sequential :
+  ?cycles:int ->
+  ?runs:int ->
+  ?seed:int ->
+  Simulator.env ->
+  D.t ->
+  Simulator.env ->
+  D.t ->
+  result
+(** Lock-step comparison from reset over random stimulus. *)
+
+val is_equivalent : result -> bool
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,195 @@
+(* Behavioural semantics of the microarchitecture component kinds.
+
+   These definitions are the reference the compiled (gate-level) designs
+   are checked against: an Arith_unit *means* add/subtract/increment/
+   decrement, independent of how the logic compilers expand it. *)
+
+module T = Milo_netlist.Types
+
+type pin_values = (string * bool) list
+
+let get pins pin =
+  match List.assoc_opt pin pins with Some v -> v | None -> false
+
+let bus pins prefix bits =
+  let v = ref 0 in
+  for b = 0 to bits - 1 do
+    if get pins (Printf.sprintf "%s%d" prefix b) then v := !v lor (1 lsl b)
+  done;
+  !v
+
+let bus_out prefix bits v =
+  List.init bits (fun b -> (Printf.sprintf "%s%d" prefix b, v land (1 lsl b) <> 0))
+
+let mask bits = (1 lsl bits) - 1
+
+let select pins prefix count =
+  (* Decode a one-of-n select field of clog2 count bits. *)
+  let s = T.clog2 count in
+  let v = ref 0 in
+  for i = 0 to s - 1 do
+    if get pins (Printf.sprintf "%s%d" prefix i) then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let gate_inputs pins n = Array.init n (fun i -> get pins (Printf.sprintf "A%d" (i + 1)))
+
+(* Outputs of a combinational micro component given its input pins. *)
+let comb_outputs (kind : T.kind) (pins : pin_values) : pin_values =
+  match kind with
+  | T.Gate (fn, n) ->
+      let n = T.gate_arity fn n in
+      [ ("Y", Milo_library.Defs.gate_semantics fn (gate_inputs pins n)) ]
+  | T.Constant T.Vdd -> [ ("Y", true) ]
+  | T.Constant T.Vss -> [ ("Y", false) ]
+  | T.Multiplexor { bits; inputs; enable } ->
+      let en = (not enable) || get pins "EN" in
+      let sel = select pins "S" inputs in
+      List.init bits (fun b ->
+          let v =
+            en && sel < inputs && get pins (Printf.sprintf "D%d_%d" sel b)
+          in
+          (Printf.sprintf "Y%d" b, v))
+  | T.Decoder { bits; enable } ->
+      let en = (not enable) || get pins "EN" in
+      let a = bus pins "A" bits in
+      List.init (1 lsl bits) (fun j -> (Printf.sprintf "Y%d" j, en && a = j))
+  | T.Comparator { bits; fns } ->
+      let a = bus pins "A" bits and b = bus pins "B" bits in
+      List.map
+        (fun fn ->
+          let v =
+            match fn with
+            | T.Eq -> a = b
+            | T.Ne -> a <> b
+            | T.Lt -> a < b
+            | T.Gt -> a > b
+            | T.Le -> a <= b
+            | T.Ge -> a >= b
+          in
+          (T.cmp_fn_name fn, v))
+        fns
+  | T.Logic_unit { bits; fn; inputs } ->
+      List.init bits (fun b ->
+          let arr =
+            Array.init inputs (fun i -> get pins (Printf.sprintf "D%d_%d" i b))
+          in
+          (Printf.sprintf "Y%d" b, Milo_library.Defs.gate_semantics fn arr))
+  | T.Arith_unit { bits; fns; mode = _ } ->
+      let a = bus pins "A" bits and b = bus pins "B" bits in
+      let cin = if get pins "CIN" then 1 else 0 in
+      let fi = select pins "F" (List.length fns) in
+      let fn = List.nth fns (min fi (List.length fns - 1)) in
+      let raw =
+        match fn with
+        | T.Add -> a + b + cin
+        | T.Sub -> a + (lnot b land mask bits) + cin
+        | T.Inc -> a + 1
+        | T.Dec -> a + mask bits
+      in
+      bus_out "S" bits raw @ [ ("COUT", raw land (1 lsl bits) <> 0) ]
+  | T.Register _ | T.Counter _ | T.Macro _ | T.Instance _ ->
+      invalid_arg "Eval.comb_outputs: not a combinational micro component"
+
+(* Next state of a sequential micro component.  [state] is the register
+   contents as an integer; the implicit global clock has just risen. *)
+let next_state (kind : T.kind) ~(state : int) (pins : pin_values) : int =
+  match kind with
+  | T.Register { bits; kind = _; fns; controls; inverting = _ } ->
+      let ctl c = List.mem c controls in
+      if ctl T.Set && get pins "SET" then mask bits
+      else if ctl T.Reset && get pins "RST" then 0
+      else if ctl T.Enable && not (get pins "EN") then state
+      else
+        let mi = select pins "M" (List.length fns) in
+        let fn = List.nth fns (min mi (List.length fns - 1)) in
+        (match fn with
+        | T.Load -> bus pins "D" bits
+        | T.Shift_right ->
+            (state lsr 1)
+            lor (if get pins "SIR" then 1 lsl (bits - 1) else 0)
+        | T.Shift_left ->
+            ((state lsl 1) land mask bits) lor (if get pins "SIL" then 1 else 0))
+  | T.Counter { bits; fns; controls } ->
+      let has f = List.mem f fns and ctl c = List.mem c controls in
+      if ctl T.Set && get pins "SET" then mask bits
+      else if ctl T.Reset && get pins "RST" then 0
+      else if ctl T.Enable && not (get pins "EN") then state
+      else if has T.Count_load && get pins "LD" then bus pins "D" bits
+      else
+        let up =
+          if has T.Count_up && has T.Count_down then get pins "UP"
+          else has T.Count_up
+        in
+        if up then (state + 1) land mask bits
+        else (state - 1) land mask bits
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Constant _ | T.Macro _ | T.Instance _ ->
+      invalid_arg "Eval.next_state: not a sequential micro component"
+
+(* Present outputs of a sequential micro component from its state. *)
+let seq_outputs (kind : T.kind) ~(state : int) (pins : pin_values) : pin_values
+    =
+  match kind with
+  | T.Register { bits; inverting; _ } ->
+      let v = if inverting then lnot state land mask bits else state in
+      bus_out "Q" bits v
+  | T.Counter { bits; fns; _ } ->
+      let has f = List.mem f fns in
+      let up =
+        if has T.Count_up && has T.Count_down then get pins "UP"
+        else has T.Count_up
+      in
+      let terminal = if up then state = mask bits else state = 0 in
+      bus_out "Q" bits state @ [ ("COUT", terminal) ]
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Constant _ | T.Macro _ | T.Instance _ ->
+      invalid_arg "Eval.seq_outputs: not a sequential micro component"
+
+(* Macro semantics. *)
+
+let macro_comb_outputs (m : Milo_library.Macro.t) (pins : pin_values) :
+    pin_values =
+  let input = Array.of_list (List.map (get pins) m.Milo_library.Macro.inputs) in
+  let out = Milo_library.Macro.eval_comb m input in
+  List.mapi (fun i o -> (o, out.(i))) m.Milo_library.Macro.outputs
+
+let macro_next_state (m : Milo_library.Macro.t) ~(state : int)
+    (pins : pin_values) : int =
+  match m.Milo_library.Macro.behavior with
+  | Milo_library.Macro.Seq_dff
+      { data; latch = _; has_set; has_reset; has_enable; inverting = _ } ->
+      if has_set && get pins "SET" then 1
+      else if has_reset && get pins "RST" then 0
+      else if has_enable && not (get pins "EN") then state
+      else
+        let d =
+          match data with
+          | Milo_library.Macro.Direct -> get pins "D"
+          | Milo_library.Macro.Muxed n ->
+              let sel = select pins "S" n in
+              sel < n && get pins (Printf.sprintf "D%d" sel)
+        in
+        if d then 1 else 0
+  | Milo_library.Macro.Seq_counter
+      { bits; has_load; has_updown; has_reset; has_enable } ->
+      if has_reset && get pins "RST" then 0
+      else if has_enable && not (get pins "EN") then state
+      else if has_load && get pins "LD" then bus pins "D" bits
+      else
+        let up = (not has_updown) || get pins "UP" in
+        if up then (state + 1) land mask bits else (state - 1) land mask bits
+  | Milo_library.Macro.Combinational _ | Milo_library.Macro.Comb_eval _ ->
+      invalid_arg "Eval.macro_next_state: combinational macro"
+
+let macro_seq_outputs (m : Milo_library.Macro.t) ~(state : int)
+    (pins : pin_values) : pin_values =
+  match m.Milo_library.Macro.behavior with
+  | Milo_library.Macro.Seq_dff { inverting; _ } ->
+      [ ("Q", if inverting then state = 0 else state = 1) ]
+  | Milo_library.Macro.Seq_counter { bits; has_updown; _ } ->
+      let up = (not has_updown) || get pins "UP" in
+      let terminal = if up then state = mask bits else state = 0 in
+      bus_out "Q" bits state @ [ ("COUT", terminal) ]
+  | Milo_library.Macro.Combinational _ | Milo_library.Macro.Comb_eval _ ->
+      invalid_arg "Eval.macro_seq_outputs: combinational macro"

@@ -1,0 +1,31 @@
+(** Behavioural semantics of the microarchitecture component kinds and of
+    library macros — the reference against which compiled designs and
+    rule applications are checked. *)
+
+module T = Milo_netlist.Types
+
+type pin_values = (string * bool) list
+(** Pin assignment; absent pins read as [false]. *)
+
+val get : pin_values -> string -> bool
+val bus : pin_values -> string -> int -> int
+(** Read pins [prefix0..prefix(bits-1)] as a little-endian integer. *)
+
+val bus_out : string -> int -> int -> pin_values
+val mask : int -> int
+
+val comb_outputs : T.kind -> pin_values -> pin_values
+(** Outputs of a combinational micro component.  Raises on sequential
+    kinds, macros and instances. *)
+
+val next_state : T.kind -> state:int -> pin_values -> int
+(** Next register contents of a sequential micro component after a clock
+    edge.  Priority: SET > RST > not-EN (hold) > function. *)
+
+val seq_outputs : T.kind -> state:int -> pin_values -> pin_values
+(** Present outputs of a sequential micro component. *)
+
+val macro_comb_outputs : Milo_library.Macro.t -> pin_values -> pin_values
+val macro_next_state : Milo_library.Macro.t -> state:int -> pin_values -> int
+val macro_seq_outputs :
+  Milo_library.Macro.t -> state:int -> pin_values -> pin_values

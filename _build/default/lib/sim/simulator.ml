@@ -1,0 +1,219 @@
+(* Levelized logic simulation of mixed microarchitecture / macro designs.
+
+   The clock is implicit and global: every sequential component updates
+   on [step].  Combinational evaluation uses a worklist until fixpoint;
+   lack of progress with unresolved nets indicates a combinational loop.
+   Undriven nets read as [false]. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+type env = { find_macro : string -> Milo_library.Macro.t }
+
+let env_of_techs techs =
+  let find_macro name =
+    let rec go = function
+      | [] ->
+          invalid_arg (Printf.sprintf "Simulator: unknown macro %s" name)
+      | t :: rest -> (
+          match Milo_library.Technology.find_opt t name with
+          | Some m -> m
+          | None -> go rest)
+    in
+    go techs
+  in
+  { find_macro }
+
+let resolver_of_env env : D.resolver =
+ fun kind nm ->
+  match kind with
+  | T.Macro _ -> (env.find_macro nm).Milo_library.Macro.pins
+  | T.Instance _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Simulator: hierarchical instance %s must be flattened first" nm)
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Constant _ ->
+      T.pins_of_kind kind
+
+type t = {
+  design : D.t;
+  env : env;
+  state : (int, int) Hashtbl.t;  (* sequential comp id -> register contents *)
+  mutable nets : (int, bool) Hashtbl.t;  (* last solved net values *)
+}
+
+let is_seq env (c : D.comp) =
+  match c.D.kind with
+  | T.Register _ | T.Counter _ -> true
+  | T.Macro m -> Milo_library.Macro.is_sequential (env.find_macro m)
+  | T.Instance i ->
+      invalid_arg
+        (Printf.sprintf "Simulator: hierarchical instance %s in design" i)
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Constant _ ->
+      false
+
+let create env design =
+  let t = { design; env; state = Hashtbl.create 16; nets = Hashtbl.create 64 } in
+  List.iter
+    (fun (c : D.comp) -> if is_seq env c then Hashtbl.replace t.state c.D.id 0)
+    (D.comps design);
+  t
+
+let reset t = Hashtbl.iter (fun k _ -> Hashtbl.replace t.state k 0) t.state
+let set_state t cid v = Hashtbl.replace t.state cid v
+let get_state t cid = Hashtbl.find_opt t.state cid
+
+exception Combinational_loop of string list
+
+let pin_values_of t (c : D.comp) nets =
+  List.filter_map
+    (fun (pin, nid) ->
+      match Hashtbl.find_opt nets nid with
+      | Some v -> Some (pin, v)
+      | None -> Some (pin, false))
+    (D.connections t.design c.D.id)
+
+(* Evaluate all combinational logic given the input-port assignment and
+   the current sequential state; returns the net-value table. *)
+let settle t (inputs : (string * bool) list) =
+  let d = t.design in
+  let nets : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  (* Input ports drive their nets. *)
+  List.iter
+    (fun (p, dir, nid) ->
+      match dir with
+      | T.Input ->
+          Hashtbl.replace nets nid
+            (Option.value ~default:false (List.assoc_opt p inputs))
+      | T.Output -> ())
+    (D.ports d);
+  (* Sequential outputs and constants are known up front. *)
+  let comb = ref [] in
+  List.iter
+    (fun (c : D.comp) ->
+      if is_seq t.env c then begin
+        let state = Hashtbl.find t.state c.D.id in
+        (* Seed only the state-only outputs (Q).  Input-dependent
+           outputs (a counter's COUT depends on its UP pin) are computed
+           in the worklist below once the inputs are known — seeding
+           them here would expose stale values to consumers. *)
+        let outs =
+          match c.D.kind with
+          | T.Macro m ->
+              Eval.macro_seq_outputs (t.env.find_macro m) ~state
+                (pin_values_of t c nets)
+          | T.Register _ | T.Counter _ ->
+              Eval.seq_outputs c.D.kind ~state (pin_values_of t c nets)
+          | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+          | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _ ->
+              assert false
+        in
+        List.iter
+          (fun (pin, v) ->
+            if String.length pin > 0 && pin.[0] = 'Q' then
+              match D.connection d c.D.id pin with
+              | Some nid -> Hashtbl.replace nets nid v
+              | None -> ())
+          outs
+      end
+      else comb := c :: !comb)
+    (D.comps d);
+  (* Worklist evaluation.  Sequential components are re-visited too so
+     that input-dependent outputs (a counter's terminal count depends on
+     its UP pin) settle once their inputs are known. *)
+  let seq_comps = List.filter (is_seq t.env) (D.comps d) in
+  let pending = ref (!comb @ seq_comps) in
+  let progress = ref true in
+  let resolve = resolver_of_env t.env in
+  let inputs_known (c : D.comp) =
+    List.for_all
+      (fun (pin, nid) ->
+        D.pin_dir ~resolve d c.D.id pin = T.Output || Hashtbl.mem nets nid
+        ||
+        (* undriven nets read as false *)
+        D.driver ~resolve d nid = D.Src_none)
+      (D.connections d c.D.id)
+  in
+  while !progress && !pending <> [] do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (c : D.comp) ->
+        if inputs_known c then begin
+          progress := true;
+          let pvs = pin_values_of t c nets in
+          let outs =
+            if is_seq t.env c then
+              let state = Hashtbl.find t.state c.D.id in
+              match c.D.kind with
+              | T.Macro m ->
+                  Eval.macro_seq_outputs (t.env.find_macro m) ~state pvs
+              | T.Register _ | T.Counter _ ->
+                  Eval.seq_outputs c.D.kind ~state pvs
+              | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+              | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _
+                ->
+                  assert false
+            else
+              match c.D.kind with
+              | T.Macro m -> Eval.macro_comb_outputs (t.env.find_macro m) pvs
+              | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+              | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ ->
+                  Eval.comb_outputs c.D.kind pvs
+              | T.Register _ | T.Counter _ | T.Instance _ -> assert false
+          in
+          List.iter
+            (fun (pin, v) ->
+              match D.connection d c.D.id pin with
+              | Some nid -> Hashtbl.replace nets nid v
+              | None -> ())
+            outs
+        end
+        else still := c :: !still)
+      !pending;
+    pending := !still
+  done;
+  if !pending <> [] then
+    raise
+      (Combinational_loop
+         (List.map (fun (c : D.comp) -> c.D.cname) !pending));
+  t.nets <- nets;
+  nets
+
+let outputs t inputs =
+  let nets = settle t inputs in
+  List.filter_map
+    (fun (p, dir, nid) ->
+      match dir with
+      | T.Output ->
+          Some (p, Option.value ~default:false (Hashtbl.find_opt nets nid))
+      | T.Input -> None)
+    (D.ports t.design)
+
+(* One clock edge: settle combinational logic, then update every
+   sequential component synchronously. *)
+let step t inputs =
+  let nets = settle t inputs in
+  let updates =
+    List.filter_map
+      (fun (c : D.comp) ->
+        if is_seq t.env c then
+          let state = Hashtbl.find t.state c.D.id in
+          let pvs = pin_values_of t c nets in
+          let next =
+            match c.D.kind with
+            | T.Macro m -> Eval.macro_next_state (t.env.find_macro m) ~state pvs
+            | T.Register _ | T.Counter _ -> Eval.next_state c.D.kind ~state pvs
+            | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+            | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _ ->
+                assert false
+          in
+          Some (c.D.id, next)
+        else None)
+      (D.comps t.design)
+  in
+  List.iter (fun (cid, v) -> Hashtbl.replace t.state cid v) updates
+
+let net_value t nid = Hashtbl.find_opt t.nets nid

@@ -1,0 +1,36 @@
+(** Levelized logic simulation of mixed microarchitecture / macro
+    designs with an implicit global clock. *)
+
+module D = Milo_netlist.Design
+
+type env = { find_macro : string -> Milo_library.Macro.t }
+
+val env_of_techs : Milo_library.Technology.t list -> env
+(** Macro lookup across several libraries (first match wins). *)
+
+val resolver_of_env : env -> D.resolver
+
+type t
+
+val create : env -> D.t -> t
+(** All sequential state starts at zero. *)
+
+val reset : t -> unit
+val set_state : t -> int -> int -> unit
+val get_state : t -> int -> int option
+
+exception Combinational_loop of string list
+(** Component names that never settled. *)
+
+val settle : t -> (string * bool) list -> (int, bool) Hashtbl.t
+(** Evaluate all combinational logic under the given input-port
+    assignment; returns net values.  Undriven nets read as [false]. *)
+
+val outputs : t -> (string * bool) list -> (string * bool) list
+(** Output-port values under the given inputs (no clock edge). *)
+
+val step : t -> (string * bool) list -> unit
+(** Apply one synchronous clock edge. *)
+
+val net_value : t -> int -> bool option
+(** Value of a net in the most recent [settle]. *)

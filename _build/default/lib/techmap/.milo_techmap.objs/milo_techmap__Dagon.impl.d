@@ -1,0 +1,1 @@
+lib/techmap/dagon.ml: Array Hashtbl List Milo_boolfunc Milo_library Milo_minimize Milo_netlist Printf Table_map

@@ -1,0 +1,1 @@
+lib/techmap/dagon.mli: Milo_library Milo_netlist Table_map

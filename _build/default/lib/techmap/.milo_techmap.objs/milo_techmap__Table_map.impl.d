@@ -1,0 +1,1 @@
+lib/techmap/table_map.ml: List Milo_compilers Milo_library Milo_netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/techmap/table_map.mli: Milo_compilers Milo_library Milo_netlist

@@ -1,0 +1,422 @@
+(* DAGON-style technology binding (Keutzer 1987), the paper's example of
+   the algorithms-only strategy: decompose the combinational logic into
+   a NAND2/INV subject graph, partition the DAG into trees at
+   multi-fanout points, then cover each tree with minimal-cost library
+   patterns by dynamic programming.  Pattern matching is done through
+   truth tables of bounded cones (≤ 4 leaves), which finds exactly the
+   matches a tree-pattern matcher would for our libraries. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Tech = Milo_library.Technology
+module Macro = Milo_library.Macro
+module Tt = Milo_boolfunc.Truth_table
+
+exception Unmappable of string
+
+type node =
+  | Input of int  (* net id in the source design *)
+  | Const of bool
+  | Inv of int  (* node index *)
+  | Nand of int * int
+
+type subject = {
+  nodes : node array;
+  fanout : int array;
+  (* net in the source design -> subject node computing it *)
+  of_net : (int, int) Hashtbl.t;
+}
+
+(* --- Subject graph construction ------------------------------------- *)
+
+let build_subject env design =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let fresh node =
+    nodes := node :: !nodes;
+    incr count;
+    !count - 1
+  in
+  let of_net = Hashtbl.create 64 in
+  let memo_inv = Hashtbl.create 64 in
+  let inv a =
+    match Hashtbl.find_opt memo_inv a with
+    | Some i -> i
+    | None ->
+        let i = fresh (Inv a) in
+        Hashtbl.replace memo_inv a i;
+        i
+  in
+  let nand a b = fresh (Nand (a, b)) in
+  let and2 a b = inv (nand a b) in
+  let or2 a b = nand (inv a) (inv b) in
+  let xor2 a b =
+    (* the classic 4-NAND exclusive-or *)
+    let n = nand a b in
+    nand (nand a n) (nand b n)
+  in
+  (* Reduce a list with a binary op, building a balanced-ish tree. *)
+  let rec reduce op = function
+    | [] -> invalid_arg "Dagon: empty gate"
+    | [ x ] -> x
+    | x :: y :: rest -> reduce op (op x y :: rest)
+  in
+  (* Recursively get the subject node for a net. *)
+  let visiting = Hashtbl.create 16 in
+  let rec node_of_net nid =
+    match Hashtbl.find_opt of_net nid with
+    | Some i -> i
+    | None ->
+        if Hashtbl.mem visiting nid then
+          raise (Unmappable "combinational loop in subject graph");
+        Hashtbl.replace visiting nid ();
+        let resolve kind nm =
+          match kind with
+          | T.Macro _ -> (env nm).Macro.pins
+          | T.Instance _ -> raise (Unmappable "hierarchy in subject graph")
+          | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+          | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+          | T.Constant _ ->
+              T.pins_of_kind kind
+        in
+        let i =
+          match D.driver ~resolve design nid with
+          | D.Src_port _ | D.Src_none -> fresh (Input nid)
+          | D.Src_comp (cid, _out) -> (
+              let c = D.comp design cid in
+              match c.D.kind with
+              | T.Macro mname -> (
+                  let m = env mname in
+                  if Macro.is_sequential m then fresh (Input nid)
+                  else
+                    match Macro.single_output_tt m with
+                    | None -> fresh (Input nid)
+                    | Some tt -> (
+                        let ins =
+                          List.map
+                            (fun pin ->
+                              match D.connection design cid pin with
+                              | Some n -> node_of_net n
+                              | None -> fresh (Const false))
+                            m.Macro.inputs
+                        in
+                        (* Expand the gate function into NAND2/INV. *)
+                        let arity = List.length ins in
+                        let all_same fn =
+                          arity > 0
+                          && Tt.equal tt (Milo_library.Defs.gate_tt fn arity)
+                        in
+                        if Tt.is_const tt <> None then
+                          fresh (Const (Tt.is_const tt = Some true))
+                        else if all_same T.And then reduce and2 ins
+                        else if all_same T.Or then reduce or2 ins
+                        else if all_same T.Nand then inv (reduce and2 ins)
+                        else if all_same T.Nor then inv (reduce or2 ins)
+                        else if all_same T.Xor then reduce xor2 ins
+                        else if all_same T.Xnor then inv (reduce xor2 ins)
+                        else if arity = 1 && Tt.equal tt (Milo_library.Defs.gate_tt T.Inv 1)
+                        then inv (List.nth ins 0)
+                        else if arity = 1 && Tt.equal tt (Milo_library.Defs.gate_tt T.Buf 1)
+                        then List.nth ins 0
+                        else
+                          match Tt.is_const tt with
+                          | Some b -> fresh (Const b)
+                          | None ->
+                              (* General function: synthesize SOP over
+                                 NAND2/INV. *)
+                              let cover = Milo_minimize.Espresso.minimize_tt tt in
+                              let term cube =
+                                let lits =
+                                  List.map
+                                    (fun (v, p) ->
+                                      let base = List.nth ins v in
+                                      if p then base else inv base)
+                                    (Milo_boolfunc.Cube.literals cube)
+                                in
+                                if lits = [] then fresh (Const true)
+                                else reduce and2 lits
+                              in
+                              let terms =
+                                List.map term (Milo_boolfunc.Cover.cubes cover)
+                              in
+                              if terms = [] then fresh (Const false)
+                              else reduce or2 terms))
+              | T.Constant lvl -> fresh (Const (lvl = T.Vdd))
+              | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+              | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+              | T.Instance _ ->
+                  raise (Unmappable "unmapped micro component in subject graph"))
+        in
+        Hashtbl.remove visiting nid;
+        Hashtbl.replace of_net nid i;
+        i
+  in
+  (* Roots: output ports and sequential/opaque component inputs. *)
+  let root_nets = ref [] in
+  List.iter
+    (fun (p, dir, nid) -> if dir = T.Output then root_nets := nid :: !root_nets ; ignore p)
+    (D.ports design);
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro mname ->
+          let m = env mname in
+          (* Components the covering does not absorb (sequential,
+             multi-output, wide) keep their inputs as roots. *)
+          if Macro.is_sequential m || Macro.single_output_tt m = None then
+            List.iter
+              (fun pin ->
+                match D.connection design c.D.id pin with
+                | Some nid -> root_nets := nid :: !root_nets
+                | None -> ())
+              m.Macro.inputs
+      | T.Constant _ -> ()
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+      | T.Instance _ ->
+          ())
+    (D.comps design);
+  let root_nets = List.sort_uniq compare !root_nets in
+  List.iter (fun nid -> ignore (node_of_net nid)) root_nets;
+  let arr = Array.of_list (List.rev !nodes) in
+  let fanout = Array.make (Array.length arr) 0 in
+  Array.iter
+    (fun n ->
+      match n with
+      | Inv a -> fanout.(a) <- fanout.(a) + 1
+      | Nand (a, b) ->
+          fanout.(a) <- fanout.(a) + 1;
+          fanout.(b) <- fanout.(b) + 1
+      | Input _ | Const _ -> ())
+    arr;
+  (* Root nets also consume their node. *)
+  List.iter
+    (fun nid ->
+      let i = Hashtbl.find of_net nid in
+      fanout.(i) <- fanout.(i) + 1)
+    root_nets;
+  ({ nodes = arr; fanout; of_net }, root_nets)
+
+(* --- Tree covering --------------------------------------------------- *)
+
+type cover_impl = {
+  impl_macro : Macro.t;
+  impl_leaves : int list;  (* subject nodes feeding the macro inputs, in
+                              macro input order *)
+}
+
+type solution = { cost : float; impl : impl_kind }
+and impl_kind = Leaf | Covered of cover_impl
+
+(* A node is a tree boundary if it has fanout > 1 or is an input/const. *)
+let is_boundary subject i =
+  match subject.nodes.(i) with
+  | Input _ | Const _ -> true
+  | Inv _ | Nand _ -> subject.fanout.(i) > 1
+
+(* Enumerate cuts of a node within its tree (bounded size). *)
+let rec cuts subject ~max_leaves i =
+  let leaf = [ [ i ] ] in
+  match subject.nodes.(i) with
+  | Input _ | Const _ -> leaf
+  | Inv a ->
+      let sub =
+        if is_boundary subject a then [ [ a ] ]
+        else cuts subject ~max_leaves a
+      in
+      leaf @ List.filter (fun c -> List.length c <= max_leaves) sub
+  | Nand (a, b) ->
+      let sub x =
+        if is_boundary subject x then [ [ x ] ] else cuts subject ~max_leaves x
+      in
+      let merged =
+        List.concat_map
+          (fun ca ->
+            List.map (fun cb -> List.sort_uniq compare (ca @ cb)) (sub b))
+          (sub a)
+      in
+      leaf @ List.filter (fun c -> List.length c <= max_leaves) merged
+
+(* Truth table of node [i] as a function of the given leaves. *)
+let cone_tt subject leaves i =
+  let nleaves = List.length leaves in
+  let pos = List.mapi (fun k l -> (l, k)) leaves in
+  let rec eval assign j =
+    match List.assoc_opt j pos with
+    | Some k -> assign.(k)
+    | None -> (
+        match subject.nodes.(j) with
+        | Const b -> b
+        | Input _ -> false (* unreachable: inputs are always leaves *)
+        | Inv a -> not (eval assign a)
+        | Nand (a, b) -> not (eval assign a && eval assign b))
+  in
+  Tt.of_fun nleaves (fun assign -> eval assign i)
+
+let solve_tree subject tech ~max_leaves memo i =
+  let rec best i =
+    match Hashtbl.find_opt memo i with
+    | Some s -> s
+    | None ->
+        let s =
+          match subject.nodes.(i) with
+          | Input _ | Const _ -> { cost = 0.0; impl = Leaf }
+          | Inv _ | Nand _ ->
+              let candidates =
+                List.filter_map
+                  (fun cut ->
+                    if List.mem i cut then None
+                    else
+                      let tt = cone_tt subject cut i in
+                      let matches = Tech.matches_for tech tt in
+                      match matches with
+                      | [] -> None
+                      | _ ->
+                          let leaf_cost =
+                            List.fold_left
+                              (fun acc l -> acc +. (best l).cost)
+                              0.0 cut
+                          in
+                          let scored =
+                            List.map
+                              (fun (m, perm) ->
+                                ( m.Macro.area +. leaf_cost,
+                                  {
+                                    impl_macro = m;
+                                    impl_leaves =
+                                      List.map (List.nth cut) perm;
+                                  } ))
+                              matches
+                          in
+                          Some
+                            (List.fold_left
+                               (fun acc (c, im) ->
+                                 match acc with
+                                 | Some (bc, _) when bc <= c -> acc
+                                 | _ -> Some (c, im))
+                               None scored))
+                  (cuts subject ~max_leaves i)
+              in
+              let chosen =
+                List.fold_left
+                  (fun acc cand ->
+                    match cand with
+                    | None -> acc
+                    | Some (c, im) -> (
+                        match acc with
+                        | Some (bc, _) when bc <= c -> acc
+                        | _ -> Some (c, im)))
+                  None candidates
+              in
+              (match chosen with
+              | Some (c, im) -> { cost = c; impl = Covered im }
+              | None ->
+                  raise
+                    (Unmappable
+                       (Printf.sprintf "no pattern covers subject node %d" i)))
+        in
+        Hashtbl.replace memo i s;
+        s
+  in
+  best i
+
+(* --- Rebuild the mapped design --------------------------------------- *)
+
+let map_design target env design =
+  let tech = target.Table_map.tech in
+  let subject, root_nets = build_subject env design in
+  let memo = Hashtbl.create 64 in
+  (* Cover every boundary node reachable from the roots. *)
+  let d = D.copy design in
+  (* Remove the combinational gates; keep sequential/opaque comps. *)
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro mname ->
+          let m = env mname in
+          if (not (Macro.is_sequential m)) && Macro.single_output_tt m <> None
+          then D.remove_comp d c.D.id
+          else begin
+            (* Table-map sequential and multi-output macros. *)
+            let candidate = target.Table_map.prefix ^ mname in
+            if Tech.mem tech candidate then
+              D.set_kind d c.D.id (T.Macro candidate)
+            else
+              raise
+                (Unmappable
+                   (Printf.sprintf "no direct mapping for %s" mname))
+          end
+      | T.Constant lvl ->
+          D.set_kind d c.D.id
+            (T.Macro
+               (target.Table_map.prefix
+               ^ (match lvl with T.Vdd -> "VDD" | T.Vss -> "VSS")))
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+      | T.Instance _ ->
+          raise (Unmappable "unexpected component in Dagon input"))
+    (D.comps d);
+  (* Net for each materialized subject node. *)
+  let node_net = Hashtbl.create 64 in
+  let rec materialize i =
+    match Hashtbl.find_opt node_net i with
+    | Some nid -> nid
+    | None ->
+        let nid = emit i in
+        Hashtbl.replace node_net i nid;
+        nid
+  and emit i =
+    match (solve_tree subject tech ~max_leaves:4 memo i).impl with
+    | Leaf -> (
+        match subject.nodes.(i) with
+        | Input nid -> nid
+        | Const b ->
+            let cid =
+              D.add_comp d
+                (T.Macro
+                   (target.Table_map.prefix ^ if b then "VDD" else "VSS"))
+            in
+            let n = D.new_net d in
+            D.connect d cid "Y" n;
+            n
+        | Inv _ | Nand _ -> assert false)
+    | Covered { impl_macro; impl_leaves } ->
+        let leaf_nets = List.map materialize impl_leaves in
+        let cid = D.add_comp d (T.Macro impl_macro.Macro.mname) in
+        List.iter2
+          (fun pin nid -> D.connect d cid pin nid)
+          impl_macro.Macro.inputs leaf_nets;
+        let out = D.new_net d in
+        D.connect d cid (List.nth impl_macro.Macro.outputs 0) out;
+        out
+  in
+  (* Materialize each root and merge it into its original net.  When
+     the materialized signal is itself port-bound (an input port passed
+     through, or a node already bound to another root port), bridge with
+     a buffer instead of stealing its driver. *)
+  List.iter
+    (fun nid ->
+      let i = Hashtbl.find subject.of_net nid in
+      let built =
+        match Hashtbl.find_opt node_net i with
+        | Some f -> f
+        | None -> emit i
+      in
+      if built <> nid then begin
+        if (D.net d built).D.nport <> None then begin
+          let b =
+            D.add_comp d (T.Macro (target.Table_map.prefix ^ "BUF"))
+          in
+          D.connect d b "A0" built;
+          D.connect d b "Y" nid
+        end
+        else begin
+          Hashtbl.replace node_net i nid;
+          let pins = (D.net d built).D.npins in
+          List.iter (fun (cid, pin) -> D.connect d cid pin nid) pins;
+          if (D.net d built).D.npins = [] && (D.net d built).D.nport = None
+          then D.remove_net d built
+        end
+      end)
+    root_nets;
+  d

@@ -1,0 +1,18 @@
+(** DAGON-style technology binding (the paper's algorithms-only
+    baseline): NAND2/INV subject graph, DAG partitioned into trees at
+    fanout points, minimal-area tree covering by dynamic programming
+    with truth-table pattern matching on bounded cones. *)
+
+module D = Milo_netlist.Design
+
+exception Unmappable of string
+
+type subject
+
+val build_subject : (string -> Milo_library.Macro.t) -> D.t -> subject * int list
+(** Subject graph and the root net list (exposed for tests). *)
+
+val map_design :
+  Table_map.target -> (string -> Milo_library.Macro.t) -> D.t -> D.t
+(** Cover the combinational logic with technology patterns; sequential
+    and multi-output macros are table-mapped. *)

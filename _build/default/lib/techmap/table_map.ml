@@ -1,0 +1,137 @@
+(* The technology mapper: converts a generic-macro design into one using
+   components from a technology-specific library, by lookup table
+   (Section 6.2).  Entries are name-for-name replacements where the
+   technology has a matching macro; gates the technology lacks are
+   rebuilt as trees from its own gate set (the per-technology design
+   compilers the paper describes: ECL compilers favour OR/NOR, CMOS
+   compilers NAND/AND). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Gate_comp = Milo_compilers.Gate_comp
+
+exception Unmappable of string
+
+type target = {
+  tech : Milo_library.Technology.t;
+  prefix : string;
+  set : Gate_comp.gate_set;
+}
+
+let make_target ~prefix tech =
+  { tech; prefix; set = Gate_comp.named_set ~prefix tech }
+
+let ecl_target () = make_target ~prefix:"E_" (Milo_library.Ecl.get ())
+let cmos_target () = make_target ~prefix:"C_" (Milo_library.Cmos.get ())
+
+(* Parse a generic gate-macro name into its function and arity. *)
+let parse_gate_name name : (T.gate_fn * int) option =
+  let try_fn fn =
+    let fname = T.gate_fn_name fn in
+    let fl = String.length fname in
+    if String.length name > fl && String.sub name 0 fl = fname then
+      Option.map (fun n -> (fn, n))
+        (int_of_string_opt (String.sub name fl (String.length name - fl)))
+    else None
+  in
+  match name with
+  | "INV" -> Some (T.Inv, 1)
+  | "BUF" -> Some (T.Buf, 1)
+  | _ ->
+      (* Longest names first so NAND is not parsed as AND. *)
+      List.find_map try_fn [ T.Nand; T.Nor; T.Xnor; T.Xor; T.And; T.Or ]
+
+(* Replace one generic gate component by a tree of technology gates. *)
+let rebuild_gate target d (c : D.comp) fn n =
+  let ins =
+    List.init n (fun i ->
+        match D.connection d c.D.id (Printf.sprintf "A%d" i) with
+        | Some nid -> nid
+        | None ->
+            raise
+              (Unmappable
+                 (Printf.sprintf "gate %s input A%d unconnected" c.D.cname i)))
+  in
+  let out =
+    match D.connection d c.D.id "Y" with
+    | Some nid -> nid
+    | None -> raise (Unmappable (Printf.sprintf "gate %s output unconnected" c.D.cname))
+  in
+  D.remove_comp d c.D.id;
+  let built = Gate_comp.build d target.set fn ins in
+  (* Merge the built net into the original output net. *)
+  let pins = (D.net d built).D.npins in
+  List.iter (fun (cid, pin) -> D.connect d cid pin out) pins;
+  if (D.net d built).D.npins = [] && (D.net d built).D.nport = None then
+    D.remove_net d built
+
+(* DEC2x4E: decoder plus enable ANDs in technologies without an
+   enable-decoder macro. *)
+let rebuild_dec2x4e target d (c : D.comp) =
+  let conn pin =
+    match D.connection d c.D.id pin with
+    | Some nid -> nid
+    | None ->
+        raise (Unmappable (Printf.sprintf "decoder %s pin %s unconnected" c.D.cname pin))
+  in
+  let a0 = conn "A0" and a1 = conn "A1" and en = conn "EN" in
+  let youts = List.init 4 (fun j -> D.connection d c.D.id (Printf.sprintf "Y%d" j)) in
+  D.remove_comp d c.D.id;
+  let dec = D.add_comp d (T.Macro (target.prefix ^ "DEC2x4")) in
+  D.connect d dec "A0" a0;
+  D.connect d dec "A1" a1;
+  List.iteri
+    (fun j y ->
+      match y with
+      | None -> ()
+      | Some ynet ->
+          let hot = D.new_net d in
+          D.connect d dec (Printf.sprintf "Y%d" j) hot;
+          let anded = Gate_comp.build d target.set T.And [ hot; en ] in
+          let pins = (D.net d anded).D.npins in
+          List.iter (fun (cid, pin) -> D.connect d cid pin ynet) pins;
+          if (D.net d anded).D.npins = [] then D.remove_net d anded)
+    youts
+
+(* Map a generic design (no micro components) onto the target
+   technology.  Returns a fresh design.  With [keep_instances],
+   hierarchical Instance references are left untouched (the hierarchical
+   logic optimizer maps level by level). *)
+let map_design ?(keep_instances = false) target design =
+  let d = D.copy design in
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro g ->
+          let candidate = target.prefix ^ g in
+          if Milo_library.Technology.mem target.tech candidate then
+            D.set_kind d c.D.id (T.Macro candidate)
+          else begin
+            match parse_gate_name g with
+            | Some (fn, n) -> rebuild_gate target d c fn n
+            | None ->
+                if g = "DEC2x4E" then rebuild_dec2x4e target d c
+                else
+                  raise
+                    (Unmappable
+                       (Printf.sprintf "no %s mapping for generic macro %s"
+                          (Milo_library.Technology.name target.tech) g))
+          end
+      | T.Constant lvl ->
+          let mname =
+            target.prefix ^ (match lvl with T.Vdd -> "VDD" | T.Vss -> "VSS")
+          in
+          D.set_kind d c.D.id (T.Macro mname)
+      | T.Instance i ->
+          if not keep_instances then
+            raise
+              (Unmappable
+                 (Printf.sprintf "hierarchical instance %s: flatten before mapping" i))
+      | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+      | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _ ->
+          raise
+            (Unmappable
+               (Printf.sprintf "micro component %s: compile before mapping"
+                  c.D.cname)))
+    (D.comps d);
+  d

@@ -1,0 +1,24 @@
+(** The MILO technology mapper: lookup-table conversion of generic-macro
+    designs into technology-specific ones (Section 6.2); gates the
+    technology lacks are rebuilt from its own gate set. *)
+
+module D = Milo_netlist.Design
+
+exception Unmappable of string
+
+type target = {
+  tech : Milo_library.Technology.t;
+  prefix : string;
+  set : Milo_compilers.Gate_comp.gate_set;
+}
+
+val make_target : prefix:string -> Milo_library.Technology.t -> target
+val ecl_target : unit -> target
+val cmos_target : unit -> target
+
+val parse_gate_name : string -> (Milo_netlist.Types.gate_fn * int) option
+
+val map_design : ?keep_instances:bool -> target -> D.t -> D.t
+(** Map a generic design onto the target technology (fresh copy).
+    @raise Unmappable on micro components, unknown macros, or hierarchy
+    unless [keep_instances] is set. *)

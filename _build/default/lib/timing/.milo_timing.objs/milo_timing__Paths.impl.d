@@ -1,0 +1,1 @@
+lib/timing/paths.ml: Hashtbl List Milo_netlist Option Sta

@@ -1,0 +1,1 @@
+lib/timing/paths.mli: Milo_netlist Sta

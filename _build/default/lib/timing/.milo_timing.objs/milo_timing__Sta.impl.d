@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Float Hashtbl List Milo_library Milo_netlist Option Printf String

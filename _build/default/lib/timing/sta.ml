@@ -1,0 +1,244 @@
+(* Static timing analysis over macro-level designs.
+
+   Arrival model: arrival(out pin) = max over inputs (arrival(in net) +
+   arc(in,out)) + drive × load(out net).  Sources are input ports and
+   sequential macro CLK→Q launches; endpoints are output ports and
+   sequential macro data/control pins.  Sequential components break
+   combinational paths, as in the paper's timing analyzer (Figure 8). *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module M = Milo_library.Macro
+
+type env = string -> M.t
+
+type endpoint = Ep_port of string | Ep_seq_pin of int * string
+
+type t = {
+  design : D.t;
+  env : env;
+  net_arrival : (int, float) Hashtbl.t;
+  net_from : (int, int * string * string) Hashtbl.t;
+      (* net -> (comp, in_pin, out_pin) that determined its arrival *)
+  endpoints : (endpoint * float) list;
+  worst : float;
+}
+
+let macro_of env (c : D.comp) =
+  match c.D.kind with
+  | T.Macro m -> Some (env m)
+  | T.Constant _ -> None
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Instance _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Sta: component %s (%s) is not technology-mapped; compile first"
+           c.D.cname (T.kind_name c.D.kind))
+
+let net_load t nid =
+  let n = D.net t.design nid in
+  let pin_load (cid, pin) =
+    let c = D.comp t.design cid in
+    match macro_of t.env c with
+    | None -> 0.0
+    | Some m ->
+        if List.mem pin m.M.inputs then m.M.load else 0.0
+  in
+  let port_load = match n.D.nport with Some (_, T.Output) -> 1.0 | _ -> 0.0 in
+  List.fold_left (fun acc p -> acc +. pin_load p) port_load n.D.npins
+
+(* Input arrival offsets, e.g. late-arriving primary inputs. *)
+let analyze ?(input_arrivals = []) env design =
+  let t =
+    {
+      design;
+      env;
+      net_arrival = Hashtbl.create 64;
+      net_from = Hashtbl.create 64;
+      endpoints = [];
+      worst = 0.0;
+    }
+  in
+  let arr nid = Hashtbl.find_opt t.net_arrival nid in
+  let set nid v from =
+    Hashtbl.replace t.net_arrival nid v;
+    match from with
+    | Some f -> Hashtbl.replace t.net_from nid f
+    | None -> Hashtbl.remove t.net_from nid
+  in
+  (* Seed: input ports and constants at their arrival, sequential
+     launches at clk->q + drive*load. *)
+  List.iter
+    (fun (p, dir, nid) ->
+      if dir = T.Input then
+        set nid (Option.value ~default:0.0 (List.assoc_opt p input_arrivals)) None)
+    (D.ports design);
+  let comb = ref [] in
+  List.iter
+    (fun (c : D.comp) ->
+      match macro_of env c with
+      | None ->
+          (* constants arrive at time 0 *)
+          List.iter
+            (fun (pin, nid) ->
+              if pin = "Y" then set nid 0.0 None)
+            (D.connections design c.D.id)
+      | Some m ->
+          if M.is_sequential m then
+            List.iter
+              (fun (pin, nid) ->
+                if List.mem pin m.M.outputs then
+                  let d =
+                    match M.arc_delay_opt m "CLK" pin with
+                    | Some d -> d
+                    | None -> M.worst_delay m
+                  in
+                  set nid (d +. (m.M.drive *. net_load t nid)) None)
+              (D.connections design c.D.id)
+          else comb := c :: !comb)
+    (D.comps design);
+  (* Worklist: evaluate combinational macros whose inputs all have
+     arrivals (undriven nets count as time 0). *)
+  let resolve kind nm =
+    match kind with
+    | T.Macro _ -> (env nm).M.pins
+    | T.Instance _ | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
+    | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
+    | T.Constant _ ->
+        T.pins_of_kind kind
+  in
+  let input_arrival nid =
+    match arr nid with
+    | Some v -> Some v
+    | None ->
+        if D.driver ~resolve design nid = D.Src_none then Some 0.0 else None
+  in
+  let pending = ref !comb in
+  let progress = ref true in
+  while !progress && !pending <> [] do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (c : D.comp) ->
+        let m = Option.get (macro_of env c) in
+        let in_arrs =
+          List.map
+            (fun pin ->
+              match D.connection design c.D.id pin with
+              | Some nid -> (pin, input_arrival nid)
+              | None -> (pin, Some 0.0))
+            m.M.inputs
+        in
+        if List.for_all (fun (_, a) -> a <> None) in_arrs then begin
+          progress := true;
+          List.iter
+            (fun out ->
+              match D.connection design c.D.id out with
+              | None -> ()
+              | Some onid ->
+                  let best =
+                    List.fold_left
+                      (fun acc (pin, a) ->
+                        match (M.arc_delay_opt m pin out, a) with
+                        | Some d, Some a -> (
+                            let v = a +. d in
+                            match acc with
+                            | Some (bv, _) when bv >= v -> acc
+                            | _ -> Some (v, pin))
+                        | None, _ | _, None -> acc)
+                      None in_arrs
+                  in
+                  let v, from =
+                    match best with
+                    | Some (v, pin) -> (v, Some (c.D.id, pin, out))
+                    | None -> (0.0, None)
+                  in
+                  set onid (v +. (m.M.drive *. net_load t onid)) from)
+            m.M.outputs
+        end
+        else still := c :: !still)
+      !pending;
+    pending := !still
+  done;
+  if !pending <> [] then
+    invalid_arg
+      (Printf.sprintf "Sta.analyze: combinational loop through %s"
+         (String.concat ", "
+            (List.map (fun (c : D.comp) -> c.D.cname) !pending)));
+  (* Endpoints. *)
+  let endpoints = ref [] in
+  List.iter
+    (fun (p, dir, nid) ->
+      if dir = T.Output then
+        endpoints :=
+          (Ep_port p, Option.value ~default:0.0 (arr nid)) :: !endpoints)
+    (D.ports design);
+  List.iter
+    (fun (c : D.comp) ->
+      match macro_of env c with
+      | Some m when M.is_sequential m ->
+          List.iter
+            (fun pin ->
+              if pin <> "CLK" then
+                match D.connection design c.D.id pin with
+                | Some nid ->
+                    endpoints :=
+                      (Ep_seq_pin (c.D.id, pin), Option.value ~default:0.0 (arr nid))
+                      :: !endpoints
+                | None -> ())
+            m.M.inputs
+      | Some _ | None -> ())
+    (D.comps design);
+  let worst =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 !endpoints
+  in
+  { t with endpoints = !endpoints; worst }
+
+let worst_delay t = t.worst
+let endpoints t = List.sort (fun (_, a) (_, b) -> compare b a) t.endpoints
+let net_arrival t nid = Hashtbl.find_opt t.net_arrival nid
+
+type hop = { comp : int; in_pin : string; out_pin : string }
+
+type path = {
+  path_endpoint : endpoint;
+  path_delay : float;
+  hops : hop list;  (* from input side to endpoint *)
+}
+
+let endpoint_net t = function
+  | Ep_port p -> Some (D.port_net t.design p)
+  | Ep_seq_pin (cid, pin) -> D.connection t.design cid pin
+
+(* Trace back the worst path into an endpoint. *)
+let path_to t ep delay =
+  let rec back nid acc =
+    match Hashtbl.find_opt t.net_from nid with
+    | None -> acc
+    | Some (cid, in_pin, out_pin) -> (
+        let hop = { comp = cid; in_pin; out_pin } in
+        match D.connection t.design cid in_pin with
+        | Some prev -> back prev (hop :: acc)
+        | None -> hop :: acc)
+  in
+  let hops = match endpoint_net t ep with Some nid -> back nid [] | None -> [] in
+  { path_endpoint = ep; path_delay = delay; hops }
+
+let critical_path t =
+  match endpoints t with
+  | [] -> None
+  | (ep, d) :: _ -> Some (path_to t ep d)
+
+let critical_paths ?(count = 4) t =
+  endpoints t
+  |> List.filteri (fun i _ -> i < count)
+  |> List.map (fun (ep, d) -> path_to t ep d)
+
+(* Slack of each endpoint against a required time. *)
+let slacks ~required t =
+  List.map (fun (ep, d) -> (ep, required -. d)) (endpoints t)
+
+let endpoint_name t = function
+  | Ep_port p -> p
+  | Ep_seq_pin (cid, pin) ->
+      Printf.sprintf "%s.%s" (D.comp t.design cid).D.cname pin

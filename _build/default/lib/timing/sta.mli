@@ -1,0 +1,38 @@
+(** Static timing analysis over technology-mapped (macro-level) designs.
+
+    Arrival(out) = max over inputs (arrival(in) + arc delay) + drive ×
+    output load.  Sources: input ports (optionally offset) and
+    sequential CLK→Q launches.  Endpoints: output ports and sequential
+    data/control pins. *)
+
+module D = Milo_netlist.Design
+
+type env = string -> Milo_library.Macro.t
+
+type endpoint = Ep_port of string | Ep_seq_pin of int * string
+
+type t
+
+val net_load : t -> int -> float
+val analyze : ?input_arrivals:(string * float) list -> env -> D.t -> t
+(** Raises [Invalid_argument] on unmapped components or combinational
+    loops. *)
+
+val worst_delay : t -> float
+val endpoints : t -> (endpoint * float) list
+(** Sorted by arrival, latest first. *)
+
+val net_arrival : t -> int -> float option
+
+type hop = { comp : int; in_pin : string; out_pin : string }
+
+type path = {
+  path_endpoint : endpoint;
+  path_delay : float;
+  hops : hop list;  (** input side first *)
+}
+
+val critical_path : t -> path option
+val critical_paths : ?count:int -> t -> path list
+val slacks : required:float -> t -> (endpoint * float) list
+val endpoint_name : t -> endpoint -> string

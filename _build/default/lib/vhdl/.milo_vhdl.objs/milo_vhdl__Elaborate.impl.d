@@ -1,0 +1,1 @@
+lib/vhdl/elaborate.ml: Array Ast Hashtbl List Milo_netlist Option Parser Printf String

@@ -1,0 +1,1 @@
+lib/vhdl/elaborate.mli: Ast Milo_netlist

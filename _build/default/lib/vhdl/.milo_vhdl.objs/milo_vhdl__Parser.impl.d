@@ -1,0 +1,1 @@
+lib/vhdl/parser.ml: Ast Lexer List Printf

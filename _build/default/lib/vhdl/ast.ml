@@ -1,0 +1,67 @@
+(* AST for the structural VHDL subset MILO accepts as design entry
+   (the paper's Figure 11 lists a VHDL compiler beside schematic
+   capture).
+
+   Supported:
+     entity NAME is port ( name : in|out bit | bit_vector(H downto L); ... ); end [NAME];
+     architecture NAME of NAME is
+       signal name : bit | bit_vector(H downto L);
+       ...
+     begin
+       label : COMPONENT generic map (g => v, ...) port map (f => actual, ...);
+       signal <= expr;            -- not/and/or/nand/nor/xor/xnor over operands
+     end [NAME];
+
+   Components: gate, multiplexor, decoder, comparator, logic_unit,
+   arith_unit, register, counter (generics mirror Figure 12's
+   parameters).  Actuals: signal, signal(i), '0', '1', "0101" (MSB
+   first), open. *)
+
+type direction = In | Out
+
+type vhdl_type = Bit_t | Vector_t of int * int  (* high, low *)
+
+type port_decl = { port_name : string; port_dir : direction; port_type : vhdl_type }
+
+type signal_decl = { sig_name : string; sig_type : vhdl_type }
+
+type actual =
+  | A_signal of string
+  | A_indexed of string * int
+  | A_bit of bool
+  | A_bits of string  (* MSB first, as written *)
+  | A_open
+
+type generic_value = G_int of int | G_string of string | G_bool of bool
+
+type instantiation = {
+  inst_label : string;
+  inst_component : string;
+  generics : (string * generic_value) list;
+  port_map : (string * actual) list;
+}
+
+type expr =
+  | E_operand of actual
+  | E_not of actual
+  | E_gate of string * actual list  (* and/or/nand/nor/xor/xnor *)
+
+type assignment = { target : string; target_index : int option; value : expr }
+
+type statement = S_instance of instantiation | S_assign of assignment
+
+type architecture = {
+  arch_name : string;
+  arch_entity : string;
+  signals : signal_decl list;
+  statements : statement list;
+}
+
+type design_unit = {
+  entity_name : string;
+  ports : port_decl list;
+  architecture : architecture;
+}
+
+let width_of = function Bit_t -> 1 | Vector_t (h, l) -> abs (h - l) + 1
+let low_of = function Bit_t -> 0 | Vector_t (h, l) -> min h l

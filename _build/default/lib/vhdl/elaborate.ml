@@ -1,0 +1,365 @@
+(* Elaboration: structural VHDL AST -> MILO netlist.
+
+   Component names map to the Figure 12 microarchitecture components;
+   generics carry their parameters; port-map formals are the component's
+   pin groups in lower case ("a" for the A0..A(n-1) bus, "d0" for a
+   multiplexor's first data bus, "cin", "q", ...).  Vector signals and
+   ports elaborate to one net per bit, named <name><k> with k counted
+   from the declared low index. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+exception Elaboration_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Elaboration_error s)) fmt
+
+(* --- generic parsing --------------------------------------------------- *)
+
+let as_int name = function
+  | Ast.G_int n -> n
+  | Ast.G_string s -> err "generic %s: expected integer, got %s" name s
+  | Ast.G_bool _ -> err "generic %s: expected integer, got boolean" name
+
+let as_bool name = function
+  | Ast.G_bool b -> b
+  | Ast.G_string "true" -> true
+  | Ast.G_string "false" -> false
+  | Ast.G_int 0 -> false
+  | Ast.G_int _ -> true
+  | Ast.G_string s -> err "generic %s: expected boolean, got %s" name s
+
+let as_string name = function
+  | Ast.G_string s -> s
+  | Ast.G_int n -> string_of_int n
+  | Ast.G_bool _ -> err "generic %s: expected string" name
+
+let split_list s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let gate_fn_of = function
+  | "and" -> T.And
+  | "or" -> T.Or
+  | "nand" -> T.Nand
+  | "nor" -> T.Nor
+  | "xor" -> T.Xor
+  | "xnor" -> T.Xnor
+  | "inv" | "not" -> T.Inv
+  | "buf" -> T.Buf
+  | other -> err "unknown gate function %s" other
+
+let arith_fn_of = function
+  | "add" -> T.Add
+  | "sub" -> T.Sub
+  | "inc" -> T.Inc
+  | "dec" -> T.Dec
+  | other -> err "unknown arithmetic function %s" other
+
+let cmp_fn_of = function
+  | "eq" -> T.Eq
+  | "ne" -> T.Ne
+  | "lt" -> T.Lt
+  | "gt" -> T.Gt
+  | "le" -> T.Le
+  | "ge" -> T.Ge
+  | other -> err "unknown comparator function %s" other
+
+let reg_fn_of = function
+  | "load" -> T.Load
+  | "shl" | "shift_left" -> T.Shift_left
+  | "shr" | "shift_right" -> T.Shift_right
+  | other -> err "unknown register function %s" other
+
+let count_fn_of = function
+  | "load" -> T.Count_load
+  | "up" -> T.Count_up
+  | "down" -> T.Count_down
+  | other -> err "unknown counter function %s" other
+
+let control_of = function
+  | "set" -> T.Set
+  | "rst" | "reset" -> T.Reset
+  | "en" | "enable" -> T.Enable
+  | other -> err "unknown control %s" other
+
+let kind_of_instance (inst : Ast.instantiation) : T.kind =
+  let gs = inst.Ast.generics in
+  let get name conv ~default =
+    match List.assoc_opt name gs with Some v -> conv name v | None -> default
+  in
+  let bits = get "bits" as_int ~default:1 in
+  match inst.Ast.inst_component with
+  | "gate" ->
+      let fn = gate_fn_of (get "function" as_string ~default:"and") in
+      T.Gate (fn, get "inputs" as_int ~default:2)
+  | "multiplexor" | "mux" ->
+      T.Multiplexor
+        {
+          bits;
+          inputs = get "inputs" as_int ~default:2;
+          enable = get "enable" as_bool ~default:false;
+        }
+  | "decoder" ->
+      T.Decoder { bits; enable = get "enable" as_bool ~default:false }
+  | "comparator" ->
+      T.Comparator
+        {
+          bits;
+          fns = List.map cmp_fn_of (split_list (get "fns" as_string ~default:"eq"));
+        }
+  | "logic_unit" ->
+      T.Logic_unit
+        {
+          bits;
+          fn = gate_fn_of (get "function" as_string ~default:"and");
+          inputs = get "inputs" as_int ~default:2;
+        }
+  | "arith_unit" | "alu" ->
+      T.Arith_unit
+        {
+          bits;
+          fns = List.map arith_fn_of (split_list (get "fns" as_string ~default:"add"));
+          mode =
+            (match get "mode" as_string ~default:"ripple" with
+            | "ripple" -> T.Ripple
+            | "cla" | "lookahead" | "carry_lookahead" -> T.Lookahead
+            | other -> err "unknown carry mode %s" other);
+        }
+  | "register" | "reg" ->
+      T.Register
+        {
+          bits;
+          kind =
+            (match get "type" as_string ~default:"edge" with
+            | "edge" | "edge_triggered" -> T.Edge_triggered
+            | "latch" | "level" -> T.Latch
+            | other -> err "unknown register type %s" other);
+          fns = List.map reg_fn_of (split_list (get "fns" as_string ~default:"load"));
+          controls =
+            List.map control_of (split_list (get "controls" as_string ~default:""));
+          inverting = get "inverting" as_bool ~default:false;
+        }
+  | "counter" ->
+      T.Counter
+        {
+          bits;
+          fns = List.map count_fn_of (split_list (get "fns" as_string ~default:"up"));
+          controls =
+            List.map control_of (split_list (get "controls" as_string ~default:""));
+        }
+  | other -> err "unknown component %s (instance %s)" other inst.Ast.inst_label
+
+(* --- pin groups --------------------------------------------------------- *)
+
+(* Split a pin name into its formal group and bus offset:
+   "A3" -> ("a", 3); "D1_2" -> ("d1", 2); "CIN" -> ("cin", scalar). *)
+let formal_of_pin pin =
+  let len = String.length pin in
+  let digits_at i =
+    let rec go j = if j < len && pin.[j] >= '0' && pin.[j] <= '9' then go (j + 1) else j in
+    go i
+  in
+  match String.index_opt pin '_' with
+  | Some u
+    when u + 1 < len
+         && digits_at (u + 1) = len
+         && u > 0
+         && pin.[u - 1] >= '0'
+         && pin.[u - 1] <= '9' ->
+      ( String.lowercase_ascii (String.sub pin 0 u),
+        Some (int_of_string (String.sub pin (u + 1) (len - u - 1))) )
+  | Some _ | None ->
+      (* trailing digits form the index, unless the whole tail is the
+         pin itself (e.g. CIN has no digits) *)
+      let rec first_digit i =
+        if i >= len then len
+        else if pin.[i] >= '0' && pin.[i] <= '9' && digits_at i = len then i
+        else first_digit (i + 1)
+      in
+      let fd = first_digit 0 in
+      if fd = len then (String.lowercase_ascii pin, None)
+      else
+        ( String.lowercase_ascii (String.sub pin 0 fd),
+          Some (int_of_string (String.sub pin fd (len - fd))) )
+
+(* All pins of a kind grouped by formal: formal -> (pin, offset) list
+   sorted by offset. *)
+let pin_groups kind =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (pin, _) ->
+      let formal, idx = formal_of_pin pin in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl formal) in
+      Hashtbl.replace tbl formal ((pin, idx) :: prev))
+    (T.pins_of_kind kind);
+  Hashtbl.fold
+    (fun formal pins acc ->
+      let sorted =
+        List.sort
+          (fun (_, a) (_, b) -> compare (Option.value ~default:0 a) (Option.value ~default:0 b))
+          pins
+      in
+      (formal, List.map fst sorted) :: acc)
+    tbl []
+
+(* Special case: a 1-input gate's pins are A1,Y; "a" must also accept a
+   scalar actual even though the pin carries an index.  Handled by bus
+   widths below. *)
+
+(* --- elaboration -------------------------------------------------------- *)
+
+type bus = { nets : int array }  (* index 0 = low bit *)
+
+let elaborate (unit_ : Ast.design_unit) : D.t =
+  let d = D.create unit_.Ast.entity_name in
+  let scalars : (string, bus) Hashtbl.t = Hashtbl.create 32 in
+  let declare name ty mk =
+    if Hashtbl.mem scalars name then err "duplicate name %s" name;
+    let w = Ast.width_of ty in
+    let nets =
+      Array.init w (fun k ->
+          mk (if w = 1 && ty = Ast.Bit_t then name else Printf.sprintf "%s%d" name k))
+    in
+    Hashtbl.replace scalars name { nets }
+  in
+  (* entity ports *)
+  List.iter
+    (fun (p : Ast.port_decl) ->
+      let dir = match p.Ast.port_dir with Ast.In -> T.Input | Ast.Out -> T.Output in
+      declare p.Ast.port_name p.Ast.port_type (fun n -> D.add_port d n dir))
+    unit_.Ast.ports;
+  (* signals *)
+  List.iter
+    (fun (s : Ast.signal_decl) ->
+      declare s.Ast.sig_name s.Ast.sig_type (fun n -> D.new_net ~name:n d))
+    unit_.Ast.architecture.Ast.signals;
+  let consts : (bool, int) Hashtbl.t = Hashtbl.create 2 in
+  let const_net b =
+    match Hashtbl.find_opt consts b with
+    | Some nid -> nid
+    | None ->
+        let cid = D.add_comp d (T.Constant (if b then T.Vdd else T.Vss)) in
+        let nid = D.new_net ~name:(if b then "vdd" else "vss") d in
+        D.connect d cid "Y" nid;
+        Hashtbl.replace consts b nid;
+        nid
+  in
+  let lookup name =
+    match Hashtbl.find_opt scalars name with
+    | Some b -> b
+    | None -> err "unknown signal or port %s" name
+  in
+  (* actual -> net array of the requested width *)
+  let actual_nets ~width (a : Ast.actual) =
+    match a with
+    | Ast.A_open -> None
+    | Ast.A_bit b ->
+        if width <> 1 then err "bit literal bound to a %d-bit formal" width;
+        Some [| const_net b |]
+    | Ast.A_bits s ->
+        if String.length s <> width then
+          err "bit string \"%s\" bound to a %d-bit formal" s width;
+        (* MSB first in source *)
+        Some
+          (Array.init width (fun k -> const_net (s.[width - 1 - k] = '1')))
+    | Ast.A_signal name ->
+        let b = lookup name in
+        if Array.length b.nets <> width then
+          err "%s is %d bits, formal expects %d" name (Array.length b.nets) width;
+        Some b.nets
+    | Ast.A_indexed (name, i) ->
+        if width <> 1 then err "%s(%d) bound to a %d-bit formal" name i width;
+        let b = lookup name in
+        let k = i - 0 in
+        (* normalize by declared low index *)
+        let low =
+          (* find the declaration to know the low bound *)
+          let from_ports =
+            List.find_opt (fun (p : Ast.port_decl) -> p.Ast.port_name = name) unit_.Ast.ports
+          in
+          match from_ports with
+          | Some p -> Ast.low_of p.Ast.port_type
+          | None -> (
+              match
+                List.find_opt
+                  (fun (s : Ast.signal_decl) -> s.Ast.sig_name = name)
+                  unit_.Ast.architecture.Ast.signals
+              with
+              | Some s -> Ast.low_of s.Ast.sig_type
+              | None -> 0)
+        in
+        let k = k - low in
+        if k < 0 || k >= Array.length b.nets then
+          err "%s(%d) out of range" name i;
+        Some [| b.nets.(k) |]
+  in
+  (* instances *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.S_instance inst ->
+          let kind = kind_of_instance inst in
+          let cid = D.add_comp ~name:inst.Ast.inst_label d kind in
+          let groups = pin_groups kind in
+          List.iter
+            (fun (formal, a) ->
+              match List.assoc_opt formal groups with
+              | None ->
+                  err "instance %s: component %s has no formal %s"
+                    inst.Ast.inst_label (T.kind_name kind) formal
+              | Some pins -> (
+                  match actual_nets ~width:(List.length pins) a with
+                  | None -> ()
+                  | Some nets ->
+                      List.iteri
+                        (fun k pin -> D.connect d cid pin nets.(k))
+                        pins))
+            inst.Ast.port_map
+      | Ast.S_assign _ -> ())
+    unit_.Ast.architecture.Ast.statements;
+  (* concurrent assignments: per-bit gates/buffers *)
+  let assign (a : Ast.assignment) =
+    let tgt_bus = lookup a.Ast.target in
+    let tgt =
+      match a.Ast.target_index with
+      | None -> tgt_bus.nets
+      | Some i ->
+          let k = i in
+          if k < 0 || k >= Array.length tgt_bus.nets then
+            err "%s(%d) out of range" a.Ast.target i;
+          [| tgt_bus.nets.(k) |]
+    in
+    let w = Array.length tgt in
+    let operand x =
+      match actual_nets ~width:w x with
+      | Some nets -> nets
+      | None -> err "open is not a valid assignment operand"
+    in
+    let build fn (operands : int array list) =
+      Array.iteri
+        (fun k out ->
+          let cid = D.add_comp d (T.Gate (fn, List.length operands)) in
+          List.iteri
+            (fun i nets ->
+              D.connect d cid (Printf.sprintf "A%d" (i + 1)) nets.(k))
+            operands;
+          D.connect d cid "Y" out)
+        tgt
+    in
+    match a.Ast.value with
+    | Ast.E_operand x -> build T.Buf [ operand x ]
+    | Ast.E_not x -> build T.Inv [ operand x ]
+    | Ast.E_gate (op, xs) -> build (gate_fn_of op) (List.map operand xs)
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.S_assign a -> assign a
+      | Ast.S_instance _ -> ())
+    unit_.Ast.architecture.Ast.statements;
+  d
+
+let design_of_string src = elaborate (Parser.of_string src)
+let design_of_file path = elaborate (Parser.of_file path)

@@ -1,0 +1,8 @@
+(** Elaboration of the structural VHDL subset into a MILO netlist: the
+    VHDL-compiler input path of the paper's Figure 11. *)
+
+exception Elaboration_error of string
+
+val elaborate : Ast.design_unit -> Milo_netlist.Design.t
+val design_of_string : string -> Milo_netlist.Design.t
+val design_of_file : string -> Milo_netlist.Design.t

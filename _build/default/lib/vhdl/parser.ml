@@ -1,0 +1,320 @@
+(* Recursive-descent parser for the structural VHDL subset (see Ast). *)
+
+exception Parse_error of int * string
+
+let fail lex fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Lexer.line lex, s))) fmt
+
+let expect lex tok =
+  let got, line = Lexer.next lex in
+  if got <> tok then
+    raise
+      (Parse_error
+         ( line,
+           Printf.sprintf "expected %s, got %s" (Lexer.token_name tok)
+             (Lexer.token_name got) ))
+
+let expect_ident lex =
+  match Lexer.next lex with
+  | Lexer.Ident s, _ -> s
+  | got, line ->
+      raise
+        (Parse_error
+           (line, Printf.sprintf "expected identifier, got %s" (Lexer.token_name got)))
+
+let expect_keyword lex kw =
+  let s = expect_ident lex in
+  if s <> kw then fail lex "expected keyword %s, got %s" kw s
+
+let expect_int lex =
+  match Lexer.next lex with
+  | Lexer.Int n, _ -> n
+  | got, line ->
+      raise
+        (Parse_error
+           (line, Printf.sprintf "expected integer, got %s" (Lexer.token_name got)))
+
+(* bit | bit_vector(H downto L) | bit_vector(L to H) *)
+let parse_type lex =
+  match expect_ident lex with
+  | "bit" -> Ast.Bit_t
+  | "bit_vector" | "std_logic_vector" ->
+      expect lex Lexer.Lparen;
+      let a = expect_int lex in
+      let dir = expect_ident lex in
+      let b = expect_int lex in
+      expect lex Lexer.Rparen;
+      (match dir with
+      | "downto" -> Ast.Vector_t (a, b)
+      | "to" -> Ast.Vector_t (b, a)
+      | other -> fail lex "expected downto/to, got %s" other)
+  | "std_logic" -> Ast.Bit_t
+  | other -> fail lex "unknown type %s" other
+
+let parse_direction lex =
+  match expect_ident lex with
+  | "in" -> Ast.In
+  | "out" -> Ast.Out
+  | other -> fail lex "expected in/out, got %s" other
+
+(* port ( a, b : in bit; c : out bit_vector(3 downto 0) ); *)
+let parse_ports lex =
+  expect_keyword lex "port";
+  expect lex Lexer.Lparen;
+  let decls = ref [] in
+  let rec group () =
+    let names = ref [ expect_ident lex ] in
+    let rec more_names () =
+      if Lexer.peek lex = Lexer.Comma then begin
+        ignore (Lexer.next lex);
+        names := expect_ident lex :: !names;
+        more_names ()
+      end
+    in
+    more_names ();
+    expect lex Lexer.Colon;
+    let dir = parse_direction lex in
+    let ty = parse_type lex in
+    List.iter
+      (fun n ->
+        decls :=
+          { Ast.port_name = n; port_dir = dir; port_type = ty } :: !decls)
+      (List.rev !names);
+    match Lexer.next lex with
+    | Lexer.Semi, _ -> group ()
+    | Lexer.Rparen, _ -> ()
+    | got, line ->
+        raise
+          (Parse_error
+             (line, Printf.sprintf "expected ; or ), got %s" (Lexer.token_name got)))
+  in
+  group ();
+  expect lex Lexer.Semi;
+  List.rev !decls
+
+let parse_entity lex =
+  expect_keyword lex "entity";
+  let name = expect_ident lex in
+  expect_keyword lex "is";
+  let ports = parse_ports lex in
+  expect_keyword lex "end";
+  (match Lexer.peek lex with
+  | Lexer.Ident s when s = name || s = "entity" -> (
+      ignore (Lexer.next lex);
+      match Lexer.peek lex with
+      | Lexer.Ident s2 when s2 = name -> ignore (Lexer.next lex)
+      | _ -> ())
+  | _ -> ());
+  expect lex Lexer.Semi;
+  (name, ports)
+
+let parse_actual lex =
+  match Lexer.next lex with
+  | Lexer.Bit b, _ -> Ast.A_bit b
+  | Lexer.Bits s, _ -> Ast.A_bits s
+  | Lexer.Ident "open", _ -> Ast.A_open
+  | Lexer.Ident s, _ ->
+      if Lexer.peek lex = Lexer.Lparen then begin
+        ignore (Lexer.next lex);
+        let i = expect_int lex in
+        expect lex Lexer.Rparen;
+        Ast.A_indexed (s, i)
+      end
+      else Ast.A_signal s
+  | got, line ->
+      raise
+        (Parse_error
+           (line, Printf.sprintf "expected actual, got %s" (Lexer.token_name got)))
+
+let parse_generic_value lex =
+  match Lexer.next lex with
+  | Lexer.Int n, _ -> Ast.G_int n
+  | Lexer.Bits s, _ -> Ast.G_string s
+  | Lexer.Ident "true", _ -> Ast.G_bool true
+  | Lexer.Ident "false", _ -> Ast.G_bool false
+  | Lexer.Ident s, _ -> Ast.G_string s
+  | got, line ->
+      raise
+        (Parse_error
+           ( line,
+             Printf.sprintf "expected generic value, got %s" (Lexer.token_name got) ))
+
+(* name => value pairs inside parentheses *)
+let parse_map lex parse_value =
+  expect lex Lexer.Lparen;
+  let items = ref [] in
+  let rec go () =
+    let formal = expect_ident lex in
+    expect lex Lexer.Arrow;
+    let v = parse_value lex in
+    items := (formal, v) :: !items;
+    match Lexer.next lex with
+    | Lexer.Comma, _ -> go ()
+    | Lexer.Rparen, _ -> ()
+    | got, line ->
+        raise
+          (Parse_error
+             (line, Printf.sprintf "expected , or ), got %s" (Lexer.token_name got)))
+  in
+  go ();
+  List.rev !items
+
+(* label : component [generic map (...)] port map (...); *)
+let parse_instance lex label =
+  let comp = expect_ident lex in
+  let generics =
+    if Lexer.peek lex = Lexer.Ident "generic" then begin
+      ignore (Lexer.next lex);
+      expect_keyword lex "map";
+      parse_map lex parse_generic_value
+    end
+    else []
+  in
+  expect_keyword lex "port";
+  expect_keyword lex "map";
+  let port_map = parse_map lex parse_actual in
+  expect lex Lexer.Semi;
+  {
+    Ast.inst_label = label;
+    inst_component = comp;
+    generics;
+    port_map;
+  }
+
+let gate_names = [ "and"; "or"; "nand"; "nor"; "xor"; "xnor" ]
+
+(* target <= expr ;  where expr = actual | not actual |
+   actual (and|or|...) actual [op actual ...] *)
+let parse_assignment lex target target_index =
+  let value =
+    match Lexer.peek lex with
+    | Lexer.Ident "not" ->
+        ignore (Lexer.next lex);
+        Ast.E_not (parse_actual lex)
+    | _ -> (
+        let first = parse_actual lex in
+        match Lexer.peek lex with
+        | Lexer.Ident op when List.mem op gate_names ->
+            let operands = ref [ first ] in
+            let rec more () =
+              match Lexer.peek lex with
+              | Lexer.Ident op' when op' = op ->
+                  ignore (Lexer.next lex);
+                  operands := parse_actual lex :: !operands;
+                  more ()
+              | Lexer.Ident op' when List.mem op' gate_names ->
+                  fail lex "mixed operators without parentheses (%s vs %s)" op op'
+              | _ -> ()
+            in
+            more ();
+            Ast.E_gate (op, List.rev !operands)
+        | _ -> Ast.E_operand first)
+  in
+  expect lex Lexer.Semi;
+  { Ast.target; target_index; value }
+
+let parse_architecture lex entity_name =
+  expect_keyword lex "architecture";
+  let arch_name = expect_ident lex in
+  expect_keyword lex "of";
+  let of_entity = expect_ident lex in
+  if of_entity <> entity_name then
+    fail lex "architecture of %s does not match entity %s" of_entity entity_name;
+  expect_keyword lex "is";
+  (* signal declarations *)
+  let signals = ref [] in
+  let rec decls () =
+    match Lexer.peek lex with
+    | Lexer.Ident "signal" ->
+        ignore (Lexer.next lex);
+        let names = ref [ expect_ident lex ] in
+        let rec more () =
+          if Lexer.peek lex = Lexer.Comma then begin
+            ignore (Lexer.next lex);
+            names := expect_ident lex :: !names;
+            more ()
+          end
+        in
+        more ();
+        expect lex Lexer.Colon;
+        let ty = parse_type lex in
+        expect lex Lexer.Semi;
+        List.iter
+          (fun n -> signals := { Ast.sig_name = n; sig_type = ty } :: !signals)
+          (List.rev !names);
+        decls ()
+    | Lexer.Ident "begin" -> ignore (Lexer.next lex)
+    | got -> fail lex "expected signal or begin, got %s" (Lexer.token_name got)
+  in
+  decls ();
+  (* statements until end *)
+  let statements = ref [] in
+  let rec stmts () =
+    match Lexer.next lex with
+    | Lexer.Ident "end", _ ->
+        (match Lexer.peek lex with
+        | Lexer.Ident s when s = arch_name || s = "architecture" -> (
+            ignore (Lexer.next lex);
+            match Lexer.peek lex with
+            | Lexer.Ident s2 when s2 = arch_name -> ignore (Lexer.next lex)
+            | _ -> ())
+        | _ -> ());
+        expect lex Lexer.Semi
+    | Lexer.Ident name, _ -> (
+        (* either "label : component ..." or "target <= expr" *)
+        match Lexer.next lex with
+        | Lexer.Colon, _ ->
+            statements := Ast.S_instance (parse_instance lex name) :: !statements;
+            stmts ()
+        | Lexer.Assign, _ ->
+            statements := Ast.S_assign (parse_assignment lex name None) :: !statements;
+            stmts ()
+        | Lexer.Lparen, _ ->
+            let i = expect_int lex in
+            expect lex Lexer.Rparen;
+            expect lex Lexer.Assign;
+            statements :=
+              Ast.S_assign (parse_assignment lex name (Some i)) :: !statements;
+            stmts ()
+        | got, line ->
+            raise
+              (Parse_error
+                 ( line,
+                   Printf.sprintf "expected :, <= or (index), got %s"
+                     (Lexer.token_name got) )))
+    | got, line ->
+        raise
+          (Parse_error
+             (line, Printf.sprintf "expected statement, got %s" (Lexer.token_name got)))
+  in
+  stmts ();
+  {
+    Ast.arch_name;
+    arch_entity = entity_name;
+    signals = List.rev !signals;
+    statements = List.rev !statements;
+  }
+
+let parse_design_unit lex =
+  let entity_name, ports = parse_entity lex in
+  let architecture = parse_architecture lex entity_name in
+  { Ast.entity_name; ports; architecture }
+
+let of_string src =
+  let lex = Lexer.create src in
+  let unit_ = parse_design_unit lex in
+  (match Lexer.next lex with
+  | Lexer.Eof, _ -> ()
+  | got, line ->
+      raise
+        (Parse_error
+           ( line,
+             Printf.sprintf "trailing input: %s" (Lexer.token_name got) )));
+  unit_
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string src

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the structural VHDL subset (grammar in
+    {!Ast}). *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val of_string : string -> Ast.design_unit
+val of_file : string -> Ast.design_unit

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Format List Milo Milo_baselines Milo_compilers Milo_critic Milo_designs Milo_estimate Milo_library Milo_netlist Milo_rules Milo_sim Printf Util

@@ -1,0 +1,1 @@
+test/test_boolfunc.ml: Alcotest Array Cover Cube Int64 List Milo_boolfunc QCheck2 Truth_table Util

@@ -1,0 +1,1 @@
+test/test_compilers.ml: Alcotest List Milo_compilers Milo_designs Milo_netlist Milo_sim QCheck2 String Util

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest List Milo_compilers Milo_designs Milo_estimate Milo_library Milo_netlist Milo_techmap Milo_timing Printf Util

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Float Format List Milo Milo_designs Milo_library Milo_netlist Milo_sim Printf String Util

@@ -1,0 +1,1 @@
+test/test_library.ml: Alcotest Array List Milo_boolfunc Milo_library Milo_netlist Option Printf Truth_table Util

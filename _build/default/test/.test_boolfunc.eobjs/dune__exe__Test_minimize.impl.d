@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Array Cover Cube Int64 List Milo_boolfunc Milo_minimize QCheck2 Truth_table Util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Milo_designs Milo_library Milo_netlist Printf QCheck2 Random String Util

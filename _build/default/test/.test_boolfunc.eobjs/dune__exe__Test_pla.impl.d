@@ -1,0 +1,1 @@
+test/test_pla.ml: Alcotest Array Cover List Milo Milo_boolfunc Milo_netlist Milo_pla Milo_sim Option Printf QCheck2 Random Util

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Format Hashtbl List Milo_compilers Milo_critic Milo_designs Milo_estimate Milo_library Milo_netlist Milo_rules Milo_sim Milo_techmap Printf Util

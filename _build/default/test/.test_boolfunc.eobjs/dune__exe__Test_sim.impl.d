@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Milo_netlist Milo_sim Printf Util

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Float Hashtbl List Milo_library Milo_netlist Milo_timing Printf Util

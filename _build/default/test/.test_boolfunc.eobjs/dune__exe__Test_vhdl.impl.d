@@ -1,0 +1,1 @@
+test/test_vhdl.ml: Alcotest List Milo Milo_library Milo_netlist Milo_sim Milo_vhdl Printf Random String Util

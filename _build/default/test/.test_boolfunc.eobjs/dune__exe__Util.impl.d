@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Format List Milo_compilers Milo_designs Milo_library Milo_netlist Milo_rules Milo_sim Milo_techmap Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,119 @@
+(* LSS baseline flow tests: level translators preserve function, the
+   naive NAND/NOR translation is cleaned by the level optimizer, and the
+   full four-level flow stays equivalent. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let test_to_and_or () =
+  let case = Milo_designs.Suite.design5 () in
+  let db = Milo_compilers.Database.create () in
+  let lib = Util.generic () in
+  let expanded =
+    Milo_compilers.Compile.expand_design db lib case.Milo_designs.Suite.case_design
+  in
+  let flat = Milo_compilers.Database.flatten db expanded in
+  let and_or = Milo_baselines.Lss.to_and_or flat in
+  (* only AND/OR/INV/BUF gates and constants remain *)
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro m ->
+          let mac = Milo_library.Technology.find lib m in
+          let ok =
+            (match Milo_critic.Gate_shape.of_macro mac with
+            | Some { Milo_critic.Gate_shape.fn = T.And | T.Or | T.Inv | T.Buf; _ } ->
+                true
+            | Some _ -> false
+            | None -> Milo_critic.Gate_shape.is_const mac <> None)
+            || Milo_library.Macro.is_sequential mac
+          in
+          Alcotest.(check bool) (m ^ " allowed at AND/OR level") true ok
+      | k -> Alcotest.failf "unexpected %s" (T.kind_name k))
+    (D.comps and_or);
+  Util.check_equiv (Util.env_gen ()) flat (Util.env_gen ()) and_or
+
+let test_to_nand_nor_cleanup () =
+  let case = Milo_designs.Suite.design1 () in
+  let db = Milo_compilers.Database.create () in
+  let lib = Util.generic () in
+  let expanded =
+    Milo_compilers.Compile.expand_design db lib case.Milo_designs.Suite.case_design
+  in
+  let flat = Milo_compilers.Database.flatten db expanded in
+  let and_or = Milo_baselines.Lss.to_and_or flat in
+  let nand_nor = Milo_baselines.Lss.to_nand_nor and_or in
+  Util.check_equiv (Util.env_gen ()) and_or (Util.env_gen ()) nand_nor;
+  (* the naive translation added inverters... *)
+  let invs d =
+    List.length
+      (List.filter
+         (fun (c : D.comp) ->
+           match c.D.kind with T.Macro "INV" -> true | _ -> false)
+         (D.comps d))
+  in
+  Alcotest.(check bool) "naive translation adds inverters" true
+    (invs nand_nor > invs and_or);
+  (* ...and the level optimizer removes the debris *)
+  let before = D.num_comps nand_nor in
+  let ctx = Util.ctx_for lib nand_nor in
+  ignore
+    (Milo_rules.Engine.ops_run_incremental ctx
+       (Milo_critic.Critic.logic @ Milo_critic.Critic.cleanup));
+  Alcotest.(check bool) "cleanup shrinks the level" true
+    (D.num_comps nand_nor < before);
+  Util.check_equiv (Util.env_gen ()) and_or (Util.env_gen ()) nand_nor
+
+let test_full_lss_flow () =
+  List.iter
+    (fun (case : Milo_designs.Suite.case) ->
+      let db = Milo_compilers.Database.create () in
+      let design = case.Milo_designs.Suite.case_design in
+      let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
+      let lss, reports = Milo_baselines.Lss.optimize db design in
+      Alcotest.(check int) "four levels" 4 (List.length reports);
+      let r =
+        Milo_sim.Equiv.sequential ~cycles:48 ~runs:3 (Util.env_ecl ()) baseline
+          (Util.env_ecl ()) lss
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "design %s LSS equivalent: %s"
+           case.Milo_designs.Suite.case_name
+           (Format.asprintf "%a" Milo_sim.Equiv.pp_result r))
+        true
+        (Milo_sim.Equiv.is_equivalent r))
+    [ Milo_designs.Suite.design1 (); Milo_designs.Suite.design5 ();
+      Milo_designs.Suite.design8 () ]
+
+let test_milo_beats_lss_on_structured () =
+  (* The paper's core argument: gate-level decomposition loses the MSI
+     macros; MILO retains them and wins on datapath-style designs. *)
+  let case = Milo_designs.Suite.design6 () in
+  let design = case.Milo_designs.Suite.case_design in
+  let db = Milo_compilers.Database.create () in
+  let lss, _ = Milo_baselines.Lss.optimize db design in
+  let milo =
+    (Milo.Flow.run ~technology:Milo.Flow.Ecl
+       ~constraints:case.Milo_designs.Suite.constraints design)
+      .Milo.Flow.optimized
+  in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  Alcotest.(check bool) "MILO area < LSS area on the datapath" true
+    (Milo_estimate.Estimate.area env milo < Milo_estimate.Estimate.area env lss)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "lss-levels",
+        [
+          Alcotest.test_case "AND/OR translator" `Quick test_to_and_or;
+          Alcotest.test_case "NAND/NOR translator + cleanup" `Quick
+            test_to_nand_nor_cleanup;
+        ] );
+      ( "lss-flow",
+        [
+          Alcotest.test_case "equivalence" `Slow test_full_lss_flow;
+          Alcotest.test_case "MILO beats LSS on datapaths" `Quick
+            test_milo_beats_lss_on_structured;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Estimator tests: the microarchitecture formula estimator against
+   compiled-and-mapped measurements (Section 5's "reasonable estimate"
+   requirement), and basic area/power accounting. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module E = Milo_estimate.Estimate
+
+let measure kind =
+  let db = Milo_compilers.Database.create () in
+  let lib = Util.generic () in
+  let flat = Milo_compilers.Compile.compile_flat db lib kind in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let mapped = Milo_techmap.Table_map.map_design target flat in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  let sta = Milo_timing.Sta.analyze env mapped in
+  (Milo_timing.Sta.worst_delay sta, E.area env mapped, E.power env mapped)
+
+let kinds =
+  [
+    T.Gate (T.And, 4);
+    T.Multiplexor { bits = 4; inputs = 4; enable = false };
+    T.Decoder { bits = 3; enable = false };
+    T.Comparator { bits = 8; fns = [ T.Eq; T.Lt; T.Gt ] };
+    T.Arith_unit { bits = 8; fns = [ T.Add ]; mode = T.Ripple };
+    T.Arith_unit { bits = 8; fns = [ T.Add ]; mode = T.Lookahead };
+    T.Register
+      { bits = 8; kind = T.Edge_triggered; fns = [ T.Load ];
+        controls = [ T.Reset ]; inverting = false };
+    T.Counter { bits = 8; fns = [ T.Count_up ]; controls = [ T.Reset ] };
+  ]
+
+let test_estimates_within_band () =
+  (* The formula estimate is within a factor of 3.5 of the measured
+     value — good enough to steer tradeoffs, as the paper requires. *)
+  List.iter
+    (fun kind ->
+      let est = E.micro ~coefficients:E.ecl_coefficients kind in
+      let _delay, area, power = measure kind in
+      let band name est meas factor =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s: est %.1f vs meas %.1f" (T.kind_name kind)
+             name est meas)
+          true
+          (est > meas /. factor && est < meas *. factor)
+      in
+      band "area" est.E.est_area area 3.5;
+      band "power" est.E.est_power power 3.5)
+    kinds
+
+let test_estimator_ordering () =
+  (* The estimator preserves the orderings the critic's tradeoffs rely
+     on: CLA is bigger but faster than ripple; wider components are
+     bigger. *)
+  let ripple =
+    E.micro (T.Arith_unit { bits = 8; fns = [ T.Add ]; mode = T.Ripple })
+  in
+  let cla =
+    E.micro (T.Arith_unit { bits = 8; fns = [ T.Add ]; mode = T.Lookahead })
+  in
+  Alcotest.(check bool) "CLA bigger" true (cla.E.est_area > ripple.E.est_area);
+  Alcotest.(check bool) "CLA faster" true (cla.E.est_delay < ripple.E.est_delay);
+  let w4 = E.micro (T.Arith_unit { bits = 4; fns = [ T.Add ]; mode = T.Ripple }) in
+  let w16 = E.micro (T.Arith_unit { bits = 16; fns = [ T.Add ]; mode = T.Ripple }) in
+  Alcotest.(check bool) "wider is bigger" true (w16.E.est_area > w4.E.est_area);
+  Alcotest.(check bool) "wider ripple is slower" true
+    (w16.E.est_delay > w4.E.est_delay)
+
+let test_design_estimate () =
+  let case = Milo_designs.Suite.design6 () in
+  let est =
+    E.micro_design ~coefficients:E.ecl_coefficients
+      case.Milo_designs.Suite.case_design
+  in
+  Alcotest.(check bool) "positive area" true (est.E.est_area > 0.0);
+  Alcotest.(check bool) "positive delay" true (est.E.est_delay > 0.0);
+  Alcotest.(check bool) "positive power" true (est.E.est_power > 0.0)
+
+let test_mapped_accounting () =
+  let _, d = (fun () ->
+    let src = Milo_designs.Workload.random_logic ~gates:20 ~seed:3 () in
+    let target = Milo_techmap.Table_map.ecl_target () in
+    (src, Milo_techmap.Table_map.map_design target src)) ()
+  in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  let total = E.area env d in
+  let by_comp =
+    List.fold_left (fun acc c -> acc +. E.comp_area env c) 0.0 (D.comps d)
+  in
+  Alcotest.(check (float 1e-9)) "area additive" by_comp total;
+  Alcotest.(check bool) "rejects unmapped" true
+    (match E.area env (Util.micro_reference (T.Gate (T.And, 2))) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "estimate"
+    [
+      ( "micro-estimator",
+        [
+          Alcotest.test_case "within band of measurement" `Quick
+            test_estimates_within_band;
+          Alcotest.test_case "tradeoff ordering" `Quick test_estimator_ordering;
+          Alcotest.test_case "whole design" `Quick test_design_estimate;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "additivity" `Quick test_mapped_accounting ] );
+    ]

@@ -1,0 +1,170 @@
+(* End-to-end flow tests: the Figure 19 suite through the full MILO
+   pipeline — function preserved, improvements non-negative, micro
+   critic feedback behaves as Figure 16 describes. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let run_case (case : Milo_designs.Suite.case) =
+  let human =
+    Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl
+      case.Milo_designs.Suite.case_design
+  in
+  let res =
+    Milo.Flow.run ~technology:Milo.Flow.Ecl
+      ~constraints:case.Milo_designs.Suite.constraints
+      case.Milo_designs.Suite.case_design
+  in
+  (human, res)
+
+let test_flow_equivalence () =
+  List.iter
+    (fun (case : Milo_designs.Suite.case) ->
+      let baseline, _ =
+        Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+          case.Milo_designs.Suite.case_design
+      in
+      let res =
+        Milo.Flow.run ~technology:Milo.Flow.Ecl
+          ~constraints:case.Milo_designs.Suite.constraints
+          case.Milo_designs.Suite.case_design
+      in
+      let r =
+        Milo_sim.Equiv.sequential ~cycles:48 ~runs:3 (Util.env_ecl ()) baseline
+          (Util.env_ecl ()) res.Milo.Flow.optimized
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "design %s equivalent: %s"
+           case.Milo_designs.Suite.case_name
+           (Format.asprintf "%a" Milo_sim.Equiv.pp_result r))
+        true
+        (Milo_sim.Equiv.is_equivalent r))
+    (Milo_designs.Suite.all ())
+
+let test_flow_improves_delay () =
+  (* On every Figure 19 design MILO's delay is never worse than the
+     human baseline, and the logic-level designs (1-5) improve by at
+     least 10% as in the paper's 19-36% range. *)
+  List.iter
+    (fun (case : Milo_designs.Suite.case) ->
+      let human, res = run_case case in
+      let milo = res.Milo.Flow.final in
+      Alcotest.(check bool)
+        (Printf.sprintf "design %s delay no worse (%.2f vs %.2f)"
+           case.Milo_designs.Suite.case_name milo.Milo.Flow.delay
+           human.Milo.Flow.delay)
+        true
+        (milo.Milo.Flow.delay <= human.Milo.Flow.delay +. 1e-6);
+      if int_of_string case.Milo_designs.Suite.case_name <= 5 then
+        Alcotest.(check bool)
+          (Printf.sprintf "design %s delay improves >= 10%%"
+             case.Milo_designs.Suite.case_name)
+          true
+          (milo.Milo.Flow.delay < human.Milo.Flow.delay *. 0.9))
+    (Milo_designs.Suite.all ())
+
+let test_cmos_flow () =
+  (* The same pipeline retargets to the CMOS library. *)
+  let case = Milo_designs.Suite.design4 () in
+  let baseline, _ =
+    Milo.Flow.human_baseline ~technology:Milo.Flow.Cmos
+      case.Milo_designs.Suite.case_design
+  in
+  let res =
+    Milo.Flow.run ~technology:Milo.Flow.Cmos
+      ~constraints:case.Milo_designs.Suite.constraints
+      case.Milo_designs.Suite.case_design
+  in
+  let r =
+    Milo_sim.Equiv.combinational (Util.env_cmos ()) baseline (Util.env_cmos ())
+      res.Milo.Flow.optimized
+  in
+  Alcotest.(check bool) "CMOS flow equivalent" true
+    (Milo_sim.Equiv.is_equivalent r);
+  (* only CMOS macros in the result *)
+  List.iter
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Macro m ->
+          Alcotest.(check bool) (m ^ " is CMOS") true
+            (Milo_library.Technology.mem (Util.cmos ()) m)
+      | k -> Alcotest.failf "unexpected %s" (T.kind_name k))
+    (D.comps res.Milo.Flow.optimized)
+
+let test_micro_critic_feedback () =
+  (* Figure 16: the critic converts the naive accumulator and the
+     result is a smaller, faster design than the baseline. *)
+  let design = Milo_designs.Suite.accumulator ~bits:8 () in
+  let human = Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl design in
+  let res =
+    Milo.Flow.run ~technology:Milo.Flow.Ecl
+      ~constraints:(Milo.Constraints.delay 5.0) design
+  in
+  Alcotest.(check bool) "counter rule applied" true
+    (List.exists
+       (fun (rule, _) -> rule = "adder-register-to-counter")
+       res.Milo.Flow.micro_applications);
+  Alcotest.(check bool) "area improved" true
+    (res.Milo.Flow.final.Milo.Flow.area < human.Milo.Flow.area);
+  Alcotest.(check bool) "delay improved" true
+    (res.Milo.Flow.final.Milo.Flow.delay < human.Milo.Flow.delay)
+
+let test_constraints_api () =
+  let c = Milo.Constraints.make ~required_delay:5.0 ~max_area:100.0 () in
+  Alcotest.(check bool) "meets" true
+    (Milo.Constraints.meets c ~delay:4.0 ~area:90.0 ~power:50.0);
+  Alcotest.(check bool) "fails delay" false
+    (Milo.Constraints.meets c ~delay:6.0 ~area:90.0 ~power:50.0);
+  Alcotest.(check bool) "fails area" false
+    (Milo.Constraints.meets c ~delay:4.0 ~area:150.0 ~power:50.0)
+
+let test_report () =
+  let case = Milo_designs.Suite.design3 () in
+  let human, res = run_case case in
+  let row =
+    Milo.Report.row_of_stats ~name:"x" ~human ~milo:res.Milo.Flow.final
+  in
+  Alcotest.(check bool) "row formats" true
+    (String.length (Milo.Report.format_row row) > 0);
+  Alcotest.(check bool) "improvement formula" true
+    (Float.abs (Milo.Report.percent_improvement 10.0 5.0 -. 50.0) < 1e-9);
+  let summary = Milo.Report.summary res in
+  Alcotest.(check bool) "summary nonempty" true (String.length summary > 0)
+
+let test_abadd_flow () =
+  (* The paper's walkthrough example end to end. *)
+  let design = Milo_designs.Abadd.design () in
+  let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
+  let res =
+    Milo.Flow.run ~technology:Milo.Flow.Ecl
+      ~constraints:Milo_designs.Abadd.constraints design
+  in
+  let r =
+    Milo_sim.Equiv.sequential ~cycles:64 ~runs:4 (Util.env_ecl ()) baseline
+      (Util.env_ecl ()) res.Milo.Flow.optimized
+  in
+  Alcotest.(check bool) "abadd equivalent" true (Milo_sim.Equiv.is_equivalent r);
+  Alcotest.(check bool) "abadd improves area" true
+    (res.Milo.Flow.final.Milo.Flow.area
+     < (Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl design).Milo.Flow.area)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "figure-19",
+        [
+          Alcotest.test_case "equivalence" `Slow test_flow_equivalence;
+          Alcotest.test_case "improvements" `Slow test_flow_improves_delay;
+        ] );
+      ( "technologies",
+        [ Alcotest.test_case "CMOS retarget" `Quick test_cmos_flow ] );
+      ( "micro-critic",
+        [ Alcotest.test_case "figure 16 feedback" `Quick test_micro_critic_feedback ]
+      );
+      ( "api",
+        [
+          Alcotest.test_case "constraints" `Quick test_constraints_api;
+          Alcotest.test_case "report" `Quick test_report;
+        ] );
+      ("abadd", [ Alcotest.test_case "walkthrough" `Quick test_abadd_flow ]);
+    ]

@@ -1,0 +1,169 @@
+(* Two-level minimization and algebraic factoring tests. *)
+
+open Milo_boolfunc
+
+let tt_gen vars =
+  QCheck2.Gen.map
+    (fun bits -> Truth_table.create vars (Int64.of_int bits))
+    (QCheck2.Gen.int_bound ((1 lsl min 30 (1 lsl vars)) - 1))
+
+let small_tt = QCheck2.Gen.(int_range 1 5 >>= fun v -> tt_gen v)
+
+let on_set tt =
+  let vars = Truth_table.vars tt in
+  List.filter (Truth_table.eval_index tt) (List.init (1 lsl vars) (fun m -> m))
+
+let test_qm_known () =
+  (* f = x'y' + xy over 2 vars: both minterms prime, cover size 2 *)
+  let cover = Milo_minimize.Quine.minimize ~vars:2 ~on:[ 0; 3 ] ~dc:[] in
+  Alcotest.(check int) "xnor cover" 2 (Cover.size cover);
+  (* f = sum of all minterms = constant 1: one empty cube *)
+  let cover = Milo_minimize.Quine.minimize ~vars:2 ~on:[ 0; 1; 2; 3 ] ~dc:[] in
+  Alcotest.(check int) "tautology 1 cube" 1 (Cover.size cover);
+  Alcotest.(check int) "tautology 0 lits" 0 (Cover.literal_count cover)
+
+let test_qm_dontcare () =
+  (* 7-segment style: dc shrinks the cover *)
+  let without = Milo_minimize.Quine.minimize ~vars:3 ~on:[ 1; 3 ] ~dc:[] in
+  let with_dc = Milo_minimize.Quine.minimize ~vars:3 ~on:[ 1; 3 ] ~dc:[ 5; 7 ] in
+  Alcotest.(check bool) "dc no worse" true
+    (Cover.literal_count with_dc <= Cover.literal_count without)
+
+let prop_qm_equivalent =
+  Util.qtest ~count:150 "QM minimization preserves function" small_tt (fun tt ->
+      let vars = Truth_table.vars tt in
+      let cover = Milo_minimize.Quine.minimize ~vars ~on:(on_set tt) ~dc:[] in
+      List.for_all
+        (fun m -> Cover.eval_index cover m = Truth_table.eval_index tt m)
+        (List.init (1 lsl vars) (fun m -> m)))
+
+let prop_qm_primes_cover =
+  Util.qtest ~count:100 "every on-minterm is in some prime" small_tt (fun tt ->
+      let vars = Truth_table.vars tt in
+      let on = on_set tt in
+      let primes = Milo_minimize.Quine.primes ~vars ~on ~dc:[] in
+      List.for_all
+        (fun m -> List.exists (fun p -> Cube.eval_index p m) primes)
+        on)
+
+let prop_qm_minimal_vs_naive =
+  Util.qtest ~count:100 "QM no bigger than the minterm cover" small_tt
+    (fun tt ->
+      let vars = Truth_table.vars tt in
+      let on = on_set tt in
+      let cover = Milo_minimize.Quine.minimize ~vars ~on ~dc:[] in
+      Cover.size cover <= List.length on)
+
+let prop_espresso_equivalent =
+  Util.qtest ~count:100 "espresso heuristic preserves function" small_tt
+    (fun tt ->
+      let c = Cover.of_truth_table tt in
+      let m = Milo_minimize.Espresso.minimize c in
+      let vars = Truth_table.vars tt in
+      List.for_all
+        (fun i -> Cover.eval_index m i = Truth_table.eval_index tt i)
+        (List.init (1 lsl vars) (fun i -> i)))
+
+let prop_espresso_no_growth =
+  Util.qtest ~count:100 "espresso never grows the cover" small_tt (fun tt ->
+      let c = Cover.of_truth_table tt in
+      let m = Milo_minimize.Espresso.minimize c in
+      Cover.size m <= Cover.size c)
+
+(* --- Algebraic division ------------------------------------------------ *)
+
+let alg_of_cubes n cubess =
+  ignore n;
+  List.map Milo_minimize.Division.cube_of_list cubess
+
+let test_divide_known () =
+  let open Milo_minimize.Division in
+  (* f = ab + ac + d ; divide by (b + c): q = a, r = d *)
+  let a = lit_pos 0 and b = lit_pos 1 and c = lit_pos 2 and d = lit_pos 3 in
+  let f = alg_of_cubes 4 [ [ a; b ]; [ a; c ]; [ d ] ] in
+  let dv = alg_of_cubes 4 [ [ b ]; [ c ] ] in
+  let q, r = divide f dv in
+  Alcotest.(check bool) "quotient a" true (q = [ [ a ] ]);
+  Alcotest.(check bool) "remainder d" true (r = [ [ d ] ])
+
+let test_kernels_known () =
+  let open Milo_minimize.Division in
+  (* f = ab + ac: kernel {b + c} with co-kernel a *)
+  let a = lit_pos 0 and b = lit_pos 1 and c = lit_pos 2 in
+  let f = alg_of_cubes 3 [ [ a; b ]; [ a; c ] ] in
+  let ks = kernels f in
+  Alcotest.(check bool) "found b+c kernel" true
+    (List.exists (fun (_, k) -> dedup k = [ [ b ]; [ c ] ]) ks)
+
+let prop_divide_recompose =
+  (* f = d*q + r algebraically: every cube of d*q and r is a cube of f *)
+  Util.qtest ~count:100 "division recomposes" small_tt (fun tt ->
+      let cover = Milo_minimize.Espresso.minimize (Cover.of_truth_table tt) in
+      let f = Milo_minimize.Division.of_cover cover in
+      match Milo_minimize.Division.best_kernel f with
+      | None -> true
+      | Some d ->
+          let q, r = Milo_minimize.Division.divide f d in
+          let products =
+            List.concat_map
+              (fun qc ->
+                List.map (fun dc -> Milo_minimize.Division.cube_union qc dc) d)
+              q
+          in
+          List.for_all (fun c -> List.mem c f) (products @ r)
+          && List.length products + List.length r = List.length f)
+
+let prop_factor_equivalent =
+  Util.qtest ~count:150 "factored expression preserves function" small_tt
+    (fun tt ->
+      let cover = Milo_minimize.Espresso.minimize (Cover.of_truth_table tt) in
+      let expr = Milo_minimize.Factor.of_cover cover in
+      let vars = Truth_table.vars tt in
+      List.for_all
+        (fun m ->
+          let a = Array.init vars (fun i -> m land (1 lsl i) <> 0) in
+          Milo_minimize.Factor.eval (fun v -> a.(v)) expr
+          = Truth_table.eval_index tt m)
+        (List.init (1 lsl vars) (fun m -> m)))
+
+let prop_factor_no_more_literals =
+  Util.qtest ~count:100 "factoring never adds literals" small_tt (fun tt ->
+      let cover = Milo_minimize.Espresso.minimize (Cover.of_truth_table tt) in
+      let expr = Milo_minimize.Factor.of_cover cover in
+      Milo_minimize.Factor.literal_count expr <= Cover.literal_count cover)
+
+let test_covering_exact_beats_greedy () =
+  (* Covering problem where greedy is suboptimal is hard to set up with
+     cubes; just check exact solves a simple instance minimally. *)
+  let c01 = Cube.of_literals 2 [ (1, false) ] in
+  (* covers minterms 0,1 *)
+  let c23 = Cube.of_literals 2 [ (1, true) ] in
+  let sol =
+    Milo_minimize.Covering.solve ~candidates:[ c01; c23 ] ~targets:[ 0; 1; 2; 3 ] ()
+  in
+  Alcotest.(check int) "two cubes" 2 (List.length sol)
+
+let () =
+  Alcotest.run "minimize"
+    [
+      ( "quine",
+        [
+          Alcotest.test_case "known" `Quick test_qm_known;
+          Alcotest.test_case "dontcare" `Quick test_qm_dontcare;
+          prop_qm_equivalent;
+          prop_qm_primes_cover;
+          prop_qm_minimal_vs_naive;
+        ] );
+      ("espresso", [ prop_espresso_equivalent; prop_espresso_no_growth ]);
+      ( "division",
+        [
+          Alcotest.test_case "divide" `Quick test_divide_known;
+          Alcotest.test_case "kernels" `Quick test_kernels_known;
+          prop_divide_recompose;
+        ] );
+      ( "factor",
+        [ prop_factor_equivalent; prop_factor_no_more_literals ] );
+      ( "covering",
+        [ Alcotest.test_case "exact" `Quick test_covering_exact_beats_greedy ]
+      );
+    ]

@@ -1,0 +1,227 @@
+(* Netlist IR tests: design graph operations, the undo log, the textual
+   format round-trip, structural statistics. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let test_pins_of_kind () =
+  let pins = T.pins_of_kind (T.Gate (T.And, 3)) in
+  Alcotest.(check int) "and3 pins" 4 (List.length pins);
+  let pins = T.pins_of_kind (T.Multiplexor { bits = 2; inputs = 4; enable = true }) in
+  (* 4*2 data + 2 sel + en + 2 out *)
+  Alcotest.(check int) "mux pins" 13 (List.length pins);
+  let pins =
+    T.pins_of_kind
+      (T.Register
+         { bits = 4; kind = T.Edge_triggered; fns = [ T.Load; T.Shift_right ];
+           controls = [ T.Reset ]; inverting = false })
+  in
+  (* 4 D + SIR + M0 + CLK + RST + 4 Q *)
+  Alcotest.(check int) "reg pins" 12 (List.length pins);
+  Alcotest.(check bool) "inv arity" true
+    (List.length (T.pins_of_kind (T.Gate (T.Inv, 5))) = 2)
+
+let test_kind_name_unique () =
+  let kinds =
+    [
+      T.Gate (T.And, 2); T.Gate (T.And, 3); T.Gate (T.Nand, 2);
+      T.Multiplexor { bits = 1; inputs = 2; enable = false };
+      T.Multiplexor { bits = 1; inputs = 2; enable = true };
+      T.Arith_unit { bits = 4; fns = [ T.Add ]; mode = T.Ripple };
+      T.Arith_unit { bits = 4; fns = [ T.Add ]; mode = T.Lookahead };
+      T.Counter { bits = 4; fns = [ T.Count_up ]; controls = [ T.Reset ] };
+    ]
+  in
+  let names = List.map T.kind_name kinds in
+  Alcotest.(check int) "unique names" (List.length kinds)
+    (List.length (List.sort_uniq compare names))
+
+let test_design_basic () =
+  let d = D.create "t" in
+  let a = D.add_port d "A" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let g = D.add_comp d (T.Macro "INV") in
+  D.connect d g "A0" a;
+  D.connect d g "Y" y;
+  Alcotest.(check int) "comps" 1 (D.num_comps d);
+  Alcotest.(check int) "nets" 2 (D.num_nets d);
+  let resolve = Milo_library.Technology.resolver (Util.generic ()) in
+  Alcotest.(check bool) "check ok" true (D.check ~resolve d = Ok ());
+  (match D.driver ~resolve d y with
+  | D.Src_comp (cid, "Y") -> Alcotest.(check int) "driver" g cid
+  | D.Src_comp _ | D.Src_port _ | D.Src_none -> Alcotest.fail "wrong driver");
+  Alcotest.(check int) "fanout of A" 1 (D.fanout ~resolve d a)
+
+let test_check_catches_multiple_drivers () =
+  let d = D.create "bad" in
+  let a = D.add_port d "A" T.Input in
+  let g1 = D.add_comp d (T.Macro "INV") in
+  let g2 = D.add_comp d (T.Macro "INV") in
+  let n = D.new_net d in
+  D.connect d g1 "A0" a;
+  D.connect d g2 "A0" a;
+  D.connect d g1 "Y" n;
+  D.connect d g2 "Y" n;
+  let resolve = Milo_library.Technology.resolver (Util.generic ()) in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match D.check ~resolve d with
+  | Error msgs ->
+      Alcotest.(check bool) "mentions drivers" true
+        (List.exists (fun m -> contains m "multiple drivers") msgs)
+  | Ok () -> Alcotest.fail "expected check failure")
+
+let test_undo_simple () =
+  let d = D.create "u" in
+  let a = D.add_port d "A" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let g = D.add_comp d (T.Macro "INV") in
+  D.connect d g "A0" a;
+  D.connect d g "Y" y;
+  let snap = D.copy d in
+  let log = D.new_log () in
+  let g2 = D.add_comp ~log d (T.Macro "BUF") in
+  let n = D.new_net ~log d in
+  D.connect ~log d g2 "A0" a;
+  D.connect ~log d g2 "Y" n;
+  D.disconnect ~log d g "A0";
+  D.connect ~log d g "A0" n;
+  D.set_kind ~log d g (T.Macro "BUF");
+  D.remove_comp ~log d g2;
+  D.undo d log;
+  Alcotest.(check bool) "undo restores" true (D.equal_structure snap d)
+
+(* Random edit scripts followed by undo restore the design exactly. *)
+let prop_undo_random =
+  let gen = QCheck2.Gen.(pair (int_bound 1000) (int_range 1 30)) in
+  Util.qtest ~count:60 "random edits undo" gen (fun (seed, steps) ->
+      let rng = Random.State.make [| seed |] in
+      let d = D.create "r" in
+      let a = D.add_port d "A" T.Input in
+      let _y = D.add_port d "Y" T.Output in
+      let g = D.add_comp d (T.Macro "INV") in
+      D.connect d g "A0" a;
+      let snap = D.copy d in
+      let log = D.new_log () in
+      let macros = [| "INV"; "BUF"; "AND2"; "OR2"; "NAND2" |] in
+      for _ = 1 to steps do
+        match Random.State.int rng 5 with
+        | 0 ->
+            ignore
+              (D.add_comp ~log d
+                 (T.Macro macros.(Random.State.int rng (Array.length macros))))
+        | 1 -> ignore (D.new_net ~log d)
+        | 2 ->
+            (* connect a random comp pin to a random net *)
+            let comps = D.comps d in
+            let nets = D.nets d in
+            if comps <> [] && nets <> [] then begin
+              let c = List.nth comps (Random.State.int rng (List.length comps)) in
+              let n = List.nth nets (Random.State.int rng (List.length nets)) in
+              D.connect ~log d c.D.id "A0" n.D.nid
+            end
+        | 3 ->
+            let comps = D.comps d in
+            if List.length comps > 1 then begin
+              let c = List.nth comps (Random.State.int rng (List.length comps)) in
+              D.remove_comp ~log d c.D.id
+            end
+        | _ ->
+            let comps = D.comps d in
+            if comps <> [] then begin
+              let c = List.nth comps (Random.State.int rng (List.length comps)) in
+              D.set_kind ~log d c.D.id (T.Macro "BUF")
+            end
+      done;
+      D.undo d log;
+      D.equal_structure snap d)
+
+let test_roundtrip () =
+  let case = Milo_designs.Suite.design6 () in
+  let d = case.Milo_designs.Suite.case_design in
+  let text = Milo_netlist.Writer.to_string d in
+  let d2 = Milo_netlist.Parser.of_string text in
+  (* Round-trip designs simulate identically. *)
+  Util.check_equiv ~seq:true (Util.env_gen ()) d (Util.env_gen ()) d2
+
+let test_parser_errors () =
+  let bad s =
+    match Milo_netlist.Parser.of_string s with
+    | exception Milo_netlist.Parser.Parse_error (_, _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no design stmt" true (bad "port in A\n");
+  Alcotest.(check bool) "bad kind" true (bad "design d\ncomp x frobnicator\n");
+  Alcotest.(check bool) "unknown comp in join" true
+    (bad "design d\nport in A\njoin A nothere.P\n")
+
+let test_kind_spec_roundtrip () =
+  let kinds =
+    [
+      T.Gate (T.Xnor, 4);
+      T.Multiplexor { bits = 3; inputs = 4; enable = true };
+      T.Decoder { bits = 2; enable = false };
+      T.Comparator { bits = 4; fns = [ T.Eq; T.Le ] };
+      T.Logic_unit { bits = 2; fn = T.Or; inputs = 3 };
+      T.Arith_unit { bits = 8; fns = [ T.Add; T.Sub ]; mode = T.Lookahead };
+      T.Register
+        { bits = 4; kind = T.Latch; fns = [ T.Load; T.Shift_left ];
+          controls = [ T.Set; T.Enable ]; inverting = true };
+      T.Counter
+        { bits = 6; fns = [ T.Count_load; T.Count_down ];
+          controls = [ T.Reset ] };
+      T.Constant T.Vdd;
+      T.Macro "E_OR3";
+      T.Instance "SUB1";
+    ]
+  in
+  List.iter
+    (fun k ->
+      let spec = Milo_netlist.Writer.kind_spec k in
+      let text = Printf.sprintf "design t\ncomp x %s\n" spec in
+      let d = Milo_netlist.Parser.of_string text in
+      let c = D.find_comp d "x" in
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %s" spec)
+        (T.kind_name k) (T.kind_name c.D.kind))
+    kinds
+
+let test_stats () =
+  let case = Milo_designs.Suite.design1 () in
+  let d = case.Milo_designs.Suite.case_design in
+  let hist = Milo_netlist.Stats.kind_histogram d in
+  Alcotest.(check bool) "histogram nonempty" true (hist <> []);
+  Alcotest.(check bool) "gate equiv positive" true
+    (Milo_netlist.Stats.two_input_equiv d > 0);
+  let resolve = Milo_library.Technology.resolver (Util.generic ()) in
+  Alcotest.(check bool) "max fanout sane" true
+    (Milo_netlist.Stats.max_fanout ~resolve d >= 1)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "pins_of_kind" `Quick test_pins_of_kind;
+          Alcotest.test_case "kind names unique" `Quick test_kind_name_unique;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "basics" `Quick test_design_basic;
+          Alcotest.test_case "check multiple drivers" `Quick
+            test_check_catches_multiple_drivers;
+        ] );
+      ( "undo",
+        [ Alcotest.test_case "scripted" `Quick test_undo_simple; prop_undo_random ]
+      );
+      ( "text-format",
+        [
+          Alcotest.test_case "design round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "parser errors" `Quick test_parser_errors;
+          Alcotest.test_case "kind specs" `Quick test_kind_spec_roundtrip;
+        ] );
+      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+    ]

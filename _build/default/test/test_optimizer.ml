@@ -1,0 +1,211 @@
+(* Optimizer tests: cones, the eight strategies, the time optimizer,
+   area/power optimizers, the hierarchical logic optimizer. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Milo_rules.Rule
+module Cone = Milo_rules.Cone
+
+let mapped_design ~gates ~seed =
+  let src = Milo_designs.Workload.random_logic ~gates ~seed () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  (src, Milo_techmap.Table_map.map_design target src)
+
+let test_cone_extract_eval () =
+  let _, d = mapped_design ~gates:30 ~seed:9 in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let sim = Milo_sim.Simulator.create (Util.env_ecl ()) d in
+  (* compare cone evaluation against whole-design simulation on the
+     output port cones *)
+  List.iter
+    (fun (p, dir, nid) ->
+      if dir = T.Output then
+        match Cone.extract ctx ~max_leaves:6 nid with
+        | None -> ()
+        | Some cone ->
+            (match Cone.truth_table ctx cone with
+            | None -> ()
+            | Some tt ->
+                (* random vectors: settle the design, read leaf values,
+                   compare tt against the output net value *)
+                let rng = Random.State.make [| 77 |] in
+                for _ = 1 to 16 do
+                  let ins =
+                    List.filter_map
+                      (fun (ip, idir, _) ->
+                        if idir = T.Input then Some (ip, Random.State.bool rng)
+                        else None)
+                      (D.ports d)
+                  in
+                  let nets = Milo_sim.Simulator.settle sim ins in
+                  let leaf_val n =
+                    Option.value ~default:false (Hashtbl.find_opt nets n)
+                  in
+                  let arr =
+                    Array.of_list (List.map leaf_val cone.Cone.leaves)
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "cone of %s matches simulation" p)
+                    (Option.value ~default:false (Hashtbl.find_opt nets nid))
+                    (Milo_boolfunc.Truth_table.eval tt arr)
+                done))
+    (D.ports d)
+
+let strategies_preserve_function seed =
+  let src, d = mapped_design ~gates:50 ~seed in
+  ignore src;
+  let reference = D.copy d in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  List.iter
+    (fun (s : Milo_optimizer.Strategies.strategy) ->
+      let sta = Milo_timing.Sta.analyze env d in
+      match Milo_timing.Paths.most_critical sta with
+      | None -> ()
+      | Some path ->
+          let log = D.new_log () in
+          (match s.Milo_optimizer.Strategies.run ctx sta path log with
+          | Milo_optimizer.Strategies.Applied _ ->
+              Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.cleanup log;
+              let r =
+                Milo_sim.Equiv.combinational (Util.env_ecl ()) reference
+                  (Util.env_ecl ()) d
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "strategy %d (%s) sound: %s"
+                   s.Milo_optimizer.Strategies.id
+                   s.Milo_optimizer.Strategies.strat_name
+                   (Format.asprintf "%a" Milo_sim.Equiv.pp_result r))
+                true
+                (Milo_sim.Equiv.is_equivalent r);
+              (* restore for the next strategy *)
+              D.undo d log
+          | Milo_optimizer.Strategies.Not_applicable -> D.undo d log))
+    Milo_optimizer.Strategies.all
+
+let test_strategies_sound () =
+  List.iter strategies_preserve_function [ 2; 17; 29 ]
+
+let test_strategy_order () =
+  let small = Milo_optimizer.Strategies.order_for ~deficit:0.1 ~required:10.0 in
+  Alcotest.(check bool) "small slack starts with free strategies" true
+    (List.hd small = 1);
+  let large = Milo_optimizer.Strategies.order_for ~deficit:8.0 ~required:10.0 in
+  Alcotest.(check bool) "large slack includes strategy 7" true
+    (List.mem 7 large);
+  Alcotest.(check bool) "small slack excludes strategy 7" true
+    (not (List.mem 7 small))
+
+let test_time_opt_reduces_delay () =
+  let _, d = mapped_design ~gates:60 ~seed:41 in
+  let reference = D.copy d in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let before = Milo_optimizer.Time_opt.worst ctx ~input_arrivals:[] in
+  let outcome =
+    Milo_optimizer.Time_opt.optimize ~required:(before *. 0.75)
+      ~cleanups:Milo_critic.Critic.cleanup ctx
+  in
+  Alcotest.(check bool) "delay reduced" true
+    (outcome.Milo_optimizer.Time_opt.final_delay < before);
+  (* every recorded step really reduced the worst delay *)
+  List.iter
+    (fun (s : Milo_optimizer.Time_opt.step) ->
+      Alcotest.(check bool) "step improved" true
+        (s.Milo_optimizer.Time_opt.delay_after
+         < s.Milo_optimizer.Time_opt.delay_before))
+    outcome.Milo_optimizer.Time_opt.steps;
+  Util.check_equiv (Util.env_ecl ()) reference (Util.env_ecl ()) d
+
+let test_area_opt_respects_timing () =
+  let _, d = mapped_design ~gates:50 ~seed:55 in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let before_delay = Milo_optimizer.Time_opt.worst ctx ~input_arrivals:[] in
+  let required = before_delay +. 0.1 in
+  ignore
+    (Milo_optimizer.Area_opt.optimize ~required
+       ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic)
+       ~cleanups:Milo_critic.Critic.cleanup ctx);
+  let after_delay = Milo_optimizer.Time_opt.worst ctx ~input_arrivals:[] in
+  Alcotest.(check bool) "constraint held" true (after_delay <= required +. 1e-6)
+
+let test_power_opt () =
+  (* Power the whole design up, then let the power optimizer recover. *)
+  let _, d = mapped_design ~gates:40 ~seed:61 in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  List.iter
+    (fun (c : D.comp) ->
+      match R.macro_of ctx c with
+      | Some m -> (
+          match
+            Milo_library.Technology.high_power_variant (Util.ecl ())
+              m.Milo_library.Macro.mname
+          with
+          | Some hv ->
+              D.set_kind d c.D.id (T.Macro hv.Milo_library.Macro.mname)
+          | None -> ())
+      | None -> ())
+    (D.comps d);
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  let before = Milo_estimate.Estimate.power env d in
+  let apps =
+    Milo_optimizer.Power_opt.optimize
+      ~rules:Milo_critic.Critic.power ~cleanups:[] ctx
+  in
+  let after = Milo_estimate.Estimate.power env d in
+  Alcotest.(check bool) "swaps applied" true (List.length apps > 0);
+  Alcotest.(check bool) "power reduced" true (after < before)
+
+let test_hierarchical_optimizer () =
+  (* The Figure 18 process on the ABADD design: bottom-up levels, flat
+     result, function preserved, mux+ff merge found. *)
+  let design = Milo_designs.Abadd.design () in
+  let db = Milo_compilers.Database.create () in
+  let lib = Util.generic () in
+  let expanded = Milo_compilers.Compile.expand_design db lib design in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let optimized, report =
+    Milo_optimizer.Logic_optimizer.optimize ~required:6.5 db target expanded
+  in
+  (* flat: no instances *)
+  Alcotest.(check bool) "flat" true
+    (List.for_all
+       (fun (c : D.comp) ->
+         match c.D.kind with T.Instance _ -> false | _ -> true)
+       (D.comps optimized));
+  (* the REG4 level merged mux+ff into MUXFF macros *)
+  let has_muxff =
+    List.exists
+      (fun (c : D.comp) ->
+        match c.D.kind with
+        | T.Macro m -> String.length m >= 7 && String.sub m 0 7 = "E_MUXFF"
+        | _ -> false)
+      (D.comps optimized)
+  in
+  Alcotest.(check bool) "MUXFF macros present" true has_muxff;
+  Alcotest.(check bool) "levels reported" true
+    (List.length report.Milo_optimizer.Logic_optimizer.entries >= 3);
+  let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
+  Util.check_equiv ~seq:true (Util.env_ecl ()) baseline (Util.env_ecl ()) optimized
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "cone",
+        [ Alcotest.test_case "extract/eval vs simulation" `Quick test_cone_extract_eval ]
+      );
+      ( "strategies",
+        [
+          Alcotest.test_case "soundness" `Slow test_strategies_sound;
+          Alcotest.test_case "slack ordering" `Quick test_strategy_order;
+        ] );
+      ( "time-opt",
+        [ Alcotest.test_case "reduces delay" `Quick test_time_opt_reduces_delay ]
+      );
+      ( "area-opt",
+        [ Alcotest.test_case "respects timing" `Quick test_area_opt_respects_timing ]
+      );
+      ("power-opt", [ Alcotest.test_case "recovers power" `Quick test_power_opt ]);
+      ( "hierarchical",
+        [ Alcotest.test_case "figure 18 process" `Slow test_hierarchical_optimizer ]
+      );
+    ]

@@ -1,0 +1,326 @@
+(* Rule engine tests: soundness of every critic rule (function
+   preservation), apply-then-undo identity, OPS conflict resolution,
+   SOCRATES lookahead, cleanup fixpoint. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module R = Milo_rules.Rule
+
+let all_rules () =
+  Milo_critic.Critic.logic @ Milo_critic.Critic.timing
+  @ Milo_critic.Critic.area @ Milo_critic.Critic.power
+  @ Milo_critic.Critic.electric @ Milo_critic.Critic.cleanup
+
+(* Every rule application on mapped random logic preserves function. *)
+let test_rule_soundness () =
+  let env_ecl = Util.env_ecl () in
+  List.iter
+    (fun seed ->
+      let src = Milo_designs.Workload.random_logic ~gates:30 ~seed () in
+      let target = Milo_techmap.Table_map.ecl_target () in
+      let reference = Milo_techmap.Table_map.map_design target src in
+      List.iter
+        (fun (r : R.t) ->
+          let d = D.copy reference in
+          let ctx = Util.ctx_for (Util.ecl ()) d in
+          let rec exhaust n =
+            if n > 25 then ()
+            else
+              let sites = r.R.find ctx in
+              let fired =
+                List.exists
+                  (fun s ->
+                    R.site_alive ctx s && r.R.apply ctx s (D.new_log ()))
+                  sites
+              in
+              if fired then exhaust (n + 1)
+          in
+          exhaust 0;
+          let res =
+            Milo_sim.Equiv.combinational env_ecl reference env_ecl d
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sound on seed %d: %s" r.R.rule_name seed
+               (Format.asprintf "%a" Milo_sim.Equiv.pp_result res))
+            true
+            (Milo_sim.Equiv.is_equivalent res))
+        (all_rules ()))
+    [ 3; 11 ]
+
+(* Apply + undo is the structural identity for every rule and site. *)
+let test_apply_undo_identity () =
+  let src = Milo_designs.Workload.random_logic ~gates:40 ~seed:7 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let d = Milo_techmap.Table_map.map_design target src in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let snapshot = D.copy d in
+  List.iter
+    (fun (r : R.t) ->
+      List.iter
+        (fun site ->
+          let log = D.new_log () in
+          ignore (r.R.apply ctx site log);
+          D.undo d log;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s undo identity (%s)" r.R.rule_name site.R.descr)
+            true
+            (D.equal_structure snapshot d))
+        (r.R.find ctx))
+    (all_rules ())
+
+let test_micro_rules_sound () =
+  (* Microarchitecture rules preserve sequential behaviour of the
+     accumulator and datapath designs. *)
+  let env = Util.env_gen () in
+  List.iter
+    (fun design ->
+      List.iter
+        (fun (r : R.t) ->
+          let d = D.copy design in
+          let ctx =
+            R.make_context (Util.generic ())
+              (Milo_compilers.Gate_comp.generic_set (Util.generic ()))
+              d
+          in
+          let fired =
+            List.exists
+              (fun s -> r.R.apply ctx s (D.new_log ()))
+              (r.R.find ctx)
+          in
+          if fired then begin
+            let res = Milo_sim.Equiv.sequential ~cycles:48 ~runs:3 env design env d in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s sound on %s: %s" r.R.rule_name (D.name design)
+                 (Format.asprintf "%a" Milo_sim.Equiv.pp_result res))
+              true
+              (Milo_sim.Equiv.is_equivalent res)
+          end)
+        Milo_critic.Critic.micro)
+    [
+      Milo_designs.Suite.accumulator ~bits:4 ();
+      Milo_designs.Suite.accumulator ~bits:8 ();
+      (Milo_designs.Suite.design6 ()).Milo_designs.Suite.case_design;
+      (Milo_designs.Suite.design7 ()).Milo_designs.Suite.case_design;
+    ]
+
+let test_figure14_rule_fires () =
+  (* The headline microarchitecture rule: adder+register -> counter. *)
+  let d = Milo_designs.Suite.accumulator ~bits:8 () in
+  let ctx =
+    R.make_context (Util.generic ())
+      (Milo_compilers.Gate_comp.generic_set (Util.generic ()))
+      d
+  in
+  let r = Milo_critic.Micro_critic.adder_register_to_counter in
+  let sites = r.R.find ctx in
+  Alcotest.(check int) "one site" 1 (List.length sites);
+  Alcotest.(check bool) "applies" true
+    (r.R.apply ctx (List.hd sites) (D.new_log ()));
+  (* the design now contains a counter, no arith unit *)
+  let has_counter =
+    List.exists
+      (fun (c : D.comp) ->
+        match c.D.kind with T.Counter _ -> true | _ -> false)
+      (D.comps d)
+  in
+  let has_adder =
+    List.exists
+      (fun (c : D.comp) ->
+        match c.D.kind with T.Arith_unit _ -> true | _ -> false)
+      (D.comps d)
+  in
+  Alcotest.(check bool) "counter present" true has_counter;
+  Alcotest.(check bool) "adder gone" false has_adder;
+  Util.check_equiv ~seq:true (Util.env_gen ())
+    (Milo_designs.Suite.accumulator ~bits:8 ())
+    (Util.env_gen ()) d
+
+let test_ornor_share_fires () =
+  (* An OR and a NOR over the same inputs fuse into the dual-output
+     E_ORNOR macro. *)
+  let d = D.create "dual" in
+  let a = D.add_port d "A" T.Input in
+  let b = D.add_port d "B" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let yn = D.add_port d "YN" T.Output in
+  let og = D.add_comp d (T.Macro "E_OR2") in
+  let ng = D.add_comp d (T.Macro "E_NOR2") in
+  D.connect d og "A0" a;
+  D.connect d og "A1" b;
+  D.connect d og "Y" y;
+  D.connect d ng "A0" b;
+  D.connect d ng "A1" a;
+  D.connect d ng "Y" yn;
+  let reference = D.copy d in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let r =
+    List.find (fun (r : R.t) -> r.R.rule_name = "ornor-share")
+      Milo_critic.Critic.area
+  in
+  (match r.R.find ctx with
+  | [ site ] ->
+      Alcotest.(check bool) "applies" true (r.R.apply ctx site (D.new_log ()))
+  | sites -> Alcotest.failf "expected one site, got %d" (List.length sites));
+  Alcotest.(check int) "one macro left" 1 (D.num_comps d);
+  (match (List.hd (D.comps d)).D.kind with
+  | T.Macro "E_ORNOR2" -> ()
+  | k -> Alcotest.failf "unexpected kind %s" (T.kind_name k));
+  Util.check_equiv (Util.env_ecl ()) reference (Util.env_ecl ()) d
+
+let test_cleanup_fixpoint () =
+  (* A double-inverter chain plus dead gate cleans to nothing extra. *)
+  let d = D.create "dirty" in
+  let a = D.add_port d "A" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let i1 = D.add_comp d (T.Macro "E_INV") in
+  let i2 = D.add_comp d (T.Macro "E_INV") in
+  let dead = D.add_comp d (T.Macro "E_OR2") in
+  let n1 = D.new_net d and n2 = D.new_net d in
+  D.connect d i1 "A0" a;
+  D.connect d i1 "Y" n1;
+  D.connect d i2 "A0" n1;
+  D.connect d i2 "Y" n2;
+  let buf = D.add_comp d (T.Macro "E_BUF") in
+  D.connect d buf "A0" n2;
+  D.connect d buf "Y" y;
+  D.connect d dead "A0" a;
+  D.connect d dead "A1" a;
+  let dn = D.new_net d in
+  D.connect d dead "Y" dn;
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let log = D.new_log () in
+  Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.cleanup log;
+  (* everything but a driver for Y should be gone *)
+  Alcotest.(check bool) "shrunk to <= 1 comp" true (D.num_comps d <= 1)
+
+let test_ops_engine () =
+  (* The strictly rule-based engine reaches quiescence and respects
+     refraction (no infinite loop on a rule that reports success without
+     changing anything useful). *)
+  let src = Milo_designs.Workload.random_logic ~gates:25 ~seed:13 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let d = Milo_techmap.Table_map.map_design target src in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let cycles = Milo_rules.Engine.ops_run ctx (Milo_critic.Critic.logic @ Milo_critic.Critic.cleanup) in
+  Alcotest.(check bool) "terminates" true (cycles < 2000);
+  (* result still equivalent *)
+  let reference = Milo_techmap.Table_map.map_design target src in
+  Util.check_equiv (Util.env_ecl ()) reference (Util.env_ecl ()) d
+
+let test_ops_incremental_matches_naive () =
+  (* The Rete-style incremental engine reaches the same quiescent
+     quality as the full-rescan engine, and stays equivalent. *)
+  let src = Milo_designs.Workload.random_logic ~gates:80 ~seed:19 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let rules = Milo_critic.Critic.logic @ Milo_critic.Critic.cleanup in
+  let run engine =
+    let d = Milo_techmap.Table_map.map_design target src in
+    let ctx = Util.ctx_for (Util.ecl ()) d in
+    ignore (engine ctx rules);
+    d
+  in
+  let naive = run (fun ctx r -> Milo_rules.Engine.ops_run ctx r) in
+  let incr = run (fun ctx r -> Milo_rules.Engine.ops_run_incremental ctx r) in
+  Util.check_equiv (Util.env_ecl ()) naive (Util.env_ecl ()) incr;
+  let reference = Milo_techmap.Table_map.map_design target src in
+  Util.check_equiv (Util.env_ecl ()) reference (Util.env_ecl ()) incr;
+  (* both engines should reach comparable sizes *)
+  Alcotest.(check bool) "similar quiescent size" true
+    (abs (D.num_comps naive - D.num_comps incr)
+     <= max 3 (D.num_comps naive / 5))
+
+let test_greedy_improves_cost () =
+  let src = Milo_designs.Workload.random_logic ~gates:60 ~seed:21 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let d = Milo_techmap.Table_map.map_design target src in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  let cost () = Milo_estimate.Estimate.area env d in
+  let before = cost () in
+  let apps =
+    Milo_rules.Engine.greedy_pass ctx ~cost
+      ~cleanups:Milo_critic.Critic.cleanup
+      (Milo_critic.Critic.logic @ Milo_critic.Critic.area)
+  in
+  let after = cost () in
+  Alcotest.(check bool) "applications found" true (List.length apps > 0);
+  Alcotest.(check bool) "cost decreased" true (after < before);
+  List.iter
+    (fun (a : Milo_rules.Engine.application) ->
+      Alcotest.(check bool) "positive gains" true (a.Milo_rules.Engine.gain > 0.0))
+    apps
+
+let test_search_lookahead () =
+  let src = Milo_designs.Workload.random_logic ~gates:40 ~seed:33 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let d = Milo_techmap.Table_map.map_design target src in
+  let reference = D.copy d in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let env name = Milo_library.Technology.find (Util.ecl ()) name in
+  let cost () = Milo_estimate.Estimate.area env d in
+  let stats = { Milo_rules.Search.nodes = 0; evals = 0 } in
+  let gain =
+    Milo_rules.Search.run
+      ~params:{ Milo_rules.Search.b = 2; d_max = 2; d_app = 1; n_hood = 0; delta_cost = 5.0 }
+      ~stats ctx ~cost ~cleanups:Milo_critic.Critic.cleanup
+      (Milo_critic.Critic.logic @ Milo_critic.Critic.area)
+  in
+  Alcotest.(check bool) "non-negative gain" true (gain >= 0.0);
+  Alcotest.(check bool) "search explored nodes" true (stats.Milo_rules.Search.nodes > 0);
+  Util.check_equiv (Util.env_ecl ()) reference (Util.env_ecl ()) d
+
+let test_neighbourhood () =
+  let src = Milo_designs.Workload.random_logic ~gates:30 ~seed:5 () in
+  let target = Milo_techmap.Table_map.ecl_target () in
+  let d = Milo_techmap.Table_map.map_design target src in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  match D.comps d with
+  | c :: _ ->
+      let n0 = Milo_rules.Search.neighbourhood ctx [ c.D.id ] 0 in
+      let n2 = Milo_rules.Search.neighbourhood ctx [ c.D.id ] 2 in
+      Alcotest.(check int) "radius 0 = self" 1 (Hashtbl.length n0);
+      Alcotest.(check bool) "radius 2 grows" true
+        (Hashtbl.length n2 >= Hashtbl.length n0)
+  | [] -> Alcotest.fail "empty design"
+
+let test_metarule_params () =
+  let p1 = Milo_rules.Metarules.params_for ~cls:R.Logic ~phase:Milo_rules.Metarules.Polishing in
+  Alcotest.(check int) "powerful rules: no lookahead" 1 p1.Milo_rules.Search.d_max;
+  let p2 =
+    Milo_rules.Metarules.params_for ~cls:R.Area
+      ~phase:Milo_rules.Metarules.Recovering_area
+  in
+  Alcotest.(check bool) "area rules: deeper" true (p2.Milo_rules.Search.d_max > 1);
+  Alcotest.(check bool) "full > metarule depth" true
+    (Milo_rules.Metarules.fixed_full.Milo_rules.Search.d_max
+     >= p2.Milo_rules.Search.d_max)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "logic-level rules" `Slow test_rule_soundness;
+          Alcotest.test_case "micro rules" `Slow test_micro_rules_sound;
+          Alcotest.test_case "apply+undo identity" `Quick test_apply_undo_identity;
+        ] );
+      ( "figure-14",
+        [ Alcotest.test_case "adder+register -> counter" `Quick test_figure14_rule_fires ]
+      );
+      ( "engine",
+        [
+          Alcotest.test_case "ornor dual-output share" `Quick
+            test_ornor_share_fires;
+          Alcotest.test_case "cleanup fixpoint" `Quick test_cleanup_fixpoint;
+          Alcotest.test_case "ops recognize-act" `Quick test_ops_engine;
+          Alcotest.test_case "incremental matches naive" `Quick
+            test_ops_incremental_matches_naive;
+          Alcotest.test_case "greedy improves" `Quick test_greedy_improves_cost;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "lookahead" `Quick test_search_lookahead;
+          Alcotest.test_case "neighbourhood" `Quick test_neighbourhood;
+          Alcotest.test_case "metarule params" `Quick test_metarule_params;
+        ] );
+    ]

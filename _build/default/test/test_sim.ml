@@ -1,0 +1,179 @@
+(* Simulator tests: combinational settling, sequential stepping,
+   loop detection, micro-component semantics. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+let test_comb_settle () =
+  let d = D.create "comb" in
+  let a = D.add_port d "A" T.Input in
+  let b = D.add_port d "B" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let g = D.add_comp d (T.Macro "NAND2") in
+  D.connect d g "A0" a;
+  D.connect d g "A1" b;
+  D.connect d g "Y" y;
+  let s = Milo_sim.Simulator.create (Util.env_gen ()) d in
+  Alcotest.(check bool) "nand 11" false
+    (List.assoc "Y" (Milo_sim.Simulator.outputs s [ ("A", true); ("B", true) ]));
+  Alcotest.(check bool) "nand 10" true
+    (List.assoc "Y" (Milo_sim.Simulator.outputs s [ ("A", true); ("B", false) ]))
+
+let test_comb_loop_detected () =
+  let d = D.create "loop" in
+  let y = D.add_port d "Y" T.Output in
+  let g1 = D.add_comp d (T.Macro "INV") in
+  let g2 = D.add_comp d (T.Macro "INV") in
+  let n1 = D.new_net d and n2 = D.new_net d in
+  D.connect d g1 "A0" n2;
+  D.connect d g1 "Y" n1;
+  D.connect d g2 "A0" n1;
+  D.connect d g2 "Y" n2;
+  let b = D.add_comp d (T.Macro "BUF") in
+  D.connect d b "A0" n1;
+  D.connect d b "Y" y;
+  let s = Milo_sim.Simulator.create (Util.env_gen ()) d in
+  let raised =
+    match Milo_sim.Simulator.outputs s [] with
+    | _ -> false
+    | exception Milo_sim.Simulator.Combinational_loop names ->
+        List.length names >= 2
+  in
+  Alcotest.(check bool) "loop raises with both inverters" true raised
+
+let test_dff_step () =
+  let d = D.create "ff" in
+  let din = D.add_port d "D" T.Input in
+  let clk = D.add_port d "CLK" T.Input in
+  let q = D.add_port d "Q" T.Output in
+  let ff = D.add_comp d (T.Macro "DFF") in
+  D.connect d ff "D" din;
+  D.connect d ff "CLK" clk;
+  D.connect d ff "Q" q;
+  let s = Milo_sim.Simulator.create (Util.env_gen ()) d in
+  Alcotest.(check bool) "initial 0" false
+    (List.assoc "Q" (Milo_sim.Simulator.outputs s [ ("D", true) ]));
+  Milo_sim.Simulator.step s [ ("D", true) ];
+  Alcotest.(check bool) "latched 1" true
+    (List.assoc "Q" (Milo_sim.Simulator.outputs s [ ("D", false) ]));
+  Milo_sim.Simulator.step s [ ("D", false) ];
+  Alcotest.(check bool) "latched 0" false
+    (List.assoc "Q" (Milo_sim.Simulator.outputs s [ ("D", false) ]))
+
+let read_bus outs prefix width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    if List.assoc (Printf.sprintf "%s%d" prefix i) outs then
+      v := !v lor (1 lsl i)
+  done;
+  !v
+
+let test_micro_arith_semantics () =
+  let kind = T.Arith_unit { bits = 4; fns = [ T.Add; T.Sub; T.Inc; T.Dec ]; mode = T.Ripple } in
+  let d = Util.micro_reference kind in
+  let s = Milo_sim.Simulator.create (Util.env_gen ()) d in
+  let run a b f cin =
+    let inputs =
+      List.init 4 (fun i -> (Printf.sprintf "A%d" i, a land (1 lsl i) <> 0))
+      @ List.init 4 (fun i -> (Printf.sprintf "B%d" i, b land (1 lsl i) <> 0))
+      @ [ ("CIN", cin);
+          ("F0", f land 1 <> 0); ("F1", f land 2 <> 0) ]
+    in
+    let outs = Milo_sim.Simulator.outputs s inputs in
+    (read_bus outs "S" 4, List.assoc "COUT" outs)
+  in
+  Alcotest.(check (pair int bool)) "5+3" (8, false) (run 5 3 0 false);
+  Alcotest.(check (pair int bool)) "9+8" (1, true) (run 9 8 0 false);
+  Alcotest.(check (pair int bool)) "7-2" (5, true) (run 7 2 1 true);
+  Alcotest.(check (pair int bool)) "inc 15" (0, true) (run 15 0 2 false);
+  Alcotest.(check (pair int bool)) "dec 0" (15, false) (run 0 0 3 false)
+
+let test_micro_counter_semantics () =
+  let kind =
+    T.Counter
+      { bits = 3; fns = [ T.Count_load; T.Count_up; T.Count_down ];
+        controls = [ T.Reset; T.Enable ] }
+  in
+  let d = Util.micro_reference kind in
+  let s = Milo_sim.Simulator.create (Util.env_gen ()) d in
+  let base =
+    [ ("LD", false); ("UP", true); ("RST", false); ("EN", true);
+      ("D0", true); ("D1", false); ("D2", true) ]
+  in
+  let q () = read_bus (Milo_sim.Simulator.outputs s base) "Q" 3 in
+  Alcotest.(check int) "start 0" 0 (q ());
+  Milo_sim.Simulator.step s base;
+  Alcotest.(check int) "count 1" 1 (q ());
+  Milo_sim.Simulator.step s (("EN", false) :: List.remove_assoc "EN" base);
+  Alcotest.(check int) "hold" 1 (q ());
+  Milo_sim.Simulator.step s (("LD", true) :: List.remove_assoc "LD" base);
+  Alcotest.(check int) "load 5" 5 (q ());
+  Milo_sim.Simulator.step s (("UP", false) :: List.remove_assoc "UP" base);
+  Alcotest.(check int) "down 4" 4 (q ());
+  Milo_sim.Simulator.step s (("RST", true) :: List.remove_assoc "RST" base);
+  Alcotest.(check int) "reset" 0 (q ())
+
+let test_equiv_detects_difference () =
+  let mk fn =
+    let d = D.create ("g_" ^ T.gate_fn_name fn) in
+    let a = D.add_port d "A" T.Input in
+    let b = D.add_port d "B" T.Input in
+    let y = D.add_port d "Y" T.Output in
+    let g = D.add_comp d (T.Macro (T.gate_fn_name fn ^ "2")) in
+    D.connect d g "A0" a;
+    D.connect d g "A1" b;
+    D.connect d g "Y" y;
+    d
+  in
+  let env = Util.env_gen () in
+  Alcotest.(check bool) "and != or" false
+    (Milo_sim.Equiv.is_equivalent
+       (Milo_sim.Equiv.combinational env (mk T.And) env (mk T.Or)));
+  Alcotest.(check bool) "and = and" true
+    (Milo_sim.Equiv.is_equivalent
+       (Milo_sim.Equiv.combinational env (mk T.And) env (mk T.And)))
+
+let test_muxff_macro () =
+  (* E_MUXFF2 behaves as mux-then-dff *)
+  let d = D.create "mf" in
+  let d0 = D.add_port d "D0" T.Input in
+  let d1 = D.add_port d "D1" T.Input in
+  let sel = D.add_port d "S" T.Input in
+  let clk = D.add_port d "CLK" T.Input in
+  let q = D.add_port d "Q" T.Output in
+  let m = D.add_comp d (T.Macro "E_MUXFF2") in
+  D.connect d m "D0" d0;
+  D.connect d m "D1" d1;
+  D.connect d m "S0" sel;
+  D.connect d m "CLK" clk;
+  D.connect d m "Q" q;
+  let s = Milo_sim.Simulator.create (Util.env_ecl ()) d in
+  Milo_sim.Simulator.step s [ ("D0", false); ("D1", true); ("S", true) ];
+  Alcotest.(check bool) "selected d1" true
+    (List.assoc "Q" (Milo_sim.Simulator.outputs s []));
+  Milo_sim.Simulator.step s [ ("D0", false); ("D1", true); ("S", false) ];
+  Alcotest.(check bool) "selected d0" false
+    (List.assoc "Q" (Milo_sim.Simulator.outputs s []))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "combinational",
+        [
+          Alcotest.test_case "settle" `Quick test_comb_settle;
+          Alcotest.test_case "loop detection" `Quick test_comb_loop_detected;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "dff" `Quick test_dff_step;
+          Alcotest.test_case "muxff macro" `Quick test_muxff_macro;
+        ] );
+      ( "micro-semantics",
+        [
+          Alcotest.test_case "arith unit" `Quick test_micro_arith_semantics;
+          Alcotest.test_case "counter" `Quick test_micro_counter_semantics;
+        ] );
+      ( "equiv",
+        [ Alcotest.test_case "detects difference" `Quick test_equiv_detects_difference ]
+      );
+    ]
