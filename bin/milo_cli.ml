@@ -5,6 +5,8 @@
      milo optimize DESIGN.mil -t ecl --delay 6.5 [-o OUT]
                                               the full MILO flow
      milo stats    DESIGN.mil -t ecl          baseline statistics
+     milo lint     DESIGN.mil [--json] [--strict]
+                                              run the DRC passes
      milo symbol   "reg bits=4 fns=LOAD controls=RST"
                                               render a component symbol
 
@@ -12,6 +14,17 @@
    or any file written by `milo compile`). *)
 
 open Cmdliner
+module Diag = Milo_lint.Diagnostic
+
+(* All front-end failures funnel through the diagnostic type so every
+   command reports "file:line: error: message" uniformly. *)
+let parse_fail ~file ?line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let d = Diag.parse_error ~file ?line "%s" msg in
+      prerr_endline (Diag.to_string d);
+      exit 1)
+    fmt
 
 let read_design path =
   let vhdl =
@@ -20,30 +33,22 @@ let read_design path =
   if Filename.check_suffix path ".pla" then
     try Milo_pla.Pla.to_design ~name:(Filename.remove_extension (Filename.basename path))
           (Milo_pla.Pla.of_file path)
-    with Milo_pla.Pla.Pla_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
+    with Milo_pla.Pla.Pla_error (line, msg) -> parse_fail ~file:path ~line "%s" msg
   else if Filename.check_suffix path ".eqn" then
     try Milo_pla.Equations.of_file path
     with Milo_pla.Equations.Equation_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
+      parse_fail ~file:path ~line "%s" msg
   else if vhdl then
     try Milo_vhdl.Elaborate.design_of_file path with
     | Milo_vhdl.Parser.Parse_error (line, msg) ->
-        Printf.eprintf "%s:%d: %s\n" path line msg;
-        exit 1
+        parse_fail ~file:path ~line "%s" msg
     | Milo_vhdl.Lexer.Lex_error (line, msg) ->
-        Printf.eprintf "%s:%d: %s\n" path line msg;
-        exit 1
-    | Milo_vhdl.Elaborate.Elaboration_error msg ->
-        Printf.eprintf "%s: %s\n" path msg;
-        exit 1
+        parse_fail ~file:path ~line "%s" msg
+    | Milo_vhdl.Elaborate.Elaboration_error msg -> parse_fail ~file:path "%s" msg
   else
     try Milo_netlist.Parser.of_file path
     with Milo_netlist.Parser.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
+      parse_fail ~file:path ~line "%s" msg
 
 let write_design out design =
   match out with
@@ -151,6 +156,58 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Baseline (compile + map, unoptimized) statistics.")
     Term.(ret (const run $ design_arg $ tech_arg))
 
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+           & info [ "strict" ]
+               ~doc:"Exit non-zero on warnings as well as errors.")
+  in
+  let rules_arg =
+    Arg.(value & opt (some string) None
+           & info [ "rules" ] ~docv:"R1,R2"
+               ~doc:"Comma-separated subset of passes to run (default: all).")
+  in
+  let run path json strict rules =
+    let design = read_design path in
+    let techs =
+      [
+        Milo_library.Generic.get ();
+        (Milo.Flow.target_of Milo.Flow.Ecl).Milo_techmap.Table_map.tech;
+        (Milo.Flow.target_of Milo.Flow.Cmos).Milo_techmap.Table_map.tech;
+      ]
+    in
+    let db = Milo_compilers.Database.create () in
+    let resolve = Milo_compilers.Database.resolver db techs in
+    let is_sequential = Milo.Flow.seq_classifier techs in
+    let rules = Option.map (String.split_on_char ',') rules in
+    let diags =
+      try Milo_lint.Lint.run ~resolve ~is_sequential ?rules design
+      with Invalid_argument msg -> parse_fail ~file:path "%s" msg
+    in
+    let report =
+      {
+        Milo_lint.Lint.design_name = Milo_netlist.Design.name design;
+        stage = None;
+        diags;
+      }
+    in
+    if json then print_string (Milo_lint.Lint.report_to_json report)
+    else print_string (Milo_lint.Lint.report_to_string report);
+    let blocking =
+      if strict then List.exists (fun d -> d.Diag.severity <> Diag.Info) diags
+      else Milo_lint.Lint.errors diags <> []
+    in
+    if blocking then exit 1 else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the netlist DRC passes (drivers, loops, floating pins, \
+             references) and report findings.")
+    Term.(ret (const run $ design_arg $ json_arg $ strict_arg $ rules_arg))
+
 let symbol_cmd =
   let spec_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KINDSPEC")
@@ -177,4 +234,7 @@ let symbol_cmd =
 let () =
   let doc = "MILO: a microarchitecture and logic optimizer" in
   let info = Cmd.info "milo" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; map_cmd; optimize_cmd; stats_cmd; symbol_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; map_cmd; optimize_cmd; stats_cmd; lint_cmd; symbol_cmd ]))

@@ -21,6 +21,25 @@ let target_of = function
   | Ecl -> Table_map.ecl_target ()
   | Cmos -> Table_map.cmos_target ()
 
+(* Sequential-kind classifier for the lint passes: the netlist layer
+   only knows the micro components, so mapped flip-flop/counter macros
+   are looked up in the given technologies.  Instances are opaque — they
+   may hide registers — so they conservatively break combinational
+   paths. *)
+let seq_classifier techs (kind : T.kind) =
+  match kind with
+  | T.Instance _ -> true
+  | T.Macro m ->
+      let rec go = function
+        | [] -> false
+        | tech :: rest -> (
+            match Milo_library.Technology.find_opt tech m with
+            | Some mac -> Milo_library.Macro.is_sequential mac
+            | None -> go rest)
+      in
+      go techs
+  | k -> T.is_sequential_kind k
+
 type stats = {
   delay : float;
   area : float;
@@ -50,6 +69,8 @@ type result = {
   final : stats;
   optimizer_report : Milo_optimizer.Logic_optimizer.report;
   database : Database.t;
+  lint_findings : (string * Milo_lint.Diagnostic.t list) list;
+      (** per-stage lint diagnostics (empty when linting is [Off]) *)
 }
 
 (* --- Microarchitecture critic pass ----------------------------------- *)
@@ -90,22 +111,47 @@ let micro_pass ?(max_steps = 16) db lib target constraints design =
 
 (* --- Full MILO flow --------------------------------------------------- *)
 
-let run ?(technology = Ecl) ?(constraints = Constraints.none) design =
+let run ?(technology = Ecl) ?(constraints = Constraints.none)
+    ?(lint = Milo_lint.Lint.Off) design =
   let db = Database.create () in
   let lib = Milo_library.Generic.get () in
   let target = target_of technology in
+  (* Stage invariants: lint after the micro critic, after compilation,
+     after technology mapping and after the optimizer.  Generic stages
+     resolve against the design database and the generic library; mapped
+     stages against the target technology too. *)
+  let findings = ref [] in
+  let lint_stage ~techs stage d =
+    let diags =
+      Milo_lint.Lint.check_stage
+        ~resolve:(Database.resolver db techs)
+        ~is_sequential:(seq_classifier techs) ~level:lint ~stage d
+    in
+    if diags <> [] then findings := (stage, diags) :: !findings
+  in
+  let generic = [ lib ] in
+  let mapped = [ target.Table_map.tech; lib ] in
   let micro_design = D.copy design in
   let micro_applications =
     micro_pass db lib target constraints micro_design
   in
+  lint_stage ~techs:generic "micro-critic" micro_design;
   let expanded = Compile.expand_design db lib micro_design in
+  lint_stage ~techs:generic "compile" expanded;
+  if lint <> Milo_lint.Lint.Off then
+    List.iter
+      (fun name ->
+        lint_stage ~techs:generic ("compile:" ^ name) (Database.get db name))
+      (Database.names db);
   let required =
     Option.value ~default:infinity constraints.Constraints.required_delay
   in
   let optimized, optimizer_report =
     Milo_optimizer.Logic_optimizer.optimize ~required
-      ~input_arrivals:constraints.Constraints.input_arrivals db target expanded
+      ~input_arrivals:constraints.Constraints.input_arrivals
+      ~on_mapped:(lint_stage ~techs:mapped "techmap") db target expanded
   in
+  lint_stage ~techs:mapped "optimized" optimized;
   let final =
     stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
       optimized
@@ -117,6 +163,7 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none) design =
     final;
     optimizer_report;
     database = db;
+    lint_findings = List.rev !findings;
   }
 
 (* --- Human baseline --------------------------------------------------- *)

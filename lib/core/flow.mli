@@ -8,6 +8,12 @@ type technology = Ecl | Cmos
 
 val target_of : technology -> Milo_techmap.Table_map.target
 
+val seq_classifier :
+  Milo_library.Technology.t list -> Milo_netlist.Types.kind -> bool
+(** Sequential-kind classifier for the lint passes: micro kinds via
+    [Types.is_sequential_kind], macros looked up in the given
+    technologies, instances treated as opaque (sequential). *)
+
 type stats = {
   delay : float;
   area : float;
@@ -30,6 +36,7 @@ type result = {
   final : stats;
   optimizer_report : Milo_optimizer.Logic_optimizer.report;
   database : Milo_compilers.Database.t;
+  lint_findings : (string * Milo_lint.Diagnostic.t list) list;
 }
 
 val micro_pass :
@@ -43,7 +50,18 @@ val micro_pass :
 (** Run the microarchitecture critic in place; returns the applied
     rules. *)
 
-val run : ?technology:technology -> ?constraints:Constraints.t -> D.t -> result
+val run :
+  ?technology:technology ->
+  ?constraints:Constraints.t ->
+  ?lint:Milo_lint.Lint.level ->
+  D.t ->
+  result
+(** Run the full flow.  [lint] (default [Off]) enables the stage
+    invariants: the design is linted after the microarchitecture critic,
+    after compilation (including every compiled sub-design), after
+    technology mapping and after the logic optimizer.  [Warn] reports to
+    stderr; [Strict] raises [Milo_lint.Lint.Lint_error] on any
+    Error-severity finding. *)
 
 val human_baseline :
   ?technology:technology -> D.t -> D.t * Milo_compilers.Database.t

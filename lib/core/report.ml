@@ -74,4 +74,15 @@ let summary (res : Flow.result) =
            t.Milo_optimizer.Time_opt.final_delay
            (List.length t.Milo_optimizer.Time_opt.steps))
   | None -> ());
+  if res.Flow.lint_findings <> [] then begin
+    Buffer.add_string b "lint:\n";
+    List.iter
+      (fun (stage, diags) ->
+        Buffer.add_string b
+          ("  "
+          ^ Milo_lint.Lint.report_summary
+              { Milo_lint.Lint.design_name = ""; stage = Some stage; diags }
+          ^ Printf.sprintf " [%s]\n" stage))
+      res.Flow.lint_findings
+  end;
   Buffer.contents b

@@ -1,0 +1,20 @@
+(** The individual lint/DRC analysis passes.  Use {!Lint.run} unless you
+    need to invoke a single pass directly. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+type ctx = {
+  design : D.t;
+  resolve : D.resolver option;
+  is_sequential : T.kind -> bool;
+}
+
+type pass = {
+  pass_name : string;  (** rule id carried by the diagnostics it emits *)
+  pass_doc : string;
+  pass_run : ctx -> Diagnostic.t list;
+}
+
+val all : pass list
+val find : string -> pass option

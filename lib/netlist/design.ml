@@ -273,54 +273,19 @@ let copy t =
   t'.ports <- t.ports;
   t'
 
-let check ?resolve t =
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  Hashtbl.iter
-    (fun cid c ->
-      let pins = Types.pins_of_kind ?resolve c.kind in
-      List.iter
-        (fun (pin, d) ->
-          match (Hashtbl.find_opt c.conns pin, d) with
-          | None, Types.Input ->
-              err "comp %s (%s): input pin %s unconnected" c.cname
-                (Types.kind_name c.kind) pin
-          | _, _ -> ())
-        pins;
-      Hashtbl.iter
-        (fun pin nid ->
-          if not (List.mem_assoc pin pins) then
-            err "comp %s: connection on unknown pin %s" c.cname pin;
-          match Hashtbl.find_opt t.nets nid with
-          | None -> err "comp %s pin %s: dangling net %d" c.cname pin nid
-          | Some n ->
-              if not (List.mem (cid, pin) n.npins) then
-                err "net %s: missing back-reference to %s.%s" n.nname c.cname
-                  pin)
-        c.conns)
-    t.comps;
-  Hashtbl.iter
-    (fun nid n ->
-      let drivers =
-        List.filter
-          (fun (cid, pin) -> pin_dir ?resolve t cid pin = Types.Output)
-          n.npins
-      in
-      let port_driver =
-        match n.nport with Some (_, Types.Input) -> 1 | _ -> 0
-      in
-      let total = List.length drivers + port_driver in
-      if total > 1 then err "net %s (%d): multiple drivers" n.nname nid;
-      List.iter
-        (fun (cid, pin) ->
-          match Hashtbl.find_opt t.comps cid with
-          | None -> err "net %s: pin of removed comp %d.%s" n.nname cid pin
-          | Some c ->
-              if Hashtbl.find_opt c.conns pin <> Some nid then
-                err "net %s: stale pin %s.%s" n.nname c.cname pin)
-        n.npins)
-    t.nets;
-  match !errors with [] -> Ok () | es -> Error (List.rev es)
+(* The actual validation lives in Milo_lint.Lint (the single source of
+   truth for structural validity); it installs itself here at link time.
+   Milo_lint cannot be a direct dependency — it sits above the netlist
+   layer — hence the hook. *)
+let check_hook :
+    (resolver option -> t -> (unit, string list) result) ref =
+  ref (fun _ _ ->
+      failwith
+        "Design.check: Milo_lint is not linked (link milo_lint to use \
+         structural validation)")
+
+let set_check_hook f = check_hook := f
+let check ?resolve t = !check_hook resolve t
 
 let signature t =
   let comp_sig c =

@@ -109,7 +109,8 @@ let optimize_level db tech_db target design =
    technology-specific design (Figure 18's process), then run the time
    optimizer against the constraint and recover area off the critical
    paths. *)
-let optimize ?(required = infinity) ?(input_arrivals = []) db target design =
+let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped db
+    target design =
   let tech_db = Database.create () in
   let entries = ref [] in
   (* 1. Map and optimize every sub-design, deepest first. *)
@@ -140,6 +141,9 @@ let optimize ?(required = infinity) ?(input_arrivals = []) db target design =
     top := Database.flatten_once tech_db !top;
     entries := optimize_level db tech_db target !top :: !entries
   done;
+  (* The design is now flat and fully technology-mapped; let the caller
+     inspect it (the flow lints here) before timing/area optimization. *)
+  (match on_mapped with Some f -> f !top | None -> ());
   (* 3. Electric correctness, then timing against the constraint, then
      area recovery off the critical paths. *)
   let d = !top in

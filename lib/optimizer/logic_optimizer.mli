@@ -22,10 +22,13 @@ val instance_order : Milo_compilers.Database.t -> D.t -> string list
 val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
+  ?on_mapped:(D.t -> unit) ->
   Milo_compilers.Database.t ->
   Milo_techmap.Table_map.target ->
   D.t ->
   D.t * report
 (** [optimize db target design] takes a hierarchical generic design
     (from [Compile.expand_design]) and returns the flat, optimized,
-    technology-specific design with a per-level report. *)
+    technology-specific design with a per-level report.  [on_mapped] is
+    called on the flat technology-mapped design before the timing/area
+    optimization phase (the flow's post-techmap lint hook). *)

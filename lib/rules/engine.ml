@@ -35,6 +35,50 @@ let measure_fn ctx ~input_arrivals () =
     power = Milo_estimate.Estimate.power env ctx.Rule.design;
   }
 
+(* --- Debug linting ---------------------------------------------------- *)
+
+(* When enabled, the structural lint invariants (connectivity
+   consistency, single drivers, valid references, no combinational
+   loops) are re-checked after every rule application, so an unsound
+   rewrite is caught at the offending rule instead of three flow stages
+   later.  Costs a full design scan per application — debugging only. *)
+
+exception Lint_violation of string * string
+
+let () =
+  Printexc.register_printer (function
+    | Lint_violation (rule, report) ->
+        Some (Printf.sprintf "Lint_violation after rule %s:\n%s" rule report)
+    | _ -> None)
+
+let debug_lint = ref false
+let set_debug_lint v = debug_lint := v
+
+let lint_after ctx name =
+  if !debug_lint then begin
+    let is_sequential kind =
+      match kind with
+      | Milo_netlist.Types.Instance _ -> true
+      | Milo_netlist.Types.Macro m -> (
+          match Milo_library.Technology.find_opt ctx.Rule.tech m with
+          | Some mac -> Milo_library.Macro.is_sequential mac
+          | None -> false)
+      | k -> Milo_netlist.Types.is_sequential_kind k
+    in
+    let diags =
+      Milo_lint.Lint.run ~resolve:ctx.Rule.resolve ~is_sequential
+        ~rules:Milo_lint.Lint.structural_rules ctx.Rule.design
+    in
+    match Milo_lint.Lint.errors diags with
+    | [] -> ()
+    | errs ->
+        raise
+          (Lint_violation
+             ( name,
+               String.concat "\n"
+                 (List.map Milo_lint.Diagnostic.to_string errs) ))
+  end
+
 (* Apply every applicable cleanup rule until none fires (bounded).  The
    Logic Consultant examines its high-priority rules after each regular
    rule application. *)
@@ -48,8 +92,12 @@ let run_cleanups ctx cleanups log =
           List.exists
             (fun site ->
               decr budget;
-              !budget > 0 && Rule.site_alive ctx site
-              && r.Rule.apply ctx site log)
+              let applied =
+                !budget > 0 && Rule.site_alive ctx site
+                && r.Rule.apply ctx site log
+              in
+              if applied then lint_after ctx r.Rule.rule_name;
+              applied)
             sites)
         cleanups
     in
@@ -72,6 +120,7 @@ let evaluate ctx ~cost ~cleanups (r : Rule.t) site =
     None
   end
   else begin
+    lint_after ctx r.Rule.rule_name;
     run_cleanups ctx cleanups log;
     let after = cost () in
     D.undo ctx.Rule.design log;
@@ -103,6 +152,7 @@ let greedy_step ?(min_gain = 1e-9) ctx ~cost ~cleanups rules =
       let log = D.new_log () in
       let ok = app.rule.Rule.apply ctx app.site log in
       assert ok;
+      lint_after ctx app.rule.Rule.rule_name;
       run_cleanups ctx cleanups log;
       D.commit log;
       Some app
@@ -169,6 +219,7 @@ let ops_cycle ctx st rules =
       let log = D.new_log () in
       let applied = r.Rule.apply ctx site log in
       D.commit log;
+      if applied then lint_after ctx r.Rule.rule_name;
       Hashtbl.replace st.fired (r.Rule.rule_name, site.Rule.site_comps) ();
       if applied then ops_touch st site.Rule.site_comps;
       true
@@ -283,6 +334,7 @@ let ops_run_incremental ?(max_cycles = 100000) ?(radius = 2) ctx rules =
             let applied = r.Rule.apply ctx site log in
             D.commit log;
             if applied then begin
+              lint_after ctx r.Rule.rule_name;
               incr cycles;
               ops_touch st site.Rule.site_comps;
               (* Re-match only around the touched components. *)

@@ -17,6 +17,17 @@ val measure_fn :
   Rule.context -> input_arrivals:(string * float) list -> unit -> measure
 (** Timing/area/power of the current (technology-mapped) design. *)
 
+exception Lint_violation of string * string
+(** Raised in debug-lint mode when a rule application breaks a
+    structural invariant: (rule name, lint report). *)
+
+val set_debug_lint : bool -> unit
+(** When enabled, the engine re-checks the structural lint invariants
+    ([Milo_lint.Lint.structural_rules]) after every rule application
+    and raises {!Lint_violation} naming the offending rule.  Costs a
+    full design scan per application — debugging only.  Global; off by
+    default. *)
+
 val run_cleanups : Rule.context -> Rule.t list -> D.log -> unit
 (** Fire applicable cleanup rules to a bounded fixpoint, recording into
     the same log. *)

@@ -1,0 +1,114 @@
+(* Strict-mode lint sweep — the lint subsystem's tier-1 regression gate.
+
+   - every Figure 19 suite design (plus the accumulator) lints with no
+     Error-severity findings as captured;
+   - the full flow runs with Strict stage invariants for both
+     technologies, so a compiler or rule regression that produces an
+     ill-formed intermediate fails here, at the stage that broke it;
+   - every parseable input under examples/ lints cleanly. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Lint = Milo_lint.Lint
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let lint_env () =
+  let techs =
+    [
+      Milo_library.Generic.get ();
+      (Milo.Flow.target_of Milo.Flow.Ecl).Milo_techmap.Table_map.tech;
+      (Milo.Flow.target_of Milo.Flow.Cmos).Milo_techmap.Table_map.tech;
+    ]
+  in
+  let db = Milo_compilers.Database.create () in
+  (Milo_compilers.Database.resolver db techs, Milo.Flow.seq_classifier techs)
+
+let lint_design what design =
+  let resolve, is_sequential = lint_env () in
+  let diags = Lint.run ~resolve ~is_sequential design in
+  match Lint.errors diags with
+  | [] -> Printf.printf "ok   lint %s (%d findings)\n" what (List.length diags)
+  | errs ->
+      fail "lint %s: %d errors" what (List.length errs);
+      List.iter
+        (fun d -> Printf.printf "     %s\n" (Milo_lint.Diagnostic.to_string d))
+        errs
+
+let strict_flow tech tech_name (case : Milo_designs.Suite.case) =
+  match
+    Milo.Flow.run ~technology:tech
+      ~constraints:case.Milo_designs.Suite.constraints ~lint:Lint.Strict
+      case.Milo_designs.Suite.case_design
+  with
+  | (_ : Milo.Flow.result) ->
+      Printf.printf "ok   strict flow design %s (%s)\n"
+        case.Milo_designs.Suite.case_name tech_name
+  | exception Lint.Lint_error r ->
+      fail "strict flow design %s (%s):\n%s" case.Milo_designs.Suite.case_name
+        tech_name (Lint.report_to_string r)
+
+(* --- examples/ inputs -------------------------------------------------- *)
+
+let find_examples () =
+  let rec go dir depth =
+    if depth > 4 then None
+    else
+      let cand = Filename.concat dir "examples" in
+      if Sys.file_exists cand && Sys.is_directory cand then Some cand
+      else go (Filename.concat dir "..") (depth + 1)
+  in
+  go "." 0
+
+let read_input path =
+  if Filename.check_suffix path ".pla" then
+    Some
+      (Milo_pla.Pla.to_design
+         ~name:(Filename.remove_extension (Filename.basename path))
+         (Milo_pla.Pla.of_file path))
+  else if Filename.check_suffix path ".eqn" then
+    Some (Milo_pla.Equations.of_file path)
+  else if Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
+  then Some (Milo_vhdl.Elaborate.design_of_file path)
+  else if Filename.check_suffix path ".mil" then
+    Some (Milo_netlist.Parser.of_file path)
+  else None
+
+let lint_examples () =
+  match find_examples () with
+  | None -> Printf.printf "skip examples/ (directory not found)\n"
+  | Some dir ->
+      Array.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          match read_input path with
+          | None -> ()
+          | Some design -> lint_design ("examples/" ^ f) design
+          | exception e ->
+              fail "examples/%s: cannot read (%s)" f (Printexc.to_string e))
+        (Sys.readdir dir)
+
+let () =
+  let cases = Milo_designs.Suite.all () in
+  List.iter
+    (fun (c : Milo_designs.Suite.case) ->
+      lint_design
+        ("design " ^ c.Milo_designs.Suite.case_name)
+        c.Milo_designs.Suite.case_design)
+    cases;
+  lint_design "accumulator" (Milo_designs.Suite.accumulator ());
+  List.iter (strict_flow Milo.Flow.Ecl "ecl") cases;
+  List.iter (strict_flow Milo.Flow.Cmos "cmos") cases;
+  lint_examples ();
+  if !failures > 0 then begin
+    Printf.printf "lint_suite: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "lint_suite: all clean"
