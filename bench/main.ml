@@ -11,7 +11,8 @@
      dune exec bench/main.exe scaling    -- the [JoTr86] linearity study
      dune exec bench/main.exe strategies -- strategy gain/cost profiles
      dune exec bench/main.exe microcritic| estimator | dagon
-     dune exec bench/main.exe bechamel   -- timing micro-benchmarks *)
+     dune exec bench/main.exe bechamel   -- timing micro-benchmarks
+     dune exec bench/main.exe smoke      -- 0-step-budget flow smoke run *)
 
 module D = Milo_netlist.Design
 module T = Milo_netlist.Types
@@ -39,7 +40,7 @@ let fig19 () =
             c.Milo_designs.Suite.case_design
         in
         let res =
-          Milo.Flow.run ~technology:Milo.Flow.Ecl
+          Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
             ~constraints:c.Milo_designs.Suite.constraints
             c.Milo_designs.Suite.case_design
         in
@@ -268,7 +269,7 @@ let microcritic () =
       let design = Milo_designs.Suite.accumulator ~bits () in
       let human = Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl design in
       let res =
-        Milo.Flow.run ~technology:Milo.Flow.Ecl
+        Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
           ~constraints:(Milo.Constraints.delay (human.Milo.Flow.delay *. 0.8))
           design
       in
@@ -381,7 +382,7 @@ let disciplines () =
         Milo_baselines.Lss.optimize (Milo_compilers.Database.create ()) design
       in
       let milo =
-        (Milo.Flow.run ~technology:Milo.Flow.Ecl
+        (Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
            ~constraints:c.Milo_designs.Suite.constraints design)
           .Milo.Flow.optimized
       in
@@ -422,7 +423,7 @@ let bechamel () =
       Test.make ~name:"E1-flow-design3"
         (Staged.stage (fun () ->
              ignore
-               (Milo.Flow.run ~technology:Milo.Flow.Ecl ~constraints:d3c design3)));
+               (Milo.Flow.run_exn ~technology:Milo.Flow.Ecl ~constraints:d3c design3)));
       Test.make ~name:"E4-ops-pass"
         (Staged.stage (fun () ->
              let d = D.copy mapped in
@@ -482,6 +483,36 @@ let bechamel () =
         results)
     tests
 
+(* --- Budgeted smoke run ------------------------------------------------ *)
+
+(* A tight-budget flow over design3: exercises the checkpoint/budget
+   machinery end to end in milliseconds.  Wired into the runtest alias
+   so every test run proves a 0-step budget still yields a mapped
+   design. *)
+let smoke () =
+  section "smoke: design3 flow under a 0-step budget";
+  let c = Milo_designs.Suite.design3 () in
+  let budget = Milo_rules.Budget.make ~max_steps:0 () in
+  match
+    Milo.Flow.run ~technology:Milo.Flow.Ecl
+      ~constraints:c.Milo_designs.Suite.constraints ~budget
+      c.Milo_designs.Suite.case_design
+  with
+  | Milo.Flow.Complete res ->
+      let b = res.Milo.Flow.budget in
+      Printf.printf "complete: %d comps mapped, %s\n"
+        (D.num_comps res.Milo.Flow.optimized)
+        (Format.asprintf "%a" Milo_rules.Budget.pp_status b);
+      if not b.Milo_rules.Budget.budget_exhausted then begin
+        Printf.printf "smoke: budget_exhausted not set\n";
+        exit 1
+      end
+  | Milo.Flow.Partial p ->
+      Printf.printf "smoke: degraded at %s: %s\n"
+        (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+        p.Milo.Flow.failure.Milo.Flow.err_message;
+      exit 1
+
 let all () =
   fig19 ();
   abadd ();
@@ -507,8 +538,9 @@ let () =
   | Some "dagon" -> dagon ()
   | Some "disciplines" -> disciplines ()
   | Some "bechamel" -> bechamel ()
+  | Some "smoke" -> smoke ()
   | Some other ->
       Printf.eprintf
-        "unknown experiment %s (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel)\n"
+        "unknown experiment %s (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke)\n"
         other;
       exit 1

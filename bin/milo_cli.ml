@@ -26,6 +26,32 @@ let parse_fail ~file ?line fmt =
       exit 1)
     fmt
 
+(* Runtime (post-parse) failures also render compiler-style
+   "file: error: message" lines, with distinct exit codes so scripts can
+   tell failure classes apart: 1 parse/lint, 3 unmappable design,
+   4 invalid netlist edit, 5 bad argument, 6 degraded (partial) flow. *)
+let runtime_fail ~file ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline
+        (Diag.to_string
+           (Diag.make ~rule:"error" ~severity:Diag.Error
+              ~loc:(Diag.File { file; line = None })
+              "%s" msg));
+      exit code)
+    fmt
+
+let protect ~file f =
+  match f () with
+  | v -> v
+  | exception Milo_techmap.Table_map.Unmappable u ->
+      runtime_fail ~file ~code:3 "unmappable: %s"
+        (Milo_techmap.Table_map.unmappable_to_string u)
+  | exception Milo_netlist.Design.Error e ->
+      runtime_fail ~file ~code:4 "%s" (Milo_netlist.Design.error_to_string e)
+  | exception Invalid_argument msg -> runtime_fail ~file ~code:5 "%s" msg
+  | exception Sys_error msg -> runtime_fail ~file ~code:1 "%s" msg
+
 let read_design path =
   let vhdl =
     Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
@@ -91,10 +117,22 @@ let power_arg =
   Arg.(value & opt (some float) None & info [ "power" ] ~docv:"MW"
          ~doc:"Power budget in milliwatts.")
 
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget for the optimization searches; on \
+               exhaustion the flow stops cleanly with the best design \
+               found so far.")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Maximum committed rule applications across all \
+               optimization passes.")
+
 (* --- commands --------------------------------------------------------- *)
 
 let compile_cmd =
   let run path out =
+    protect ~file:path @@ fun () ->
     let design = read_design path in
     let db = Milo_compilers.Database.create () in
     let lib = Milo_library.Generic.get () in
@@ -109,6 +147,7 @@ let compile_cmd =
 
 let map_cmd =
   let run path tech out =
+    protect ~file:path @@ fun () ->
     let design = read_design path in
     let mapped, _ =
       Milo.Flow.human_baseline ~technology:(technology_of tech) design
@@ -121,29 +160,45 @@ let map_cmd =
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
 let optimize_cmd =
-  let run path tech delay area power out =
+  let run path tech delay area power timeout max_steps out =
+    protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
     let constraints =
       Milo.Constraints.make ?required_delay:delay ?max_area:area
         ?max_power:power ()
     in
+    let budget =
+      match (timeout, max_steps) with
+      | None, None -> None
+      | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
+    in
     let human = Milo.Flow.baseline_stats ~technology design in
-    let res = Milo.Flow.run ~technology ~constraints design in
     Printf.printf "baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"
       human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
-    print_string (Milo.Report.summary res);
-    (match out with
-    | Some _ -> write_design out res.Milo.Flow.optimized
-    | None -> ());
-    `Ok ()
+    match Milo.Flow.run ~technology ~constraints ?budget design with
+    | Milo.Flow.Complete res ->
+        print_string (Milo.Report.summary res);
+        (match out with
+        | Some _ -> write_design out res.Milo.Flow.optimized
+        | None -> ());
+        `Ok ()
+    | Milo.Flow.Partial p ->
+        (* Degraded run: report the failure, keep the last good design. *)
+        prerr_string (Milo.Report.partial_summary p);
+        (match out with
+        | Some _ -> write_design out p.Milo.Flow.last_good.Milo.Flow.ck_design
+        | None -> ());
+        exit 6
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the full MILO flow against the given constraints.")
-    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ area_arg $ power_arg $ out_arg))
+    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ area_arg
+               $ power_arg $ timeout_arg $ max_steps_arg $ out_arg))
 
 let stats_cmd =
   let run path tech =
+    protect ~file:path @@ fun () ->
     let design = read_design path in
     let s = Milo.Flow.baseline_stats ~technology:(technology_of tech) design in
     Printf.printf
@@ -171,6 +226,7 @@ let lint_cmd =
                ~doc:"Comma-separated subset of passes to run (default: all).")
   in
   let run path json strict rules =
+    protect ~file:path @@ fun () ->
     let design = read_design path in
     let techs =
       [

@@ -36,7 +36,7 @@ let () =
      the replacement from CNT4 MSI macros. *)
   let human = Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl design in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:(Milo.Constraints.delay (human.Milo.Flow.delay *. 0.8))
       design
   in

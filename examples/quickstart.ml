@@ -56,7 +56,7 @@ let () =
   (* 3. Run the flow with a 6 ns constraint on the ECL library. *)
   let constraints = Milo.Constraints.delay 6.0 in
   let human = Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl d in
-  let res = Milo.Flow.run ~technology:Milo.Flow.Ecl ~constraints d in
+  let res = Milo.Flow.run_exn ~technology:Milo.Flow.Ecl ~constraints d in
 
   print_endline "--- result ---";
   Printf.printf "human baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"

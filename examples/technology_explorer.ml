@@ -19,7 +19,7 @@ let () =
     (fun (name, tech) ->
       let human = Milo.Flow.baseline_stats ~technology:tech design in
       let res =
-        Milo.Flow.run ~technology:tech
+        Milo.Flow.run_exn ~technology:tech
           ~constraints:case.Milo_designs.Suite.constraints design
       in
       Printf.printf "%-6s %12.2f %12.1f %12.1f | %12.2f %12.1f %12.1f\n" name

@@ -62,6 +62,51 @@ let stats_of ?(input_arrivals = []) target design =
     comps = D.num_comps design;
   }
 
+(* --- Resilience layer ------------------------------------------------- *)
+
+(* The flow snapshots the design after every stage; a failure anywhere
+   past capture degrades to a [Partial] outcome carrying the last good
+   checkpoint and a structured error, instead of losing all
+   intermediate work to an escaping exception (the Section 6 feedback
+   loop assumes a failed constraint still returns a usable design). *)
+
+type stage = Capture | Micro | Compile | Techmap | Optimize
+
+let stage_name = function
+  | Capture -> "capture"
+  | Micro -> "micro"
+  | Compile -> "compile"
+  | Techmap -> "techmap"
+  | Optimize -> "optimize"
+
+let stage_of_string = function
+  | "capture" -> Some Capture
+  | "micro" -> Some Micro
+  | "compile" -> Some Compile
+  | "techmap" -> Some Techmap
+  | "optimize" -> Some Optimize
+  | _ -> None
+
+type checkpoint = { ck_stage : stage; ck_design : D.t }
+
+type error = {
+  err_stage : stage;  (** stage that was running when the flow failed *)
+  err_exn : exn;  (** the original exception *)
+  err_message : string;  (** structured rendering (object names kept) *)
+}
+
+(* Stage hooks: observation/injection points for instrumentation and
+   the fault harness.  [before_stage] runs before the stage's work on
+   the design about to be transformed; raising from it fails that
+   stage.  [on_checkpoint] sees every snapshot as it is taken. *)
+type hooks = {
+  before_stage : stage -> D.t -> unit;
+  on_checkpoint : checkpoint -> unit;
+}
+
+let no_hooks =
+  { before_stage = (fun _ _ -> ()); on_checkpoint = (fun _ -> ()) }
+
 type result = {
   micro_design : D.t;  (** after the microarchitecture critic *)
   micro_applications : (string * string) list;  (** rule, site description *)
@@ -71,7 +116,37 @@ type result = {
   database : Database.t;
   lint_findings : (string * Milo_lint.Diagnostic.t list) list;
       (** per-stage lint diagnostics (empty when linting is [Off]) *)
+  checkpoints : checkpoint list;  (** per-stage snapshots, in flow order *)
+  quarantined : (string * int) list;
+      (** rules quarantined during the run, with trapped-failure counts *)
+  budget : Milo_rules.Budget.status;
 }
+
+type partial = {
+  failed_stage : stage;
+  failure : error;
+  last_good : checkpoint;  (** most recent snapshot before the failure *)
+  partial_checkpoints : checkpoint list;  (** in flow order *)
+  partial_micro_applications : (string * string) list;
+  partial_lint_findings : (string * Milo_lint.Diagnostic.t list) list;
+  partial_database : Database.t;
+  partial_quarantined : (string * int) list;
+  partial_budget : Milo_rules.Budget.status;
+}
+
+type outcome = Complete of result | Partial of partial
+
+(* Structured rendering keeping the object names typed errors carry. *)
+let describe_error e =
+  match e with
+  | Table_map.Unmappable u ->
+      "unmappable: " ^ Table_map.unmappable_to_string u
+  | D.Error de -> D.error_to_string de
+  | Milo_lint.Lint.Lint_error r ->
+      "lint: " ^ Milo_lint.Lint.report_summary r
+  | Milo_rules.Engine.Lint_violation (rule, _) ->
+      Printf.sprintf "lint violation after rule %s" rule
+  | e -> Printexc.to_string e
 
 (* --- Microarchitecture critic pass ----------------------------------- *)
 
@@ -93,7 +168,7 @@ let micro_cost db lib target constraints design () =
   +. (0.05 *. stats.Milo_critic.Micro_critic.stat_power)
   +. penalty
 
-let micro_pass ?(max_steps = 16) db lib target constraints design =
+let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
   let ctx =
     R.make_context ~extra_resolve:(Database.resolver db [ lib ]) lib
       (Milo_compilers.Gate_comp.generic_set lib)
@@ -101,7 +176,7 @@ let micro_pass ?(max_steps = 16) db lib target constraints design =
   in
   let cost = micro_cost db lib target constraints design in
   let apps =
-    Milo_rules.Engine.greedy_pass ~max_steps ctx ~cost ~cleanups:[]
+    Milo_rules.Engine.greedy_pass ~max_steps ?budget ctx ~cost ~cleanups:[]
       Milo_critic.Critic.micro
   in
   List.map
@@ -112,7 +187,11 @@ let micro_pass ?(max_steps = 16) db lib target constraints design =
 (* --- Full MILO flow --------------------------------------------------- *)
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
-    ?(lint = Milo_lint.Lint.Off) design =
+    ?(lint = Milo_lint.Lint.Off) ?budget ?(hooks = no_hooks) design =
+  let budget =
+    match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
+  in
+  Milo_rules.Engine.quarantine_reset ();
   let db = Database.create () in
   let lib = Milo_library.Generic.get () in
   let target = target_of technology in
@@ -131,40 +210,92 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   in
   let generic = [ lib ] in
   let mapped = [ target.Table_map.tech; lib ] in
-  let micro_design = D.copy design in
-  let micro_applications =
-    micro_pass db lib target constraints micro_design
+  (* Checkpointing: a deep copy after every completed stage, so any
+     later failure degrades to the last good design. *)
+  let checkpoints = ref [] in
+  let checkpoint stage d =
+    let ck = { ck_stage = stage; ck_design = D.copy d } in
+    checkpoints := ck :: !checkpoints;
+    hooks.on_checkpoint ck
   in
-  lint_stage ~techs:generic "micro-critic" micro_design;
-  let expanded = Compile.expand_design db lib micro_design in
-  lint_stage ~techs:generic "compile" expanded;
-  if lint <> Milo_lint.Lint.Off then
-    List.iter
-      (fun name ->
-        lint_stage ~techs:generic ("compile:" ^ name) (Database.get db name))
-      (Database.names db);
-  let required =
-    Option.value ~default:infinity constraints.Constraints.required_delay
+  let current = ref Capture in
+  let enter stage d =
+    current := stage;
+    hooks.before_stage stage d
   in
-  let optimized, optimizer_report =
-    Milo_optimizer.Logic_optimizer.optimize ~required
-      ~input_arrivals:constraints.Constraints.input_arrivals
-      ~on_mapped:(lint_stage ~techs:mapped "techmap") db target expanded
-  in
-  lint_stage ~techs:mapped "optimized" optimized;
-  let final =
-    stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
-      optimized
-  in
-  {
-    micro_design;
-    micro_applications;
-    optimized;
-    final;
-    optimizer_report;
-    database = db;
-    lint_findings = List.rev !findings;
-  }
+  let micro_applications = ref [] in
+  checkpoint Capture design;
+  match
+    let micro_design = D.copy design in
+    enter Micro micro_design;
+    micro_applications :=
+      micro_pass ~budget db lib target constraints micro_design;
+    lint_stage ~techs:generic "micro-critic" micro_design;
+    checkpoint Micro micro_design;
+    enter Compile micro_design;
+    let expanded = Compile.expand_design db lib micro_design in
+    lint_stage ~techs:generic "compile" expanded;
+    if lint <> Milo_lint.Lint.Off then
+      List.iter
+        (fun name ->
+          lint_stage ~techs:generic ("compile:" ^ name) (Database.get db name))
+        (Database.names db);
+    checkpoint Compile expanded;
+    enter Techmap expanded;
+    let required =
+      Option.value ~default:infinity constraints.Constraints.required_delay
+    in
+    let optimized, optimizer_report =
+      Milo_optimizer.Logic_optimizer.optimize ~required
+        ~input_arrivals:constraints.Constraints.input_arrivals
+        ~on_mapped:(fun d ->
+          lint_stage ~techs:mapped "techmap" d;
+          checkpoint Techmap d;
+          enter Optimize d)
+        ~budget db target expanded
+    in
+    lint_stage ~techs:mapped "optimized" optimized;
+    checkpoint Optimize optimized;
+    let final =
+      stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
+        optimized
+    in
+    (micro_design, optimized, final, optimizer_report)
+  with
+  | micro_design, optimized, final, optimizer_report ->
+      Complete
+        {
+          micro_design;
+          micro_applications = !micro_applications;
+          optimized;
+          final;
+          optimizer_report;
+          database = db;
+          lint_findings = List.rev !findings;
+          checkpoints = List.rev !checkpoints;
+          quarantined = Milo_rules.Engine.quarantined ();
+          budget = Milo_rules.Budget.status budget;
+        }
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e ->
+      Partial
+        {
+          failed_stage = !current;
+          failure =
+            { err_stage = !current; err_exn = e; err_message = describe_error e };
+          last_good = List.hd !checkpoints;
+          partial_checkpoints = List.rev !checkpoints;
+          partial_micro_applications = !micro_applications;
+          partial_lint_findings = List.rev !findings;
+          partial_database = db;
+          partial_quarantined = Milo_rules.Engine.quarantined ();
+          partial_budget = Milo_rules.Budget.status budget;
+        }
+
+let run_exn ?technology ?constraints ?lint ?budget ?hooks design =
+  match run ?technology ?constraints ?lint ?budget ?hooks design with
+  | Complete r -> r
+  | Partial p -> raise p.failure.err_exn
 
 (* --- Human baseline --------------------------------------------------- *)
 

@@ -29,6 +29,38 @@ val stats_of :
   stats
 (** Timing/area/power of a technology-mapped design. *)
 
+(** {2 Resilience layer}
+
+    The flow snapshots the design after every completed stage; a failure
+    anywhere past capture degrades to a {!Partial} outcome carrying the
+    last good checkpoint and a structured error instead of losing all
+    intermediate work to an escaping exception. *)
+
+type stage = Capture | Micro | Compile | Techmap | Optimize
+
+val stage_name : stage -> string
+val stage_of_string : string -> stage option
+
+type checkpoint = { ck_stage : stage; ck_design : D.t }
+(** A deep-copied snapshot of the design after [ck_stage] completed. *)
+
+type error = {
+  err_stage : stage;  (** stage that was running when the flow failed *)
+  err_exn : exn;  (** the original exception *)
+  err_message : string;  (** structured rendering (object names kept) *)
+}
+
+type hooks = {
+  before_stage : stage -> D.t -> unit;
+  on_checkpoint : checkpoint -> unit;
+}
+(** Observation/injection points for instrumentation and the fault
+    harness.  [before_stage] runs before the stage's work, on the design
+    about to be transformed; raising from it fails that stage.
+    [on_checkpoint] sees every snapshot as it is taken. *)
+
+val no_hooks : hooks
+
 type result = {
   micro_design : D.t;
   micro_applications : (string * string) list;
@@ -37,10 +69,34 @@ type result = {
   optimizer_report : Milo_optimizer.Logic_optimizer.report;
   database : Milo_compilers.Database.t;
   lint_findings : (string * Milo_lint.Diagnostic.t list) list;
+  checkpoints : checkpoint list;  (** per-stage snapshots, in flow order *)
+  quarantined : (string * int) list;
+      (** rules quarantined during the run, with trapped-failure counts *)
+  budget : Milo_rules.Budget.status;
 }
+
+type partial = {
+  failed_stage : stage;
+  failure : error;
+  last_good : checkpoint;  (** most recent snapshot before the failure *)
+  partial_checkpoints : checkpoint list;  (** in flow order *)
+  partial_micro_applications : (string * string) list;
+  partial_lint_findings : (string * Milo_lint.Diagnostic.t list) list;
+  partial_database : Milo_compilers.Database.t;
+  partial_quarantined : (string * int) list;
+  partial_budget : Milo_rules.Budget.status;
+}
+
+type outcome = Complete of result | Partial of partial
+
+val describe_error : exn -> string
+(** Structured rendering of flow failures; keeps the object names typed
+    errors ({!Milo_techmap.Table_map.Unmappable}, [Design.Error],
+    [Lint_error]) carry. *)
 
 val micro_pass :
   ?max_steps:int ->
+  ?budget:Milo_rules.Budget.t ->
   Milo_compilers.Database.t ->
   Milo_library.Technology.t ->
   Milo_techmap.Table_map.target ->
@@ -54,14 +110,38 @@ val run :
   ?technology:technology ->
   ?constraints:Constraints.t ->
   ?lint:Milo_lint.Lint.level ->
+  ?budget:Milo_rules.Budget.t ->
+  ?hooks:hooks ->
   D.t ->
-  result
+  outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
     invariants: the design is linted after the microarchitecture critic,
     after compilation (including every compiled sub-design), after
     technology mapping and after the logic optimizer.  [Warn] reports to
     stderr; [Strict] raises [Milo_lint.Lint.Lint_error] on any
-    Error-severity finding. *)
+    Error-severity finding.
+
+    [budget] (default unlimited) bounds the optimization searches: on
+    exhaustion the rule passes stop cleanly with the best design so far
+    and the returned [budget] status has [budget_exhausted] set.  The
+    mapping and flattening stages still complete, so a 0-step budget
+    yields a [Complete] outcome with an unoptimized mapped design.
+
+    Any other stage failure yields [Partial]: the last good checkpoint,
+    the failing stage and a structured error.  [Out_of_memory] and
+    [Stack_overflow] are always re-raised. *)
+
+val run_exn :
+  ?technology:technology ->
+  ?constraints:Constraints.t ->
+  ?lint:Milo_lint.Lint.level ->
+  ?budget:Milo_rules.Budget.t ->
+  ?hooks:hooks ->
+  D.t ->
+  result
+(** Like {!run} but re-raises the original exception on a [Partial]
+    outcome.  Compatibility entry point for callers that want the
+    pre-checkpointing behaviour. *)
 
 val human_baseline :
   ?technology:technology -> D.t -> D.t * Milo_compilers.Database.t

@@ -42,6 +42,21 @@ let print_table rows =
   print_endline (String.make (String.length header) '-');
   List.iter (fun r -> print_endline (format_row r)) rows
 
+(* Resilience tail shared by the complete and partial summaries:
+   quarantined-rule counts, and the budget line when any limit bit. *)
+let add_resilience b ~quarantined ~(budget : Milo_rules.Budget.status) =
+  if quarantined <> [] then begin
+    Buffer.add_string b "quarantined rules:\n";
+    List.iter
+      (fun (rule, count) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s: %d trapped failure(s)\n" rule count))
+      quarantined
+  end;
+  if budget.Milo_rules.Budget.budget_exhausted then
+    Buffer.add_string b
+      (Format.asprintf "budget: %a\n" Milo_rules.Budget.pp_status budget)
+
 let summary (res : Flow.result) =
   let b = Buffer.create 256 in
   Buffer.add_string b
@@ -85,4 +100,37 @@ let summary (res : Flow.result) =
           ^ Printf.sprintf " [%s]\n" stage))
       res.Flow.lint_findings
   end;
+  add_resilience b ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;
+  Buffer.contents b
+
+let partial_summary (p : Flow.partial) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "PARTIAL: stage %s failed: %s\n"
+       (Flow.stage_name p.Flow.failed_stage)
+       p.Flow.failure.Flow.err_message);
+  Buffer.add_string b
+    (Printf.sprintf "last good design: after %s (%d comps, %d nets)\n"
+       (Flow.stage_name p.Flow.last_good.Flow.ck_stage)
+       (Milo_netlist.Design.num_comps p.Flow.last_good.Flow.ck_design)
+       (Milo_netlist.Design.num_nets p.Flow.last_good.Flow.ck_design));
+  Buffer.add_string b
+    (Printf.sprintf "checkpoints: %s\n"
+       (String.concat ", "
+          (List.map
+             (fun (ck : Flow.checkpoint) -> Flow.stage_name ck.Flow.ck_stage)
+             p.Flow.partial_checkpoints)));
+  if p.Flow.partial_lint_findings <> [] then begin
+    Buffer.add_string b "lint:\n";
+    List.iter
+      (fun (stage, diags) ->
+        Buffer.add_string b
+          ("  "
+          ^ Milo_lint.Lint.report_summary
+              { Milo_lint.Lint.design_name = ""; stage = Some stage; diags }
+          ^ Printf.sprintf " [%s]\n" stage))
+      p.Flow.partial_lint_findings
+  end;
+  add_resilience b ~quarantined:p.Flow.partial_quarantined
+    ~budget:p.Flow.partial_budget;
   Buffer.contents b

@@ -17,3 +17,9 @@ val header : string
 val format_row : row -> string
 val print_table : row list -> unit
 val summary : Flow.result -> string
+(** Flow summary: final stats, applied rules, lint findings, plus
+    quarantined-rule counts and the budget status when a limit bit. *)
+
+val partial_summary : Flow.partial -> string
+(** Summary of a degraded run: the failing stage, the structured error,
+    the last good checkpoint and the resilience tail of {!summary}. *)

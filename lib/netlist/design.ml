@@ -31,6 +31,50 @@ type entry =
 
 type log = entry list ref
 
+(* Typed mutator errors.  A failing edit names the offending object so
+   checkpoint/error reports up the stack can say *what* broke, not just
+   that something did. *)
+type error = {
+  err_op : string;
+  err_design : string;
+  err_comp : string option;
+  err_net : string option;
+  err_pin : string option;
+  err_reason : string;
+}
+
+exception Error of error
+
+let error_to_string e =
+  let ctx =
+    List.filter_map
+      (fun (label, v) -> Option.map (fun v -> label ^ " " ^ v) v)
+      [ ("comp", e.err_comp); ("net", e.err_net); ("pin", e.err_pin) ]
+  in
+  Printf.sprintf "Design.%s (%s%s): %s" e.err_op e.err_design
+    (match ctx with [] -> "" | l -> ", " ^ String.concat ", " l)
+    e.err_reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
+let design_error ~op ~design ?comp ?net ?pin fmt =
+  Printf.ksprintf
+    (fun reason ->
+      raise
+        (Error
+           {
+             err_op = op;
+             err_design = design;
+             err_comp = comp;
+             err_net = net;
+             err_pin = pin;
+             err_reason = reason;
+           }))
+    fmt
+
 type t = {
   dname : string;
   comps : (int, comp) Hashtbl.t;
@@ -94,13 +138,13 @@ let new_net ?log ?(name = "") t =
 
 let add_port ?net:reuse t pname dir =
   if List.exists (fun (p, _, _) -> p = pname) t.ports then
-    invalid_arg (Printf.sprintf "Design.add_port: duplicate port %s" pname);
+    design_error ~op:"add_port" ~design:t.dname "duplicate port %s" pname;
   let nid = match reuse with Some nid -> nid | None -> fresh_net_raw t pname in
   let n = Hashtbl.find t.nets nid in
   (match n.nport with
   | Some (p, _) ->
-      invalid_arg
-        (Printf.sprintf "Design.add_port: net already bound to port %s" p)
+      design_error ~op:"add_port" ~design:t.dname ~net:n.nname
+        "net already bound to port %s" p
   | None -> n.nport <- Some (pname, dir));
   t.ports <- (pname, dir, nid) :: t.ports;
   nid
@@ -164,12 +208,15 @@ let remove_comp ?log t cid =
 
 let remove_net ?log t nid =
   let n = Hashtbl.find t.nets nid in
-  if n.npins <> [] then
-    invalid_arg
-      (Printf.sprintf "Design.remove_net: net %s still has pins" n.nname);
+  if n.npins <> [] then begin
+    let (cid, pin) = List.hd n.npins in
+    design_error ~op:"remove_net" ~design:t.dname ~net:n.nname
+      ?comp:(Option.map (fun c -> c.cname) (Hashtbl.find_opt t.comps cid))
+      ~pin "net still has %d pin(s)" (List.length n.npins)
+  end;
   if n.nport <> None then
-    invalid_arg
-      (Printf.sprintf "Design.remove_net: net %s is bound to a port" n.nname);
+    design_error ~op:"remove_net" ~design:t.dname ~net:n.nname
+      "net is bound to a port";
   Hashtbl.remove t.nets nid;
   record log (E_remove_net (nid, n.nname, n.nport))
 
@@ -215,9 +262,8 @@ let pin_dir ?resolve t cid pin =
   match List.assoc_opt pin pins with
   | Some d -> d
   | None ->
-      invalid_arg
-        (Printf.sprintf "Design.pin_dir: %s has no pin %s"
-           (Types.kind_name c.kind) pin)
+      design_error ~op:"pin_dir" ~design:t.dname ~comp:c.cname ~pin
+        "%s has no pin %s" (Types.kind_name c.kind) pin
 
 type source = Src_comp of int * string | Src_port of string | Src_none
 
@@ -279,10 +325,10 @@ let copy t =
    layer — hence the hook. *)
 let check_hook :
     (resolver option -> t -> (unit, string list) result) ref =
-  ref (fun _ _ ->
-      failwith
-        "Design.check: Milo_lint is not linked (link milo_lint to use \
-         structural validation)")
+  ref (fun _ t ->
+      design_error ~op:"check" ~design:t.dname
+        "Milo_lint is not linked (link milo_lint to use structural \
+         validation)")
 
 let set_check_hook f = check_hook := f
 let check ?resolve t = !check_hook resolve t

@@ -29,6 +29,23 @@ type entry
 
 type log = entry list ref
 
+type error = {
+  err_op : string;  (** the mutator that failed, e.g. ["remove_net"] *)
+  err_design : string;
+  err_comp : string option;  (** offending component name, if known *)
+  err_net : string option;  (** offending net name, if known *)
+  err_pin : string option;
+  err_reason : string;
+}
+(** Context of a failed edit: names the offending object so error
+    reports (e.g. flow checkpoints) can point at it. *)
+
+exception Error of error
+(** Raised by mutators on invalid edits (removing a connected net,
+    duplicate ports, unknown pins).  A printer is registered. *)
+
+val error_to_string : error -> string
+
 type t
 
 val new_log : unit -> log
@@ -51,7 +68,8 @@ val find_comp : t -> string -> comp
 val new_net : ?log:log -> ?name:string -> t -> int
 val add_port : ?net:int -> t -> string -> Types.dir -> int
 (** Declare a design port; creates (or adopts) the net it is bound to.
-    Ports are not undoable: they define the design's interface. *)
+    Ports are not undoable: they define the design's interface.
+    @raise Error on a duplicate port or an already-bound net. *)
 
 val port_net : t -> string -> int
 (** Net bound to a port.  @raise Not_found if no such port. *)
@@ -66,7 +84,7 @@ val connection : t -> int -> string -> int option
 val connections : t -> int -> (string * int) list
 val remove_comp : ?log:log -> t -> int -> unit
 val remove_net : ?log:log -> t -> int -> unit
-(** @raise Invalid_argument if the net still has pins or a port. *)
+(** @raise Error if the net still has pins or a port. *)
 
 val set_kind : ?log:log -> t -> int -> Types.kind -> unit
 

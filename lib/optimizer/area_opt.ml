@@ -15,12 +15,13 @@ let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
   m.Engine.area +. (0.05 *. m.Engine.power) +. penalty
 
 let optimize ?(required = infinity) ?(input_arrivals = []) ?(max_steps = 200)
-    ~rules ~cleanups ctx =
+    ?budget ~rules ~cleanups ctx =
   let cost = cost_fn ~required ~input_arrivals ctx in
-  Engine.greedy_pass ~max_steps ctx ~cost ~cleanups rules
+  Engine.greedy_pass ~max_steps ?budget ctx ~cost ~cleanups rules
 
 (* Area recovery with lookahead (used by the metarules experiment). *)
 let optimize_lookahead ?(required = infinity) ?(input_arrivals = [])
-    ?(params = Milo_rules.Search.default_params) ?stats ~rules ~cleanups ctx =
+    ?(params = Milo_rules.Search.default_params) ?stats ?budget ~rules
+    ~cleanups ctx =
   let cost = cost_fn ~required ~input_arrivals ctx in
-  Milo_rules.Search.run ~params ?stats ctx ~cost ~cleanups rules
+  Milo_rules.Search.run ~params ?stats ?budget ctx ~cost ~cleanups rules

@@ -14,6 +14,7 @@ val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
+  ?budget:Milo_rules.Budget.t ->
   rules:R.t list ->
   cleanups:R.t list ->
   R.context ->
@@ -24,6 +25,7 @@ val optimize_lookahead :
   ?input_arrivals:(string * float) list ->
   ?params:Milo_rules.Search.params ->
   ?stats:Milo_rules.Search.stats ->
+  ?budget:Milo_rules.Budget.t ->
   rules:R.t list ->
   cleanups:R.t list ->
   R.context ->

@@ -86,7 +86,7 @@ let level_cost target tech_db ctx () =
   in
   List.fold_left (fun acc c -> acc +. area c) 0.0 (D.comps ctx.R.design)
 
-let optimize_level db tech_db target design =
+let optimize_level ?budget db tech_db target design =
   let ctx = make_ctx db tech_db target design in
   let cost = level_cost target tech_db ctx in
   let before = cost () in
@@ -95,7 +95,7 @@ let optimize_level db tech_db target design =
      timing-sensitive area recovery happens on the flat design where the
      constraint can be enforced. *)
   let apps =
-    Milo_rules.Engine.greedy_pass ctx ~cost
+    Milo_rules.Engine.greedy_pass ?budget ctx ~cost
       ~cleanups:Milo_critic.Critic.cleanup Milo_critic.Critic.logic
   in
   {
@@ -109,8 +109,8 @@ let optimize_level db tech_db target design =
    technology-specific design (Figure 18's process), then run the time
    optimizer against the constraint and recover area off the critical
    paths. *)
-let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped db
-    target design =
+let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped ?budget
+    db target design =
   let tech_db = Database.create () in
   let entries = ref [] in
   (* 1. Map and optimize every sub-design, deepest first. *)
@@ -118,7 +118,7 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped db
     (fun name ->
       let sub = Database.get db name in
       let mapped = Table_map.map_design ~keep_instances:true target sub in
-      let entry = optimize_level db tech_db target mapped in
+      let entry = optimize_level ?budget db tech_db target mapped in
       entries := entry :: !entries;
       Database.register tech_db mapped)
     (instance_order db design);
@@ -136,10 +136,10 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped db
             false)
       (D.comps d)
   in
-  entries := optimize_level db tech_db target !top :: !entries;
+  entries := optimize_level ?budget db tech_db target !top :: !entries;
   while has_instances !top do
     top := Database.flatten_once tech_db !top;
-    entries := optimize_level db tech_db target !top :: !entries
+    entries := optimize_level ?budget db tech_db target !top :: !entries
   done;
   (* The design is now flat and fully technology-mapped; let the caller
      inspect it (the flow lints here) before timing/area optimization. *)
@@ -154,12 +154,12 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped db
   let timing =
     if required < infinity then
       Some
-        (Time_opt.optimize ~required ~input_arrivals
+        (Time_opt.optimize ~required ~input_arrivals ?budget
            ~cleanups:Milo_critic.Critic.cleanup ctx)
     else None
   in
   let _ =
-    Area_opt.optimize ~required ~input_arrivals
+    Area_opt.optimize ~required ~input_arrivals ?budget
       ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
       ~cleanups:Milo_critic.Critic.cleanup ctx
   in

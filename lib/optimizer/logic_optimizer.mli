@@ -23,6 +23,7 @@ val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?on_mapped:(D.t -> unit) ->
+  ?budget:Milo_rules.Budget.t ->
   Milo_compilers.Database.t ->
   Milo_techmap.Table_map.target ->
   D.t ->
@@ -31,4 +32,7 @@ val optimize :
     (from [Compile.expand_design]) and returns the flat, optimized,
     technology-specific design with a per-level report.  [on_mapped] is
     called on the flat technology-mapped design before the timing/area
-    optimization phase (the flow's post-techmap lint hook). *)
+    optimization phase (the flow's post-techmap lint hook).  [budget]
+    bounds every optimization pass (per-level greedy, timing strategies,
+    area recovery); mapping and flattening always complete, so an
+    exhausted budget degrades to the mapped-but-unoptimized design. *)

@@ -13,6 +13,6 @@ let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
   m.Engine.power +. (0.05 *. m.Engine.area) +. penalty
 
 let optimize ?(required = infinity) ?(input_arrivals = []) ?(max_steps = 200)
-    ~rules ~cleanups ctx =
+    ?budget ~rules ~cleanups ctx =
   let cost = cost_fn ~required ~input_arrivals ctx in
-  Engine.greedy_pass ~max_steps ctx ~cost ~cleanups rules
+  Engine.greedy_pass ~max_steps ?budget ctx ~cost ~cleanups rules

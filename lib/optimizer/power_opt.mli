@@ -14,6 +14,7 @@ val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
+  ?budget:Milo_rules.Budget.t ->
   rules:R.t list ->
   cleanups:R.t list ->
   R.context ->

@@ -33,7 +33,9 @@ let area ctx =
    worst delay strictly improves without a runaway area cost (the
    two-level collapse of an XOR-rich cone can explode, as the paper
    notes about the Logic Consultant's minimizer). *)
-let try_strategy ctx ~input_arrivals ~cleanups (s : Strategies.strategy) =
+let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
+    =
+  (match budget with Some b -> Milo_rules.Budget.eval b | None -> ());
   let sta = analyze ctx ~input_arrivals in
   match Milo_timing.Paths.most_critical sta with
   | None -> None
@@ -54,6 +56,7 @@ let try_strategy ctx ~input_arrivals ~cleanups (s : Strategies.strategy) =
           in
           if after < before -. 1e-9 && area_ok then begin
             D.commit log;
+            (match budget with Some b -> Milo_rules.Budget.step b | None -> ());
             Some
               {
                 step_strategy = s.Strategies.strat_name;
@@ -67,23 +70,29 @@ let try_strategy ctx ~input_arrivals ~cleanups (s : Strategies.strategy) =
             None
           end)
 
-let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64)
+let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
     ~cleanups ctx =
   let steps = ref [] in
+  let exhausted () =
+    match budget with Some b -> Milo_rules.Budget.exhausted b | None -> false
+  in
   let rec loop n =
     let current = worst ctx ~input_arrivals in
-    if current <= required || n >= max_steps then current
+    if current <= required || n >= max_steps || exhausted () then current
     else begin
       let deficit = current -. required in
       let order = Strategies.order_for ~deficit ~required:(Float.max required current) in
       let rec try_all = function
         | [] -> None
         | id :: rest -> (
-            match
-              try_strategy ctx ~input_arrivals ~cleanups (Strategies.by_id id)
-            with
-            | Some step -> Some step
-            | None -> try_all rest)
+            if exhausted () then None
+            else
+              match
+                try_strategy ?budget ctx ~input_arrivals ~cleanups
+                  (Strategies.by_id id)
+              with
+              | Some step -> Some step
+              | None -> try_all rest)
       in
       match try_all order with
       | Some step ->
@@ -97,5 +106,6 @@ let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64)
 
 (* Unconstrained "make it as fast as possible": iterate until no
    strategy improves. *)
-let minimize_delay ?(input_arrivals = []) ?(max_steps = 64) ~cleanups ctx =
-  optimize ~required:0.0 ~input_arrivals ~max_steps ~cleanups ctx
+let minimize_delay ?(input_arrivals = []) ?(max_steps = 64) ?budget ~cleanups
+    ctx =
+  optimize ~required:0.0 ~input_arrivals ~max_steps ?budget ~cleanups ctx

@@ -19,6 +19,7 @@ val analyze :
 val worst : R.context -> input_arrivals:(string * float) list -> float
 
 val try_strategy :
+  ?budget:Milo_rules.Budget.t ->
   R.context ->
   input_arrivals:(string * float) list ->
   cleanups:R.t list ->
@@ -29,13 +30,18 @@ val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
+  ?budget:Milo_rules.Budget.t ->
   cleanups:R.t list ->
   R.context ->
   outcome
+(** Stops at the constraint, [max_steps], strategy exhaustion, or
+    budget exhaustion — in the last case the outcome reports the
+    best-so-far delay. *)
 
 val minimize_delay :
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
+  ?budget:Milo_rules.Budget.t ->
   cleanups:R.t list ->
   R.context ->
   outcome

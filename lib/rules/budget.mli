@@ -1,0 +1,39 @@
+(** Search budgets for the rewrite engines.
+
+    A budget bounds a rule-application pass three ways: a wall-clock
+    deadline, a maximum number of committed rule applications (steps)
+    and a maximum number of candidate evaluations.  The engines check
+    the budget at every step and stop cleanly when it is exhausted,
+    reporting best-so-far results — the RTLScout discipline of budgeted
+    optimization attempts, and the bound the paper's SOCRATES-style
+    lookahead otherwise lacks. *)
+
+type t
+
+type status = {
+  steps_used : int;  (** committed rule applications *)
+  evals_used : int;  (** candidate evaluations (apply/measure/undo) *)
+  elapsed : float;  (** seconds since the budget was created *)
+  budget_exhausted : bool;  (** any limit was hit during the run *)
+}
+
+val unlimited : unit -> t
+(** A budget that never exhausts (counters are still tracked). *)
+
+val make : ?timeout:float -> ?max_steps:int -> ?max_evals:int -> unit -> t
+(** [make ~timeout ~max_steps ~max_evals ()] starts the wall clock now;
+    [timeout] is in seconds.  Omitted limits are unbounded. *)
+
+val step : t -> unit
+(** Count one committed rule application. *)
+
+val eval : t -> unit
+(** Count one candidate evaluation. *)
+
+val exhausted : t -> bool
+(** True once any limit (deadline, steps, evals) is reached.  Sticky:
+    the exhaustion is remembered and reported by {!status}. *)
+
+val status : t -> status
+
+val pp_status : Format.formatter -> status -> unit

@@ -79,6 +79,63 @@ let lint_after ctx name =
                  (List.map Milo_lint.Diagnostic.to_string errs) ))
   end
 
+(* --- Rule quarantine -------------------------------------------------- *)
+
+(* Transactional rule application for the measured (greedy / lookahead)
+   disciplines: a rule whose [apply] raises — or whose result fails the
+   debug-lint invariants — is rolled back through its own change log and
+   quarantined for the rest of the run instead of aborting the pass.
+   The strictly rule-based OPS disciplines keep the raising behaviour:
+   they are the debugging surface where a loud failure is wanted. *)
+
+let quarantine : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let quarantine_reset () = Hashtbl.reset quarantine
+let is_quarantined name = Hashtbl.mem quarantine name
+
+let quarantined () =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) quarantine []
+  |> List.sort compare
+
+let note_failure (r : Rule.t) =
+  let n =
+    Option.value ~default:0 (Hashtbl.find_opt quarantine r.Rule.rule_name)
+  in
+  Hashtbl.replace quarantine r.Rule.rule_name (n + 1)
+
+(* Match sites, treating a raising [find] as "no sites" (and
+   quarantining the rule).  A quarantined rule matches nothing. *)
+let guarded_find ctx (r : Rule.t) =
+  if is_quarantined r.Rule.rule_name then []
+  else
+    match r.Rule.find ctx with
+    | sites -> sites
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception _ ->
+        note_failure r;
+        []
+
+(* Apply into a private sub-log so a failure rolls back exactly this
+   rule's edits; on success the sub-log is spliced (newest first) into
+   the caller's log so the caller's undo/commit semantics are intact. *)
+let guarded_apply ctx (r : Rule.t) site log =
+  if is_quarantined r.Rule.rule_name then false
+  else
+    let local = D.new_log () in
+    match
+      let ok = r.Rule.apply ctx site local in
+      if ok then lint_after ctx r.Rule.rule_name;
+      ok
+    with
+    | ok ->
+        log := !local @ !log;
+        ok
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception _ ->
+        D.undo ctx.Rule.design local;
+        note_failure r;
+        false
+
 (* Apply every applicable cleanup rule until none fires (bounded).  The
    Logic Consultant examines its high-priority rules after each regular
    rule application. *)
@@ -88,16 +145,12 @@ let run_cleanups ctx cleanups log =
     let fired =
       List.exists
         (fun (r : Rule.t) ->
-          let sites = r.Rule.find ctx in
+          let sites = guarded_find ctx r in
           List.exists
             (fun site ->
               decr budget;
-              let applied =
-                !budget > 0 && Rule.site_alive ctx site
-                && r.Rule.apply ctx site log
-              in
-              if applied then lint_after ctx r.Rule.rule_name;
-              applied)
+              !budget > 0 && Rule.site_alive ctx site
+              && guarded_apply ctx r site log)
             sites)
         cleanups
     in
@@ -111,35 +164,46 @@ type application = {
   gain : float;  (** cost decrease including cleanups *)
 }
 
-(* Candidate evaluation: apply rule + cleanups, measure, undo. *)
-let evaluate ctx ~cost ~cleanups (r : Rule.t) site =
-  let before = cost () in
-  let log = D.new_log () in
-  if not (r.Rule.apply ctx site log) then begin
-    D.undo ctx.Rule.design log;
-    None
-  end
-  else begin
-    lint_after ctx r.Rule.rule_name;
-    run_cleanups ctx cleanups log;
-    let after = cost () in
-    D.undo ctx.Rule.design log;
-    Some (before -. after)
-  end
+(* Candidate evaluation: apply rule + cleanups, measure, undo.  A cost
+   function that fails on the candidate state (an unmappable or
+   unmeasurable intermediate) rejects the candidate rather than
+   aborting the pass — the design is restored first. *)
+let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
+  match budget with
+  | Some b when Budget.exhausted b -> None
+  | _ ->
+      (match budget with Some b -> Budget.eval b | None -> ());
+      let before = cost () in
+      let log = D.new_log () in
+      if not (guarded_apply ctx r site log) then begin
+        D.undo ctx.Rule.design log;
+        None
+      end
+      else begin
+        run_cleanups ctx cleanups log;
+        match cost () with
+        | after ->
+            D.undo ctx.Rule.design log;
+            Some (before -. after)
+        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+        | exception _ ->
+            D.undo ctx.Rule.design log;
+            None
+      end
 
 (* One greedy step: evaluate all candidates, commit the best if it
    improves the cost.  Returns the applied candidate. *)
-let greedy_step ?(min_gain = 1e-9) ctx ~cost ~cleanups rules =
+let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
   let candidates =
     List.concat_map
       (fun (r : Rule.t) ->
-        List.map (fun site -> (r, site)) (r.Rule.find ctx))
+        List.map (fun site -> (r, site)) (guarded_find ctx r))
       rules
   in
   let best =
     List.fold_left
       (fun acc (r, site) ->
-        match evaluate ctx ~cost ~cleanups r site with
+        match evaluate ?budget ctx ~cost ~cleanups r site with
         | None -> acc
         | Some gain -> (
             match acc with
@@ -150,19 +214,29 @@ let greedy_step ?(min_gain = 1e-9) ctx ~cost ~cleanups rules =
   match best with
   | Some app when app.gain > min_gain ->
       let log = D.new_log () in
-      let ok = app.rule.Rule.apply ctx app.site log in
-      assert ok;
-      lint_after ctx app.rule.Rule.rule_name;
-      run_cleanups ctx cleanups log;
-      D.commit log;
-      Some app
+      if guarded_apply ctx app.rule app.site log then begin
+        run_cleanups ctx cleanups log;
+        D.commit log;
+        (match budget with Some b -> Budget.step b | None -> ());
+        Some app
+      end
+      else begin
+        (* The winning rule failed on commit (it was just quarantined);
+           everything it recorded is already rolled back. *)
+        D.undo ctx.Rule.design log;
+        None
+      end
   | Some _ | None -> None
 
-let greedy_pass ?(max_steps = 1000) ctx ~cost ~cleanups rules =
+let greedy_pass ?(max_steps = 1000) ?budget ctx ~cost ~cleanups rules =
+  let stop n =
+    n >= max_steps
+    || match budget with Some b -> Budget.exhausted b | None -> false
+  in
   let rec go n acc =
-    if n >= max_steps then List.rev acc
+    if stop n then List.rev acc
     else
-      match greedy_step ctx ~cost ~cleanups rules with
+      match greedy_step ?budget ctx ~cost ~cleanups rules with
       | Some app -> go (n + 1) (app :: acc)
       | None -> List.rev acc
   in

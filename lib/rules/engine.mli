@@ -28,6 +28,29 @@ val set_debug_lint : bool -> unit
     full design scan per application — debugging only.  Global; off by
     default. *)
 
+val quarantine_reset : unit -> unit
+(** Clear the rule quarantine (call at the start of a flow run). *)
+
+val is_quarantined : string -> bool
+
+val quarantined : unit -> (string * int) list
+(** Rules quarantined since the last reset, with the number of failed
+    applications trapped for each, sorted by name.  A rule is
+    quarantined when its [apply] (or [find]) raises, or when debug-lint
+    flags its result, inside a measured pass: the offending edits are
+    rolled back through the change log and the rule matches nothing for
+    the rest of the run, instead of the exception aborting the pass. *)
+
+val guarded_find : Rule.context -> Rule.t -> Rule.site list
+(** [find] with quarantine: a raising or quarantined rule matches
+    nothing. *)
+
+val guarded_apply : Rule.context -> Rule.t -> Rule.site -> D.log -> bool
+(** Transactional [apply]: edits go to a private sub-log, spliced into
+    the given log on success; on an exception (or a debug-lint
+    violation) the edits are undone, the rule is quarantined and the
+    result is [false]. *)
+
 val run_cleanups : Rule.context -> Rule.t list -> D.log -> unit
 (** Fire applicable cleanup rules to a bounded fixpoint, recording into
     the same log. *)
@@ -35,6 +58,7 @@ val run_cleanups : Rule.context -> Rule.t list -> D.log -> unit
 type application = { rule : Rule.t; site : Rule.site; gain : float }
 
 val evaluate :
+  ?budget:Budget.t ->
   Rule.context ->
   cost:(unit -> float) ->
   cleanups:Rule.t list ->
@@ -42,10 +66,12 @@ val evaluate :
   Rule.site ->
   float option
 (** Gain of applying the rule (with cleanups) at the site: apply,
-    measure, undo. *)
+    measure, undo.  Counts one evaluation against [budget] and returns
+    [None] without applying once the budget is exhausted. *)
 
 val greedy_step :
   ?min_gain:float ->
+  ?budget:Budget.t ->
   Rule.context ->
   cost:(unit -> float) ->
   cleanups:Rule.t list ->
@@ -54,11 +80,15 @@ val greedy_step :
 
 val greedy_pass :
   ?max_steps:int ->
+  ?budget:Budget.t ->
   Rule.context ->
   cost:(unit -> float) ->
   cleanups:Rule.t list ->
   Rule.t list ->
   application list
+(** Greedy steps until quiescence, [max_steps], or the budget is
+    exhausted — in the last case the pass stops cleanly with the
+    applications committed so far. *)
 
 type ops_state
 

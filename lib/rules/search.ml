@@ -76,9 +76,16 @@ let moves ctx rules ~allowed =
     rules
 
 (* Depth-first search returning the cost of the best reachable state and
-   the move sequence to it.  The circuit is restored before returning. *)
-let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
+   the move sequence to it.  The circuit is restored before returning.
+   The [budget] bounds the otherwise-unbounded lookahead: every
+   candidate evaluation counts against it, and an exhausted budget
+   prunes the remaining tree (the search degrades to best-so-far). *)
+let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
+    =
   let st = match stats with Some s -> s | None -> { nodes = 0; evals = 0 } in
+  let exhausted () =
+    match budget with Some b -> Budget.exhausted b | None -> false
+  in
   let root_cost = cost () in
   (* Order candidate moves by immediate gain and keep the best B. *)
   let ranked ~allowed =
@@ -87,7 +94,7 @@ let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
       List.filter_map
         (fun (r, site) ->
           st.evals <- st.evals + 1;
-          match Engine.evaluate ctx ~cost ~cleanups r site with
+          match Engine.evaluate ?budget ctx ~cost ~cleanups r site with
           | None -> None
           | Some gain ->
               if -.gain > params.delta_cost then None else Some (gain, r, site))
@@ -98,14 +105,14 @@ let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
   in
   let rec dfs depth ~allowed current_cost =
     st.nodes <- st.nodes + 1;
-    if depth >= params.d_max then (current_cost, [])
+    if depth >= params.d_max || exhausted () then (current_cost, [])
     else
       let best = ref (current_cost, []) in
       List.iter
         (fun (_, (r : Rule.t), site) ->
-          if Rule.site_alive ctx site then begin
+          if (not (exhausted ())) && Rule.site_alive ctx site then begin
             let log = D.new_log () in
-            if r.Rule.apply ctx site log then begin
+            if Engine.guarded_apply ctx r site log then begin
               Engine.run_cleanups ctx cleanups log;
               let c = cost () in
               let allowed' =
@@ -136,9 +143,10 @@ let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
       | (r, site) :: rest ->
           if k < params.d_app && Rule.site_alive ctx site then begin
             let log = D.new_log () in
-            if r.Rule.apply ctx site log then begin
+            if Engine.guarded_apply ctx r site log then begin
               Engine.run_cleanups ctx cleanups log;
-              D.commit log
+              D.commit log;
+              match budget with Some b -> Budget.step b | None -> ()
             end
             else D.undo ctx.Rule.design log;
             exec (k + 1) rest
@@ -148,13 +156,18 @@ let search ?(params = default_params) ?stats ctx ~cost ~cleanups rules =
     Some (root_cost -. cost ())
   end
 
-(* Run lookahead steps until no improving sequence remains. *)
-let run ?(params = default_params) ?(max_steps = 200) ?stats ctx ~cost
+(* Run lookahead steps until no improving sequence remains, the step
+   ceiling is reached, or the budget is exhausted. *)
+let run ?(params = default_params) ?(max_steps = 200) ?stats ?budget ctx ~cost
     ~cleanups rules =
+  let stop n =
+    n >= max_steps
+    || match budget with Some b -> Budget.exhausted b | None -> false
+  in
   let rec go n total =
-    if n >= max_steps then total
+    if stop n then total
     else
-      match search ~params ?stats ctx ~cost ~cleanups rules with
+      match search ~params ?stats ?budget ctx ~cost ~cleanups rules with
       | Some gain when gain > 1e-9 -> go (n + 1) (total +. gain)
       | Some _ | None -> total
   in

@@ -21,21 +21,26 @@ type stats = { mutable nodes : int; mutable evals : int }
 val search :
   ?params:params ->
   ?stats:stats ->
+  ?budget:Budget.t ->
   Rule.context ->
   cost:(unit -> float) ->
   cleanups:Rule.t list ->
   Rule.t list ->
   float option
 (** One lookahead step: build the bounded search tree, execute the first
-    D_app moves of the best sequence.  Returns the realized gain. *)
+    D_app moves of the best sequence.  Returns the realized gain.  An
+    exhausted [budget] prunes the remaining tree; the search returns
+    best-so-far. *)
 
 val run :
   ?params:params ->
   ?max_steps:int ->
   ?stats:stats ->
+  ?budget:Budget.t ->
   Rule.context ->
   cost:(unit -> float) ->
   cleanups:Rule.t list ->
   Rule.t list ->
   float
-(** Iterate lookahead steps to quiescence; returns the total gain. *)
+(** Iterate lookahead steps to quiescence, [max_steps], or budget
+    exhaustion; returns the total gain. *)

@@ -10,7 +10,32 @@ module D = Milo_netlist.Design
 module T = Milo_netlist.Types
 module Gate_comp = Milo_compilers.Gate_comp
 
-exception Unmappable of string
+(* Typed mapping failure: names the design and component that could not
+   be mapped, so flow checkpoints and CLI diagnostics can point at the
+   offending object instead of parsing a message string. *)
+type unmappable = {
+  um_design : string;
+  um_comp : string option;
+  um_reason : string;
+}
+
+exception Unmappable of unmappable
+
+let unmappable_to_string u =
+  Printf.sprintf "%s%s: %s" u.um_design
+    (match u.um_comp with Some c -> "/" ^ c | None -> "")
+    u.um_reason
+
+let () =
+  Printexc.register_printer (function
+    | Unmappable u -> Some ("Table_map.Unmappable: " ^ unmappable_to_string u)
+    | _ -> None)
+
+let unmappable ~design ?comp fmt =
+  Printf.ksprintf
+    (fun um_reason ->
+      raise (Unmappable { um_design = design; um_comp = comp; um_reason }))
+    fmt
 
 type target = {
   tech : Milo_library.Technology.t;
@@ -48,14 +73,14 @@ let rebuild_gate target d (c : D.comp) fn n =
         match D.connection d c.D.id (Printf.sprintf "A%d" i) with
         | Some nid -> nid
         | None ->
-            raise
-              (Unmappable
-                 (Printf.sprintf "gate %s input A%d unconnected" c.D.cname i)))
+            unmappable ~design:(D.name d) ~comp:c.D.cname
+              "gate input A%d unconnected" i)
   in
   let out =
     match D.connection d c.D.id "Y" with
     | Some nid -> nid
-    | None -> raise (Unmappable (Printf.sprintf "gate %s output unconnected" c.D.cname))
+    | None ->
+        unmappable ~design:(D.name d) ~comp:c.D.cname "gate output unconnected"
   in
   D.remove_comp d c.D.id;
   let built = Gate_comp.build d target.set fn ins in
@@ -72,7 +97,8 @@ let rebuild_dec2x4e target d (c : D.comp) =
     match D.connection d c.D.id pin with
     | Some nid -> nid
     | None ->
-        raise (Unmappable (Printf.sprintf "decoder %s pin %s unconnected" c.D.cname pin))
+        unmappable ~design:(D.name d) ~comp:c.D.cname
+          "decoder pin %s unconnected" pin
   in
   let a0 = conn "A0" and a1 = conn "A1" and en = conn "EN" in
   let youts = List.init 4 (fun j -> D.connection d c.D.id (Printf.sprintf "Y%d" j)) in
@@ -112,10 +138,10 @@ let map_design ?(keep_instances = false) target design =
             | None ->
                 if g = "DEC2x4E" then rebuild_dec2x4e target d c
                 else
-                  raise
-                    (Unmappable
-                       (Printf.sprintf "no %s mapping for generic macro %s"
-                          (Milo_library.Technology.name target.tech) g))
+                  unmappable ~design:(D.name d) ~comp:c.D.cname
+                    "no %s mapping for generic macro %s"
+                    (Milo_library.Technology.name target.tech)
+                    g
           end
       | T.Constant lvl ->
           let mname =
@@ -124,14 +150,11 @@ let map_design ?(keep_instances = false) target design =
           D.set_kind d c.D.id (T.Macro mname)
       | T.Instance i ->
           if not keep_instances then
-            raise
-              (Unmappable
-                 (Printf.sprintf "hierarchical instance %s: flatten before mapping" i))
+            unmappable ~design:(D.name d) ~comp:c.D.cname
+              "hierarchical instance %s: flatten before mapping" i
       | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
       | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _ ->
-          raise
-            (Unmappable
-               (Printf.sprintf "micro component %s: compile before mapping"
-                  c.D.cname)))
+          unmappable ~design:(D.name d) ~comp:c.D.cname
+            "micro component: compile before mapping")
     (D.comps d);
   d

@@ -4,7 +4,17 @@
 
 module D = Milo_netlist.Design
 
-exception Unmappable of string
+type unmappable = {
+  um_design : string;  (** design being mapped *)
+  um_comp : string option;  (** offending component, if one *)
+  um_reason : string;
+}
+(** Typed mapping failure: names the offending object so flow
+    checkpoints and CLI diagnostics can report it precisely. *)
+
+exception Unmappable of unmappable
+
+val unmappable_to_string : unmappable -> string
 
 type target = {
   tech : Milo_library.Technology.t;

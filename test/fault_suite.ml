@@ -1,0 +1,211 @@
+(* Fault-injection suite — the resilience layer's tier-1 gate.
+
+   - a fault injected at each transforming stage (micro, compile,
+     techmap, optimize), for every Figure 19 suite design, degrades the
+     flow to a [Partial] outcome whose last good checkpoint is the
+     preceding stage and lints clean — never an uncaught exception;
+   - off-the-books netlist corruption is caught the same way;
+   - a 0-step budget terminates the flow [Complete], with the mapped
+     design produced and [budget_exhausted] set;
+   - a rule raising mid-edit is rolled back through its own sub-log
+     (design restored exactly) and quarantined for the rest of the
+     pass. *)
+
+module D = Milo_netlist.Design
+module Flow = Milo.Flow
+module Lint = Milo_lint.Lint
+module Engine = Milo_rules.Engine
+module Budget = Milo_rules.Budget
+module Suite = Milo_designs.Suite
+module Faults = Milo_faults
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+(* Lint environment for checkpoint designs: generic plus the ECL target
+   (the suite runs ECL flows), resolving compiled sub-designs through
+   the partial outcome's database. *)
+let lint_env db =
+  let techs =
+    [
+      Milo_library.Generic.get ();
+      (Flow.target_of Flow.Ecl).Milo_techmap.Table_map.tech;
+    ]
+  in
+  (Milo_compilers.Database.resolver db techs, Flow.seq_classifier techs)
+
+let assert_lint_clean what db design =
+  let resolve, is_sequential = lint_env db in
+  let diags = Lint.run ~resolve ~is_sequential design in
+  match Lint.errors diags with
+  | [] -> ()
+  | errs ->
+      fail "%s: last-good design has %d lint error(s)" what (List.length errs);
+      List.iter
+        (fun d -> Printf.printf "     %s\n" (Milo_lint.Diagnostic.to_string d))
+        errs
+
+let prev_stage = function
+  | Flow.Micro -> Flow.Capture
+  | Flow.Compile -> Flow.Micro
+  | Flow.Techmap -> Flow.Compile
+  | Flow.Optimize -> Flow.Techmap
+  | Flow.Capture -> Flow.Capture
+
+let check_partial what stage = function
+  | Flow.Partial p ->
+      if p.Flow.failed_stage <> stage then
+        fail "%s: failed stage %s, expected %s" what
+          (Flow.stage_name p.Flow.failed_stage)
+          (Flow.stage_name stage);
+      if p.Flow.last_good.Flow.ck_stage <> prev_stage stage then
+        fail "%s: last good checkpoint %s, expected %s" what
+          (Flow.stage_name p.Flow.last_good.Flow.ck_stage)
+          (Flow.stage_name (prev_stage stage));
+      if p.Flow.failure.Flow.err_message = "" then
+        fail "%s: empty error message" what;
+      assert_lint_clean what p.Flow.partial_database
+        p.Flow.last_good.Flow.ck_design;
+      Printf.printf "ok   %s -> partial after %s (%s)\n" what
+        (Flow.stage_name p.Flow.last_good.Flow.ck_stage)
+        p.Flow.failure.Flow.err_message
+  | Flow.Complete _ -> fail "%s: expected Partial, flow completed" what
+
+let inject_stage (case : Suite.case) stage =
+  let what =
+    Printf.sprintf "design %s, fault at %s" case.Suite.case_name
+      (Flow.stage_name stage)
+  in
+  match
+    Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+      ~lint:Lint.Strict
+      ~hooks:(Faults.failing_hooks ~at:stage ())
+      case.Suite.case_design
+  with
+  | outcome -> check_partial what stage outcome
+  | exception e -> fail "%s: uncaught %s" what (Printexc.to_string e)
+
+let inject_corruption (case : Suite.case) =
+  let what = Printf.sprintf "design %s, corruption at micro" case.Suite.case_name in
+  match
+    Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+      ~lint:Lint.Strict
+      ~hooks:(Faults.corrupting_hooks ~at:Flow.Micro ())
+      case.Suite.case_design
+  with
+  | outcome -> check_partial what Flow.Micro outcome
+  | exception e -> fail "%s: uncaught %s" what (Printexc.to_string e)
+
+(* --- Budgets ----------------------------------------------------------- *)
+
+let zero_budget (case : Suite.case) =
+  let what = Printf.sprintf "design %s, 0-step budget" case.Suite.case_name in
+  match
+    Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+      ~budget:(Faults.exhausted_budget ())
+      case.Suite.case_design
+  with
+  | Flow.Complete res ->
+      let b = res.Flow.budget in
+      if not b.Budget.budget_exhausted then
+        fail "%s: budget_exhausted not set" what;
+      if b.Budget.steps_used <> 0 then
+        fail "%s: %d steps committed under a 0-step budget" what
+          b.Budget.steps_used;
+      if D.num_comps res.Flow.optimized = 0 then
+        fail "%s: no mapped design produced" what;
+      Printf.printf "ok   %s -> complete, unoptimized (%d comps)\n" what
+        (D.num_comps res.Flow.optimized)
+  | Flow.Partial p ->
+      fail "%s: degraded at %s (%s)" what
+        (Flow.stage_name p.Flow.failed_stage)
+        p.Flow.failure.Flow.err_message
+  | exception e -> fail "%s: uncaught %s" what (Printexc.to_string e)
+
+(* --- Engine transactions ----------------------------------------------- *)
+
+let ctx_for design =
+  let lib = Milo_library.Generic.get () in
+  let db = Milo_compilers.Database.create () in
+  Milo_rules.Rule.make_context
+    ~extra_resolve:(Milo_compilers.Database.resolver db [ lib ])
+    lib
+    (Milo_compilers.Gate_comp.generic_set lib)
+    design
+
+let engine_rollback () =
+  Engine.quarantine_reset ();
+  let d = Suite.accumulator () in
+  let before = D.copy d in
+  let ctx = ctx_for d in
+  let cost () = float_of_int (D.num_comps d) in
+  let apps =
+    Engine.greedy_pass ctx ~cost ~cleanups:[] [ Faults.sabotage_rule () ]
+  in
+  if apps <> [] then fail "engine rollback: sabotage rule committed";
+  if not (D.equal_structure before d) then
+    fail "engine rollback: design not restored after mid-edit failure";
+  if not (Engine.is_quarantined "fault-sabotage") then
+    fail "engine rollback: rule not quarantined";
+  (match Engine.quarantined () with
+  | [ ("fault-sabotage", n) ] when n >= 1 ->
+      Printf.printf "ok   engine rollback (quarantined after %d failure(s))\n" n
+  | q -> fail "engine rollback: unexpected quarantine set (%d entries)"
+           (List.length q));
+  Engine.quarantine_reset ()
+
+let engine_raising () =
+  Engine.quarantine_reset ();
+  let d = Suite.accumulator () in
+  let before = D.copy d in
+  let ctx = ctx_for d in
+  let cost () = float_of_int (D.num_comps d) in
+  let apps =
+    Engine.greedy_pass ctx ~cost ~cleanups:[] [ Faults.raising_rule () ]
+  in
+  if apps <> [] then fail "engine raising: raising rule committed";
+  if not (D.equal_structure before d) then
+    fail "engine raising: design mutated by a rule that only raises";
+  if not (Engine.is_quarantined "fault-raising") then
+    fail "engine raising: rule not quarantined"
+  else Printf.printf "ok   engine raising-rule quarantine\n";
+  Engine.quarantine_reset ()
+
+(* A flow run resets the quarantine and reports it per run. *)
+let quarantine_reporting () =
+  let case = List.hd (Suite.all ()) in
+  match
+    Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+      case.Suite.case_design
+  with
+  | Flow.Complete res ->
+      if res.Flow.quarantined <> [] then
+        fail "quarantine report: healthy flow quarantined %d rule(s)"
+          (List.length res.Flow.quarantined)
+      else Printf.printf "ok   quarantine report empty on healthy flow\n"
+  | Flow.Partial p ->
+      fail "quarantine report: healthy flow degraded at %s"
+        (Flow.stage_name p.Flow.failed_stage)
+  | exception e ->
+      fail "quarantine report: uncaught %s" (Printexc.to_string e)
+
+let () =
+  let cases = Suite.all () in
+  let stages = [ Flow.Micro; Flow.Compile; Flow.Techmap; Flow.Optimize ] in
+  List.iter (fun c -> List.iter (inject_stage c) stages) cases;
+  List.iter inject_corruption cases;
+  List.iter zero_budget cases;
+  engine_rollback ();
+  engine_raising ();
+  quarantine_reporting ();
+  if !failures > 0 then begin
+    Printf.printf "fault_suite: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "fault_suite: all clean"

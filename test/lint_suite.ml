@@ -44,7 +44,7 @@ let lint_design what design =
 
 let strict_flow tech tech_name (case : Milo_designs.Suite.case) =
   match
-    Milo.Flow.run ~technology:tech
+    Milo.Flow.run_exn ~technology:tech
       ~constraints:case.Milo_designs.Suite.constraints ~lint:Lint.Strict
       case.Milo_designs.Suite.case_design
   with

@@ -1,0 +1,87 @@
+(* Fault-injection harness for the resilience layer.
+
+   Wraps the flow's stage hooks and the rule representation to inject
+   failures at controlled points: exceptions raised before a stage,
+   off-the-books netlist corruption, rules whose [apply] raises (before
+   or after recording edits) and pre-exhausted budgets.  Used by
+   fault_suite to assert that every failure mode degrades to a
+   [Partial] outcome with a lint-clean checkpoint, never an uncaught
+   exception. *)
+
+module D = Milo_netlist.Design
+module Rule = Milo_rules.Rule
+module Flow = Milo.Flow
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected msg -> Some ("Milo_faults.Injected: " ^ msg)
+    | _ -> None)
+
+(* --- Stage-level faults ----------------------------------------------- *)
+
+(* Raise [exn] when the flow enters [at].  [Capture] never fires: the
+   flow only invokes [before_stage] for the transforming stages. *)
+let failing_hooks ?(exn = Injected "injected stage failure") ~at () =
+  {
+    Flow.no_hooks with
+    Flow.before_stage = (fun stage _ -> if stage = at then raise exn);
+  }
+
+(* Point one pin of one component at a nonexistent net, off the books
+   (no log entry, no npins update) — the same class of unsound mutation
+   the engine's debug lint exists to catch.  Linting the stage output,
+   or any later measurement, then fails. *)
+let corrupt_design d =
+  match D.comps d with
+  | [] -> ()
+  | c :: _ -> (
+      match Hashtbl.fold (fun pin _ acc -> pin :: acc) c.D.conns [] with
+      | [] -> ()
+      | pin :: _ -> Hashtbl.replace c.D.conns pin 999999)
+
+let corrupting_hooks ~at () =
+  {
+    Flow.no_hooks with
+    Flow.before_stage = (fun stage d -> if stage = at then corrupt_design d);
+  }
+
+(* --- Rule-level faults ------------------------------------------------ *)
+
+(* Matches every component; [apply] raises before touching the design.
+   Exercises the engine's quarantine without needing rollback. *)
+let raising_rule ?(exn = Injected "injected rule failure") () =
+  Rule.make ~name:"fault-raising" ~cls:Rule.Cleanup
+    ~find:(fun ctx ->
+      List.map
+        (fun (c : D.comp) -> Rule.site ~comps:[ c.D.id ] "raising fault")
+        (Rule.scan_comps ctx))
+    ~apply:(fun _ _ _ -> raise exn)
+
+(* Matches every component; [apply] records real edits (disconnecting
+   the component's pins) into the log, then raises.  Exercises the
+   transactional rollback: the engine must restore the design from the
+   rule's own sub-log before quarantining it. *)
+let sabotage_rule ?(exn = Injected "injected mid-edit failure") () =
+  Rule.make ~name:"fault-sabotage" ~cls:Rule.Cleanup
+    ~find:(fun ctx ->
+      List.filter_map
+        (fun (c : D.comp) ->
+          if Hashtbl.length c.D.conns = 0 then None
+          else Some (Rule.site ~comps:[ c.D.id ] "sabotage fault"))
+        (Rule.scan_comps ctx))
+    ~apply:(fun ctx site log ->
+      match site.Rule.site_comps with
+      | cid :: _ ->
+          let c = D.comp ctx.Rule.design cid in
+          let pins = Hashtbl.fold (fun pin _ acc -> pin :: acc) c.D.conns [] in
+          List.iter (fun pin -> D.disconnect ~log ctx.Rule.design cid pin) pins;
+          raise exn
+      | [] -> false)
+
+(* --- Budget faults ---------------------------------------------------- *)
+
+(* A budget that is exhausted before the first step: every bounded pass
+   must terminate immediately with best-so-far (nothing). *)
+let exhausted_budget () = Milo_rules.Budget.make ~max_steps:0 ()

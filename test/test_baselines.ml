@@ -93,7 +93,7 @@ let test_milo_beats_lss_on_structured () =
   let db = Milo_compilers.Database.create () in
   let lss, _ = Milo_baselines.Lss.optimize db design in
   let milo =
-    (Milo.Flow.run ~technology:Milo.Flow.Ecl
+    (Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
        ~constraints:case.Milo_designs.Suite.constraints design)
       .Milo.Flow.optimized
   in

@@ -11,7 +11,7 @@ let run_case (case : Milo_designs.Suite.case) =
       case.Milo_designs.Suite.case_design
   in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:case.Milo_designs.Suite.constraints
       case.Milo_designs.Suite.case_design
   in
@@ -25,7 +25,7 @@ let test_flow_equivalence () =
           case.Milo_designs.Suite.case_design
       in
       let res =
-        Milo.Flow.run ~technology:Milo.Flow.Ecl
+        Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
           ~constraints:case.Milo_designs.Suite.constraints
           case.Milo_designs.Suite.case_design
       in
@@ -71,7 +71,7 @@ let test_cmos_flow () =
       case.Milo_designs.Suite.case_design
   in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Cmos
+    Milo.Flow.run_exn ~technology:Milo.Flow.Cmos
       ~constraints:case.Milo_designs.Suite.constraints
       case.Milo_designs.Suite.case_design
   in
@@ -97,7 +97,7 @@ let test_micro_critic_feedback () =
   let design = Milo_designs.Suite.accumulator ~bits:8 () in
   let human = Milo.Flow.baseline_stats ~technology:Milo.Flow.Ecl design in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:(Milo.Constraints.delay 5.0) design
   in
   Alcotest.(check bool) "counter rule applied" true
@@ -136,7 +136,7 @@ let test_abadd_flow () =
   let design = Milo_designs.Abadd.design () in
   let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:Milo_designs.Abadd.constraints design
   in
   let r =

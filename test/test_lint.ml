@@ -212,7 +212,7 @@ let test_flow_strict () =
   List.iter
     (fun (c : Milo_designs.Suite.case) ->
       match
-        Milo.Flow.run ~technology:Milo.Flow.Ecl
+        Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
           ~constraints:c.Milo_designs.Suite.constraints ~lint:Lint.Strict
           c.Milo_designs.Suite.case_design
       with

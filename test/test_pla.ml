@@ -69,7 +69,7 @@ let test_pla_through_flow () =
   let design = Milo_pla.Pla.to_design ~name:"fa_flow" pla in
   let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:(Milo.Constraints.delay 3.0) design
   in
   Util.check_equiv (Util.env_ecl ()) baseline (Util.env_ecl ())

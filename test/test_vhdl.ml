@@ -150,7 +150,7 @@ let test_vhdl_full_flow () =
   let design = Milo_vhdl.Elaborate.design_of_string timer_src in
   let baseline, _ = Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl design in
   let res =
-    Milo.Flow.run ~technology:Milo.Flow.Ecl
+    Milo.Flow.run_exn ~technology:Milo.Flow.Ecl
       ~constraints:(Milo.Constraints.delay 5.0) design
   in
   let env = Util.env_ecl () in
