@@ -513,6 +513,218 @@ let smoke () =
         p.Milo.Flow.failure.Milo.Flow.err_message;
       exit 1
 
+(* --- E9: incremental measurement throughput ---------------------------- *)
+
+(* Full-vs-incremental candidate-evaluation throughput over the largest
+   mapped suite design: the same candidate set is evaluated by
+   [Engine.evaluate] with a full recompute per candidate
+   ([Engine.measure_fn]) and with the incremental measurer (delta-STA +
+   streaming estimates), after a differential-oracle pass proving both
+   agree.  Results land in BENCH_measure.json so the perf trajectory is
+   tracked.  `measure smoke` is the runtest-wired variant: tiny design,
+   conservative threshold. *)
+
+module Measure = Milo_measure.Measure
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let s = List.sort compare xs in
+      List.nth s (List.length s / 2)
+
+let measure_bench ~smoke_mode () =
+  section
+    (if smoke_mode then "E9 / measure smoke: incremental vs full evaluation"
+     else "E9 / measure: incremental vs full evaluation throughput");
+  Milo_rules.Engine.quarantine_reset ();
+  let ecl = Milo_library.Ecl.get () in
+  let name, mapped =
+    if smoke_mode then begin
+      let d = Milo_designs.Workload.random_logic ~gates:40 ~seed:17 () in
+      let target = Milo_techmap.Table_map.ecl_target () in
+      ("workload_g40_s17", Milo_techmap.Table_map.map_design target d)
+    end
+    else
+      (* the largest suite design by mapped component count *)
+      List.fold_left
+        (fun acc (c : Milo_designs.Suite.case) ->
+          let m, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              c.Milo_designs.Suite.case_design
+          in
+          match acc with
+          | _, best when D.num_comps best >= D.num_comps m -> acc
+          | _ -> (c.Milo_designs.Suite.case_name, m))
+        ("design1",
+         fst
+           (Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              (Milo_designs.Suite.design1 ()).Milo_designs.Suite.case_design))
+        (Milo_designs.Suite.all ())
+  in
+  Printf.printf "design %s: %d comps\n%!" name (D.num_comps mapped);
+  let rules =
+    Milo_critic.Critic.logic @ Milo_critic.Critic.area
+    @ Milo_critic.Critic.power
+  in
+  let max_cands = if smoke_mode then 30 else 150 in
+  let trials = if smoke_mode then 3 else 5 in
+  let fresh () =
+    let d = D.copy mapped in
+    let ctx =
+      R.make_context ecl
+        (Milo_compilers.Gate_comp.named_set ~prefix:"E_" ecl)
+        d
+    in
+    (d, ctx)
+  in
+  let candidates ctx =
+    let all =
+      List.concat_map
+        (fun (r : R.t) ->
+          List.map (fun s -> (r, s)) (Milo_rules.Engine.guarded_find ctx r))
+        rules
+    in
+    List.filteri (fun i _ -> i < max_cands) all
+  in
+  (* Oracle phase: every advance/retreat of a limited candidate sweep is
+     cross-checked against a full recompute; any disagreement raises. *)
+  let oracle_checks =
+    let d, ctx = fresh () in
+    let m = Measure.create ~input_arrivals:[] ecl d in
+    ctx.R.measurer := Some m;
+    Measure.set_debug_check true;
+    let cost () = Milo_rules.Engine.weighted () (Measure.current m) in
+    let n = if smoke_mode then 10 else 40 in
+    let result =
+      try
+        List.iteri
+          (fun i (r, s) ->
+            if i < n then
+              ignore (Milo_rules.Engine.evaluate ctx ~cost ~cleanups:[] r s))
+          (candidates ctx);
+        Ok (Measure.stats m).Measure.oracle_checks
+      with Measure.Divergence msg -> Error msg
+    in
+    Measure.set_debug_check false;
+    match result with
+    | Ok checks ->
+        Printf.printf "oracle: %d checks, 0 divergences\n%!" checks;
+        checks
+    | Error msg ->
+        Printf.printf "measure: oracle divergence: %s\n" msg;
+        exit 1
+  in
+  let eval_all ctx ~cleanups cost cands =
+    let (), t =
+      time (fun () ->
+          List.iter
+            (fun (r, s) ->
+              ignore (Milo_rules.Engine.evaluate ctx ~cost ~cleanups r s))
+            cands)
+    in
+    Float.max t 1e-9
+  in
+  let run_full ~cleanups () =
+    let _, ctx = fresh () in
+    let cost () =
+      Milo_rules.Engine.weighted ()
+        (Milo_rules.Engine.measure_fn ctx ~input_arrivals:[] ())
+    in
+    let cands = candidates ctx in
+    (List.length cands, eval_all ctx ~cleanups cost cands)
+  in
+  let last_stats = ref None in
+  let run_incr ~cleanups () =
+    let d, ctx = fresh () in
+    let m = Measure.create ~input_arrivals:[] ecl d in
+    ctx.R.measurer := Some m;
+    let cost () = Milo_rules.Engine.weighted () (Measure.current m) in
+    let cands = candidates ctx in
+    let t = eval_all ctx ~cleanups cost cands in
+    last_stats := Some (Measure.stats m);
+    (List.length cands, t)
+  in
+  let speedups = ref [] in
+  let full_times = ref [] and incr_times = ref [] in
+  let n_cands = ref 0 in
+  for _ = 1 to trials do
+    let nf, tf = run_full ~cleanups:[] () in
+    let _, ti = run_incr ~cleanups:[] () in
+    n_cands := nf;
+    full_times := tf :: !full_times;
+    incr_times := ti :: !incr_times;
+    speedups := (tf /. ti) :: !speedups
+  done;
+  let nf, tfc = run_full ~cleanups:Milo_critic.Critic.cleanup () in
+  let _, tic = run_incr ~cleanups:Milo_critic.Critic.cleanup () in
+  ignore nf;
+  let speedup_cleanups = tfc /. tic in
+  let speedup_median = median !speedups in
+  let tf_med = median !full_times and ti_med = median !incr_times in
+  let full_eps = float_of_int !n_cands /. tf_med in
+  let incr_eps = float_of_int !n_cands /. ti_med in
+  let stats =
+    match !last_stats with
+    | Some s -> s
+    | None ->
+        {
+          Measure.advances = 0; retreats = 0; commits = 0; resyncs = 0;
+          env_hits = 0; env_misses = 0; oracle_checks = 0;
+        }
+  in
+  let hit_rate =
+    let total = stats.Measure.env_hits + stats.Measure.env_misses in
+    if total = 0 then 0.0
+    else float_of_int stats.Measure.env_hits /. float_of_int total
+  in
+  Printf.printf
+    "%d candidates x %d trials\n\
+     full:        %8.1f evals/s (median)\n\
+     incremental: %8.1f evals/s (median)\n\
+     speedup (median, pure measurement): %.2fx\n\
+     speedup (with cleanup lookahead):   %.2fx\n\
+     env cache hit rate: %.3f\n%!"
+    !n_cands trials full_eps incr_eps speedup_median speedup_cleanups hit_rate;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"design\": %S,\n\
+      \  \"comps\": %d,\n\
+      \  \"candidates\": %d,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"full_evals_per_sec\": %.2f,\n\
+      \  \"incremental_evals_per_sec\": %.2f,\n\
+      \  \"speedup_median\": %.3f,\n\
+      \  \"speedups\": [%s],\n\
+      \  \"speedup_with_cleanups\": %.3f,\n\
+      \  \"env_cache_hit_rate\": %.4f,\n\
+      \  \"advances\": %d,\n\
+      \  \"retreats\": %d,\n\
+      \  \"oracle_checks\": %d,\n\
+      \  \"divergences\": 0\n\
+       }\n"
+      name (D.num_comps mapped) !n_cands trials smoke_mode full_eps incr_eps
+      speedup_median
+      (String.concat ", "
+         (List.map (Printf.sprintf "%.3f") (List.rev !speedups)))
+      speedup_cleanups hit_rate stats.Measure.advances stats.Measure.retreats
+      oracle_checks
+  in
+  (try
+     let oc = open_out "BENCH_measure.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_measure.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_measure.json: %s\n%!" msg);
+  if smoke_mode && speedup_median < 1.2 then begin
+    Printf.printf
+      "measure smoke: incremental slower than full (%.2fx < 1.2x)\n"
+      speedup_median;
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -539,8 +751,14 @@ let () =
   | Some "disciplines" -> disciplines ()
   | Some "bechamel" -> bechamel ()
   | Some "smoke" -> smoke ()
+  | Some "measure" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      measure_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
-        "unknown experiment %s (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke)\n"
+        "unknown experiment %s \
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure)\n"
         other;
       exit 1

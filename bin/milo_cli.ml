@@ -128,6 +128,20 @@ let max_steps_arg =
          ~doc:"Maximum committed rule applications across all \
                optimization passes.")
 
+let full_measure_arg =
+  Arg.(value & flag
+         & info [ "full-measure" ]
+             ~doc:"Disable the incremental measurement engine: every \
+                   candidate evaluation recomputes timing, area and \
+                   power from scratch (slow; for cross-checking).")
+
+let check_measure_arg =
+  Arg.(value & flag
+         & info [ "check-measure" ]
+             ~doc:"Differential oracle: cross-check every incremental \
+                   measurement against a full recompute and abort on \
+                   divergence (debugging; very slow).")
+
 (* --- commands --------------------------------------------------------- *)
 
 let compile_cmd =
@@ -160,7 +174,8 @@ let map_cmd =
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
 let optimize_cmd =
-  let run path tech delay area power timeout max_steps out =
+  let run path tech delay area power timeout max_steps full_measure
+      check_measure out =
     protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
@@ -173,10 +188,14 @@ let optimize_cmd =
       | None, None -> None
       | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
     in
+    Milo_measure.Measure.set_debug_check check_measure;
     let human = Milo.Flow.baseline_stats ~technology design in
     Printf.printf "baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"
       human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
-    match Milo.Flow.run ~technology ~constraints ?budget design with
+    match
+      Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
+        ?budget design
+    with
     | Milo.Flow.Complete res ->
         print_string (Milo.Report.summary res);
         (match out with
@@ -194,7 +213,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the full MILO flow against the given constraints.")
     Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ area_arg
-               $ power_arg $ timeout_arg $ max_steps_arg $ out_arg))
+               $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
+               $ check_measure_arg $ out_arg))
 
 let stats_cmd =
   let run path tech =

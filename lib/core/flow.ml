@@ -187,7 +187,8 @@ let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
 (* --- Full MILO flow --------------------------------------------------- *)
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
-    ?(lint = Milo_lint.Lint.Off) ?budget ?(hooks = no_hooks) design =
+    ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
+    ?(hooks = no_hooks) design =
   let budget =
     match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
   in
@@ -247,7 +248,7 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
     in
     let optimized, optimizer_report =
       Milo_optimizer.Logic_optimizer.optimize ~required
-        ~input_arrivals:constraints.Constraints.input_arrivals
+        ~input_arrivals:constraints.Constraints.input_arrivals ~incremental
         ~on_mapped:(fun d ->
           lint_stage ~techs:mapped "techmap" d;
           checkpoint Techmap d;
@@ -292,8 +293,8 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           partial_budget = Milo_rules.Budget.status budget;
         }
 
-let run_exn ?technology ?constraints ?lint ?budget ?hooks design =
-  match run ?technology ?constraints ?lint ?budget ?hooks design with
+let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks design =
+  match run ?technology ?constraints ?lint ?incremental ?budget ?hooks design with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn
 

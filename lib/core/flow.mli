@@ -110,6 +110,7 @@ val run :
   ?technology:technology ->
   ?constraints:Constraints.t ->
   ?lint:Milo_lint.Lint.level ->
+  ?incremental:bool ->
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
   D.t ->
@@ -120,6 +121,12 @@ val run :
     technology mapping and after the logic optimizer.  [Warn] reports to
     stderr; [Strict] raises [Milo_lint.Lint.Lint_error] on any
     Error-severity finding.
+
+    [incremental] (default [true]) has the optimize stage construct one
+    incremental measurer ([Milo_measure.Measure]) and evaluate
+    candidates by delta-STA and streaming area/power; [false] forces
+    full recomputation per evaluation (the pre-measurement behaviour,
+    useful for cross-checking).
 
     [budget] (default unlimited) bounds the optimization searches: on
     exhaustion the rule passes stop cleanly with the best design so far
@@ -135,6 +142,7 @@ val run_exn :
   ?technology:technology ->
   ?constraints:Constraints.t ->
   ?lint:Milo_lint.Lint.level ->
+  ?incremental:bool ->
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
   D.t ->

@@ -9,10 +9,27 @@ module M = Milo_library.Macro
 
 type env = string -> M.t
 
-let comp_area env (c : D.comp) =
-  match c.D.kind with
+let kind_area env (k : T.kind) =
+  match k with
   | T.Macro m -> (env m).M.area
   | T.Constant _ -> 0.0
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Instance _ ->
+      invalid_arg
+        (Printf.sprintf "Estimate: %s is not technology-mapped" (T.kind_name k))
+
+let kind_power env (k : T.kind) =
+  match k with
+  | T.Macro m -> (env m).M.power
+  | T.Constant _ -> 0.0
+  | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
+  | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Instance _ ->
+      invalid_arg
+        (Printf.sprintf "Estimate: %s is not technology-mapped" (T.kind_name k))
+
+let comp_area env (c : D.comp) =
+  match c.D.kind with
+  | T.Macro _ | T.Constant _ -> kind_area env c.D.kind
   | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
   | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Instance _ ->
       invalid_arg
@@ -20,8 +37,7 @@ let comp_area env (c : D.comp) =
 
 let comp_power env (c : D.comp) =
   match c.D.kind with
-  | T.Macro m -> (env m).M.power
-  | T.Constant _ -> 0.0
+  | T.Macro _ | T.Constant _ -> kind_power env c.D.kind
   | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _ | T.Logic_unit _
   | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Instance _ ->
       invalid_arg

@@ -7,6 +7,13 @@ module T = Milo_netlist.Types
 
 type env = string -> Milo_library.Macro.t
 
+val kind_area : env -> T.kind -> float
+val kind_power : env -> T.kind -> float
+(** Cost of one component kind ([Macro]: library value, [Constant]: 0;
+    anything unmapped raises [Invalid_argument]).  Used by the
+    streaming accumulators in [Milo_measure], which price change-log
+    entries without a component at hand. *)
+
 val comp_area : env -> D.comp -> float
 val comp_power : env -> D.comp -> float
 val area : env -> D.t -> float

@@ -24,8 +24,18 @@ type net = {
       (** design port bound to this net, if any *)
 }
 
-type entry
-(** One undoable edit. *)
+(** One undoable edit, with the inverse information needed to revert
+    it.  Public so incremental observers (the measurement layer) can
+    fold a log into their own state; treat as read-only. *)
+type entry =
+  | E_add_comp of int
+  | E_remove_comp of int * string * Types.kind * (string * int) list
+      (** id, name, kind, saved (pin, net) connections *)
+  | E_connect of int * string * int option
+      (** comp, pin, previous net (if any) *)
+  | E_add_net of int
+  | E_remove_net of int * string * (string * Types.dir) option
+  | E_set_kind of int * Types.kind  (** comp, previous kind *)
 
 type log = entry list ref
 

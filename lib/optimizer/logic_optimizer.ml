@@ -109,8 +109,8 @@ let optimize_level ?budget db tech_db target design =
    technology-specific design (Figure 18's process), then run the time
    optimizer against the constraint and recover area off the critical
    paths. *)
-let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped ?budget
-    db target design =
+let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
+    ?on_mapped ?budget db target design =
   let tech_db = Database.create () in
   let entries = ref [] in
   (* 1. Map and optimize every sub-design, deepest first. *)
@@ -151,6 +151,13 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped ?budget
   let log = D.new_log () in
   Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
   D.commit log;
+  (* One incremental measurer for the whole flat optimization stage:
+     the timing and area passes below share it through the context, so
+     candidate evaluation costs a cone re-propagation instead of a
+     full-design STA + estimate fold. *)
+  if incremental then
+    ctx.R.measurer :=
+      Some (Milo_measure.Measure.create ~input_arrivals target.Table_map.tech d);
   let timing =
     if required < infinity then
       Some
@@ -163,6 +170,7 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?on_mapped ?budget
       ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
       ~cleanups:Milo_critic.Critic.cleanup ctx
   in
+  ctx.R.measurer := None;
   let log = D.new_log () in
   Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
   D.commit log;

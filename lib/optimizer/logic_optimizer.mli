@@ -22,6 +22,7 @@ val instance_order : Milo_compilers.Database.t -> D.t -> string list
 val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
+  ?incremental:bool ->
   ?on_mapped:(D.t -> unit) ->
   ?budget:Milo_rules.Budget.t ->
   Milo_compilers.Database.t ->
@@ -35,4 +36,9 @@ val optimize :
     optimization phase (the flow's post-techmap lint hook).  [budget]
     bounds every optimization pass (per-level greedy, timing strategies,
     area recovery); mapping and flattening always complete, so an
-    exhausted budget degrades to the mapped-but-unoptimized design. *)
+    exhausted budget degrades to the mapped-but-unoptimized design.
+    [incremental] (default [true]) installs one [Milo_measure.Measure]
+    per flat optimization stage in the rule context, so the timing and
+    area passes evaluate candidates by delta-STA and streaming totals
+    instead of full recomputes; pass [false] to force the full
+    measurement path. *)

@@ -5,7 +5,12 @@ module R = Milo_rules.Rule
 module Engine = Milo_rules.Engine
 
 let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
-  let m = Engine.measure_fn ctx ~input_arrivals () in
+  (* Measurer-aware, like [Area_opt.cost_fn]. *)
+  let m =
+    match !(ctx.R.measurer) with
+    | Some ms -> Milo_measure.Measure.current ms
+    | None -> Engine.measure_fn ctx ~input_arrivals ()
+  in
   let penalty =
     if m.Engine.delay > required then 1000.0 *. (m.Engine.delay -. required)
     else 0.0

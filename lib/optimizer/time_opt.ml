@@ -18,16 +18,25 @@ type step = {
 
 type outcome = { met : bool; final_delay : float; steps : step list }
 
+(* With a measurer in the context, its live Sta view replaces a
+   from-scratch analysis (the measurer is kept in lock-step with every
+   committed edit, so the view is always current). *)
 let analyze ctx ~input_arrivals =
-  let env name = Milo_library.Technology.find ctx.R.tech name in
-  Sta.analyze ~input_arrivals env ctx.R.design
+  match !(ctx.R.measurer) with
+  | Some m -> Milo_measure.Measure.sta m
+  | None ->
+      let env name = Milo_library.Technology.find ctx.R.tech name in
+      Sta.analyze ~input_arrivals env ctx.R.design
 
 (* The worst arrival among endpoints (what the constraint binds). *)
 let worst ctx ~input_arrivals = Sta.worst_delay (analyze ctx ~input_arrivals)
 
 let area ctx =
-  let env name = Milo_library.Technology.find ctx.R.tech name in
-  Milo_estimate.Estimate.area env ctx.R.design
+  match !(ctx.R.measurer) with
+  | Some m -> (Milo_measure.Measure.current m).Milo_measure.Measure.area
+  | None ->
+      let env name = Milo_library.Technology.find ctx.R.tech name in
+      Milo_estimate.Estimate.area env ctx.R.design
 
 (* Try one strategy on the most critical path; keep the edit only if the
    worst delay strictly improves without a runaway area cost (the
@@ -47,28 +56,37 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
       | Strategies.Not_applicable ->
           D.undo ctx.R.design log;
           None
-      | Strategies.Applied detail ->
+      | Strategies.Applied detail -> (
           Milo_rules.Engine.run_cleanups ctx cleanups log;
-          let after = worst ctx ~input_arrivals in
-          let area_after = area ctx in
-          let area_ok =
-            area_after <= Float.max (area_before *. 1.25) (area_before +. 4.0)
-          in
-          if after < before -. 1e-9 && area_ok then begin
-            D.commit log;
-            (match budget with Some b -> Milo_rules.Budget.step b | None -> ());
-            Some
-              {
-                step_strategy = s.Strategies.strat_name;
-                step_detail = detail;
-                delay_before = before;
-                delay_after = after;
-              }
-          end
-          else begin
-            D.undo ctx.R.design log;
-            None
-          end)
+          match Milo_rules.Engine.measure_step ctx log with
+          | Milo_rules.Engine.Measure_failed ->
+              D.undo ctx.R.design log;
+              None
+          | step ->
+              let after = worst ctx ~input_arrivals in
+              let area_after = area ctx in
+              let area_ok =
+                area_after <= Float.max (area_before *. 1.25) (area_before +. 4.0)
+              in
+              if after < before -. 1e-9 && area_ok then begin
+                D.commit log;
+                Milo_rules.Engine.measure_keep ctx step;
+                (match budget with
+                | Some b -> Milo_rules.Budget.step b
+                | None -> ());
+                Some
+                  {
+                    step_strategy = s.Strategies.strat_name;
+                    step_detail = detail;
+                    delay_before = before;
+                    delay_after = after;
+                  }
+              end
+              else begin
+                D.undo ctx.R.design log;
+                Milo_rules.Engine.measure_drop ctx step;
+                None
+              end))
 
 let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
     ~cleanups ctx =

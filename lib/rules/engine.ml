@@ -14,7 +14,11 @@
 
 module D = Milo_netlist.Design
 
-type measure = { delay : float; area : float; power : float }
+type measure = Milo_measure.Measure.totals = {
+  delay : float;
+  area : float;
+  power : float;
+}
 
 let pp_measure ppf m =
   Format.fprintf ppf "delay=%.2fns area=%.1fcells power=%.1fmW" m.delay m.area
@@ -138,25 +142,67 @@ let guarded_apply ctx (r : Rule.t) site log =
 
 (* Apply every applicable cleanup rule until none fires (bounded).  The
    Logic Consultant examines its high-priority rules after each regular
-   rule application. *)
+   rule application.  The budget counts successful applications only —
+   dead or non-applying sites cost nothing — and once exhausted no
+   further site is scanned. *)
 let run_cleanups ctx cleanups log =
   let budget = ref (4 * (1 + D.num_comps ctx.Rule.design)) in
   let rec pass () =
     let fired =
       List.exists
         (fun (r : Rule.t) ->
-          let sites = guarded_find ctx r in
-          List.exists
-            (fun site ->
-              decr budget;
-              !budget > 0 && Rule.site_alive ctx site
-              && guarded_apply ctx r site log)
-            sites)
+          !budget > 0
+          && List.exists
+               (fun site ->
+                 !budget > 0
+                 && Rule.site_alive ctx site
+                 && guarded_apply ctx r site log
+                 && (decr budget;
+                     true))
+               (guarded_find ctx r))
         cleanups
     in
     if fired && !budget > 0 then pass ()
   in
   pass ()
+
+(* --- Measurer lock-step ------------------------------------------------ *)
+
+(* When the context carries an incremental measurer, every measured
+   apply/undo/commit must move it in lock-step with the design.  The
+   protocol: after applying a log, [measure_step]; then either undo the
+   design and [measure_drop], or commit and [measure_keep].  A failed
+   advance (e.g. the candidate state is unmeasurable) yields
+   [Measure_failed]: dropping it is free, keeping it forces a full
+   resync since the committed edits were never folded in. *)
+
+type mstep =
+  | No_measurer
+  | Measured of Milo_measure.Measure.token
+  | Measure_failed
+
+let measure_step ctx log =
+  match !(ctx.Rule.measurer) with
+  | None -> No_measurer
+  | Some m -> (
+      match Milo_measure.Measure.advance m (D.entries log) with
+      | tok -> Measured tok
+      | exception
+          (( Out_of_memory | Stack_overflow
+           | Milo_measure.Measure.Divergence _ ) as e) ->
+          raise e
+      | exception _ -> Measure_failed)
+
+let measure_drop ctx step =
+  match (step, !(ctx.Rule.measurer)) with
+  | Measured tok, Some m -> Milo_measure.Measure.retreat m tok
+  | (No_measurer | Measure_failed | Measured _), _ -> ()
+
+let measure_keep ctx step =
+  match (step, !(ctx.Rule.measurer)) with
+  | Measured tok, Some m -> Milo_measure.Measure.commit m tok
+  | Measure_failed, Some m -> Milo_measure.Measure.resync m
+  | (No_measurer | Measure_failed | Measured _), _ -> ()
 
 type application = {
   rule : Rule.t;
@@ -181,14 +227,23 @@ let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
       end
       else begin
         run_cleanups ctx cleanups log;
-        match cost () with
-        | after ->
-            D.undo ctx.Rule.design log;
-            Some (before -. after)
-        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-        | exception _ ->
+        match measure_step ctx log with
+        | Measure_failed ->
+            (* The candidate state is unmeasurable incrementally (e.g.
+               unmapped): reject it, nothing to retreat. *)
             D.undo ctx.Rule.design log;
             None
+        | step -> (
+            match cost () with
+            | after ->
+                D.undo ctx.Rule.design log;
+                measure_drop ctx step;
+                Some (before -. after)
+            | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+            | exception _ ->
+                D.undo ctx.Rule.design log;
+                measure_drop ctx step;
+                None)
       end
 
 (* One greedy step: evaluate all candidates, commit the best if it
@@ -216,6 +271,7 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
       let log = D.new_log () in
       if guarded_apply ctx app.rule app.site log then begin
         run_cleanups ctx cleanups log;
+        measure_keep ctx (measure_step ctx log);
         D.commit log;
         (match budget with Some b -> Budget.step b | None -> ());
         Some app
@@ -275,12 +331,23 @@ let ops_cycle ctx st rules =
           (r.Rule.find ctx))
       rules
   in
+  (* Third tie-break: rule order — the earlier a rule appears in the
+     supplied list, the higher it scores. *)
+  let rule_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (r : Rule.t) ->
+      if not (Hashtbl.mem rule_index r.Rule.rule_name) then
+        Hashtbl.replace rule_index r.Rule.rule_name i)
+    rules;
   let score (r, (site : Rule.site)) =
     let rec_max =
       List.fold_left (fun acc c -> max acc (ops_recency st c)) 0
         site.Rule.site_comps
     in
-    (rec_max, List.length site.Rule.site_comps, -(Hashtbl.hash r.Rule.rule_name land 0xFF))
+    ( rec_max,
+      List.length site.Rule.site_comps,
+      -(Option.value ~default:max_int
+          (Hashtbl.find_opt rule_index r.Rule.rule_name)) )
   in
   match conflict with
   | [] -> false

@@ -4,7 +4,11 @@
 
 module D = Milo_netlist.Design
 
-type measure = { delay : float; area : float; power : float }
+type measure = Milo_measure.Measure.totals = {
+  delay : float;
+  area : float;
+  power : float;
+}
 
 val pp_measure : Format.formatter -> measure -> unit
 
@@ -53,7 +57,34 @@ val guarded_apply : Rule.context -> Rule.t -> Rule.site -> D.log -> bool
 
 val run_cleanups : Rule.context -> Rule.t list -> D.log -> unit
 (** Fire applicable cleanup rules to a bounded fixpoint, recording into
-    the same log. *)
+    the same log.  The bound charges successful applications only. *)
+
+(** {2 Incremental measurement lock-step}
+
+    When [ctx.measurer] is set (see [Milo_measure.Measure]), the
+    measured disciplines keep it synchronized with the design.  After
+    applying edits into a log, call {!measure_step}; then pair
+    [D.undo]+{!measure_drop} or [D.commit]+{!measure_keep}. *)
+
+type mstep =
+  | No_measurer  (** context carries no measurer: nothing to sync *)
+  | Measured of Milo_measure.Measure.token
+  | Measure_failed
+      (** the advance raised (unmeasurable candidate state); dropping
+          is free, keeping forces a full resync *)
+
+val measure_step : Rule.context -> D.log -> mstep
+(** Fold the log's entries into the context's measurer, if any.
+    [Out_of_memory], [Stack_overflow] and [Measure.Divergence]
+    propagate; any other failure yields [Measure_failed] with the
+    measurer state unchanged. *)
+
+val measure_drop : Rule.context -> mstep -> unit
+(** After [D.undo] of the same log: retreat the measurer exactly. *)
+
+val measure_keep : Rule.context -> mstep -> unit
+(** After [D.commit] of the same log: keep the advanced state
+    (resyncing from scratch if the step had failed). *)
 
 type application = { rule : Rule.t; site : Rule.site; gain : float }
 

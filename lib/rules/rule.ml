@@ -38,6 +38,10 @@ type context = {
   focus : (int, unit) Hashtbl.t option ref;
       (** when set, [find] only examines these components — the
           Rete-style incremental matching of Section 2.2.1 *)
+  measurer : Milo_measure.Measure.t option ref;
+      (** when set, the engine keeps this incremental measurer in
+          lock-step with every apply/undo/commit, and measurer-aware
+          cost functions read it instead of recomputing *)
 }
 
 let make_context ?(extra_resolve : D.resolver option) tech set design =
@@ -54,7 +58,7 @@ let make_context ?(extra_resolve : D.resolver option) tech set design =
     | T.Constant _ ->
         T.pins_of_kind kind
   in
-  { design; tech; set; resolve; focus = ref None }
+  { design; tech; set; resolve; focus = ref None; measurer = ref None }
 
 let find_macro ctx name = Technology.find_opt ctx.tech name
 

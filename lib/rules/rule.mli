@@ -17,6 +17,10 @@ type context = {
   focus : (int, unit) Hashtbl.t option ref;
       (** when set, rule matching only examines these components (the
           Rete-style incremental discipline of Section 2.2.1) *)
+  measurer : Milo_measure.Measure.t option ref;
+      (** when set (see [Engine]), the measured disciplines keep this
+          incremental measurer in lock-step with the design and
+          measurer-aware cost functions read it in O(1) *)
 }
 
 val make_context :

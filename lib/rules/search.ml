@@ -114,20 +114,27 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
             let log = D.new_log () in
             if Engine.guarded_apply ctx r site log then begin
               Engine.run_cleanups ctx cleanups log;
-              let c = cost () in
-              let allowed' =
-                match allowed with
-                | Some _ -> allowed
-                | None ->
-                    if params.n_hood > 0 then
-                      Some (neighbourhood ctx site.Rule.site_comps params.n_hood)
-                    else None
-              in
-              let sub_cost, sub_moves = dfs (depth + 1) ~allowed:allowed' c in
-              let total = Float.min c sub_cost in
-              if total < fst !best then
-                best := (total, (r, site) :: (if sub_cost < c then sub_moves else []));
-              D.undo ctx.Rule.design log
+              match Engine.measure_step ctx log with
+              | Engine.Measure_failed -> D.undo ctx.Rule.design log
+              | step ->
+                  let c = cost () in
+                  let allowed' =
+                    match allowed with
+                    | Some _ -> allowed
+                    | None ->
+                        if params.n_hood > 0 then
+                          Some
+                            (neighbourhood ctx site.Rule.site_comps
+                               params.n_hood)
+                        else None
+                  in
+                  let sub_cost, sub_moves = dfs (depth + 1) ~allowed:allowed' c in
+                  let total = Float.min c sub_cost in
+                  if total < fst !best then
+                    best :=
+                      (total, (r, site) :: (if sub_cost < c then sub_moves else []));
+                  D.undo ctx.Rule.design log;
+                  Engine.measure_drop ctx step
             end
             else D.undo ctx.Rule.design log
           end)
@@ -137,7 +144,11 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
   let best_cost, seq = dfs 0 ~allowed:None root_cost in
   if best_cost >= root_cost -. 1e-9 || seq = [] then None
   else begin
-    (* Execute the first D_app moves of the winning sequence. *)
+    (* Execute the first D_app moves of the winning sequence.  Later
+       moves assumed the edits of earlier ones, so the first move that
+       no longer applies (dead site or failed re-application) aborts
+       the rest of the sequence instead of executing it against a state
+       it was never evaluated on. *)
     let rec exec k = function
       | [] -> ()
       | (r, site) :: rest ->
@@ -145,11 +156,12 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
             let log = D.new_log () in
             if Engine.guarded_apply ctx r site log then begin
               Engine.run_cleanups ctx cleanups log;
+              Engine.measure_keep ctx (Engine.measure_step ctx log);
               D.commit log;
-              match budget with Some b -> Budget.step b | None -> ()
+              (match budget with Some b -> Budget.step b | None -> ());
+              exec (k + 1) rest
             end
-            else D.undo ctx.Rule.design log;
-            exec (k + 1) rest
+            else D.undo ctx.Rule.design log
           end
     in
     exec 0 seq;

@@ -4,7 +4,15 @@
    arc(in,out)) + drive × load(out net).  Sources are input ports and
    sequential macro CLK→Q launches; endpoints are output ports and
    sequential macro data/control pins.  Sequential components break
-   combinational paths, as in the paper's timing analyzer (Figure 8). *)
+   combinational paths, as in the paper's timing analyzer (Figure 8).
+
+   [analyze] evaluates every combinational macro exactly once, in
+   levelized (Kahn) topological order — O(comps + arcs) instead of the
+   restart-until-quiescent worklist it replaced.  [update] re-levelizes
+   and re-propagates only the forward cone of a set of touched nets and
+   components, recording every overwritten arrival in a {!token} so
+   [rollback] can restore the previous state exactly; tokens must be
+   rolled back in LIFO order. *)
 
 module D = Milo_netlist.Design
 module T = Milo_netlist.Types
@@ -17,11 +25,18 @@ type endpoint = Ep_port of string | Ep_seq_pin of int * string
 type t = {
   design : D.t;
   env : env;
+  input_arrivals : (string * float) list;
   net_arrival : (int, float) Hashtbl.t;
   net_from : (int, int * string * string) Hashtbl.t;
       (* net -> (comp, in_pin, out_pin) that determined its arrival *)
-  endpoints : (endpoint * float) list;
-  worst : float;
+  ep_arrival : (endpoint, float) Hashtbl.t;
+  mutable worst_cache : float option;
+}
+
+type token = {
+  tk_net : (int, float option * (int * string * string) option) Hashtbl.t;
+      (* first-touch previous (arrival, from) per net *)
+  tk_ep : (endpoint, float option) Hashtbl.t;
 }
 
 let macro_of env (c : D.comp) =
@@ -47,131 +62,270 @@ let net_load t nid =
   let port_load = match n.D.nport with Some (_, T.Output) -> 1.0 | _ -> 0.0 in
   List.fold_left (fun acc p -> acc +. pin_load p) port_load n.D.npins
 
+(* --- State mutators (token-recording) --------------------------------- *)
+
+let save_net tok t nid =
+  match tok with
+  | None -> ()
+  | Some tk ->
+      if not (Hashtbl.mem tk.tk_net nid) then
+        Hashtbl.replace tk.tk_net nid
+          (Hashtbl.find_opt t.net_arrival nid, Hashtbl.find_opt t.net_from nid)
+
+let set ?tok t nid v from =
+  save_net tok t nid;
+  Hashtbl.replace t.net_arrival nid v;
+  match from with
+  | Some f -> Hashtbl.replace t.net_from nid f
+  | None -> Hashtbl.remove t.net_from nid
+
+let clear_net ?tok t nid =
+  save_net tok t nid;
+  Hashtbl.remove t.net_arrival nid;
+  Hashtbl.remove t.net_from nid
+
+let set_ep ?tok t ep v =
+  (match tok with
+  | None -> ()
+  | Some tk ->
+      if not (Hashtbl.mem tk.tk_ep ep) then
+        Hashtbl.replace tk.tk_ep ep (Hashtbl.find_opt t.ep_arrival ep));
+  Hashtbl.replace t.ep_arrival ep v;
+  t.worst_cache <- None
+
+let remove_ep ?tok t ep =
+  (match tok with
+  | None -> ()
+  | Some tk ->
+      if not (Hashtbl.mem tk.tk_ep ep) then
+        Hashtbl.replace tk.tk_ep ep (Hashtbl.find_opt t.ep_arrival ep));
+  Hashtbl.remove t.ep_arrival ep;
+  t.worst_cache <- None
+
+let arr_default t nid =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.net_arrival nid)
+
+(* --- Evaluation ------------------------------------------------------- *)
+
+(* Combinational macro driving [nid] (if any), or the seed class of the
+   net's driver.  Undriven nets arrive at time 0 (absent from the
+   table), as do unconnected pins. *)
+type drv =
+  | Drv_comb of int
+  | Drv_seq of M.t * string
+  | Drv_const
+  | Drv_none
+
+let driver_of t nid =
+  match D.net_opt t.design nid with
+  | None -> Drv_none
+  | Some n ->
+      List.fold_left
+        (fun acc (cid, pin) ->
+          match acc with
+          | Drv_comb _ | Drv_seq _ | Drv_const -> acc
+          | Drv_none -> (
+              match D.comp_opt t.design cid with
+              | None -> Drv_none
+              | Some c -> (
+                  match macro_of t.env c with
+                  | None -> if pin = "Y" then Drv_const else Drv_none
+                  | Some m ->
+                      if List.mem pin m.M.outputs then
+                        if M.is_sequential m then Drv_seq (m, pin)
+                        else Drv_comb cid
+                      else Drv_none)))
+        Drv_none n.D.npins
+
+let seq_launch t m pin nid =
+  let d =
+    match M.arc_delay_opt m "CLK" pin with
+    | Some d -> d
+    | None -> M.worst_delay m
+  in
+  d +. (m.M.drive *. net_load t nid)
+
+(* Evaluate one combinational macro: worst input arrival + arc delay,
+   plus drive × load, per output net. *)
+let eval_comp ?tok t (c : D.comp) (m : M.t) =
+  let in_arrs =
+    List.map
+      (fun pin ->
+        match D.connection t.design c.D.id pin with
+        | Some nid -> (pin, arr_default t nid)
+        | None -> (pin, 0.0))
+      m.M.inputs
+  in
+  List.iter
+    (fun out ->
+      match D.connection t.design c.D.id out with
+      | None -> ()
+      | Some onid ->
+          let best =
+            List.fold_left
+              (fun acc (pin, a) ->
+                match M.arc_delay_opt m pin out with
+                | Some d -> (
+                    let v = a +. d in
+                    match acc with
+                    | Some (bv, _) when bv >= v -> acc
+                    | _ -> Some (v, pin))
+                | None -> acc)
+              None in_arrs
+          in
+          let v, from =
+            match best with
+            | Some (v, pin) -> (v, Some (c.D.id, pin, out))
+            | None -> (0.0, None)
+          in
+          set ?tok t onid (v +. (m.M.drive *. net_load t onid)) from)
+    m.M.outputs
+
+(* Combinational macros reading [nid] through an input pin — the
+   forward edges of the propagation cone. *)
+let comb_readers t nid =
+  match D.net_opt t.design nid with
+  | None -> []
+  | Some n ->
+      List.filter_map
+        (fun (cid, pin) ->
+          match D.comp_opt t.design cid with
+          | None -> None
+          | Some c -> (
+              match macro_of t.env c with
+              | Some m
+                when (not (M.is_sequential m)) && List.mem pin m.M.inputs ->
+                  Some cid
+              | Some _ | None -> None))
+        n.D.npins
+
+(* Kahn levelization over [members] (comp id -> ()): evaluate each
+   member exactly once in dependency order; any leftover means a
+   combinational loop. *)
+let propagate ?tok t members =
+  let indeg = Hashtbl.create (Hashtbl.length members * 2) in
+  let consumers = Hashtbl.create (Hashtbl.length members * 2) in
+  Hashtbl.iter
+    (fun cid () ->
+      let c = D.comp t.design cid in
+      let m = Option.get (macro_of t.env c) in
+      let deg = ref 0 in
+      List.iter
+        (fun pin ->
+          match D.connection t.design cid pin with
+          | None -> ()
+          | Some nid -> (
+              match driver_of t nid with
+              | Drv_comb did when Hashtbl.mem members did ->
+                  incr deg;
+                  Hashtbl.replace consumers nid
+                    (cid
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt consumers nid))
+              | Drv_comb _ | Drv_seq _ | Drv_const | Drv_none -> ()))
+        m.M.inputs;
+      Hashtbl.replace indeg cid !deg)
+    members;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun cid () -> if Hashtbl.find indeg cid = 0 then Queue.add cid queue) members;
+  let evaluated = ref 0 in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    incr evaluated;
+    let c = D.comp t.design cid in
+    let m = Option.get (macro_of t.env c) in
+    eval_comp ?tok t c m;
+    List.iter
+      (fun out ->
+        match D.connection t.design cid out with
+        | None -> ()
+        | Some onid ->
+            List.iter
+              (fun cid' ->
+                let dg = Hashtbl.find indeg cid' - 1 in
+                Hashtbl.replace indeg cid' dg;
+                if dg = 0 then Queue.add cid' queue)
+              (Option.value ~default:[] (Hashtbl.find_opt consumers onid)))
+      m.M.outputs
+  done;
+  if !evaluated < Hashtbl.length members then
+    let stuck =
+      Hashtbl.fold
+        (fun cid () acc ->
+          if Hashtbl.find indeg cid > 0 then
+            (D.comp t.design cid).D.cname :: acc
+          else acc)
+        members []
+    in
+    invalid_arg
+      (Printf.sprintf "Sta.analyze: combinational loop through %s"
+         (String.concat ", " (List.sort compare stuck)))
+
+(* Endpoint refresh for one net: the output port bound to it and the
+   sequential data/control pins reading it. *)
+let refresh_net_endpoints ?tok t nid =
+  match D.net_opt t.design nid with
+  | None -> ()
+  | Some n ->
+      (match n.D.nport with
+      | Some (p, T.Output) -> set_ep ?tok t (Ep_port p) (arr_default t nid)
+      | Some _ | None -> ());
+      List.iter
+        (fun (cid, pin) ->
+          match D.comp_opt t.design cid with
+          | None -> ()
+          | Some c -> (
+              match macro_of t.env c with
+              | Some m
+                when M.is_sequential m && pin <> "CLK"
+                     && List.mem pin m.M.inputs ->
+                  set_ep ?tok t (Ep_seq_pin (cid, pin)) (arr_default t nid)
+              | Some _ | None -> ()))
+        n.D.npins
+
 (* Input arrival offsets, e.g. late-arriving primary inputs. *)
 let analyze ?(input_arrivals = []) env design =
   let t =
     {
       design;
       env;
+      input_arrivals;
       net_arrival = Hashtbl.create 64;
       net_from = Hashtbl.create 64;
-      endpoints = [];
-      worst = 0.0;
+      ep_arrival = Hashtbl.create 32;
+      worst_cache = None;
     }
-  in
-  let arr nid = Hashtbl.find_opt t.net_arrival nid in
-  let set nid v from =
-    Hashtbl.replace t.net_arrival nid v;
-    match from with
-    | Some f -> Hashtbl.replace t.net_from nid f
-    | None -> Hashtbl.remove t.net_from nid
   in
   (* Seed: input ports and constants at their arrival, sequential
      launches at clk->q + drive*load. *)
   List.iter
     (fun (p, dir, nid) ->
       if dir = T.Input then
-        set nid (Option.value ~default:0.0 (List.assoc_opt p input_arrivals)) None)
+        set t nid (Option.value ~default:0.0 (List.assoc_opt p input_arrivals)) None)
     (D.ports design);
-  let comb = ref [] in
+  let members = Hashtbl.create 64 in
   List.iter
     (fun (c : D.comp) ->
       match macro_of env c with
       | None ->
           (* constants arrive at time 0 *)
           List.iter
-            (fun (pin, nid) ->
-              if pin = "Y" then set nid 0.0 None)
+            (fun (pin, nid) -> if pin = "Y" then set t nid 0.0 None)
             (D.connections design c.D.id)
       | Some m ->
           if M.is_sequential m then
             List.iter
               (fun (pin, nid) ->
                 if List.mem pin m.M.outputs then
-                  let d =
-                    match M.arc_delay_opt m "CLK" pin with
-                    | Some d -> d
-                    | None -> M.worst_delay m
-                  in
-                  set nid (d +. (m.M.drive *. net_load t nid)) None)
+                  set t nid (seq_launch t m pin nid) None)
               (D.connections design c.D.id)
-          else comb := c :: !comb)
+          else Hashtbl.replace members c.D.id ())
     (D.comps design);
-  (* Worklist: evaluate combinational macros whose inputs all have
-     arrivals (undriven nets count as time 0). *)
-  let resolve kind nm =
-    match kind with
-    | T.Macro _ -> (env nm).M.pins
-    | T.Instance _ | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
-    | T.Logic_unit _ | T.Arith_unit _ | T.Register _ | T.Counter _
-    | T.Constant _ ->
-        T.pins_of_kind kind
-  in
-  let input_arrival nid =
-    match arr nid with
-    | Some v -> Some v
-    | None ->
-        if D.driver ~resolve design nid = D.Src_none then Some 0.0 else None
-  in
-  let pending = ref !comb in
-  let progress = ref true in
-  while !progress && !pending <> [] do
-    progress := false;
-    let still = ref [] in
-    List.iter
-      (fun (c : D.comp) ->
-        let m = Option.get (macro_of env c) in
-        let in_arrs =
-          List.map
-            (fun pin ->
-              match D.connection design c.D.id pin with
-              | Some nid -> (pin, input_arrival nid)
-              | None -> (pin, Some 0.0))
-            m.M.inputs
-        in
-        if List.for_all (fun (_, a) -> a <> None) in_arrs then begin
-          progress := true;
-          List.iter
-            (fun out ->
-              match D.connection design c.D.id out with
-              | None -> ()
-              | Some onid ->
-                  let best =
-                    List.fold_left
-                      (fun acc (pin, a) ->
-                        match (M.arc_delay_opt m pin out, a) with
-                        | Some d, Some a -> (
-                            let v = a +. d in
-                            match acc with
-                            | Some (bv, _) when bv >= v -> acc
-                            | _ -> Some (v, pin))
-                        | None, _ | _, None -> acc)
-                      None in_arrs
-                  in
-                  let v, from =
-                    match best with
-                    | Some (v, pin) -> (v, Some (c.D.id, pin, out))
-                    | None -> (0.0, None)
-                  in
-                  set onid (v +. (m.M.drive *. net_load t onid)) from)
-            m.M.outputs
-        end
-        else still := c :: !still)
-      !pending;
-    pending := !still
-  done;
-  if !pending <> [] then
-    invalid_arg
-      (Printf.sprintf "Sta.analyze: combinational loop through %s"
-         (String.concat ", "
-            (List.map (fun (c : D.comp) -> c.D.cname) !pending)));
+  propagate t members;
   (* Endpoints. *)
-  let endpoints = ref [] in
   List.iter
     (fun (p, dir, nid) ->
-      if dir = T.Output then
-        endpoints :=
-          (Ep_port p, Option.value ~default:0.0 (arr nid)) :: !endpoints)
+      if dir = T.Output then set_ep t (Ep_port p) (arr_default t nid))
     (D.ports design);
   List.iter
     (fun (c : D.comp) ->
@@ -181,22 +335,164 @@ let analyze ?(input_arrivals = []) env design =
             (fun pin ->
               if pin <> "CLK" then
                 match D.connection design c.D.id pin with
-                | Some nid ->
-                    endpoints :=
-                      (Ep_seq_pin (c.D.id, pin), Option.value ~default:0.0 (arr nid))
-                      :: !endpoints
+                | Some nid -> set_ep t (Ep_seq_pin (c.D.id, pin)) (arr_default t nid)
                 | None -> ())
             m.M.inputs
       | Some _ | None -> ())
     (D.comps design);
-  let worst =
-    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 !endpoints
-  in
-  { t with endpoints = !endpoints; worst }
+  t
 
-let worst_delay t = t.worst
-let endpoints t = List.sort (fun (_, a) (_, b) -> compare b a) t.endpoints
+let worst_delay t =
+  match t.worst_cache with
+  | Some w -> w
+  | None ->
+      let w = Hashtbl.fold (fun _ v acc -> Float.max acc v) t.ep_arrival 0.0 in
+      t.worst_cache <- Some w;
+      w
+
+let endpoints t =
+  Hashtbl.fold (fun ep v acc -> (ep, v) :: acc) t.ep_arrival []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
 let net_arrival t nid = Hashtbl.find_opt t.net_arrival nid
+
+(* --- Incremental update ----------------------------------------------- *)
+
+let rollback t tok =
+  Hashtbl.iter
+    (fun nid (oa, ofrom) ->
+      (match oa with
+      | Some v -> Hashtbl.replace t.net_arrival nid v
+      | None -> Hashtbl.remove t.net_arrival nid);
+      match ofrom with
+      | Some f -> Hashtbl.replace t.net_from nid f
+      | None -> Hashtbl.remove t.net_from nid)
+    tok.tk_net;
+  Hashtbl.iter
+    (fun ep oa ->
+      match oa with
+      | Some v -> Hashtbl.replace t.ep_arrival ep v
+      | None -> Hashtbl.remove t.ep_arrival ep)
+    tok.tk_ep;
+  t.worst_cache <- None
+
+let update t ~touched_nets ~touched_comps =
+  let design = t.design in
+  let tok = { tk_net = Hashtbl.create 32; tk_ep = Hashtbl.create 16 } in
+  try
+    (* Dirty nets: the touched nets plus everything still connected to a
+       touched component. *)
+    let dirty = Hashtbl.create 32 in
+    let add_dirty nid = Hashtbl.replace dirty nid () in
+    List.iter add_dirty touched_nets;
+    List.iter
+      (fun cid ->
+        match D.comp_opt design cid with
+        | Some c -> Hashtbl.iter (fun _ nid -> add_dirty nid) c.D.conns
+        | None -> ())
+      touched_comps;
+    (* Re-seed every dirty net from its driver class; collect the
+       combinational comps that must re-evaluate (dirty drivers, dirty
+       readers, and the touched comps themselves). *)
+    let seeds = Hashtbl.create 32 in
+    let add_seed cid = Hashtbl.replace seeds cid () in
+    List.iter
+      (fun cid ->
+        match D.comp_opt design cid with
+        | None -> ()
+        | Some c -> (
+            match macro_of t.env c with
+            | Some m when not (M.is_sequential m) -> add_seed cid
+            | Some _ | None -> ()))
+      touched_comps;
+    Hashtbl.iter
+      (fun nid () ->
+        match D.net_opt design nid with
+        | None -> clear_net ~tok t nid
+        | Some n ->
+            (match driver_of t nid with
+            | Drv_comb cid -> add_seed cid
+            | Drv_const -> set ~tok t nid 0.0 None
+            | Drv_seq (m, pin) -> set ~tok t nid (seq_launch t m pin nid) None
+            | Drv_none -> (
+                match n.D.nport with
+                | Some (p, T.Input) ->
+                    set ~tok t nid
+                      (Option.value ~default:0.0
+                         (List.assoc_opt p t.input_arrivals))
+                      None
+                | Some _ | None -> clear_net ~tok t nid));
+            List.iter add_seed (comb_readers t nid))
+      dirty;
+    (* Forward closure of the seeds: the cone that re-propagates. *)
+    let members = Hashtbl.create 64 in
+    let stack = ref [] in
+    Hashtbl.iter (fun cid () -> stack := cid :: !stack) seeds;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | cid :: rest ->
+          stack := rest;
+          if not (Hashtbl.mem members cid) then begin
+            Hashtbl.replace members cid ();
+            let c = D.comp design cid in
+            let m = Option.get (macro_of t.env c) in
+            List.iter
+              (fun out ->
+                match D.connection design cid out with
+                | None -> ()
+                | Some onid ->
+                    List.iter
+                      (fun cid' ->
+                        if not (Hashtbl.mem members cid') then
+                          stack := cid' :: !stack)
+                      (comb_readers t onid))
+              m.M.outputs
+          end
+    done;
+    propagate ~tok t members;
+    (* Endpoints: every net whose arrival was rewritten, every dirty
+       net, and the endpoint pins of touched comps (which may have been
+       added, removed or re-kinded). *)
+    Hashtbl.iter (fun nid _ -> refresh_net_endpoints ~tok t nid) tok.tk_net;
+    Hashtbl.iter
+      (fun nid () ->
+        if not (Hashtbl.mem tok.tk_net nid) then refresh_net_endpoints ~tok t nid)
+      dirty;
+    List.iter
+      (fun cid ->
+        let existing =
+          Hashtbl.fold
+            (fun ep _ acc ->
+              match ep with
+              | Ep_seq_pin (c, _) when c = cid -> ep :: acc
+              | Ep_seq_pin _ | Ep_port _ -> acc)
+            t.ep_arrival []
+        in
+        List.iter (fun ep -> remove_ep ~tok t ep) existing;
+        match D.comp_opt design cid with
+        | None -> ()
+        | Some c -> (
+            match macro_of t.env c with
+            | Some m when M.is_sequential m ->
+                List.iter
+                  (fun pin ->
+                    if pin <> "CLK" then
+                      match D.connection design cid pin with
+                      | Some nid ->
+                          set_ep ~tok t (Ep_seq_pin (cid, pin))
+                            (arr_default t nid)
+                      | None -> ())
+                  m.M.inputs
+            | Some _ | None -> ()))
+      touched_comps;
+    tok
+  with e ->
+    (* Leave the analysis state exactly as before the failed update. *)
+    rollback t tok;
+    raise e
+
+(* --- Paths ------------------------------------------------------------ *)
 
 type hop = { comp : int; in_pin : string; out_pin : string }
 

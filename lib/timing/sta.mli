@@ -24,6 +24,25 @@ val endpoints : t -> (endpoint * float) list
 
 val net_arrival : t -> int -> float option
 
+type token
+(** Undo record for one {!update}: the previous value of every arrival
+    and endpoint the update overwrote. *)
+
+val update : t -> touched_nets:int list -> touched_comps:int list -> token
+(** Re-propagate arrivals through the forward cone of the given nets
+    and components (typically read off a design change log) instead of
+    re-analyzing the whole design.  The touched sets must cover every
+    net whose driver, load or existence changed and every component
+    added, removed, re-kinded or re-connected since the last
+    [analyze]/[update].  Returns a token for {!rollback}; tokens must
+    be rolled back newest-first.  On [Invalid_argument] (unmapped
+    component, combinational loop) the state is restored before the
+    exception propagates. *)
+
+val rollback : t -> token -> unit
+(** Restore the arrival state exactly as it was before the
+    corresponding {!update}. *)
+
 type hop = { comp : int; in_pin : string; out_pin : string }
 
 type path = {

@@ -229,6 +229,166 @@ let test_ops_incremental_matches_naive () =
     (abs (D.num_comps naive - D.num_comps incr)
      <= max 3 (D.num_comps naive / 5))
 
+let test_ops_determinism () =
+  (* Conflict-set ties (same recency, same specificity) break by the
+     rule's position in the supplied list — stable across runs and
+     reorderings, not hash order. *)
+  let fired = ref [] in
+  let mk name =
+    R.make ~name ~cls:R.Logic
+      ~find:(fun ctx ->
+        List.map
+          (fun (c : D.comp) -> R.site ~comps:[ c.D.id ] name)
+          (R.scan_comps ctx))
+      ~apply:(fun _ _ _ ->
+        fired := name :: !fired;
+        true)
+  in
+  let ra = mk "det-a" and rb = mk "det-b" and rc = mk "det-c" in
+  let base = D.create "det" in
+  let a = D.add_port base "A" T.Input in
+  let y = D.add_port base "Y" T.Output in
+  let i1 = D.add_comp base (T.Macro "E_INV") in
+  let i2 = D.add_comp base (T.Macro "E_INV") in
+  let n = D.new_net base in
+  D.connect base i1 "A0" a;
+  D.connect base i1 "Y" n;
+  D.connect base i2 "A0" n;
+  D.connect base i2 "Y" y;
+  let run rules =
+    fired := [];
+    let d = D.copy base in
+    let ctx = Util.ctx_for (Util.ecl ()) d in
+    ignore (Milo_rules.Engine.ops_run ctx rules);
+    List.rev !fired
+  in
+  let s1 = run [ ra; rb; rc ] in
+  let s2 = run [ ra; rb; rc ] in
+  Alcotest.(check (list string)) "identical firing sequences" s1 s2;
+  (match s1 with
+  | first :: _ -> Alcotest.(check string) "first-listed wins ties" "det-a" first
+  | [] -> Alcotest.fail "nothing fired");
+  match run [ rb; ra; rc ] with
+  | first :: _ -> Alcotest.(check string) "order follows the list" "det-b" first
+  | [] -> Alcotest.fail "nothing fired"
+
+let test_cleanup_budget_accounting () =
+  (* The cleanup fixpoint bound charges successful applications only:
+     dead sites and refused applies don't burn it. *)
+  Milo_rules.Engine.quarantine_reset ();
+  let d = D.create "bud" in
+  let a = D.add_port d "A" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let c = D.add_comp d (T.Macro "E_BUF") in
+  D.connect d c "A0" a;
+  D.connect d c "Y" y;
+  let dead_calls = ref 0 and refusals = ref 0 and applies = ref 0 in
+  let dead =
+    R.make ~name:"bud-dead" ~cls:R.Cleanup
+      ~find:(fun _ -> List.init 50 (fun i -> R.site ~comps:[ 1000 + i ] "dead"))
+      ~apply:(fun _ _ _ ->
+        incr dead_calls;
+        false)
+  in
+  let refuse =
+    R.make ~name:"bud-refuse" ~cls:R.Cleanup
+      ~find:(fun _ -> [ R.site ~comps:[ c ] "refuse" ])
+      ~apply:(fun _ _ _ ->
+        incr refusals;
+        false)
+  in
+  let count =
+    R.make ~name:"bud-count" ~cls:R.Cleanup
+      ~find:(fun _ -> [ R.site ~comps:[ c ] "count" ])
+      ~apply:(fun _ _ _ ->
+        incr applies;
+        true)
+  in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let log = D.new_log () in
+  Milo_rules.Engine.run_cleanups ctx [ dead; refuse; count ] log;
+  (* budget = 4 * (1 + num_comps) = 8; one successful application per
+     pass, so the counting rule fires exactly 8 times regardless of the
+     dead and refusing rules scanned ahead of it. *)
+  Alcotest.(check int) "dead sites never applied" 0 !dead_calls;
+  Alcotest.(check bool) "refusing rule was scanned" true (!refusals > 0);
+  Alcotest.(check int) "applications = budget" 8 !applies
+
+let test_search_exec_abort () =
+  (* A winning sequence that goes stale mid-execution aborts at the
+     first failed re-application instead of running later moves against
+     a state they were never evaluated on. *)
+  Milo_rules.Engine.quarantine_reset ();
+  let d = D.create "stale" in
+  let a = D.add_port d "A" T.Input in
+  let y = D.add_port d "Y" T.Output in
+  let c = D.add_comp d (T.Macro "E_INV") in
+  D.connect d c "A0" a;
+  D.connect d c "Y" y;
+  (* step1 (INV -> BUF) succeeds exactly twice: once in the gain probe,
+     once in the tree expansion.  Its re-application at execution time
+     fails, so step2 — whose precondition is step1's edit — must not
+     run. *)
+  let step1_left = ref 2 in
+  let step2_stale = ref false in
+  let sites_of_kind kind name ctx =
+    List.filter_map
+      (fun (cp : D.comp) ->
+        if cp.D.kind = T.Macro kind then Some (R.site ~comps:[ cp.D.id ] name)
+        else None)
+      (R.scan_comps ctx)
+  in
+  let step1 =
+    R.make ~name:"stale-step1" ~cls:R.Logic
+      ~find:(sites_of_kind "E_INV" "step1")
+      ~apply:(fun ctx site log ->
+        !step1_left > 0
+        && begin
+             decr step1_left;
+             D.set_kind ~log ctx.R.design
+               (List.hd site.R.site_comps)
+               (T.Macro "E_BUF");
+             true
+           end)
+  in
+  let step2 =
+    R.make ~name:"stale-step2" ~cls:R.Logic
+      ~find:(sites_of_kind "E_BUF" "step2")
+      ~apply:(fun ctx site log ->
+        let cid = List.hd site.R.site_comps in
+        (match D.comp_opt ctx.R.design cid with
+        | Some cp when cp.D.kind = T.Macro "E_BUF" -> ()
+        | _ ->
+            step2_stale := true;
+            failwith "stale-step2 executed on a stale state");
+        D.remove_comp ~log ctx.R.design cid;
+        true)
+  in
+  let cost () =
+    if D.num_comps d = 0 then 5.0
+    else
+      match D.comp_opt d c with
+      | Some { D.kind = T.Macro "E_BUF"; _ } -> 9.0
+      | _ -> 10.0
+  in
+  let ctx = Util.ctx_for (Util.ecl ()) d in
+  let params =
+    { Milo_rules.Search.b = 2; d_max = 2; d_app = 2; n_hood = 0;
+      delta_cost = 100.0 }
+  in
+  let gain =
+    Milo_rules.Search.search ~params ctx ~cost ~cleanups:[] [ step1; step2 ]
+  in
+  Alcotest.(check bool) "search found the sequence" true (gain <> None);
+  Alcotest.(check bool) "stale move never executed" false !step2_stale;
+  Alcotest.(check bool) "step2 not quarantined" false
+    (Milo_rules.Engine.is_quarantined "stale-step2");
+  Alcotest.(check int) "design intact" 1 (D.num_comps d);
+  match D.comp_opt d c with
+  | Some cp ->
+      Alcotest.(check bool) "kind restored" true (cp.D.kind = T.Macro "E_INV")
+  | None -> Alcotest.fail "component gone"
+
 let test_greedy_improves_cost () =
   let src = Milo_designs.Workload.random_logic ~gates:60 ~seed:21 () in
   let target = Milo_techmap.Table_map.ecl_target () in
@@ -315,11 +475,16 @@ let () =
           Alcotest.test_case "ops recognize-act" `Quick test_ops_engine;
           Alcotest.test_case "incremental matches naive" `Quick
             test_ops_incremental_matches_naive;
+          Alcotest.test_case "ops tie-break determinism" `Quick
+            test_ops_determinism;
+          Alcotest.test_case "cleanup budget accounting" `Quick
+            test_cleanup_budget_accounting;
           Alcotest.test_case "greedy improves" `Quick test_greedy_improves_cost;
         ] );
       ( "search",
         [
           Alcotest.test_case "lookahead" `Quick test_search_lookahead;
+          Alcotest.test_case "stale exec aborts" `Quick test_search_exec_abort;
           Alcotest.test_case "neighbourhood" `Quick test_neighbourhood;
           Alcotest.test_case "metarule params" `Quick test_metarule_params;
         ] );

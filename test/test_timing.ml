@@ -138,6 +138,94 @@ let test_high_power_is_faster_in_sta () =
   let after = Sta.worst_delay (Sta.analyze env d) in
   Alcotest.(check bool) "H variants faster" true (after < before)
 
+(* --- Incremental update ------------------------------------------------ *)
+
+let assert_same_timing what got want =
+  Alcotest.(check bool)
+    (what ^ ": worst delay")
+    true
+    (Float.abs (Sta.worst_delay got -. Sta.worst_delay want) < 1e-9);
+  let norm s =
+    List.sort compare
+      (List.map (fun (ep, t) -> (Sta.endpoint_name s ep, t)) (Sta.endpoints s))
+  in
+  let g = norm got and w = norm want in
+  Alcotest.(check int) (what ^ ": endpoint count") (List.length w)
+    (List.length g);
+  List.iter2
+    (fun (gn, gt) (wn, wt) ->
+      Alcotest.(check string) (what ^ ": endpoint") wn gn;
+      Alcotest.(check bool)
+        (what ^ ": arrival at " ^ wn)
+        true
+        (Float.abs (gt -. wt) < 1e-9))
+    g w
+
+let test_update_set_kind () =
+  (* Re-kinding components and updating incrementally matches a fresh
+     analyze after every edit; rolling the tokens back (newest first)
+     restores the original state exactly. *)
+  let d = Util.mapped_workload ~gates:40 ~seed:9 in
+  let sta = Sta.analyze env d in
+  let original = Sta.analyze env d in
+  let swaps =
+    [
+      ("E_OR2", "E_NOR2"); ("E_NOR2", "E_OR2"); ("E_AND2", "E_NAND2");
+      ("E_NAND2", "E_AND2"); ("E_INV", "E_BUF"); ("E_BUF", "E_INV");
+    ]
+  in
+  let candidates =
+    List.filter_map
+      (fun (c : D.comp) ->
+        match c.D.kind with
+        | T.Macro m -> (
+            match List.assoc_opt m swaps with
+            | Some m'
+              when Milo_library.Technology.find_opt (Util.ecl ()) m' <> None ->
+                Some (c.D.id, c.D.kind, T.Macro m')
+            | _ -> None)
+        | _ -> None)
+      (D.comps d)
+  in
+  let picked = List.filteri (fun i _ -> i < 5) candidates in
+  Alcotest.(check bool) "found swappable comps" true (picked <> []);
+  let tokens =
+    List.map
+      (fun (cid, _, kind') ->
+        D.set_kind d cid kind';
+        let tok = Sta.update sta ~touched_nets:[] ~touched_comps:[ cid ] in
+        assert_same_timing
+          (Printf.sprintf "after set_kind %d" cid)
+          sta (Sta.analyze env d);
+        tok)
+      picked
+  in
+  List.iter2
+    (fun (cid, kind, _) tok ->
+      D.set_kind d cid kind;
+      Sta.rollback sta tok)
+    (List.rev picked) (List.rev tokens);
+  assert_same_timing "after rollback" sta original
+
+let test_update_rewire () =
+  (* Re-connecting a pin: the update over the touched comp and both
+     nets matches a fresh analyze; rollback restores the original. *)
+  let d = chain () in
+  let sta = Sta.analyze env d in
+  let original = Sta.analyze env d in
+  let org = D.find_comp d "org" in
+  let old_net = Hashtbl.find org.D.conns "A1" in
+  let inv_out = Hashtbl.find (D.find_comp d "inv").D.conns "Y" in
+  D.connect d org.D.id "A1" inv_out;
+  let tok =
+    Sta.update sta ~touched_nets:[ old_net; inv_out ]
+      ~touched_comps:[ org.D.id ]
+  in
+  assert_same_timing "after rewire" sta (Sta.analyze env d);
+  D.connect d org.D.id "A1" old_net;
+  Sta.rollback sta tok;
+  assert_same_timing "after rewire rollback" sta original
+
 let () =
   Alcotest.run "timing"
     [
@@ -155,6 +243,9 @@ let () =
       ( "paths",
         [
           Alcotest.test_case "select point" `Quick test_select_point;
+          Alcotest.test_case "incremental set_kind" `Quick
+            test_update_set_kind;
+          Alcotest.test_case "incremental rewire" `Quick test_update_rewire;
           Alcotest.test_case "critical set" `Quick test_critical_set_with_requirement;
         ] );
     ]
