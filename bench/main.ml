@@ -725,6 +725,122 @@ let measure_bench ~smoke_mode () =
     exit 1
   end
 
+(* --- E10: tracing overhead --------------------------------------------- *)
+
+(* Wall-time of the full flow with tracing off, with a plain in-memory
+   tracer, and with a JSONL streaming sink attached.  Min-of-trials keeps
+   scheduler noise out of the comparison.  `trace-overhead smoke` runs on
+   the small design3 case and asserts the in-memory tracer costs < 5%
+   (plus a 5 ms absolute slack for sub-100ms runs); it lives on its own
+   @trace_overhead alias rather than runtest so timing jitter can never
+   fail the tier-1 suite. *)
+
+let trace_overhead ~smoke_mode () =
+  section
+    (if smoke_mode then "E10 / trace-overhead smoke: tracing cost on design3"
+     else "E10 / trace-overhead: tracing cost on the largest suite design");
+  Milo_rules.Engine.quarantine_reset ();
+  let case =
+    if smoke_mode then Milo_designs.Suite.design3 ()
+    else
+      (* largest suite case by mapped component count *)
+      List.fold_left
+        (fun (acc : Milo_designs.Suite.case) (c : Milo_designs.Suite.case) ->
+          let m, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              c.Milo_designs.Suite.case_design
+          in
+          let ma, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              acc.Milo_designs.Suite.case_design
+          in
+          if D.num_comps m > D.num_comps ma then c else acc)
+        (Milo_designs.Suite.design1 ())
+        (Milo_designs.Suite.all ())
+  in
+  let name = case.Milo_designs.Suite.case_name in
+  let trials = if smoke_mode then 3 else 5 in
+  let max_steps = if smoke_mode then 10 else 200 in
+  let run_flow ?trace () =
+    let budget = Milo_rules.Budget.make ~max_steps () in
+    match
+      Milo.Flow.run ?trace ~technology:Milo.Flow.Ecl
+        ~constraints:case.Milo_designs.Suite.constraints ~budget
+        case.Milo_designs.Suite.case_design
+    with
+    | Milo.Flow.Complete _ -> ()
+    | Milo.Flow.Partial p ->
+        Printf.printf "trace-overhead: flow degraded at %s: %s\n"
+          (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+          p.Milo.Flow.failure.Milo.Flow.err_message;
+        exit 1
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* warm-up: libraries, compiler memo tables, suite laziness *)
+  run_flow ();
+  let off_min = min_of (fun () -> run_flow ()) in
+  let last_events = ref 0 in
+  let mem_min =
+    min_of (fun () ->
+        let t = Milo_trace.Trace.create () in
+        run_flow ~trace:t ();
+        last_events := Milo_trace.Trace.event_count t)
+  in
+  let jsonl_min =
+    min_of (fun () ->
+        let path = Filename.temp_file "milo_trace" ".jsonl" in
+        let oc = open_out path in
+        let t = Milo_trace.Trace.create () in
+        Milo_trace.Trace.add_sink t (Milo_trace.Export.jsonl_sink oc);
+        run_flow ~trace:t ();
+        close_out oc;
+        Sys.remove path)
+  in
+  let pct base v = (v -. base) /. base *. 100.0 in
+  Printf.printf
+    "design %s, %d trials (min), %d events per traced run\n\
+     off:       %8.2f ms\n\
+     in-memory: %8.2f ms  (%+.1f%%)\n\
+     jsonl:     %8.2f ms  (%+.1f%%)\n%!"
+    name trials !last_events (off_min *. 1e3) (mem_min *. 1e3)
+    (pct off_min mem_min) (jsonl_min *. 1e3) (pct off_min jsonl_min);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"design\": %S,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"events\": %d,\n\
+      \  \"off_ms\": %.3f,\n\
+      \  \"in_memory_ms\": %.3f,\n\
+      \  \"jsonl_ms\": %.3f,\n\
+      \  \"in_memory_overhead_pct\": %.2f,\n\
+      \  \"jsonl_overhead_pct\": %.2f\n\
+       }\n"
+      name trials smoke_mode !last_events (off_min *. 1e3) (mem_min *. 1e3)
+      (jsonl_min *. 1e3) (pct off_min mem_min) (pct off_min jsonl_min)
+  in
+  (try
+     let oc = open_out "BENCH_trace.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_trace.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_trace.json: %s\n%!" msg);
+  if smoke_mode && mem_min >= (off_min *. 1.05) +. 0.005 then begin
+    Printf.printf
+      "trace-overhead smoke: in-memory tracer too slow (%.2f ms vs %.2f ms)\n"
+      (mem_min *. 1e3) (off_min *. 1e3);
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -756,9 +872,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       measure_bench ~smoke_mode ()
+  | Some "trace-overhead" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      trace_overhead ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead)\n"
         other;
       exit 1

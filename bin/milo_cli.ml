@@ -4,6 +4,9 @@
      milo map      DESIGN.mil -t ecl [-o OUT] compile + technology map
      milo optimize DESIGN.mil -t ecl --delay 6.5 [-o OUT]
                                               the full MILO flow
+     milo run      DESIGN.mil ...             alias of optimize
+     milo profile  DESIGN.mil [-t ecl]        flow under a tracer ->
+                                              span-tree profile
      milo stats    DESIGN.mil -t ecl          baseline statistics
      milo lint     DESIGN.mil [--json] [--strict]
                                               run the DRC passes
@@ -142,6 +145,18 @@ let check_measure_arg =
                    measurement against a full recompute and abort on \
                    divergence (debugging; very slow).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a flow trace to $(docv): spans, rule/search \
+               events and metrics.  JSONL streams as the run \
+               progresses; the chrome format is written at the end.")
+
+let trace_format_arg =
+  Arg.(value & opt string "json" & info [ "trace-format" ] ~docv:"FORMAT"
+         ~doc:"Trace file format: json (one JSON object per line) or \
+               chrome (a trace_event file loadable in Perfetto or \
+               chrome://tracing).")
+
 (* --- commands --------------------------------------------------------- *)
 
 let compile_cmd =
@@ -173,48 +188,121 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Compile and map onto a technology library (no optimization).")
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
+let optimize_run path tech delay area power timeout max_steps full_measure
+    check_measure trace_file trace_format out =
+  protect ~file:path @@ fun () ->
+  let design = read_design path in
+  let technology = technology_of tech in
+  let constraints =
+    Milo.Constraints.make ?required_delay:delay ?max_area:area
+      ?max_power:power ()
+  in
+  let budget =
+    match (timeout, max_steps) with
+    | None, None -> None
+    | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
+  in
+  Milo_measure.Measure.set_debug_check check_measure;
+  (* A JSONL trace streams into the file as the run progresses (so a
+     crashed run keeps its prefix); the chrome format needs the whole
+     trace and is written when the flow returns. *)
+  let trace_ch = ref None in
+  let trace =
+    match trace_file with
+    | None -> None
+    | Some file ->
+        let t = Milo_trace.Trace.create () in
+        (match trace_format with
+        | "json" ->
+            let oc = open_out file in
+            trace_ch := Some oc;
+            Milo_trace.Trace.add_sink t (Milo_trace.Export.jsonl_sink oc)
+        | "chrome" -> ()
+        | other ->
+            runtime_fail ~file:path ~code:5
+              "unknown trace format %s (json|chrome)" other);
+        Some t
+  in
+  let finish_trace () =
+    match (trace, trace_file) with
+    | Some t, Some file ->
+        (match trace_format with
+        | "chrome" ->
+            let oc = open_out file in
+            Milo_trace.Export.write_chrome oc t;
+            close_out oc
+        | _ -> ( match !trace_ch with Some oc -> close_out oc | None -> ()));
+        Printf.eprintf "trace: wrote %s (%s)\n" file trace_format
+    | _ -> ()
+  in
+  let human = Milo.Flow.baseline_stats ~technology design in
+  Printf.printf "baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"
+    human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
+  match
+    Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
+      ?budget ?trace design
+  with
+  | Milo.Flow.Complete res ->
+      finish_trace ();
+      print_string (Milo.Report.summary res);
+      (match out with
+      | Some _ -> write_design out res.Milo.Flow.optimized
+      | None -> ());
+      `Ok ()
+  | Milo.Flow.Partial p ->
+      (* Degraded run: report the failure, keep the last good design.
+         The trace was flushed by the flow, so it is written too. *)
+      finish_trace ();
+      prerr_string (Milo.Report.partial_summary p);
+      (match out with
+      | Some _ -> write_design out p.Milo.Flow.last_good.Milo.Flow.ck_design
+      | None -> ());
+      exit 6
+
+let optimize_term =
+  Term.(ret (const optimize_run $ design_arg $ tech_arg $ delay_arg $ area_arg
+             $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
+             $ check_measure_arg $ trace_arg $ trace_format_arg $ out_arg))
+
 let optimize_cmd =
-  let run path tech delay area power timeout max_steps full_measure
-      check_measure out =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the full MILO flow against the given constraints.")
+    optimize_term
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Alias of optimize: run the full MILO flow.")
+    optimize_term
+
+let profile_cmd =
+  let run path tech delay timeout max_steps =
     protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
-    let constraints =
-      Milo.Constraints.make ?required_delay:delay ?max_area:area
-        ?max_power:power ()
-    in
+    let constraints = Milo.Constraints.make ?required_delay:delay () in
     let budget =
       match (timeout, max_steps) with
       | None, None -> None
       | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
     in
-    Milo_measure.Measure.set_debug_check check_measure;
-    let human = Milo.Flow.baseline_stats ~technology design in
-    Printf.printf "baseline: delay %.2f ns, area %.1f cells, power %.1f mW\n"
-      human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
-    match
-      Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
-        ?budget design
-    with
-    | Milo.Flow.Complete res ->
-        print_string (Milo.Report.summary res);
-        (match out with
-        | Some _ -> write_design out res.Milo.Flow.optimized
-        | None -> ());
+    let t = Milo_trace.Trace.create () in
+    match Milo.Flow.run ~technology ~constraints ?budget ~trace:t design with
+    | Milo.Flow.Complete _ ->
+        print_string (Milo_trace.Profile.render t);
         `Ok ()
     | Milo.Flow.Partial p ->
-        (* Degraded run: report the failure, keep the last good design. *)
+        (* The profile up to the failure is still printed — that is the
+           point of profiling a run that went wrong. *)
+        print_string (Milo_trace.Profile.render t);
         prerr_string (Milo.Report.partial_summary p);
-        (match out with
-        | Some _ -> write_design out p.Milo.Flow.last_good.Milo.Flow.ck_design
-        | None -> ());
         exit 6
   in
   Cmd.v
-    (Cmd.info "optimize" ~doc:"Run the full MILO flow against the given constraints.")
-    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ area_arg
-               $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
-               $ check_measure_arg $ out_arg))
+    (Cmd.info "profile"
+       ~doc:"Run the flow under a tracer and print the span-tree profile \
+             with per-stage self-times and per-rule attribution.")
+    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ timeout_arg
+               $ max_steps_arg))
 
 let stats_cmd =
   let run path tech =
@@ -313,4 +401,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; map_cmd; optimize_cmd; stats_cmd; lint_cmd; symbol_cmd ]))
+          [
+            compile_cmd;
+            map_cmd;
+            optimize_cmd;
+            run_cmd;
+            profile_cmd;
+            stats_cmd;
+            lint_cmd;
+            symbol_cmd;
+          ]))

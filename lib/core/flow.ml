@@ -119,7 +119,12 @@ type result = {
   checkpoints : checkpoint list;  (** per-stage snapshots, in flow order *)
   quarantined : (string * int) list;
       (** rules quarantined during the run, with trapped-failure counts *)
+  quarantine_errors : (string * string) list;
+      (** first trapped exception message per quarantined rule *)
   budget : Milo_rules.Budget.status;
+  run_trace : Milo_trace.Trace.t option;
+      (** the tracer passed to [run ?trace], flushed — queryable for
+          spans, events, metrics and the profile *)
 }
 
 type partial = {
@@ -131,7 +136,9 @@ type partial = {
   partial_lint_findings : (string * Milo_lint.Diagnostic.t list) list;
   partial_database : Database.t;
   partial_quarantined : (string * int) list;
+  partial_quarantine_errors : (string * string) list;
   partial_budget : Milo_rules.Budget.status;
+  partial_trace : Milo_trace.Trace.t option;
 }
 
 type outcome = Complete of result | Partial of partial
@@ -188,11 +195,20 @@ let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
     ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
-    ?(hooks = no_hooks) design =
+    ?(hooks = no_hooks) ?trace design =
+  (* Install the tracer (if any) as the ambient one for the whole run,
+     so every layer's probes report into it; restored on exit. *)
+  (match trace with
+  | None -> (fun f -> f ())
+  | Some t -> Milo_trace.Trace.with_tracer t)
+  @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
   in
   Milo_rules.Engine.quarantine_reset ();
+  Milo_trace.Trace.open_span ("flow:" ^ D.name design);
+  Milo_trace.Trace.set_stage (stage_name Capture);
+  Milo_trace.Trace.open_span ("stage:" ^ stage_name Capture);
   let db = Database.create () in
   let lib = Milo_library.Generic.get () in
   let target = target_of technology in
@@ -217,10 +233,26 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   let checkpoint stage d =
     let ck = { ck_stage = stage; ck_design = D.copy d } in
     checkpoints := ck :: !checkpoints;
+    if Milo_trace.Trace.enabled () then
+      Milo_trace.Trace.emit
+        (Milo_trace.Trace.Checkpoint
+           {
+             stage = stage_name stage;
+             comps = D.num_comps d;
+             nets = D.num_nets d;
+           });
     hooks.on_checkpoint ck
   in
   let current = ref Capture in
   let enter stage d =
+    (* One span per stage: close the previous stage's span (which
+       force-closes anything a fault left open below it) and open the
+       next.  The terminal flush closes the last one. *)
+    if Milo_trace.Trace.enabled () then begin
+      Milo_trace.Trace.close_span ("stage:" ^ stage_name !current);
+      Milo_trace.Trace.set_stage (stage_name stage);
+      Milo_trace.Trace.open_span ("stage:" ^ stage_name stage)
+    end;
     current := stage;
     hooks.before_stage stage d
   in
@@ -264,6 +296,9 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
     (micro_design, optimized, final, optimizer_report)
   with
   | micro_design, optimized, final, optimizer_report ->
+      (* Flush closes the open stage/root spans and runs the sinks, so
+         the trace is complete before the caller sees the result. *)
+      (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Complete
         {
           micro_design;
@@ -275,10 +310,15 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           lint_findings = List.rev !findings;
           checkpoints = List.rev !checkpoints;
           quarantined = Milo_rules.Engine.quarantined ();
+          quarantine_errors = Milo_rules.Engine.quarantined_errors ();
           budget = Milo_rules.Budget.status budget;
+          run_trace = trace;
         }
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
   | exception e ->
+      (* A faulted run still flushes: open spans are force-closed and
+         streaming sinks see a well-formed trace up to the failure. *)
+      (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Partial
         {
           failed_stage = !current;
@@ -290,11 +330,16 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           partial_lint_findings = List.rev !findings;
           partial_database = db;
           partial_quarantined = Milo_rules.Engine.quarantined ();
+          partial_quarantine_errors = Milo_rules.Engine.quarantined_errors ();
           partial_budget = Milo_rules.Budget.status budget;
+          partial_trace = trace;
         }
 
-let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks design =
-  match run ?technology ?constraints ?lint ?incremental ?budget ?hooks design with
+let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
+    design =
+  match
+    run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace design
+  with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn
 

@@ -72,7 +72,14 @@ type result = {
   checkpoints : checkpoint list;  (** per-stage snapshots, in flow order *)
   quarantined : (string * int) list;
       (** rules quarantined during the run, with trapped-failure counts *)
+  quarantine_errors : (string * string) list;
+      (** first trapped exception message per quarantined rule, sorted
+          by name — the "why" behind the counts *)
   budget : Milo_rules.Budget.status;
+  run_trace : Milo_trace.Trace.t option;
+      (** the tracer passed to [run ?trace], already flushed:
+          queryable for spans, events, metrics and the
+          [Milo_trace.Profile] attributions *)
 }
 
 type partial = {
@@ -84,7 +91,11 @@ type partial = {
   partial_lint_findings : (string * Milo_lint.Diagnostic.t list) list;
   partial_database : Milo_compilers.Database.t;
   partial_quarantined : (string * int) list;
+  partial_quarantine_errors : (string * string) list;
   partial_budget : Milo_rules.Budget.status;
+  partial_trace : Milo_trace.Trace.t option;
+      (** flushed even on failure: open spans are force-closed, so the
+          trace of a degraded run is still balanced and well-formed *)
 }
 
 type outcome = Complete of result | Partial of partial
@@ -113,6 +124,7 @@ val run :
   ?incremental:bool ->
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
+  ?trace:Milo_trace.Trace.t ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -134,6 +146,13 @@ val run :
     mapping and flattening stages still complete, so a 0-step budget
     yields a [Complete] outcome with an unoptimized mapped design.
 
+    [trace] (default none — zero-overhead) installs the tracer as the
+    ambient one for the duration of the run: every stage runs inside a
+    [stage:<name>] span under a [flow:<design>] root, checkpoints and
+    rule/search/measure activity appear in the event log, and the
+    tracer is flushed (sinks run, open spans force-closed) before the
+    outcome is returned.
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -145,6 +164,7 @@ val run_exn :
   ?incremental:bool ->
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
+  ?trace:Milo_trace.Trace.t ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]

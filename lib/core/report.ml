@@ -43,14 +43,20 @@ let print_table rows =
   List.iter (fun r -> print_endline (format_row r)) rows
 
 (* Resilience tail shared by the complete and partial summaries:
-   quarantined-rule counts, and the budget line when any limit bit. *)
-let add_resilience b ~quarantined ~(budget : Milo_rules.Budget.status) =
+   quarantined-rule counts (with the first trapped error message when
+   available), and the budget line when any limit was hit. *)
+let add_resilience ?(errors = []) b ~quarantined
+    ~(budget : Milo_rules.Budget.status) =
   if quarantined <> [] then begin
     Buffer.add_string b "quarantined rules:\n";
     List.iter
       (fun (rule, count) ->
         Buffer.add_string b
-          (Printf.sprintf "  %s: %d trapped failure(s)\n" rule count))
+          (Printf.sprintf "  %s: %d trapped failure(s)\n" rule count);
+        match List.assoc_opt rule errors with
+        | Some msg ->
+            Buffer.add_string b (Printf.sprintf "    first error: %s\n" msg)
+        | None -> ())
       quarantined
   end;
   if budget.Milo_rules.Budget.budget_exhausted then
@@ -100,7 +106,13 @@ let summary (res : Flow.result) =
           ^ Printf.sprintf " [%s]\n" stage))
       res.Flow.lint_findings
   end;
-  add_resilience b ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;
+  add_resilience ~errors:res.Flow.quarantine_errors b
+    ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;
+  (* Hot rules / hot stages: where the wall time went and which rules
+     earned their keep, from the run's trace (if one was recorded). *)
+  (match res.Flow.run_trace with
+  | Some tr -> Buffer.add_string b (Milo_trace.Profile.hot_summary tr)
+  | None -> ());
   Buffer.contents b
 
 let partial_summary (p : Flow.partial) =
@@ -131,6 +143,9 @@ let partial_summary (p : Flow.partial) =
           ^ Printf.sprintf " [%s]\n" stage))
       p.Flow.partial_lint_findings
   end;
-  add_resilience b ~quarantined:p.Flow.partial_quarantined
-    ~budget:p.Flow.partial_budget;
+  add_resilience ~errors:p.Flow.partial_quarantine_errors b
+    ~quarantined:p.Flow.partial_quarantined ~budget:p.Flow.partial_budget;
+  (match p.Flow.partial_trace with
+  | Some tr -> Buffer.add_string b (Milo_trace.Profile.hot_summary tr)
+  | None -> ());
   Buffer.contents b

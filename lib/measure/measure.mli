@@ -73,8 +73,10 @@ val retreat : t -> token -> unit
 val commit : t -> token -> unit
 (** Keep the advanced state; the token is dead. *)
 
-val resync : t -> unit
+val resync : ?reason:string -> t -> unit
 (** Full recompute in place — the safety valve when the log for an edit
-    is unavailable (e.g. a failed advance on the commit path). *)
+    is unavailable (e.g. a failed advance on the commit path).
+    [reason] labels the [Measure_resync] trace event when a tracer is
+    installed. *)
 
 val stats : t -> stats

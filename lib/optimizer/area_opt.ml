@@ -22,6 +22,7 @@ let cost_fn ?(required = infinity) ?(input_arrivals = []) ctx () =
 
 let optimize ?(required = infinity) ?(input_arrivals = []) ?(max_steps = 200)
     ?budget ~rules ~cleanups ctx =
+  Milo_trace.Trace.with_span "area-opt" @@ fun () ->
   let cost = cost_fn ~required ~input_arrivals ctx in
   Engine.greedy_pass ~max_steps ?budget ctx ~cost ~cleanups rules
 

@@ -87,6 +87,7 @@ let level_cost target tech_db ctx () =
   List.fold_left (fun acc c -> acc +. area c) 0.0 (D.comps ctx.R.design)
 
 let optimize_level ?budget db tech_db target design =
+  Milo_trace.Trace.with_span ("level:" ^ D.name design) @@ fun () ->
   let ctx = make_ctx db tech_db target design in
   let cost = level_cost target tech_db ctx in
   let before = cost () in
@@ -148,9 +149,10 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
      area recovery off the critical paths. *)
   let d = !top in
   let ctx = make_ctx db tech_db target d in
-  let log = D.new_log () in
-  Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
-  D.commit log;
+  Milo_trace.Trace.with_span "electric" (fun () ->
+      let log = D.new_log () in
+      Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
+      D.commit log);
   (* One incremental measurer for the whole flat optimization stage:
      the timing and area passes below share it through the context, so
      candidate evaluation costs a cone re-propagation instead of a
@@ -171,7 +173,8 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
       ~cleanups:Milo_critic.Critic.cleanup ctx
   in
   ctx.R.measurer := None;
-  let log = D.new_log () in
-  Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
-  D.commit log;
+  Milo_trace.Trace.with_span "electric" (fun () ->
+      let log = D.new_log () in
+      Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
+      D.commit log);
   (d, { entries = List.rev !entries; timing })

@@ -68,7 +68,18 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
               let area_ok =
                 area_after <= Float.max (area_before *. 1.25) (area_before +. 4.0)
               in
-              if after < before -. 1e-9 && area_ok then begin
+              let kept = after < before -. 1e-9 && area_ok in
+              if Milo_trace.Trace.enabled () then
+                Milo_trace.Trace.emit
+                  (Milo_trace.Trace.Strategy_step
+                     {
+                       strategy = s.Strategies.strat_name;
+                       detail;
+                       kept;
+                       delay_before = before;
+                       delay_after = after;
+                     });
+              if kept then begin
                 D.commit log;
                 Milo_rules.Engine.measure_keep ctx step;
                 (match budget with
@@ -90,6 +101,7 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
 
 let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
     ~cleanups ctx =
+  Milo_trace.Trace.with_span "time-opt" @@ fun () ->
   let steps = ref [] in
   let exhausted () =
     match budget with Some b -> Milo_rules.Budget.exhausted b | None -> false

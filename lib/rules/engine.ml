@@ -13,6 +13,7 @@
    - deeper lookahead lives in [Search] (SOCRATES). *)
 
 module D = Milo_netlist.Design
+module Trace = Milo_trace.Trace
 
 type measure = Milo_measure.Measure.totals = {
   delay : float;
@@ -92,20 +93,32 @@ let lint_after ctx name =
    The strictly rule-based OPS disciplines keep the raising behaviour:
    they are the debugging surface where a loud failure is wanted. *)
 
-let quarantine : (string, int) Hashtbl.t = Hashtbl.create 16
+(* Per rule: failure count and the first trapped exception message —
+   the count says how noisy the rule was, the message says why it
+   first went wrong. *)
+let quarantine : (string, int * string) Hashtbl.t = Hashtbl.create 16
 
 let quarantine_reset () = Hashtbl.reset quarantine
 let is_quarantined name = Hashtbl.mem quarantine name
 
 let quarantined () =
-  Hashtbl.fold (fun name n acc -> (name, n) :: acc) quarantine []
+  Hashtbl.fold (fun name (n, _) acc -> (name, n) :: acc) quarantine []
   |> List.sort compare
 
-let note_failure (r : Rule.t) =
-  let n =
-    Option.value ~default:0 (Hashtbl.find_opt quarantine r.Rule.rule_name)
-  in
-  Hashtbl.replace quarantine r.Rule.rule_name (n + 1)
+let quarantined_errors () =
+  Hashtbl.fold (fun name (_, msg) acc -> (name, msg) :: acc) quarantine []
+  |> List.sort compare
+
+let note_failure (r : Rule.t) exn =
+  let name = r.Rule.rule_name in
+  match Hashtbl.find_opt quarantine name with
+  | Some (n, msg) -> Hashtbl.replace quarantine name (n + 1, msg)
+  | None ->
+      let msg = Printexc.to_string exn in
+      Hashtbl.replace quarantine name (1, msg);
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Rule_quarantined { rule = name; failures = 1; message = msg })
 
 (* Match sites, treating a raising [find] as "no sites" (and
    quarantining the rule).  A quarantined rule matches nothing. *)
@@ -115,8 +128,8 @@ let guarded_find ctx (r : Rule.t) =
     match r.Rule.find ctx with
     | sites -> sites
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-    | exception _ ->
-        note_failure r;
+    | exception e ->
+        note_failure r e;
         []
 
 (* Apply into a private sub-log so a failure rolls back exactly this
@@ -135,9 +148,9 @@ let guarded_apply ctx (r : Rule.t) site log =
         log := !local @ !log;
         ok
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-    | exception _ ->
+    | exception e ->
         D.undo ctx.Rule.design local;
-        note_failure r;
+        note_failure r e;
         false
 
 (* Apply every applicable cleanup rule until none fires (bounded).  The
@@ -201,7 +214,8 @@ let measure_drop ctx step =
 let measure_keep ctx step =
   match (step, !(ctx.Rule.measurer)) with
   | Measured tok, Some m -> Milo_measure.Measure.commit m tok
-  | Measure_failed, Some m -> Milo_measure.Measure.resync m
+  | Measure_failed, Some m ->
+      Milo_measure.Measure.resync ~reason:"failed-advance-committed" m
   | (No_measurer | Measure_failed | Measured _), _ -> ()
 
 type application = {
@@ -210,20 +224,54 @@ type application = {
   gain : float;  (** cost decrease including cleanups *)
 }
 
+(* Snapshot the incremental measurer's totals as a trace cost — only
+   meaningful (and only called) when tracing is on. *)
+let trace_cost ctx =
+  match !(ctx.Rule.measurer) with
+  | None -> None
+  | Some m ->
+      let c = Milo_measure.Measure.current m in
+      Some { Trace.delay = c.delay; area = c.area; power = c.power }
+
 (* Candidate evaluation: apply rule + cleanups, measure, undo.  A cost
    function that fails on the candidate state (an unmappable or
    unmeasurable intermediate) rejects the candidate rather than
-   aborting the pass — the design is restored first. *)
+   aborting the pass — the design is restored first.
+
+   When a tracer is installed, each evaluation is timed into the
+   per-rule attribution table and the eval-latency histogram, and a
+   rejected candidate emits a [Rule_refused] event naming the reason. *)
 let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
   match budget with
   | Some b when Budget.exhausted b -> None
   | _ ->
       (match budget with Some b -> Budget.eval b | None -> ());
+      let traced = Trace.enabled () in
+      let t0 = if traced then Unix.gettimeofday () else 0.0 in
+      let finish ?reason result =
+        if traced then begin
+          let dt = Unix.gettimeofday () -. t0 in
+          Trace.sample "engine.eval_us" (dt *. 1e6);
+          (match result with
+          | Some gain ->
+              Trace.note_rule ~rule:r.Rule.rule_name ~dt ~gain ~outcome:`Eval
+          | None ->
+              Trace.note_rule ~rule:r.Rule.rule_name ~dt ~gain:0.0
+                ~outcome:`Refused);
+          match reason with
+          | Some reason ->
+              Trace.emit
+                (Trace.Rule_refused
+                   { rule = r.Rule.rule_name; site = site.Rule.descr; reason })
+          | None -> ()
+        end;
+        result
+      in
       let before = cost () in
       let log = D.new_log () in
       if not (guarded_apply ctx r site log) then begin
         D.undo ctx.Rule.design log;
-        None
+        finish ~reason:"apply-failed" None
       end
       else begin
         run_cleanups ctx cleanups log;
@@ -232,18 +280,18 @@ let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
             (* The candidate state is unmeasurable incrementally (e.g.
                unmapped): reject it, nothing to retreat. *)
             D.undo ctx.Rule.design log;
-            None
+            finish ~reason:"unmeasurable" None
         | step -> (
             match cost () with
             | after ->
                 D.undo ctx.Rule.design log;
                 measure_drop ctx step;
-                Some (before -. after)
+                finish (Some (before -. after))
             | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
             | exception _ ->
                 D.undo ctx.Rule.design log;
                 measure_drop ctx step;
-                None)
+                finish ~reason:"cost-failed" None)
       end
 
 (* One greedy step: evaluate all candidates, commit the best if it
@@ -268,18 +316,43 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
   in
   match best with
   | Some app when app.gain > min_gain ->
+      let traced = Trace.enabled () in
+      let t0 = if traced then Unix.gettimeofday () else 0.0 in
+      let before = if traced then trace_cost ctx else None in
       let log = D.new_log () in
       if guarded_apply ctx app.rule app.site log then begin
         run_cleanups ctx cleanups log;
         measure_keep ctx (measure_step ctx log);
         D.commit log;
         (match budget with Some b -> Budget.step b | None -> ());
+        if traced then begin
+          Trace.note_rule ~rule:app.rule.Rule.rule_name
+            ~dt:(Unix.gettimeofday () -. t0)
+            ~gain:app.gain ~outcome:`Applied;
+          Trace.count "engine.applies" 1;
+          Trace.emit ?before
+            ?after:(trace_cost ctx)
+            (Trace.Rule_applied
+               {
+                 rule = app.rule.Rule.rule_name;
+                 site = app.site.Rule.descr;
+                 gain = app.gain;
+               })
+        end;
         Some app
       end
       else begin
         (* The winning rule failed on commit (it was just quarantined);
            everything it recorded is already rolled back. *)
         D.undo ctx.Rule.design log;
+        if traced then begin
+          Trace.note_rule ~rule:app.rule.Rule.rule_name
+            ~dt:(Unix.gettimeofday () -. t0)
+            ~gain:0.0 ~outcome:`Rolled_back;
+          Trace.emit
+            (Trace.Rule_rolled_back
+               { rule = app.rule.Rule.rule_name; site = app.site.Rule.descr })
+        end;
         None
       end
   | Some _ | None -> None

@@ -45,6 +45,12 @@ val quarantined : unit -> (string * int) list
     rolled back through the change log and the rule matches nothing for
     the rest of the run, instead of the exception aborting the pass. *)
 
+val quarantined_errors : unit -> (string * string) list
+(** For each quarantined rule, the message of the {e first} exception
+    trapped from it (later failures only bump the count) — the raw
+    material for [Report.partial_summary]'s diagnosis lines.  Sorted by
+    name. *)
+
 val guarded_find : Rule.context -> Rule.t -> Rule.site list
 (** [find] with quarantine: a raising or quarantined rule matches
     nothing. *)

@@ -83,6 +83,7 @@ let moves ctx rules ~allowed =
 let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
     =
   let st = match stats with Some s -> s | None -> { nodes = 0; evals = 0 } in
+  let nodes0 = st.nodes and evals0 = st.evals in
   let exhausted () =
     match budget with Some b -> Budget.exhausted b | None -> false
   in
@@ -142,6 +143,10 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
       !best
   in
   let best_cost, seq = dfs 0 ~allowed:None root_cost in
+  if Milo_trace.Trace.enabled () then begin
+    Milo_trace.Trace.count "search.nodes" (st.nodes - nodes0);
+    Milo_trace.Trace.count "search.evals" (st.evals - evals0)
+  end;
   if best_cost >= root_cost -. 1e-9 || seq = [] then None
   else begin
     (* Execute the first D_app moves of the winning sequence.  Later
@@ -159,6 +164,15 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
               Engine.measure_keep ctx (Engine.measure_step ctx log);
               D.commit log;
               (match budget with Some b -> Budget.step b | None -> ());
+              if Milo_trace.Trace.enabled () then
+                Milo_trace.Trace.emit
+                  (Milo_trace.Trace.Search_decision
+                     {
+                       rule = r.Rule.rule_name;
+                       site = site.Rule.descr;
+                       depth = k;
+                       gain = root_cost -. best_cost;
+                     });
               exec (k + 1) rest
             end
             else D.undo ctx.Rule.design log

@@ -450,6 +450,12 @@ let update t ~touched_nets ~touched_comps =
               m.M.outputs
           end
     done;
+    if Milo_trace.Trace.enabled () then begin
+      Milo_trace.Trace.sample "sta.update.dirty_nets"
+        (float_of_int (Hashtbl.length dirty));
+      Milo_trace.Trace.sample "sta.update.cone"
+        (float_of_int (Hashtbl.length members))
+    end;
     propagate ~tok t members;
     (* Endpoints: every net whose arrival was rewritten, every dirty
        net, and the endpoint pins of touched comps (which may have been

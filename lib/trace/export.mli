@@ -1,0 +1,28 @@
+(** Trace serialization: a streaming JSONL sink, a whole-trace JSONL
+    dump, and a Chrome [trace_event] exporter loadable in Perfetto
+    ({:https://ui.perfetto.dev}) or [chrome://tracing].
+
+    All JSON is emitted by hand — the telemetry core stays
+    zero-dependency. *)
+
+val json_escape : string -> string
+(** Escape for inclusion between double quotes in JSON. *)
+
+val jsonl_sink : out_channel -> Trace.sink
+(** A streaming sink: one JSON object per line — [{"t":"span",...}]
+    as each span closes, [{"t":"event",...}] as each event fires, and
+    on flush one [{"t":"counter"|"gauge"|"hist",...}] line per metric
+    followed by a channel flush.  Because lines stream as they happen,
+    a run that dies mid-flight still leaves a well-formed prefix. *)
+
+val write_jsonl : out_channel -> Trace.t -> unit
+(** Dump a finished tracer in the same line format as {!jsonl_sink}
+    (spans in start order, surviving events, then metrics). *)
+
+val chrome_to_string : Trace.t -> string
+(** The whole trace as one Chrome [trace_event] JSON document:
+    spans become ["X"] complete events (timestamps/durations in
+    microseconds), log events become ["i"] instants, counters become a
+    trailing ["C"] sample. *)
+
+val write_chrome : out_channel -> Trace.t -> unit

@@ -1,0 +1,68 @@
+let bucket_count = 32
+
+type histogram = { count : int; sum : float; buckets : int array }
+
+type hist = { mutable h_count : int; mutable h_sum : float; h_buckets : int array }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let incr t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+(* Bucket 0: v < 1.  Bucket i >= 1: 2^(i-1) <= v < 2^i.  The last
+   bucket is unbounded above. *)
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else
+    let i = 1 + int_of_float (floor (log v /. log 2.)) in
+    if i < 1 then 1 else if i > bucket_count - 1 then bucket_count - 1 else i
+
+let bucket_lo i = if i <= 0 then 0.0 else ldexp 1.0 (i - 1)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h = { h_count = 0; h_sum = 0.0; h_buckets = Array.make bucket_count 0 } in
+        Hashtbl.replace t.hists name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let gauges t = sorted_bindings t.gauges ( ! )
+
+let histograms t =
+  sorted_bindings t.hists (fun h ->
+      { count = h.h_count; sum = h.h_sum; buckets = Array.copy h.h_buckets })
+
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count

@@ -1,0 +1,49 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    Histograms use fixed log-scale buckets (powers of two): bucket 0
+    counts observations below 1.0, bucket [i >= 1] counts observations
+    in [[2^(i-1), 2^i)], and the last bucket absorbs everything above.
+    That makes them cheap (an array bump), mergeable, and adequate for
+    the quantities we track — rule-apply latencies in microseconds,
+    STA update cone sizes, memo hit counts. *)
+
+type t
+
+type histogram = {
+  count : int;  (** number of observations *)
+  sum : float;  (** running sum, for means *)
+  buckets : int array;  (** {!bucket_count} log-scale buckets *)
+}
+
+val bucket_count : int
+(** Number of histogram buckets (32). *)
+
+val bucket_lo : int -> float
+(** [bucket_lo i] is the inclusive lower bound of bucket [i]
+    (0.0 for bucket 0, [2^(i-1)] otherwise). *)
+
+val create : unit -> t
+
+val incr : t -> string -> int -> unit
+(** Add to a counter, creating it at zero first if needed. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : t -> string -> float -> unit
+(** Record one observation into a histogram. *)
+
+val counter : t -> string -> int
+(** Current value of a counter, 0 if never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name. *)
+
+val histograms : t -> (string * histogram) list
+(** All histograms (snapshots), sorted by name. *)
+
+val mean : histogram -> float
+(** [sum /. count], 0 when empty. *)

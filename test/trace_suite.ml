@@ -1,0 +1,428 @@
+(* Telemetry suite — tier-1 gate for lib/trace.
+
+   - a traced complete flow yields a balanced span tree: one flow root,
+     a span per stage, every span closed and nested inside its parent's
+     interval;
+   - the event log is consistent: sequence numbers strictly increase,
+     micro-stage rule-applied events reproduce the critic's application
+     list in order, and the per-rule attribution table agrees with the
+     event counts;
+   - the Chrome trace_event export round-trips through a from-scratch
+     JSON parser with one "X" slice per span;
+   - a fault injected mid-flow still flushes: the partial outcome's
+     tracer has no open spans and the streamed JSONL file is valid
+     line-by-line (the crash-safe-prefix contract). *)
+
+module D = Milo_netlist.Design
+module Flow = Milo.Flow
+module Trace = Milo_trace.Trace
+module Export = Milo_trace.Export
+module Suite = Milo_designs.Suite
+module Faults = Milo_faults
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let ok fmt = Printf.ksprintf (fun s -> Printf.printf "ok   %s\n" s) fmt
+
+(* --- Minimal JSON parser ----------------------------------------------- *)
+
+(* Just enough recursive descent to validate the exporters' output
+   without a JSON dependency.  \u escapes outside ASCII are read
+   lossily ('?'), which is fine for structural round-trip checks. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let bad msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else bad (Printf.sprintf "expected '%c'" c)
+    in
+    let lit w v =
+      let k = String.length w in
+      if !pos + k <= n && String.sub s !pos k = w then begin
+        pos := !pos + k;
+        v
+      end
+      else bad ("expected " ^ w)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then bad "unterminated string";
+        let c = s.[!pos] in
+        incr pos;
+        if c = '"' then ()
+        else if c = '\\' then begin
+          (if !pos >= n then bad "truncated escape");
+          let e = s.[!pos] in
+          incr pos;
+          (match e with
+          | '"' | '\\' | '/' -> Buffer.add_char b e
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 > n then bad "truncated \\u escape";
+              (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+              | Some c when c < 128 -> Buffer.add_char b (Char.chr c)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> bad "bad \\u escape");
+              pos := !pos + 4
+          | _ -> bad "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> bad "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> bad "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  Arr (List.rev (v :: acc))
+              | _ -> bad "expected ',' or ']'"
+            in
+            elems []
+      | Some _ -> number ()
+      | None -> bad "empty input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* --- A traced complete run --------------------------------------------- *)
+
+(* The Figure 14 accumulator: small, and the micro critic fires on it
+   (adder-register-to-counter), so the event-ordering check below has a
+   non-empty application list to reproduce. *)
+let run_traced () =
+  Milo_rules.Engine.quarantine_reset ();
+  let t = Trace.create () in
+  match
+    Flow.run ~technology:Flow.Ecl ~trace:t (Suite.accumulator ~bits:4 ())
+  with
+  | Flow.Complete res -> (t, res)
+  | Flow.Partial p ->
+      fail "traced accumulator flow degraded at %s: %s"
+        (Flow.stage_name p.Flow.failed_stage)
+        p.Flow.failure.Flow.err_message;
+      Printf.printf "%d failure(s)\n" !failures;
+      exit 1
+
+(* --- 1. span nesting and balance --------------------------------------- *)
+
+let check_spans t (res : Flow.result) =
+  let spans = Trace.spans t in
+  let what = "spans" in
+  if spans = [] then fail "%s: traced flow produced no spans" what;
+  List.iter
+    (fun (s : Trace.span) ->
+      if not (Trace.span_closed s) then
+        fail "%s: span %s (id %d) left open after flush" what s.Trace.name
+          s.Trace.id)
+    spans;
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.id s) spans;
+  let eps = 1e-9 in
+  List.iter
+    (fun (s : Trace.span) ->
+      match s.Trace.parent with
+      | None -> ()
+      | Some pid -> (
+          match Hashtbl.find_opt by_id pid with
+          | None -> fail "%s: span %s has unknown parent %d" what s.Trace.name pid
+          | Some p ->
+              if s.Trace.start < p.Trace.start -. eps then
+                fail "%s: span %s starts before its parent %s" what s.Trace.name
+                  p.Trace.name;
+              if s.Trace.stop > p.Trace.stop +. eps then
+                fail "%s: span %s ends after its parent %s" what s.Trace.name
+                  p.Trace.name))
+    spans;
+  (match List.filter (fun (s : Trace.span) -> s.Trace.parent = None) spans with
+  | [ root ] ->
+      let name = D.name res.Flow.optimized in
+      ignore name;
+      if not (String.length root.Trace.name > 5
+              && String.sub root.Trace.name 0 5 = "flow:")
+      then fail "%s: root span named %S, expected flow:<design>" what
+        root.Trace.name
+  | roots -> fail "%s: %d root spans, expected exactly 1" what (List.length roots));
+  List.iter
+    (fun stage ->
+      let name = "stage:" ^ stage in
+      if not (List.exists (fun (s : Trace.span) -> s.Trace.name = name) spans)
+      then fail "%s: missing %s span" what name)
+    [ "capture"; "micro"; "compile"; "techmap"; "optimize" ];
+  if !failures = 0 then
+    ok "%d spans: balanced, nested, one flow root, all 5 stages present"
+      (List.length spans)
+
+(* --- 2. event-log consistency ------------------------------------------ *)
+
+let check_events t (res : Flow.result) =
+  let events = Trace.events t in
+  let what = "events" in
+  if List.length events <> Trace.event_count t then
+    fail "%s: ring dropped events on a small design (%d kept, %d emitted)"
+      what (List.length events) (Trace.event_count t);
+  ignore
+    (List.fold_left
+       (fun prev (e : Trace.event) ->
+         if e.Trace.seq <= prev then
+           fail "%s: seq not strictly increasing (%d after %d)" what
+             e.Trace.seq prev;
+         e.Trace.seq)
+       (-1) events);
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.stage = "" then
+        fail "%s: event %s has an empty stage" what
+          (Trace.kind_label e.Trace.kind))
+    events;
+  (* the micro critic's applications, replayed from the event log, must
+     match the flow result's own record, in order *)
+  let micro_applied =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Rule_applied { rule; _ } when e.Trace.stage = "micro" ->
+            Some rule
+        | _ -> None)
+      events
+  in
+  let recorded = List.map fst res.Flow.micro_applications in
+  if recorded = [] then
+    fail "%s: accumulator flow applied no micro rules — ordering check vacuous"
+      what;
+  if micro_applied <> recorded then
+    fail "%s: micro rule-applied events [%s] <> recorded applications [%s]"
+      what
+      (String.concat "; " micro_applied)
+      (String.concat "; " recorded);
+  (* attribution table vs event log *)
+  let applied_events =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           match e.Trace.kind with Trace.Rule_applied _ -> true | _ -> false)
+         events)
+  in
+  let applies_in_stats =
+    List.fold_left
+      (fun acc (_, (s : Trace.rule_stat)) -> acc + s.Trace.applies)
+      0 (Trace.rule_stats t)
+  in
+  if applied_events <> applies_in_stats then
+    fail "%s: %d rule-applied events but attribution table books %d applies"
+      what applied_events applies_in_stats;
+  if !failures = 0 then
+    ok "%d events: monotone seq, micro log matches %d applications, \
+        attribution agrees"
+      (List.length events) (List.length recorded)
+
+(* --- 3. Chrome export round-trip --------------------------------------- *)
+
+let check_chrome t =
+  let what = "chrome" in
+  let doc =
+    try Json.parse (Export.chrome_to_string t)
+    with Json.Bad msg ->
+      fail "%s: export does not parse: %s" what msg;
+      Json.Null
+  in
+  match Json.member "traceEvents" doc with
+  | Some (Json.Arr evs) ->
+      if evs = [] then fail "%s: empty traceEvents" what;
+      let slices = ref 0 in
+      List.iter
+        (fun ev ->
+          (match Json.member "name" ev with
+          | Some (Json.Str _) -> ()
+          | _ -> fail "%s: trace event without a string name" what);
+          (match Json.member "ts" ev with
+          | Some (Json.Num ts) when ts >= 0.0 -> ()
+          | _ -> fail "%s: trace event without a numeric ts" what);
+          match Json.member "ph" ev with
+          | Some (Json.Str "X") -> (
+              incr slices;
+              match Json.member "dur" ev with
+              | Some (Json.Num d) when d >= 0.0 -> ()
+              | _ -> fail "%s: X slice without a numeric dur" what)
+          | Some (Json.Str _) -> ()
+          | _ -> fail "%s: trace event without a ph" what)
+        evs;
+      let n_spans = List.length (Trace.spans t) in
+      if !slices <> n_spans then
+        fail "%s: %d X slices for %d spans" what !slices n_spans;
+      if !failures = 0 then
+        ok "chrome export: %d trace events parse, %d slices = %d spans"
+          (List.length evs) !slices n_spans
+  | _ -> fail "%s: no traceEvents array at top level" what
+
+(* --- 4. fault-injected partial run still flushes ----------------------- *)
+
+let check_faulted () =
+  let what = "faulted" in
+  Milo_rules.Engine.quarantine_reset ();
+  let c = Suite.design3 () in
+  let t = Trace.create () in
+  let path = Filename.temp_file "milo_trace_suite" ".jsonl" in
+  let oc = open_out path in
+  Trace.add_sink t (Export.jsonl_sink oc);
+  let hooks = Faults.failing_hooks ~at:Flow.Techmap () in
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:c.Suite.constraints ~hooks
+       ~trace:t c.Suite.case_design
+   with
+  | Flow.Complete _ -> fail "%s: expected Partial, flow completed" what
+  | Flow.Partial p -> (
+      if p.Flow.failed_stage <> Flow.Techmap then
+        fail "%s: failed at %s, expected techmap" what
+          (Flow.stage_name p.Flow.failed_stage);
+      match p.Flow.partial_trace with
+      | None -> fail "%s: partial outcome lost the tracer" what
+      | Some t' ->
+          List.iter
+            (fun (s : Trace.span) ->
+              if not (Trace.span_closed s) then
+                fail "%s: span %s still open after a faulted run" what
+                  s.Trace.name)
+            (Trace.spans t')));
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref 0 and spans = ref 0 and events = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       (try
+          let v = Json.parse line in
+          match Json.member "t" v with
+          | Some (Json.Str "span") -> incr spans
+          | Some (Json.Str "event") -> incr events
+          | Some (Json.Str _) -> ()
+          | _ -> fail "%s: jsonl line %d has no \"t\" tag" what !lines
+        with Json.Bad msg ->
+          fail "%s: jsonl line %d does not parse: %s" what !lines msg)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  if !lines = 0 then fail "%s: jsonl sink wrote nothing" what;
+  if !spans = 0 then fail "%s: jsonl stream has no span lines" what;
+  if !events = 0 then fail "%s: jsonl stream has no event lines" what;
+  if !failures = 0 then
+    ok "faulted run: partial trace balanced, %d jsonl lines all parse \
+        (%d spans, %d events)"
+      !lines !spans !events
+
+let () =
+  let t, res = run_traced () in
+  check_spans t res;
+  check_events t res;
+  check_chrome t;
+  check_faulted ();
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "trace suite: all checks passed\n"
