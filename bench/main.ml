@@ -841,6 +841,131 @@ let trace_overhead ~smoke_mode () =
     exit 1
   end
 
+(* --- E11: semantic-guard overhead --------------------------------------- *)
+
+(* Wall-time of the full flow with the semantic guard off, sampled and
+   full.  Min-of-trials, like trace-overhead.  `guard-overhead smoke`
+   runs on the small design3 case and asserts the sampled tier costs
+   < 10% (plus a 5 ms absolute slack for sub-100ms runs); it lives on
+   its own @guard_overhead alias rather than runtest so timing jitter
+   can never fail the tier-1 suite. *)
+
+let guard_overhead ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E11 / guard-overhead smoke: semantic-guard cost, combinational \
+        suite designs"
+     else "E11 / guard-overhead: semantic-guard cost on the example suite");
+  Milo_rules.Engine.quarantine_reset ();
+  let cases =
+    (* combinational subset for smoke: enough work to amortize the
+       fixed per-stage checking cost, no lock-step sequential runs *)
+    if smoke_mode then
+      [
+        Milo_designs.Suite.design1 ();
+        Milo_designs.Suite.design2 ();
+        Milo_designs.Suite.design3 ();
+        Milo_designs.Suite.design5 ();
+      ]
+    else Milo_designs.Suite.all ()
+  in
+  let name =
+    String.concat ","
+      (List.map
+         (fun (c : Milo_designs.Suite.case) -> c.Milo_designs.Suite.case_name)
+         cases)
+  in
+  let trials = if smoke_mode then 3 else 5 in
+  let max_steps = if smoke_mode then 10 else 200 in
+  let guard_stats = ref (Milo_guard.Guard.fresh_stats ()) in
+  let run_flow guard () =
+    List.iter
+      (fun (case : Milo_designs.Suite.case) ->
+        let budget = Milo_rules.Budget.make ~max_steps () in
+        match
+          Milo.Flow.run ~technology:Milo.Flow.Ecl
+            ~constraints:case.Milo_designs.Suite.constraints ~budget ~guard
+            case.Milo_designs.Suite.case_design
+        with
+        | Milo.Flow.Complete res -> guard_stats := res.Milo.Flow.guard_stats
+        | Milo.Flow.Partial p ->
+            Printf.printf "guard-overhead: flow degraded at %s: %s\n"
+              (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+              p.Milo.Flow.failure.Milo.Flow.err_message;
+            exit 1)
+      cases
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* warm-up: libraries, compiler memo tables, suite laziness *)
+  run_flow Milo_guard.Guard.Off ();
+  let off_min = min_of (run_flow Milo_guard.Guard.Off) in
+  let sampled_min = min_of (run_flow Milo_guard.Guard.Sampled) in
+  let sampled_stats = !guard_stats in
+  let full_min = min_of (run_flow Milo_guard.Guard.Full) in
+  let full_stats = !guard_stats in
+  let pct base v = (v -. base) /. base *. 100.0 in
+  let pp_guard (s : Milo_guard.Guard.stats) =
+    Printf.sprintf "%d stage + %d rule checks, %d skipped"
+      s.Milo_guard.Guard.stage_checks s.Milo_guard.Guard.rule_checks
+      s.Milo_guard.Guard.rule_skipped
+  in
+  Printf.printf
+    "designs %s, %d trials (min)\n\
+     off:     %8.2f ms\n\
+     sampled: %8.2f ms  (%+.1f%%)  last run: %s\n\
+     full:    %8.2f ms  (%+.1f%%)  last run: %s\n%!"
+    name trials (off_min *. 1e3) (sampled_min *. 1e3)
+    (pct off_min sampled_min)
+    (pp_guard sampled_stats) (full_min *. 1e3) (pct off_min full_min)
+    (pp_guard full_stats);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"designs\": %S,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"off_ms\": %.3f,\n\
+      \  \"sampled_ms\": %.3f,\n\
+      \  \"full_ms\": %.3f,\n\
+      \  \"sampled_overhead_pct\": %.2f,\n\
+      \  \"full_overhead_pct\": %.2f,\n\
+      \  \"sampled_stage_checks\": %d,\n\
+      \  \"sampled_rule_checks\": %d,\n\
+      \  \"sampled_rule_skipped\": %d,\n\
+      \  \"full_stage_checks\": %d,\n\
+      \  \"full_rule_checks\": %d\n\
+       }\n"
+      name trials smoke_mode (off_min *. 1e3) (sampled_min *. 1e3)
+      (full_min *. 1e3)
+      (pct off_min sampled_min)
+      (pct off_min full_min)
+      sampled_stats.Milo_guard.Guard.stage_checks
+      sampled_stats.Milo_guard.Guard.rule_checks
+      sampled_stats.Milo_guard.Guard.rule_skipped
+      full_stats.Milo_guard.Guard.stage_checks
+      full_stats.Milo_guard.Guard.rule_checks
+  in
+  (try
+     let oc = open_out "BENCH_guard.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_guard.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_guard.json: %s\n%!" msg);
+  if smoke_mode && sampled_min >= (off_min *. 1.10) +. 0.005 then begin
+    Printf.printf
+      "guard-overhead smoke: sampled tier too slow (%.2f ms vs %.2f ms)\n"
+      (sampled_min *. 1e3) (off_min *. 1e3);
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -877,9 +1002,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       trace_overhead ~smoke_mode ()
+  | Some "guard-overhead" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      guard_overhead ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead)\n"
         other;
       exit 1

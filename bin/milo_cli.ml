@@ -7,6 +7,8 @@
      milo run      DESIGN.mil ...             alias of optimize
      milo profile  DESIGN.mil [-t ecl]        flow under a tracer ->
                                               span-tree profile
+     milo verify   A.mil B.mil                equivalence check (exit 7
+                                              when not equivalent)
      milo stats    DESIGN.mil -t ecl          baseline statistics
      milo lint     DESIGN.mil [--json] [--strict]
                                               run the DRC passes
@@ -157,6 +159,22 @@ let trace_format_arg =
                chrome (a trace_event file loadable in Perfetto or \
                chrome://tracing).")
 
+let guard_arg =
+  Arg.(value & opt string "sampled" & info [ "guard" ] ~docv:"TIER"
+         ~doc:"Semantic guard tier: off, sampled (default; checks stage \
+               outputs and a sample of rule applications) or full \
+               (equivalence-check every stage and every rule \
+               application).  A caught stage miscompile degrades the \
+               flow; a caught rule miscompile is reverted and the rule \
+               quarantined.")
+
+let guard_of ~file name =
+  match Milo_guard.Guard.policy_of_string name with
+  | Some p -> p
+  | None ->
+      runtime_fail ~file ~code:5 "unknown guard tier %s (off|sampled|full)"
+        name
+
 (* --- commands --------------------------------------------------------- *)
 
 let compile_cmd =
@@ -189,10 +207,11 @@ let map_cmd =
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
 let optimize_run path tech delay area power timeout max_steps full_measure
-    check_measure trace_file trace_format out =
+    check_measure trace_file trace_format guard out =
   protect ~file:path @@ fun () ->
   let design = read_design path in
   let technology = technology_of tech in
+  let guard = guard_of ~file:path guard in
   let constraints =
     Milo.Constraints.make ?required_delay:delay ?max_area:area
       ?max_power:power ()
@@ -240,7 +259,7 @@ let optimize_run path tech delay area power timeout max_steps full_measure
     human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
   match
     Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
-      ?budget ?trace design
+      ?budget ?trace ~guard design
   with
   | Milo.Flow.Complete res ->
       finish_trace ();
@@ -262,7 +281,8 @@ let optimize_run path tech delay area power timeout max_steps full_measure
 let optimize_term =
   Term.(ret (const optimize_run $ design_arg $ tech_arg $ delay_arg $ area_arg
              $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
-             $ check_measure_arg $ trace_arg $ trace_format_arg $ out_arg))
+             $ check_measure_arg $ trace_arg $ trace_format_arg $ guard_arg
+             $ out_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -275,10 +295,11 @@ let run_cmd =
     optimize_term
 
 let profile_cmd =
-  let run path tech delay timeout max_steps =
+  let run path tech delay timeout max_steps guard =
     protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
+    let guard = guard_of ~file:path guard in
     let constraints = Milo.Constraints.make ?required_delay:delay () in
     let budget =
       match (timeout, max_steps) with
@@ -286,9 +307,14 @@ let profile_cmd =
       | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
     in
     let t = Milo_trace.Trace.create () in
-    match Milo.Flow.run ~technology ~constraints ?budget ~trace:t design with
-    | Milo.Flow.Complete _ ->
+    match
+      Milo.Flow.run ~technology ~constraints ?budget ~trace:t ~guard design
+    with
+    | Milo.Flow.Complete res ->
         print_string (Milo_trace.Profile.render t);
+        let g = res.Milo.Flow.guard_stats in
+        if Milo_guard.Guard.stats_active g then
+          Format.printf "semantic guard: %a@." Milo_guard.Guard.pp_stats g;
         `Ok ()
     | Milo.Flow.Partial p ->
         (* The profile up to the failure is still printed — that is the
@@ -302,7 +328,92 @@ let profile_cmd =
        ~doc:"Run the flow under a tracer and print the span-tree profile \
              with per-stage self-times and per-rule attribution.")
     Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ timeout_arg
-               $ max_steps_arg))
+               $ max_steps_arg $ guard_arg))
+
+let verify_cmd =
+  let design_a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.mil")
+  in
+  let design_b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.mil")
+  in
+  let vectors_arg =
+    Arg.(value & opt int 512 & info [ "vectors" ] ~docv:"N"
+           ~doc:"Random input vectors when the design is too wide for \
+                 the exhaustive sweep.")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 256 & info [ "cycles" ] ~docv:"N"
+           ~doc:"Lock-step cycles per run for sequential designs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Random seed for vector generation.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON.")
+  in
+  let quote s = Printf.sprintf "%S" s in
+  let run a b vectors cycles seed json =
+    protect ~file:a @@ fun () ->
+    let d1 = read_design a and d2 = read_design b in
+    let techs =
+      [
+        Milo_library.Generic.get ();
+        (Milo.Flow.target_of Milo.Flow.Ecl).Milo_techmap.Table_map.tech;
+        (Milo.Flow.target_of Milo.Flow.Cmos).Milo_techmap.Table_map.tech;
+      ]
+    in
+    let env = Milo_sim.Simulator.env_of_techs techs in
+    let params =
+      { Milo_guard.Guard.full_params with vectors; cycles; seed }
+    in
+    match
+      Milo_guard.Guard.check ~params ~is_seq:(Milo.Flow.seq_classifier techs)
+        env d1 env d2
+    with
+    | None ->
+        if json then
+          Printf.printf "{\"equivalent\": true, \"a\": %s, \"b\": %s}\n"
+            (quote a) (quote b)
+        else Printf.printf "equivalent: %s == %s\n" a b;
+        `Ok ()
+    | Some div ->
+        if json then
+          Printf.printf
+            "{\"equivalent\": false, \"a\": %s, \"b\": %s, \"ports\": [%s], \
+             \"cycle\": %s, \"inputs\": {%s}, \"cone_inputs\": [%s], \
+             \"cone_comps\": %d}\n"
+            (quote a) (quote b)
+            (String.concat ", "
+               (List.map quote div.Milo_guard.Guard.div_ports))
+            (match div.Milo_guard.Guard.div_cycle with
+            | None -> "null"
+            | Some c -> string_of_int c)
+            (String.concat ", "
+               (List.map
+                  (fun (p, v) ->
+                    Printf.sprintf "%s: %b" (quote p) v)
+                  div.Milo_guard.Guard.div_inputs))
+            (String.concat ", "
+               (List.map quote div.Milo_guard.Guard.div_cone_inputs))
+            div.Milo_guard.Guard.div_cone_comps
+        else
+          Printf.printf "NOT equivalent: %s\n"
+            (Milo_guard.Guard.describe div);
+        exit 7
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Simulation-based equivalence check of two designs on their \
+             shared port interface: exhaustive for small input counts, \
+             random-vector (and lock-step sequential) otherwise.  The \
+             counterexample is delta-debugged to a minimal vector and \
+             localized to the diverging output cone.  Exits 7 when the \
+             designs are not equivalent; a port-interface mismatch is a \
+             usage error (exit 5).")
+    Term.(ret (const run $ design_a $ design_b $ vectors_arg $ cycles_arg
+               $ seed_arg $ json_arg))
 
 let stats_cmd =
   let run path tech =
@@ -407,6 +518,7 @@ let () =
             optimize_cmd;
             run_cmd;
             profile_cmd;
+            verify_cmd;
             stats_cmd;
             lint_cmd;
             symbol_cmd;

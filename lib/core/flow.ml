@@ -14,6 +14,7 @@ module R = Milo_rules.Rule
 module Database = Milo_compilers.Database
 module Compile = Milo_compilers.Compile
 module Table_map = Milo_techmap.Table_map
+module Guard = Milo_guard.Guard
 
 type technology = Ecl | Cmos
 
@@ -121,6 +122,11 @@ type result = {
       (** rules quarantined during the run, with trapped-failure counts *)
   quarantine_errors : (string * string) list;
       (** first trapped exception message per quarantined rule *)
+  quarantine_reasons : (string * Milo_rules.Engine.reason) list;
+      (** why each quarantined rule was trapped: [Raised] or
+          [Miscompiled] *)
+  guard_stats : Guard.stats;
+      (** semantic-guard counters (all zero when the guard was [Off]) *)
   budget : Milo_rules.Budget.status;
   run_trace : Milo_trace.Trace.t option;
       (** the tracer passed to [run ?trace], flushed — queryable for
@@ -137,6 +143,8 @@ type partial = {
   partial_database : Database.t;
   partial_quarantined : (string * int) list;
   partial_quarantine_errors : (string * string) list;
+  partial_quarantine_reasons : (string * Milo_rules.Engine.reason) list;
+  partial_guard_stats : Guard.stats;
   partial_budget : Milo_rules.Budget.status;
   partial_trace : Milo_trace.Trace.t option;
 }
@@ -153,6 +161,9 @@ let describe_error e =
       "lint: " ^ Milo_lint.Lint.report_summary r
   | Milo_rules.Engine.Lint_violation (rule, _) ->
       Printf.sprintf "lint violation after rule %s" rule
+  | Guard.Miscompile { guard_stage; divergence } ->
+      Printf.sprintf "miscompile after %s: %s" guard_stage
+        (Guard.describe divergence)
   | e -> Printexc.to_string e
 
 (* --- Microarchitecture critic pass ----------------------------------- *)
@@ -195,7 +206,7 @@ let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
     ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
-    ?(hooks = no_hooks) ?trace design =
+    ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) design =
   (* Install the tracer (if any) as the ambient one for the whole run,
      so every layer's probes report into it; restored on exit. *)
   (match trace with
@@ -206,6 +217,11 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
     match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
   in
   Milo_rules.Engine.quarantine_reset ();
+  (* Semantic guard: one stats record shared between the engine's
+     rule-level cone checks (armed here, disarmed on exit) and the
+     stage-level equivalence checks below. *)
+  let gstats = Guard.fresh_stats () in
+  Milo_rules.Engine.set_rule_guard ~budget ~stats:gstats guard;
   Milo_trace.Trace.open_span ("flow:" ^ D.name design);
   Milo_trace.Trace.set_stage (stage_name Capture);
   Milo_trace.Trace.open_span ("stage:" ^ stage_name Capture);
@@ -243,6 +259,31 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
            });
     hooks.on_checkpoint ck
   in
+  (* Stage guards: before a stage's checkpoint is taken, its output is
+     equivalence-checked against the previous stage's (known-good)
+     checkpoint.  A mismatch raises [Guard.Miscompile] — degrading the
+     run to [Partial] with a shrunk counterexample — instead of letting
+     a functionally wrong design flow on. *)
+  let ck_design stage =
+    (List.find (fun c -> c.ck_stage = stage) !checkpoints).ck_design
+  in
+  let guard_params =
+    if guard = Guard.Full then Guard.full_params else Guard.sampled_params
+  in
+  let stage_guard label ~techs ref_d cand_d =
+    if guard <> Guard.Off then begin
+      gstats.Guard.stage_checks <- gstats.Guard.stage_checks + 1;
+      let env = Milo_sim.Simulator.env_of_techs techs in
+      match
+        Guard.check ~params:guard_params ~is_seq:(seq_classifier techs) env
+          ref_d env cand_d
+      with
+      | None -> ()
+      | Some divergence ->
+          gstats.Guard.stage_mismatches <- gstats.Guard.stage_mismatches + 1;
+          raise (Guard.Miscompile { guard_stage = label; divergence })
+    end
+  in
   let current = ref Capture in
   let enter stage d =
     (* One span per stage: close the previous stage's span (which
@@ -273,6 +314,10 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
         (fun name ->
           lint_stage ~techs:generic ("compile:" ^ name) (Database.get db name))
         (Database.names db);
+    (* The compile check flattens a copy, so a flattening bug is also
+       caught here rather than shipped into mapping. *)
+    stage_guard "compile" ~techs:generic (ck_design Micro)
+      (Database.flatten db (D.copy expanded));
     checkpoint Compile expanded;
     enter Techmap expanded;
     let required =
@@ -283,11 +328,15 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
         ~input_arrivals:constraints.Constraints.input_arrivals ~incremental
         ~on_mapped:(fun d ->
           lint_stage ~techs:mapped "techmap" d;
+          stage_guard "techmap" ~techs:mapped
+            (Database.flatten db (D.copy (ck_design Compile)))
+            d;
           checkpoint Techmap d;
           enter Optimize d)
         ~budget db target expanded
     in
     lint_stage ~techs:mapped "optimized" optimized;
+    stage_guard "optimize" ~techs:mapped (ck_design Techmap) optimized;
     checkpoint Optimize optimized;
     let final =
       stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
@@ -298,6 +347,7 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   | micro_design, optimized, final, optimizer_report ->
       (* Flush closes the open stage/root spans and runs the sinks, so
          the trace is complete before the caller sees the result. *)
+      Milo_rules.Engine.clear_rule_guard ();
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Complete
         {
@@ -311,6 +361,8 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           checkpoints = List.rev !checkpoints;
           quarantined = Milo_rules.Engine.quarantined ();
           quarantine_errors = Milo_rules.Engine.quarantined_errors ();
+          quarantine_reasons = Milo_rules.Engine.quarantined_reasons ();
+          guard_stats = gstats;
           budget = Milo_rules.Budget.status budget;
           run_trace = trace;
         }
@@ -318,6 +370,7 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   | exception e ->
       (* A faulted run still flushes: open spans are force-closed and
          streaming sinks see a well-formed trace up to the failure. *)
+      Milo_rules.Engine.clear_rule_guard ();
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Partial
         {
@@ -331,14 +384,17 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           partial_database = db;
           partial_quarantined = Milo_rules.Engine.quarantined ();
           partial_quarantine_errors = Milo_rules.Engine.quarantined_errors ();
+          partial_quarantine_reasons = Milo_rules.Engine.quarantined_reasons ();
+          partial_guard_stats = gstats;
           partial_budget = Milo_rules.Budget.status budget;
           partial_trace = trace;
         }
 
 let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-    design =
+    ?guard design =
   match
-    run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace design
+    run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
+      ?guard design
   with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn

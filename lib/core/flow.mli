@@ -75,6 +75,13 @@ type result = {
   quarantine_errors : (string * string) list;
       (** first trapped exception message per quarantined rule, sorted
           by name — the "why" behind the counts *)
+  quarantine_reasons : (string * Milo_rules.Engine.reason) list;
+      (** why each quarantined rule was trapped: [Raised] (its code
+          failed) or [Miscompiled] (the semantic guard caught it
+          changing function and reverted it) *)
+  guard_stats : Milo_guard.Guard.stats;
+      (** semantic-guard counters for the run; all zero when [guard]
+          was [Off] *)
   budget : Milo_rules.Budget.status;
   run_trace : Milo_trace.Trace.t option;
       (** the tracer passed to [run ?trace], already flushed:
@@ -92,6 +99,8 @@ type partial = {
   partial_database : Milo_compilers.Database.t;
   partial_quarantined : (string * int) list;
   partial_quarantine_errors : (string * string) list;
+  partial_quarantine_reasons : (string * Milo_rules.Engine.reason) list;
+  partial_guard_stats : Milo_guard.Guard.stats;
   partial_budget : Milo_rules.Budget.status;
   partial_trace : Milo_trace.Trace.t option;
       (** flushed even on failure: open spans are force-closed, so the
@@ -125,6 +134,7 @@ val run :
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
   ?trace:Milo_trace.Trace.t ->
+  ?guard:Milo_guard.Guard.policy ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -153,6 +163,18 @@ val run :
     tracer is flushed (sinks run, open spans force-closed) before the
     outcome is returned.
 
+    [guard] (default [Off]) arms the semantic guard: the compile,
+    techmap and optimize stage outputs are equivalence-checked against
+    the previous checkpoint (exhaustive for small input counts,
+    random-vector and lock-step sequential otherwise), and the engine
+    re-simulates rule applications over their touched cone, reverting
+    and quarantining any rule caught changing function
+    ([Engine.Miscompiled]).  A stage-level mismatch degrades the run
+    to [Partial] with a [Milo_guard.Guard.Miscompile] error carrying
+    the shrunk failing vector and the diverging output cone.
+    [Sampled] checks a subset of rule applications with cheaper
+    parameters; [Full] checks everything.
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -165,6 +187,7 @@ val run_exn :
   ?budget:Milo_rules.Budget.t ->
   ?hooks:hooks ->
   ?trace:Milo_trace.Trace.t ->
+  ?guard:Milo_guard.Guard.policy ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]

@@ -43,22 +43,34 @@ let print_table rows =
   List.iter (fun r -> print_endline (format_row r)) rows
 
 (* Resilience tail shared by the complete and partial summaries:
-   quarantined-rule counts (with the first trapped error message when
-   available), and the budget line when any limit was hit. *)
-let add_resilience ?(errors = []) b ~quarantined
+   quarantined-rule counts tagged with the quarantine reason (raised
+   vs miscompiled, with the first trapped error message when
+   available), the semantic-guard counters when the guard did any
+   work, and the budget line when any limit was hit. *)
+let add_resilience ?(errors = []) ?(reasons = []) ?guard b ~quarantined
     ~(budget : Milo_rules.Budget.status) =
   if quarantined <> [] then begin
     Buffer.add_string b "quarantined rules:\n";
     List.iter
       (fun (rule, count) ->
+        let tag =
+          match List.assoc_opt rule reasons with
+          | Some r -> Printf.sprintf " [%s]" (Milo_rules.Engine.reason_name r)
+          | None -> ""
+        in
         Buffer.add_string b
-          (Printf.sprintf "  %s: %d trapped failure(s)\n" rule count);
+          (Printf.sprintf "  %s: %d trapped failure(s)%s\n" rule count tag);
         match List.assoc_opt rule errors with
         | Some msg ->
             Buffer.add_string b (Printf.sprintf "    first error: %s\n" msg)
         | None -> ())
       quarantined
   end;
+  (match guard with
+  | Some g when Milo_guard.Guard.stats_active g ->
+      Buffer.add_string b
+        (Format.asprintf "semantic guard: %a\n" Milo_guard.Guard.pp_stats g)
+  | Some _ | None -> ());
   if budget.Milo_rules.Budget.budget_exhausted then
     Buffer.add_string b
       (Format.asprintf "budget: %a\n" Milo_rules.Budget.pp_status budget)
@@ -106,7 +118,8 @@ let summary (res : Flow.result) =
           ^ Printf.sprintf " [%s]\n" stage))
       res.Flow.lint_findings
   end;
-  add_resilience ~errors:res.Flow.quarantine_errors b
+  add_resilience ~errors:res.Flow.quarantine_errors
+    ~reasons:res.Flow.quarantine_reasons ~guard:res.Flow.guard_stats b
     ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;
   (* Hot rules / hot stages: where the wall time went and which rules
      earned their keep, from the run's trace (if one was recorded). *)
@@ -143,8 +156,9 @@ let partial_summary (p : Flow.partial) =
           ^ Printf.sprintf " [%s]\n" stage))
       p.Flow.partial_lint_findings
   end;
-  add_resilience ~errors:p.Flow.partial_quarantine_errors b
-    ~quarantined:p.Flow.partial_quarantined ~budget:p.Flow.partial_budget;
+  add_resilience ~errors:p.Flow.partial_quarantine_errors
+    ~reasons:p.Flow.partial_quarantine_reasons ~guard:p.Flow.partial_guard_stats
+    b ~quarantined:p.Flow.partial_quarantined ~budget:p.Flow.partial_budget;
   (match p.Flow.partial_trace with
   | Some tr -> Buffer.add_string b (Milo_trace.Profile.hot_summary tr)
   | None -> ());

@@ -18,10 +18,12 @@ val format_row : row -> string
 val print_table : row list -> unit
 val summary : Flow.result -> string
 (** Flow summary: final stats, applied rules, lint findings, plus
-    quarantined-rule counts (with each rule's first trapped error) and
-    the budget status when a limit was hit.  When the run carried a
-    tracer, ends with the hot-stages / hot-rules attribution (top-k by
-    self-time and by cost improvement per millisecond). *)
+    quarantined-rule counts tagged with their reason ([raised] vs
+    [miscompiled], with each rule's first trapped error), the
+    semantic-guard counters when the guard did any work, and the budget
+    status when a limit was hit.  When the run carried a tracer, ends
+    with the hot-stages / hot-rules attribution (top-k by self-time and
+    by cost improvement per millisecond). *)
 
 val partial_summary : Flow.partial -> string
 (** Summary of a degraded run: the failing stage, the structured error,

@@ -1,0 +1,231 @@
+(* Semantic guard: equivalence checking as a flow-level safety net.
+
+   The primitive is [Milo_sim.Equiv]; this module packages it as a
+   tiered policy (off / sampled / full), turns a raw mismatch into a
+   usable diagnosis (delta-debugged vector, output-cone localization)
+   and carries the counters the flow and engine report. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Simulator = Milo_sim.Simulator
+module Equiv = Milo_sim.Equiv
+
+(* --- Tier policy ------------------------------------------------------- *)
+
+type policy = Off | Sampled | Full
+
+let policy_name = function Off -> "off" | Sampled -> "sampled" | Full -> "full"
+
+let policy_of_string = function
+  | "off" -> Some Off
+  | "sampled" -> Some Sampled
+  | "full" -> Some Full
+  | _ -> None
+
+type params = {
+  max_exhaustive : int;
+  vectors : int;
+  cycles : int;
+  runs : int;
+  seed : int;
+}
+
+let full_params =
+  { max_exhaustive = 12; vectors = 512; cycles = 256; runs = 8; seed = 0x5eed }
+
+let sampled_params =
+  { max_exhaustive = 8; vectors = 64; cycles = 48; runs = 2; seed = 0x5eed }
+
+(* --- Divergences ------------------------------------------------------- *)
+
+type divergence = {
+  div_ports : string list;
+  div_inputs : (string * bool) list;
+  div_cycle : int option;
+  div_cone_inputs : string list;
+  div_cone_comps : int;
+}
+
+exception Miscompile of { guard_stage : string; divergence : divergence }
+
+let describe d =
+  let vec =
+    String.concat " "
+      (List.filter_map
+         (fun (p, v) -> if v then Some p else None)
+         d.div_inputs)
+  in
+  let vec = if vec = "" then "all-zero" else vec ^ "=1, rest 0" in
+  let cyc =
+    match d.div_cycle with
+    | None -> ""
+    | Some c -> Printf.sprintf " at cycle %d" c
+  in
+  Printf.sprintf "output %s diverges%s under {%s}; cone: %d comps from {%s}"
+    (String.concat ", " d.div_ports)
+    cyc vec d.div_cone_comps
+    (String.concat ", " d.div_cone_inputs)
+
+let () =
+  Printexc.register_printer (function
+    | Miscompile { guard_stage; divergence } ->
+        Some
+          (Printf.sprintf "Miscompile at stage %s: %s" guard_stage
+             (describe divergence))
+    | _ -> None)
+
+(* --- Counterexample shrinking ------------------------------------------ *)
+
+(* Delta debugging over the input vector: greedily clear asserted
+   inputs while the mismatch persists, to a fixpoint.  Monotone in the
+   number of [true] bits, so it terminates in O(n^2) probes. *)
+let shrink_vector ~fails vector =
+  let clear v p =
+    List.map (fun (q, b) -> if q = p then (q, false) else (q, b)) v
+  in
+  let rec pass v =
+    let v', changed =
+      List.fold_left
+        (fun (v, changed) (p, _) ->
+          match List.assoc_opt p v with
+          | Some true ->
+              let cand = clear v p in
+              if fails cand then (cand, true) else (v, changed)
+          | Some false | None -> (v, changed))
+        (v, false) v
+    in
+    if changed then pass v' else v'
+  in
+  if fails vector then pass vector else vector
+
+(* --- Cone localization ------------------------------------------------- *)
+
+(* Backward structural traversal from an output port: through
+   combinational components, stopping at input ports and sequential
+   elements (whose outputs are state, not a function of the current
+   inputs).  The result names the primary inputs that can influence the
+   diverging port and how much logic sits between. *)
+let localize ~resolve ~is_seq design port =
+  let seen_nets = Hashtbl.create 32 in
+  let seen_comps = Hashtbl.create 32 in
+  let inputs = ref [] in
+  let comps = ref 0 in
+  let rec net nid =
+    if not (Hashtbl.mem seen_nets nid) then begin
+      Hashtbl.replace seen_nets nid ();
+      (match D.net_opt design nid with
+      | Some { D.nport = Some (p, T.Input); _ } ->
+          if not (List.mem p !inputs) then inputs := p :: !inputs
+      | Some _ | None -> ());
+      match D.driver ~resolve design nid with
+      | D.Src_port _ | D.Src_none -> ()
+      | D.Src_comp (cid, _) -> comp cid
+    end
+  and comp cid =
+    if not (Hashtbl.mem seen_comps cid) then begin
+      Hashtbl.replace seen_comps cid ();
+      match D.comp_opt design cid with
+      | None -> ()
+      | Some c ->
+          if not (is_seq c.D.kind) then begin
+            incr comps;
+            Hashtbl.iter
+              (fun pin nid ->
+                match D.pin_dir ~resolve design cid pin with
+                | T.Input -> net nid
+                | T.Output -> ()
+                | exception _ -> ())
+              c.D.conns
+          end
+    end
+  in
+  (match D.port_net design port with
+  | nid -> net nid
+  | exception Not_found -> ());
+  (List.sort compare !inputs, !comps)
+
+(* --- The check --------------------------------------------------------- *)
+
+let has_state is_seq d =
+  List.exists (fun (c : D.comp) -> is_seq c.D.kind) (D.comps d)
+
+let mismatching_ports o1 o2 =
+  List.rev
+    (List.fold_left
+       (fun acc (p, v) ->
+         match List.assoc_opt p o2 with
+         | Some v2 when v2 = v -> acc
+         | Some _ | None -> p :: acc)
+       [] o1)
+
+let check ?(params = full_params) ~is_seq env_ref ref_d env_cand cand_d =
+  let seq = has_state is_seq ref_d || has_state is_seq cand_d in
+  let result =
+    if seq then
+      Equiv.sequential ~cycles:params.cycles ~runs:params.runs
+        ~seed:params.seed env_ref ref_d env_cand cand_d
+    else
+      Equiv.combinational ~max_exhaustive:params.max_exhaustive
+        ~vectors:params.vectors ~seed:params.seed env_ref ref_d env_cand
+        cand_d
+  in
+  match result with
+  | Equiv.Equivalent -> None
+  | Equiv.Mismatch { inputs; ports; cycle } ->
+      (* Shrink combinational counterexamples by re-simulation; a
+         sequential vector is state-dependent mid-run, so it is
+         reported as captured. *)
+      let inputs =
+        if seq then inputs
+        else
+          let s1 = Simulator.create env_ref ref_d
+          and s2 = Simulator.create env_cand cand_d in
+          let fails v =
+            mismatching_ports (Simulator.outputs s1 v) (Simulator.outputs s2 v)
+            <> []
+          in
+          shrink_vector ~fails inputs
+      in
+      let cone_inputs, cone_comps =
+        match ports with
+        | [] -> ([], 0)
+        | p :: _ -> localize ~resolve:(Simulator.resolver_of_env env_cand)
+                      ~is_seq cand_d p
+      in
+      Some
+        {
+          div_ports = ports;
+          div_inputs = inputs;
+          div_cycle = cycle;
+          div_cone_inputs = cone_inputs;
+          div_cone_comps = cone_comps;
+        }
+
+(* --- Statistics -------------------------------------------------------- *)
+
+type stats = {
+  mutable stage_checks : int;
+  mutable stage_mismatches : int;
+  mutable rule_checks : int;
+  mutable rule_mismatches : int;
+  mutable rule_skipped : int;
+}
+
+let fresh_stats () =
+  {
+    stage_checks = 0;
+    stage_mismatches = 0;
+    rule_checks = 0;
+    rule_mismatches = 0;
+    rule_skipped = 0;
+  }
+
+let stats_active s =
+  s.stage_checks > 0 || s.stage_mismatches > 0 || s.rule_checks > 0
+  || s.rule_mismatches > 0 || s.rule_skipped > 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "stage checks %d (%d mismatches), rule checks %d (%d miscompiles, %d skipped)"
+    s.stage_checks s.stage_mismatches s.rule_checks s.rule_mismatches
+    s.rule_skipped

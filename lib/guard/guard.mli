@@ -1,0 +1,101 @@
+(** Semantic guard: simulation-based equivalence checking threaded
+    through the flow as a safety net.
+
+    The guard verifies that transformations preserve function — at
+    stage granularity ([check] comparing a stage's output against the
+    previous checkpoint) and, through the engine's rule guard, at the
+    granularity of single rule applications.  A detected divergence is
+    shrunk to a minimal failing vector (delta debugging) and localized
+    to the fan-in cone of the first diverging output port. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+
+(** {1 Tier policy} *)
+
+(** How much checking to do.  [Off] costs nothing; [Sampled] checks a
+    subset of rule applications and uses cheaper stage parameters;
+    [Full] checks everything with the strongest parameters. *)
+type policy = Off | Sampled | Full
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type params = {
+  max_exhaustive : int;  (** exhaustive sweep up to this many inputs *)
+  vectors : int;  (** random vectors past the exhaustive bound *)
+  cycles : int;  (** lock-step cycles per sequential run *)
+  runs : int;  (** independent sequential runs *)
+  seed : int;
+}
+
+val full_params : params
+(** Strong checking: exhaustive ≤ 12 inputs, 512 vectors, 256×8
+    sequential cycles — [Equiv]'s defaults. *)
+
+val sampled_params : params
+(** Cheap checking for the sampled tier: exhaustive ≤ 8 inputs, 64
+    vectors, 48×2 sequential cycles. *)
+
+(** {1 Divergences} *)
+
+type divergence = {
+  div_ports : string list;
+      (** every output port that diverges under the failing vector *)
+  div_inputs : (string * bool) list;  (** failing vector, shrunk *)
+  div_cycle : int option;  (** cycle number for sequential mismatches *)
+  div_cone_inputs : string list;
+      (** input ports in the fan-in cone of the first diverging port *)
+  div_cone_comps : int;  (** components in that cone *)
+}
+
+exception Miscompile of { guard_stage : string; divergence : divergence }
+(** Raised by the flow's stage guards when a stage output is not
+    equivalent to the previous checkpoint.  A printer is registered. *)
+
+val describe : divergence -> string
+(** One-line rendering: ports, vector, cycle, cone. *)
+
+val shrink_vector :
+  fails:((string * bool) list -> bool) -> (string * bool) list ->
+  (string * bool) list
+(** Delta-debugging minimizer: greedily clear [true] inputs while
+    [fails] keeps reporting the mismatch; fixpoint.  The result fails
+    and has a minimal (locally) set of asserted inputs. *)
+
+val localize :
+  resolve:D.resolver -> is_seq:(T.kind -> bool) -> D.t -> string ->
+  string list * int
+(** [localize ~resolve ~is_seq design port] walks the structural fan-in
+    of output port [port], stopping at input ports and sequential
+    components: returns the input ports reached and the number of
+    combinational components traversed — the minimal output cone a
+    divergence report points at. *)
+
+val check :
+  ?params:params ->
+  is_seq:(T.kind -> bool) ->
+  Milo_sim.Simulator.env -> D.t ->
+  Milo_sim.Simulator.env -> D.t ->
+  divergence option
+(** Compare two designs on their shared port interface (reference
+    first, candidate second): exhaustive/random combinational check, or
+    lock-step sequential when either side holds state per [is_seq].
+    [Some d] is a counterexample already shrunk and localized (against
+    the candidate design). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable stage_checks : int;
+  mutable stage_mismatches : int;
+  mutable rule_checks : int;  (** cone-local rule checks performed *)
+  mutable rule_mismatches : int;  (** miscompiles caught and reverted *)
+  mutable rule_skipped : int;  (** sampled out, unverifiable, or over budget *)
+}
+
+val fresh_stats : unit -> stats
+val stats_active : stats -> bool
+(** True when any counter is nonzero (i.e. the guard did anything). *)
+
+val pp_stats : Format.formatter -> stats -> unit

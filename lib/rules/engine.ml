@@ -93,32 +93,267 @@ let lint_after ctx name =
    The strictly rule-based OPS disciplines keep the raising behaviour:
    they are the debugging surface where a loud failure is wanted. *)
 
-(* Per rule: failure count and the first trapped exception message —
+(* Why a rule was quarantined: its [apply]/[find] raised, or the
+   semantic guard caught it changing the function of its site (a
+   miscompile that was reverted).  The distinction matters downstream —
+   a raising rule is a crash bug, a miscompiling one is a correctness
+   bug that would have shipped silently. *)
+type reason = Raised | Miscompiled
+
+let reason_name = function Raised -> "raised" | Miscompiled -> "miscompiled"
+
+(* Per rule: failure count, the first trapped failure message and why —
    the count says how noisy the rule was, the message says why it
    first went wrong. *)
-let quarantine : (string, int * string) Hashtbl.t = Hashtbl.create 16
+let quarantine : (string, int * string * reason) Hashtbl.t = Hashtbl.create 16
 
 let quarantine_reset () = Hashtbl.reset quarantine
 let is_quarantined name = Hashtbl.mem quarantine name
 
 let quarantined () =
-  Hashtbl.fold (fun name (n, _) acc -> (name, n) :: acc) quarantine []
+  Hashtbl.fold (fun name (n, _, _) acc -> (name, n) :: acc) quarantine []
   |> List.sort compare
 
 let quarantined_errors () =
-  Hashtbl.fold (fun name (_, msg) acc -> (name, msg) :: acc) quarantine []
+  Hashtbl.fold (fun name (_, msg, _) acc -> (name, msg) :: acc) quarantine []
   |> List.sort compare
 
-let note_failure (r : Rule.t) exn =
+let quarantined_reasons () =
+  Hashtbl.fold (fun name (_, _, r) acc -> (name, r) :: acc) quarantine []
+  |> List.sort compare
+
+let note_failure_msg ~reason (r : Rule.t) msg =
   let name = r.Rule.rule_name in
   match Hashtbl.find_opt quarantine name with
-  | Some (n, msg) -> Hashtbl.replace quarantine name (n + 1, msg)
+  | Some (n, m, rs) -> Hashtbl.replace quarantine name (n + 1, m, rs)
   | None ->
-      let msg = Printexc.to_string exn in
-      Hashtbl.replace quarantine name (1, msg);
+      Hashtbl.replace quarantine name (1, msg, reason);
       if Trace.enabled () then
         Trace.emit
           (Trace.Rule_quarantined { rule = name; failures = 1; message = msg })
+
+let note_failure (r : Rule.t) exn =
+  note_failure_msg ~reason:Raised r (Printexc.to_string exn)
+
+(* --- Semantic rule guard ----------------------------------------------- *)
+
+(* Cone-local equivalence checking of individual rule applications
+   (the transactional tier of the semantic guard).  Before an apply,
+   the functions of the site's output nets are snapshotted as truth
+   vectors over their fan-in cone leaves; after the apply the same
+   nets are re-evaluated over the same leaf assignments.  Any
+   difference means the rule changed observable behaviour: the edits
+   are rolled back through the sub-log and the rule is quarantined
+   with reason [Miscompiled].
+
+   The check is conservative: a net whose new function can no longer
+   be expressed over the old leaves (the rewrite restructured the
+   region, a leaf vanished, a non-expandable driver appeared) is
+   skipped, never reported — false positives would quarantine sound
+   rules.  Stage guards in the flow backstop whatever is skipped. *)
+
+module Guard = Milo_guard.Guard
+
+type rule_guard_state = {
+  rg_policy : Guard.policy;
+  rg_budget : Budget.t option;
+  rg_stats : Guard.stats;
+  rg_seen : (string, unit) Hashtbl.t;  (* rules checked at least once *)
+  mutable rg_tick : int;  (* check opportunities, for sampling *)
+}
+
+let rule_guard : rule_guard_state option ref = ref None
+
+let set_rule_guard ?budget ?stats policy =
+  match policy with
+  | Guard.Off -> rule_guard := None
+  | Guard.Sampled | Guard.Full ->
+      rule_guard :=
+        Some
+          {
+            rg_policy = policy;
+            rg_budget = budget;
+            rg_stats =
+              (match stats with Some s -> s | None -> Guard.fresh_stats ());
+            rg_seen = Hashtbl.create 16;
+            rg_tick = 0;
+          }
+
+let clear_rule_guard () = rule_guard := None
+let rule_guard_stats () = Option.map (fun g -> g.rg_stats) !rule_guard
+
+(* Sampling interval for the [Sampled] tier: the first application of
+   each rule is always checked (a systematically wrong rule is caught
+   immediately), then every Nth opportunity across all rules. *)
+let sample_interval = 16
+
+let should_check g (r : Rule.t) =
+  match g.rg_policy with
+  | Guard.Off -> false
+  | Guard.Full -> true
+  | Guard.Sampled ->
+      if
+        match g.rg_budget with
+        | Some b -> Budget.exhausted b
+        | None -> false
+      then false
+      else begin
+        g.rg_tick <- g.rg_tick + 1;
+        if Hashtbl.mem g.rg_seen r.Rule.rule_name then
+          g.rg_tick mod sample_interval = 0
+        else begin
+          Hashtbl.replace g.rg_seen r.Rule.rule_name ();
+          true
+        end
+      end
+
+let guard_max_leaves = 8
+
+(* Output nets of the site's components: the signals whose function
+   the rule may legitimately restructure but must not change. *)
+let site_out_nets ctx (site : Rule.site) =
+  List.concat_map
+    (fun cid ->
+      match D.comp_opt ctx.Rule.design cid with
+      | None -> []
+      | Some c ->
+          Hashtbl.fold
+            (fun pin nid acc ->
+              match
+                D.pin_dir ~resolve:ctx.Rule.resolve ctx.Rule.design cid pin
+              with
+              | Milo_netlist.Types.Output -> nid :: acc
+              | Milo_netlist.Types.Input -> acc
+              | exception _ -> acc)
+            c.D.conns [])
+    site.Rule.site_comps
+  |> List.sort_uniq compare
+
+(* Truth vectors of the verifiable site outputs over their cone
+   leaves.  Cones with no components (the driver is not an expandable
+   combinational macro — e.g. micro-level kinds) are unverifiable
+   here and left to the stage guard. *)
+let snapshot_cones ctx nets =
+  List.filter_map
+    (fun nid ->
+      match Cone.extract ctx ~max_leaves:guard_max_leaves nid with
+      | Some cone when cone.Cone.comps <> [] ->
+          let n = List.length cone.Cone.leaves in
+          let tv =
+            Array.init (1 lsl n) (fun m ->
+                Cone.eval ctx cone
+                  (List.mapi
+                     (fun i leaf -> (leaf, m land (1 lsl i) <> 0))
+                     cone.Cone.leaves))
+          in
+          Some (nid, cone.Cone.leaves, tv)
+      | Some _ | None -> None)
+    nets
+
+exception Unverifiable
+
+(* Evaluate [nid]'s post-apply function under a leaf assignment,
+   expanding through combinational macro drivers.  A net that is
+   neither assigned nor expandable — or a combinational cycle — makes
+   the comparison meaningless: [Unverifiable]. *)
+let eval_after ctx assignment nid0 =
+  let memo = Hashtbl.create 16 in
+  let visiting = Hashtbl.create 16 in
+  let rec value nid =
+    match Hashtbl.find_opt memo nid with
+    | Some v -> v
+    | None ->
+        if Hashtbl.mem visiting nid then raise Unverifiable;
+        Hashtbl.replace visiting nid ();
+        let v =
+          match List.assoc_opt nid assignment with
+          | Some v -> v
+          | None -> (
+              match Cone.expandable ctx nid with
+              | Some (c, m) ->
+                  let pvs =
+                    List.map
+                      (fun pin ->
+                        ( pin,
+                          match D.connection ctx.Rule.design c.D.id pin with
+                          | Some n -> value n
+                          | None -> false ))
+                      m.Milo_library.Macro.inputs
+                  in
+                  let outs = Milo_sim.Eval.macro_comb_outputs m pvs in
+                  List.assoc (List.nth m.Milo_library.Macro.outputs 0) outs
+              | None -> raise Unverifiable)
+        in
+        Hashtbl.remove visiting nid;
+        Hashtbl.replace memo nid v;
+        v
+  in
+  value nid0
+
+(* Compare the snapshot against the post-apply design.  Returns a
+   human-readable description of the first divergence, or [None] when
+   every verifiable net kept its function. *)
+let check_snapshot ctx snaps =
+  let describe nid assignment =
+    let net_name =
+      match D.net_opt ctx.Rule.design nid with
+      | Some n -> n.D.nname
+      | None -> string_of_int nid
+    in
+    let asg =
+      String.concat ", "
+        (List.map
+           (fun (l, v) ->
+             let nm =
+               match D.net_opt ctx.Rule.design l with
+               | Some n -> n.D.nname
+               | None -> string_of_int l
+             in
+             Printf.sprintf "%s=%d" nm (if v then 1 else 0))
+           assignment)
+    in
+    Printf.sprintf "net %s changed function under {%s}" net_name asg
+  in
+  let rec nets = function
+    | [] -> None
+    | (nid, leaves, tv) :: rest ->
+        if D.net_opt ctx.Rule.design nid = None then nets rest
+        else begin
+          let n = List.length leaves in
+          let rec vec m =
+            if m >= 1 lsl n then None
+            else
+              let assignment =
+                List.mapi (fun i leaf -> (leaf, m land (1 lsl i) <> 0)) leaves
+              in
+              match eval_after ctx assignment nid with
+              | v -> if v <> tv.(m) then Some (describe nid assignment) else vec (m + 1)
+              | exception Unverifiable -> None
+          in
+          match vec 0 with Some d -> Some d | None -> nets rest
+        end
+  in
+  nets snaps
+
+(* Snapshot decision for one application: [None] when no check should
+   run (guard off, sampled out, or nothing verifiable at the site). *)
+let guard_snapshot ctx r site =
+  match !rule_guard with
+  | None -> None
+  | Some g ->
+      if not (should_check g r) then begin
+        g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+        None
+      end
+      else begin
+        match snapshot_cones ctx (site_out_nets ctx site) with
+        | [] ->
+            g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+            None
+        | snaps ->
+            g.rg_stats.Guard.rule_checks <- g.rg_stats.Guard.rule_checks + 1;
+            Some (g, snaps)
+      end
 
 (* Match sites, treating a raising [find] as "no sites" (and
    quarantining the rule).  A quarantined rule matches nothing. *)
@@ -134,19 +369,44 @@ let guarded_find ctx (r : Rule.t) =
 
 (* Apply into a private sub-log so a failure rolls back exactly this
    rule's edits; on success the sub-log is spliced (newest first) into
-   the caller's log so the caller's undo/commit semantics are intact. *)
+   the caller's log so the caller's undo/commit semantics are intact.
+
+   When the rule guard is armed, a successful apply is additionally
+   re-simulated over the touched cone: a semantic divergence is
+   treated exactly like a raising apply — rolled back and quarantined
+   — except the reason recorded is [Miscompiled]. *)
 let guarded_apply ctx (r : Rule.t) site log =
   if is_quarantined r.Rule.rule_name then false
   else
+    let snap = guard_snapshot ctx r site in
     let local = D.new_log () in
     match
       let ok = r.Rule.apply ctx site local in
       if ok then lint_after ctx r.Rule.rule_name;
       ok
     with
-    | ok ->
-        log := !local @ !log;
-        ok
+    | ok -> (
+        match
+          match (ok, snap) with
+          | true, Some (_, snaps) -> check_snapshot ctx snaps
+          | (true | false), _ -> None
+        with
+        | None ->
+            log := !local @ !log;
+            ok
+        | Some detail ->
+            D.undo ctx.Rule.design local;
+            (match snap with
+            | Some (g, _) ->
+                g.rg_stats.Guard.rule_mismatches <-
+                  g.rg_stats.Guard.rule_mismatches + 1
+            | None -> ());
+            note_failure_msg ~reason:Miscompiled r ("miscompile: " ^ detail);
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Rule_miscompiled
+                   { rule = r.Rule.rule_name; site = site.Rule.descr; detail });
+            false)
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e ->
         D.undo ctx.Rule.design local;

@@ -32,6 +32,15 @@ val set_debug_lint : bool -> unit
     full design scan per application — debugging only.  Global; off by
     default. *)
 
+type reason =
+  | Raised  (** the rule's [apply] or [find] raised (or failed debug-lint) *)
+  | Miscompiled
+      (** the semantic guard caught the rule changing its site's
+          function; the application was reverted *)
+
+val reason_name : reason -> string
+(** ["raised"] / ["miscompiled"]. *)
+
 val quarantine_reset : unit -> unit
 (** Clear the rule quarantine (call at the start of a flow run). *)
 
@@ -50,6 +59,35 @@ val quarantined_errors : unit -> (string * string) list
     trapped from it (later failures only bump the count) — the raw
     material for [Report.partial_summary]'s diagnosis lines.  Sorted by
     name. *)
+
+val quarantined_reasons : unit -> (string * reason) list
+(** Why each quarantined rule was quarantined (the reason of its first
+    trapped failure).  Sorted by name. *)
+
+(** {2 Semantic rule guard}
+
+    When armed, every successful [guarded_apply] may be re-simulated
+    over the touched cone (truth vectors of the site's output nets
+    over their fan-in leaves, before vs after).  A divergence is
+    rolled back and the rule quarantined with reason {!Miscompiled}.
+    The check is conservative: sites whose new structure cannot be
+    evaluated over the old leaves are skipped (the flow's stage guards
+    backstop them), so a sound rule is never quarantined. *)
+
+val set_rule_guard :
+  ?budget:Budget.t -> ?stats:Milo_guard.Guard.stats ->
+  Milo_guard.Guard.policy -> unit
+(** Arm (or, with [Off], disarm) the rule guard.  [Sampled] checks the
+    first application of each rule and then every 16th opportunity,
+    and stops checking once [budget] is exhausted; [Full] checks every
+    application.  Counters accumulate into [stats] when given.
+    Global, like the quarantine; the flow sets and clears it per
+    run. *)
+
+val clear_rule_guard : unit -> unit
+
+val rule_guard_stats : unit -> Milo_guard.Guard.stats option
+(** Counters of the currently armed rule guard, if any. *)
 
 val guarded_find : Rule.context -> Rule.t -> Rule.site list
 (** [find] with quarantine: a raising or quarantined rule matches

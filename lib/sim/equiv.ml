@@ -6,7 +6,13 @@
 module D = Milo_netlist.Design
 module T = Milo_netlist.Types
 
-type result = Equivalent | Mismatch of { inputs : (string * bool) list; port : string }
+type result =
+  | Equivalent
+  | Mismatch of {
+      inputs : (string * bool) list;
+      ports : string list;
+      cycle : int option;
+    }
 
 let input_ports d =
   List.filter_map
@@ -24,16 +30,16 @@ let vector_of_int names v =
 let random_vector rng names =
   List.map (fun p -> (p, Random.State.bool rng)) names
 
+(* All output ports whose values differ (a port missing on one side
+   counts as differing). *)
 let compare_outputs outs1 outs2 =
-  List.fold_left
-    (fun acc (p, v) ->
-      match acc with
-      | Some _ -> acc
-      | None -> (
-          match List.assoc_opt p outs2 with
-          | Some v2 when v2 = v -> None
-          | Some _ | None -> Some p))
-    None outs1
+  List.rev
+    (List.fold_left
+       (fun acc (p, v) ->
+         match List.assoc_opt p outs2 with
+         | Some v2 when v2 = v -> acc
+         | Some _ | None -> p :: acc)
+       [] outs1)
 
 (* Combinational equivalence; [max_exhaustive] bounds the exhaustive
    sweep (default 2^12 vectors), beyond which [vectors] random vectors
@@ -50,8 +56,8 @@ let combinational ?(max_exhaustive = 12) ?(vectors = 512) ?(seed = 0x5eed)
   let check inputs =
     let o1 = Simulator.outputs s1 inputs and o2 = Simulator.outputs s2 inputs in
     match compare_outputs o1 o2 with
-    | None -> None
-    | Some port -> Some (Mismatch { inputs; port })
+    | [] -> None
+    | ports -> Some (Mismatch { inputs; ports; cycle = None })
   in
   let n = List.length ins in
   let trial_inputs =
@@ -88,8 +94,8 @@ let sequential ?(cycles = 256) ?(runs = 8) ?(seed = 0x5eed) env1 d1 env2 d2 =
           let o1 = Simulator.outputs s1 inputs
           and o2 = Simulator.outputs s2 inputs in
           match compare_outputs o1 o2 with
-          | Some port -> Some (Mismatch { inputs; port })
-          | None ->
+          | _ :: _ as ports -> Some (Mismatch { inputs; ports; cycle = Some c })
+          | [] ->
               Simulator.step s1 inputs;
               Simulator.step s2 inputs;
               cycle (c + 1)
@@ -103,7 +109,13 @@ let is_equivalent = function Equivalent -> true | Mismatch _ -> false
 
 let pp_result ppf = function
   | Equivalent -> Format.fprintf ppf "equivalent"
-  | Mismatch { inputs; port } ->
-      Format.fprintf ppf "mismatch on %s under {%s}" port
+  | Mismatch { inputs; ports; cycle } ->
+      let where =
+        match cycle with
+        | None -> ""
+        | Some c -> Printf.sprintf " at cycle %d" c
+      in
+      Format.fprintf ppf "mismatch on %s%s under {%s}"
+        (String.concat ", " ports) where
         (String.concat "; "
            (List.map (fun (p, v) -> Printf.sprintf "%s=%b" p v) inputs))

@@ -6,7 +6,11 @@ module D = Milo_netlist.Design
 
 type result =
   | Equivalent
-  | Mismatch of { inputs : (string * bool) list; port : string }
+  | Mismatch of {
+      inputs : (string * bool) list;  (** the failing input vector *)
+      ports : string list;  (** every output port that diverges under it *)
+      cycle : int option;  (** cycle number for sequential runs *)
+    }
 
 val combinational :
   ?max_exhaustive:int ->

@@ -3,7 +3,13 @@
    The clock is implicit and global: every sequential component updates
    on [step].  Combinational evaluation uses a worklist until fixpoint;
    lack of progress with unresolved nets indicates a combinational loop.
-   Undriven nets read as [false]. *)
+   Undriven nets read as [false].
+
+   A simulator observes a static design, so the structural analysis —
+   pin directions, which input nets have a driver at all, macro lookups
+   — is done once in [create]; the per-vector [settle] loop then only
+   consults the cached tables.  This is what makes vector-heavy clients
+   (the equivalence checker, the semantic guard) cheap. *)
 
 module D = Milo_netlist.Design
 module T = Milo_netlist.Types
@@ -36,11 +42,25 @@ let resolver_of_env env : D.resolver =
   | T.Arith_unit _ | T.Register _ | T.Counter _ | T.Constant _ ->
       T.pins_of_kind kind
 
+(* Per-component structure resolved once at [create]. *)
+type node = {
+  comp : D.comp;
+  node_seq : bool;
+  node_macro : Milo_library.Macro.t option;  (* for [T.Macro] kinds *)
+  conns : (string * int) list;  (* every pin -> net *)
+  wait_nets : int list;
+      (* nets of input pins that have a driver: the node is ready once
+         all of them are solved (undriven inputs read as [false]) *)
+}
+
 type t = {
   design : D.t;
   env : env;
   state : (int, int) Hashtbl.t;  (* sequential comp id -> register contents *)
   mutable nets : (int, bool) Hashtbl.t;  (* last solved net values *)
+  nodes : node list;
+  in_ports : (string * int) list;
+  out_ports : (string * int) list;
 }
 
 let is_seq env (c : D.comp) =
@@ -55,10 +75,70 @@ let is_seq env (c : D.comp) =
       false
 
 let create env design =
-  let t = { design; env; state = Hashtbl.create 16; nets = Hashtbl.create 64 } in
+  let resolve = resolver_of_env env in
+  (* Nets with a driver: an input port, or some component output pin
+     (the same predicate as [D.driver <> Src_none], computed in one
+     sweep instead of per query). *)
+  let driven : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun (c : D.comp) -> if is_seq env c then Hashtbl.replace t.state c.D.id 0)
-    (D.comps design);
+    (fun (_, dir, nid) -> if dir = T.Input then Hashtbl.replace driven nid ())
+    (D.ports design);
+  let with_dirs =
+    List.map
+      (fun (c : D.comp) ->
+        ( c,
+          List.map
+            (fun (pin, nid) ->
+              (pin, nid, D.pin_dir ~resolve design c.D.id pin))
+            (D.connections design c.D.id) ))
+      (D.comps design)
+  in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun (_, nid, dir) ->
+          if dir = T.Output then Hashtbl.replace driven nid ())
+        ds)
+    with_dirs;
+  let nodes =
+    List.map
+      (fun ((c : D.comp), ds) ->
+        {
+          comp = c;
+          node_seq = is_seq env c;
+          node_macro =
+            (match c.D.kind with
+            | T.Macro m -> Some (env.find_macro m)
+            | _ -> None);
+          conns = List.map (fun (pin, nid, _) -> (pin, nid)) ds;
+          wait_nets =
+            List.filter_map
+              (fun (_, nid, dir) ->
+                if dir = T.Input && Hashtbl.mem driven nid then Some nid
+                else None)
+              ds;
+        })
+      with_dirs
+  in
+  let port_nets dir =
+    List.filter_map
+      (fun (p, d, nid) -> if d = dir then Some (p, nid) else None)
+      (D.ports design)
+  in
+  let t =
+    {
+      design;
+      env;
+      state = Hashtbl.create 16;
+      nets = Hashtbl.create 64;
+      nodes;
+      in_ports = port_nets T.Input;
+      out_ports = port_nets T.Output;
+    }
+  in
+  List.iter
+    (fun n -> if n.node_seq then Hashtbl.replace t.state n.comp.D.id 0)
+    t.nodes;
   t
 
 let reset t = Hashtbl.iter (fun k _ -> Hashtbl.replace t.state k 0) t.state
@@ -67,130 +147,92 @@ let get_state t cid = Hashtbl.find_opt t.state cid
 
 exception Combinational_loop of string list
 
-let pin_values_of t (c : D.comp) nets =
-  List.filter_map
+let pin_values nets (n : node) =
+  List.map
     (fun (pin, nid) ->
-      match Hashtbl.find_opt nets nid with
-      | Some v -> Some (pin, v)
-      | None -> Some (pin, false))
-    (D.connections t.design c.D.id)
+      (pin, Option.value ~default:false (Hashtbl.find_opt nets nid)))
+    n.conns
+
+let seq_outputs t (n : node) pvs =
+  let state = Hashtbl.find t.state n.comp.D.id in
+  match (n.node_macro, n.comp.D.kind) with
+  | Some m, _ -> Eval.macro_seq_outputs m ~state pvs
+  | None, ((T.Register _ | T.Counter _) as kind) ->
+      Eval.seq_outputs kind ~state pvs
+  | None, _ -> assert false
+
+let comb_outputs (n : node) pvs =
+  match (n.node_macro, n.comp.D.kind) with
+  | Some m, _ -> Eval.macro_comb_outputs m pvs
+  | None, kind -> Eval.comb_outputs kind pvs
+
+let drive nets (n : node) outs =
+  List.iter
+    (fun (pin, v) ->
+      match List.assoc_opt pin n.conns with
+      | Some nid -> Hashtbl.replace nets nid v
+      | None -> ())
+    outs
 
 (* Evaluate all combinational logic given the input-port assignment and
    the current sequential state; returns the net-value table. *)
 let settle t (inputs : (string * bool) list) =
-  let d = t.design in
   let nets : (int, bool) Hashtbl.t = Hashtbl.create 64 in
   (* Input ports drive their nets. *)
   List.iter
-    (fun (p, dir, nid) ->
-      match dir with
-      | T.Input ->
-          Hashtbl.replace nets nid
-            (Option.value ~default:false (List.assoc_opt p inputs))
-      | T.Output -> ())
-    (D.ports d);
-  (* Sequential outputs and constants are known up front. *)
-  let comb = ref [] in
+    (fun (p, nid) ->
+      Hashtbl.replace nets nid
+        (Option.value ~default:false (List.assoc_opt p inputs)))
+    t.in_ports;
+  (* Sequential state is known up front.  Seed only the state-only
+     outputs (Q).  Input-dependent outputs (a counter's COUT depends on
+     its UP pin) are computed in the worklist below once the inputs are
+     known — seeding them here would expose stale values to
+     consumers. *)
   List.iter
-    (fun (c : D.comp) ->
-      if is_seq t.env c then begin
-        let state = Hashtbl.find t.state c.D.id in
-        (* Seed only the state-only outputs (Q).  Input-dependent
-           outputs (a counter's COUT depends on its UP pin) are computed
-           in the worklist below once the inputs are known — seeding
-           them here would expose stale values to consumers. *)
-        let outs =
-          match c.D.kind with
-          | T.Macro m ->
-              Eval.macro_seq_outputs (t.env.find_macro m) ~state
-                (pin_values_of t c nets)
-          | T.Register _ | T.Counter _ ->
-              Eval.seq_outputs c.D.kind ~state (pin_values_of t c nets)
-          | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
-          | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _ ->
-              assert false
-        in
+    (fun n ->
+      if n.node_seq then
+        let outs = seq_outputs t n (pin_values nets n) in
         List.iter
           (fun (pin, v) ->
             if String.length pin > 0 && pin.[0] = 'Q' then
-              match D.connection d c.D.id pin with
+              match List.assoc_opt pin n.conns with
               | Some nid -> Hashtbl.replace nets nid v
               | None -> ())
-          outs
-      end
-      else comb := c :: !comb)
-    (D.comps d);
+          outs)
+    t.nodes;
   (* Worklist evaluation.  Sequential components are re-visited too so
-     that input-dependent outputs (a counter's terminal count depends on
-     its UP pin) settle once their inputs are known. *)
-  let seq_comps = List.filter (is_seq t.env) (D.comps d) in
-  let pending = ref (!comb @ seq_comps) in
+     that their input-dependent outputs settle once the inputs are
+     known. *)
+  let pending = ref t.nodes in
   let progress = ref true in
-  let resolve = resolver_of_env t.env in
-  let inputs_known (c : D.comp) =
-    List.for_all
-      (fun (pin, nid) ->
-        D.pin_dir ~resolve d c.D.id pin = T.Output || Hashtbl.mem nets nid
-        ||
-        (* undriven nets read as false *)
-        D.driver ~resolve d nid = D.Src_none)
-      (D.connections d c.D.id)
-  in
   while !progress && !pending <> [] do
     progress := false;
     let still = ref [] in
     List.iter
-      (fun (c : D.comp) ->
-        if inputs_known c then begin
+      (fun n ->
+        if List.for_all (fun nid -> Hashtbl.mem nets nid) n.wait_nets then begin
           progress := true;
-          let pvs = pin_values_of t c nets in
-          let outs =
-            if is_seq t.env c then
-              let state = Hashtbl.find t.state c.D.id in
-              match c.D.kind with
-              | T.Macro m ->
-                  Eval.macro_seq_outputs (t.env.find_macro m) ~state pvs
-              | T.Register _ | T.Counter _ ->
-                  Eval.seq_outputs c.D.kind ~state pvs
-              | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
-              | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _
-                ->
-                  assert false
-            else
-              match c.D.kind with
-              | T.Macro m -> Eval.macro_comb_outputs (t.env.find_macro m) pvs
-              | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
-              | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ ->
-                  Eval.comb_outputs c.D.kind pvs
-              | T.Register _ | T.Counter _ | T.Instance _ -> assert false
-          in
-          List.iter
-            (fun (pin, v) ->
-              match D.connection d c.D.id pin with
-              | Some nid -> Hashtbl.replace nets nid v
-              | None -> ())
-            outs
+          let pvs = pin_values nets n in
+          drive nets n
+            (if n.node_seq then seq_outputs t n pvs else comb_outputs n pvs)
         end
-        else still := c :: !still)
+        else still := n :: !still)
       !pending;
     pending := !still
   done;
   if !pending <> [] then
     raise
-      (Combinational_loop
-         (List.map (fun (c : D.comp) -> c.D.cname) !pending));
+      (Combinational_loop (List.map (fun n -> n.comp.D.cname) !pending));
   t.nets <- nets;
   nets
 
 let outputs t inputs =
   let nets = settle t inputs in
-  List.filter_map
-    (fun (p, dir, nid) ->
-      match dir with
-      | T.Output ->
-          Some (p, Option.value ~default:false (Hashtbl.find_opt nets nid))
-      | T.Input -> None)
-    (D.ports t.design)
+  List.map
+    (fun (p, nid) ->
+      (p, Option.value ~default:false (Hashtbl.find_opt nets nid)))
+    t.out_ports
 
 (* One clock edge: settle combinational logic, then update every
    sequential component synchronously. *)
@@ -198,21 +240,20 @@ let step t inputs =
   let nets = settle t inputs in
   let updates =
     List.filter_map
-      (fun (c : D.comp) ->
-        if is_seq t.env c then
-          let state = Hashtbl.find t.state c.D.id in
-          let pvs = pin_values_of t c nets in
+      (fun n ->
+        if n.node_seq then
+          let state = Hashtbl.find t.state n.comp.D.id in
+          let pvs = pin_values nets n in
           let next =
-            match c.D.kind with
-            | T.Macro m -> Eval.macro_next_state (t.env.find_macro m) ~state pvs
-            | T.Register _ | T.Counter _ -> Eval.next_state c.D.kind ~state pvs
-            | T.Gate _ | T.Multiplexor _ | T.Decoder _ | T.Comparator _
-            | T.Logic_unit _ | T.Arith_unit _ | T.Constant _ | T.Instance _ ->
-                assert false
+            match (n.node_macro, n.comp.D.kind) with
+            | Some m, _ -> Eval.macro_next_state m ~state pvs
+            | None, ((T.Register _ | T.Counter _) as kind) ->
+                Eval.next_state kind ~state pvs
+            | None, _ -> assert false
           in
-          Some (c.D.id, next)
+          Some (n.comp.D.id, next)
         else None)
-      (D.comps t.design)
+      t.nodes
   in
   List.iter (fun (cid, v) -> Hashtbl.replace t.state cid v) updates
 

@@ -52,6 +52,8 @@ let kind_fields (k : Trace.event_kind) =
         ("failures", string_of_int failures);
         ("message", quote message);
       ]
+  | Rule_miscompiled { rule; site; detail } ->
+      [ ("rule", quote rule); ("site", quote site); ("detail", quote detail) ]
   | Search_decision { rule; site; depth; gain } ->
       [
         ("rule", quote rule);

@@ -19,6 +19,7 @@ type event_kind =
   | Rule_refused of { rule : string; site : string; reason : string }
   | Rule_rolled_back of { rule : string; site : string }
   | Rule_quarantined of { rule : string; failures : int; message : string }
+  | Rule_miscompiled of { rule : string; site : string; detail : string }
   | Search_decision of { rule : string; site : string; depth : int; gain : float }
   | Strategy_step of {
       strategy : string;
@@ -49,6 +50,7 @@ let kind_label = function
   | Rule_refused _ -> "rule-refused"
   | Rule_rolled_back _ -> "rule-rolled-back"
   | Rule_quarantined _ -> "rule-quarantined"
+  | Rule_miscompiled _ -> "rule-miscompiled"
   | Search_decision _ -> "search-decision"
   | Strategy_step _ -> "strategy-step"
   | Budget_exhausted _ -> "budget-exhausted"

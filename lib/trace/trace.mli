@@ -40,6 +40,9 @@ type event_kind =
   | Rule_refused of { rule : string; site : string; reason : string }
   | Rule_rolled_back of { rule : string; site : string }
   | Rule_quarantined of { rule : string; failures : int; message : string }
+  | Rule_miscompiled of { rule : string; site : string; detail : string }
+      (** a semantic-guard cone check caught a miscompile; the
+          application was reverted and the rule quarantined *)
   | Search_decision of { rule : string; site : string; depth : int; gain : float }
   | Strategy_step of {
       strategy : string;

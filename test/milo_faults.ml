@@ -9,6 +9,7 @@
    exception. *)
 
 module D = Milo_netlist.Design
+module T = Milo_netlist.Types
 module Rule = Milo_rules.Rule
 module Flow = Milo.Flow
 
@@ -79,6 +80,198 @@ let sabotage_rule ?(exn = Injected "injected mid-edit failure") () =
           List.iter (fun pin -> D.disconnect ~log ctx.Rule.design cid pin) pins;
           raise exn
       | [] -> false)
+
+(* --- Miscompiling rules ----------------------------------------------- *)
+
+(* Planted rules that apply cleanly (edits logged, no exception, lint
+   intact) but change the function of their site — the failure class
+   only the semantic guard can catch.  Each is a realistic rewrite bug:
+   wrong polarity, a dropped fanin, swapped mux data arms. *)
+
+let replace_sub s ~sub ~by =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m))
+
+let macro_name (c : D.comp) =
+  match c.D.kind with T.Macro m -> Some m | _ -> None
+
+(* Wrong polarity: an inverter silently becomes a buffer.  The pin
+   interface is identical, so the netlist stays perfectly well-formed —
+   only the function changes. *)
+let polarity_rule () =
+  let buf_of ctx nm =
+    match replace_sub nm ~sub:"INV" ~by:"BUF" with
+    | Some b when Milo_library.Technology.mem ctx.Rule.tech b -> Some b
+    | Some _ | None -> None
+  in
+  Rule.make ~name:"fault-polarity" ~cls:Rule.Logic
+    ~find:(fun ctx ->
+      List.filter_map
+        (fun (c : D.comp) ->
+          match macro_name c with
+          | Some nm when buf_of ctx nm <> None ->
+              Some (Rule.site ~comps:[ c.D.id ] "polarity fault")
+          | Some _ | None -> None)
+        (Rule.scan_comps ctx))
+    ~apply:(fun ctx site log ->
+      match site.Rule.site_comps with
+      | cid :: _ -> (
+          match D.comp_opt ctx.Rule.design cid with
+          | Some c -> (
+              match Option.bind (macro_name c) (buf_of ctx) with
+              | Some buf ->
+                  D.set_kind ~log ctx.Rule.design cid (T.Macro buf);
+                  true
+              | None -> false)
+          | None -> false)
+      | [] -> false)
+
+(* Dropped fanin: rewires the second input of a multi-input gate onto
+   the first input's net, as if the rewrite forgot one operand. *)
+let drop_fanin_rule () =
+  let victim ctx (c : D.comp) =
+    match Rule.macro_of ctx c with
+    | Some m -> (
+        match m.Milo_library.Macro.inputs with
+        | p0 :: p1 :: _ -> (
+            match
+              ( D.connection ctx.Rule.design c.D.id p0,
+                D.connection ctx.Rule.design c.D.id p1 )
+            with
+            | Some n0, Some n1 when n0 <> n1 -> Some (p1, n0)
+            | _ -> None)
+        | _ -> None)
+    | None -> None
+  in
+  Rule.make ~name:"fault-drop-fanin" ~cls:Rule.Logic
+    ~find:(fun ctx ->
+      List.filter_map
+        (fun (c : D.comp) ->
+          match victim ctx c with
+          | Some _ -> Some (Rule.site ~comps:[ c.D.id ] "drop-fanin fault")
+          | None -> None)
+        (Rule.scan_comps ctx))
+    ~apply:(fun ctx site log ->
+      match site.Rule.site_comps with
+      | cid :: _ -> (
+          match D.comp_opt ctx.Rule.design cid with
+          | Some c -> (
+              match victim ctx c with
+              | Some (pin, net) ->
+                  D.connect ~log ctx.Rule.design cid pin net;
+                  true
+              | None -> false)
+          | None -> false)
+      | [] -> false)
+
+(* Swapped mux arms: exchanges the D0/D1 connections of a 2-way
+   multiplexor, inverting its select semantics. *)
+let swap_mux_rule () =
+  let arms ctx (c : D.comp) =
+    match macro_name c with
+    | Some nm when replace_sub nm ~sub:"MUX2" ~by:"" <> None -> (
+        match
+          ( D.connection ctx.Rule.design c.D.id "D0",
+            D.connection ctx.Rule.design c.D.id "D1" )
+        with
+        | Some n0, Some n1 when n0 <> n1 -> Some (n0, n1)
+        | _ -> None)
+    | Some _ | None -> None
+  in
+  Rule.make ~name:"fault-swap-mux" ~cls:Rule.Logic
+    ~find:(fun ctx ->
+      List.filter_map
+        (fun (c : D.comp) ->
+          match arms ctx c with
+          | Some _ -> Some (Rule.site ~comps:[ c.D.id ] "swap-mux fault")
+          | None -> None)
+        (Rule.scan_comps ctx))
+    ~apply:(fun ctx site log ->
+      match site.Rule.site_comps with
+      | cid :: _ -> (
+          match D.comp_opt ctx.Rule.design cid with
+          | Some c -> (
+              match arms ctx c with
+              | Some (n0, n1) ->
+                  D.connect ~log ctx.Rule.design cid "D0" n1;
+                  D.connect ~log ctx.Rule.design cid "D1" n0;
+                  true
+              | None -> false)
+          | None -> false)
+      | [] -> false)
+
+let miscompiling_rules () =
+  [ polarity_rule (); drop_fanin_rule (); swap_mux_rule () ]
+
+(* --- Semantic corruption ----------------------------------------------- *)
+
+(* Off-the-books single-component function change: the netlist stays
+   structurally valid (lint-clean), but the design computes something
+   else.  Tries, in order: a micro-level inverter made a buffer, a
+   macro inverter made a buffer, a mux with swapped arms.  Returns
+   whether anything was corrupted. *)
+let semantic_corrupt d =
+  let try_comp (c : D.comp) =
+    match c.D.kind with
+    | T.Gate (T.Inv, w) ->
+        c.D.kind <- T.Gate (T.Buf, w);
+        true
+    | T.Macro nm -> (
+        match replace_sub nm ~sub:"INV" ~by:"BUF" with
+        | Some buf ->
+            c.D.kind <- T.Macro buf;
+            true
+        | None -> (
+            match replace_sub nm ~sub:"MUX2" ~by:"" with
+            | Some _ -> (
+                match
+                  ( Hashtbl.find_opt c.D.conns "D0",
+                    Hashtbl.find_opt c.D.conns "D1" )
+                with
+                | Some n0, Some n1 when n0 <> n1 ->
+                    Hashtbl.replace c.D.conns "D0" n1;
+                    Hashtbl.replace c.D.conns "D1" n0;
+                    (* keep the net-side index consistent: swap the pin
+                       entries too, so the corruption is invisible to
+                       structural lint *)
+                    let swap_net nid from_pin to_pin =
+                      match D.net_opt d nid with
+                      | Some n ->
+                          n.D.npins <-
+                            List.map
+                              (fun (cid, pin) ->
+                                if cid = c.D.id && pin = from_pin then
+                                  (cid, to_pin)
+                                else (cid, pin))
+                              n.D.npins
+                      | None -> ()
+                    in
+                    swap_net n0 "D0" "D1";
+                    swap_net n1 "D1" "D0";
+                    true
+                | _ -> false)
+            | None -> false))
+    | _ -> false
+  in
+  List.exists try_comp (D.comps d)
+
+(* Corrupt the design's function (off the log) when the flow enters
+   [at]; [corrupted] records whether a corruption site was found. *)
+let semantic_corrupting_hooks ~at () =
+  let corrupted = ref false in
+  ( {
+      Flow.no_hooks with
+      Flow.before_stage =
+        (fun stage d -> if stage = at then corrupted := semantic_corrupt d);
+    },
+    corrupted )
 
 (* --- Budget faults ---------------------------------------------------- *)
 
