@@ -883,9 +883,11 @@ let guard_overhead ~smoke_mode () =
       (fun (case : Milo_designs.Suite.case) ->
         let budget = Milo_rules.Budget.make ~max_steps () in
         match
+          (* [~certify:false]: this experiment measures the dynamic
+             guard alone; the certification win is E12's subject. *)
           Milo.Flow.run ~technology:Milo.Flow.Ecl
             ~constraints:case.Milo_designs.Suite.constraints ~budget ~guard
-            case.Milo_designs.Suite.case_design
+            ~certify:false case.Milo_designs.Suite.case_design
         with
         | Milo.Flow.Complete res -> guard_stats := res.Milo.Flow.guard_stats
         | Milo.Flow.Partial p ->
@@ -966,6 +968,204 @@ let guard_overhead ~smoke_mode () =
     exit 1
   end
 
+(* --- E12: abstract interpretation + static rule certification ----------- *)
+
+(* Three measurements: (a) the abstract-interpretation fixpoint
+   wall-time per mapped suite design; (b) the certified fraction of the
+   logic-level rule set (with the one-off proving cost); (c) the
+   Full-guard flow overhead with and without static certification — the
+   point of the certificates is to collapse (c).  `analyze smoke` runs
+   on every test sweep and asserts certification recovers at least 3x
+   of the Full-guard overhead, with an absolute slack so sub-2ms
+   overheads (nothing left to recover) can never fail tier-1 on a noisy
+   machine. *)
+
+let analyze_bench ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E12 / analyze smoke: absint fixpoint + rule-certification payoff"
+     else "E12 / analyze: absint fixpoint + rule-certification payoff");
+  Milo_rules.Engine.quarantine_reset ();
+  let cases =
+    (* Rule-check-heavy subset for smoke: certification removes the
+       per-application cone checks, not the stage-boundary equivalence
+       checks, so designs whose guard cost is mostly lock-step
+       sequential stage checks (design2) would drown the measured
+       payoff in a cost that is out of certification's reach. *)
+    if smoke_mode then
+      [
+        Milo_designs.Suite.design1 ();
+        Milo_designs.Suite.design3 ();
+        Milo_designs.Suite.design5 ();
+      ]
+    else Milo_designs.Suite.all ()
+  in
+  let name =
+    String.concat ","
+      (List.map
+         (fun (c : Milo_designs.Suite.case) -> c.Milo_designs.Suite.case_name)
+         cases)
+  in
+  let trials = if smoke_mode then 3 else 5 in
+  (* More steps than the guard-overhead smoke: the per-application cone
+     checks are what certification removes, so the headroom of the 3x
+     assert grows with the number of applications. *)
+  let max_steps = if smoke_mode then 60 else 200 in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let target = Milo.Flow.target_of Milo.Flow.Ecl in
+  let techs =
+    [ target.Milo_techmap.Table_map.tech; Milo_library.Generic.get () ]
+  in
+  let env = Milo_absint.Absint.env_of_techs techs in
+  (* (a) full fixpoint (constants + liveness + observability) per
+     mapped design; [summary] forces it *)
+  let fixpoints =
+    List.map
+      (fun (case : Milo_designs.Suite.case) ->
+        let mapped, _ =
+          Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+            case.Milo_designs.Suite.case_design
+        in
+        let t =
+          min_of (fun () ->
+              ignore (Milo_absint.Absint.summary
+                        (Milo_absint.Absint.analyze env mapped)))
+        in
+        (case.Milo_designs.Suite.case_name, D.num_comps mapped, t))
+      cases
+  in
+  (* (b) one-off proving cost into a fresh cache, then the verdicts *)
+  let cache = Milo_absint.Certify.create_cache () in
+  let rules = Milo_critic.Critic.all_logic_level in
+  let certs = ref [] in
+  let (), prove_time =
+    time (fun () ->
+        certs := Milo_absint.Certify.certify_rules ~cache target rules)
+  in
+  let certs = !certs in
+  let count v =
+    List.length
+      (List.filter
+         (fun (c : Milo_absint.Certify.certificate) ->
+           c.Milo_absint.Certify.cert_verdict = v)
+         certs)
+  in
+  let n_cert = count Milo_absint.Certify.Certified in
+  let n_prob = count Milo_absint.Certify.Probabilistic in
+  let n_total = List.length certs in
+  let certified_fraction =
+    if n_total = 0 then 0.0
+    else float_of_int (n_cert + n_prob) /. float_of_int n_total
+  in
+  (* (c) flow cost: guard off, Full without certificates, Full with.
+     The warm-up also fills the shared certificate cache, so the
+     certified runs measure the amortized (cached) path. *)
+  let run_flow ~guard ~certify () =
+    List.iter
+      (fun (case : Milo_designs.Suite.case) ->
+        let budget = Milo_rules.Budget.make ~max_steps () in
+        match
+          Milo.Flow.run ~technology:Milo.Flow.Ecl
+            ~constraints:case.Milo_designs.Suite.constraints ~budget ~guard
+            ~certify case.Milo_designs.Suite.case_design
+        with
+        | Milo.Flow.Complete _ -> ()
+        | Milo.Flow.Partial p ->
+            Printf.printf "analyze: flow degraded at %s: %s\n"
+              (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+              p.Milo.Flow.failure.Milo.Flow.err_message;
+            exit 1)
+      cases
+  in
+  run_flow ~guard:Milo_guard.Guard.Off ~certify:false ();
+  run_flow ~guard:Milo_guard.Guard.Full ~certify:true ();
+  let off_min = min_of (run_flow ~guard:Milo_guard.Guard.Off ~certify:false) in
+  let nocert_min =
+    min_of (run_flow ~guard:Milo_guard.Guard.Full ~certify:false)
+  in
+  let cert_min =
+    min_of (run_flow ~guard:Milo_guard.Guard.Full ~certify:true)
+  in
+  let over_nocert = nocert_min -. off_min in
+  let over_cert = cert_min -. off_min in
+  let ratio =
+    if over_cert > 0.0 then over_nocert /. over_cert else infinity
+  in
+  List.iter
+    (fun (n, comps, t) ->
+      Printf.printf "fixpoint %-10s %4d comps  %8.3f ms\n" n comps (t *. 1e3))
+    fixpoints;
+  Printf.printf
+    "certification: %d/%d certified, %d probabilistic (%.0f%% static) in \
+     %.1f ms\n"
+    n_cert n_total n_prob
+    (certified_fraction *. 100.0)
+    (prove_time *. 1e3);
+  Printf.printf
+    "designs %s, %d trials (min)\n\
+     off:            %8.2f ms\n\
+     full, no certs: %8.2f ms  (overhead %8.2f ms)\n\
+     full, certs:    %8.2f ms  (overhead %8.2f ms, %.1fx reduction)\n%!"
+    name trials (off_min *. 1e3) (nocert_min *. 1e3) (over_nocert *. 1e3)
+    (cert_min *. 1e3) (over_cert *. 1e3) ratio;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"designs\": %S,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"fixpoints\": [%s],\n\
+      \  \"rules_total\": %d,\n\
+      \  \"rules_certified\": %d,\n\
+      \  \"rules_probabilistic\": %d,\n\
+      \  \"certified_fraction\": %.3f,\n\
+      \  \"prove_ms\": %.3f,\n\
+      \  \"off_ms\": %.3f,\n\
+      \  \"full_nocert_ms\": %.3f,\n\
+      \  \"full_cert_ms\": %.3f,\n\
+      \  \"overhead_nocert_ms\": %.3f,\n\
+      \  \"overhead_cert_ms\": %.3f,\n\
+      \  \"overhead_reduction\": %.2f\n\
+       }\n"
+      name trials smoke_mode
+      (String.concat ", "
+         (List.map
+            (fun (n, comps, t) ->
+              Printf.sprintf
+                "{\"design\": %S, \"comps\": %d, \"fixpoint_ms\": %.3f}" n
+                comps (t *. 1e3))
+            fixpoints))
+      n_total n_cert n_prob certified_fraction (prove_time *. 1e3)
+      (off_min *. 1e3) (nocert_min *. 1e3) (cert_min *. 1e3)
+      (over_nocert *. 1e3) (over_cert *. 1e3)
+      (if ratio = infinity then 999.0 else ratio)
+  in
+  (try
+     let oc = open_out "BENCH_absint.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_absint.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_absint.json: %s\n%!" msg);
+  (* The payoff assert: certification must recover >= 3x of the
+     Full-guard overhead — unless the certified overhead is already
+     under the 2 ms absolute slack, in which case there is nothing
+     meaningful left to recover and jitter dominates. *)
+  if smoke_mode && over_cert > 0.002 && ratio < 3.0 then begin
+    Printf.printf
+      "analyze smoke: certification payoff too small (%.2f ms -> %.2f ms, \
+       %.1fx < 3x)\n"
+      (over_nocert *. 1e3) (over_cert *. 1e3) ratio;
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -1007,9 +1207,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       guard_overhead ~smoke_mode ()
+  | Some "analyze" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      analyze_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze)\n"
         other;
       exit 1

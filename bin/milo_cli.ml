@@ -12,6 +12,9 @@
      milo stats    DESIGN.mil -t ecl          baseline statistics
      milo lint     DESIGN.mil [--json] [--strict]
                                               run the DRC passes
+     milo analyze  DESIGN.mil [-t ecl] [--json] [--certify]
+                                              abstract-interpretation
+                                              facts (+ rule certificates)
      milo symbol   "reg bits=4 fns=LOAD controls=RST"
                                               render a component symbol
 
@@ -20,6 +23,11 @@
 
 open Cmdliner
 module Diag = Milo_lint.Diagnostic
+
+(* The one JSON string quoter for every --json emitter.  (OCaml's [%S]
+   is not JSON: it renders non-printable bytes as decimal [\ddd]
+   escapes, which JSON parsers reject.) *)
+let json_quote s = "\"" ^ Diag.json_escape s ^ "\""
 
 (* All front-end failures funnel through the diagnostic type so every
    command reports "file:line: error: message" uniformly. *)
@@ -353,7 +361,7 @@ let verify_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON.")
   in
-  let quote s = Printf.sprintf "%S" s in
+  let quote = json_quote in
   let run a b vectors cycles seed json =
     protect ~file:a @@ fun () ->
     let d1 = read_design a and d2 = read_design b in
@@ -483,6 +491,80 @@ let lint_cmd =
              references) and report findings.")
     Term.(ret (const run $ design_arg $ json_arg $ strict_arg $ rules_arg))
 
+let analyze_cmd =
+  let json_arg =
+    Arg.(value & flag
+           & info [ "json" ]
+               ~doc:"Emit the facts (and certificates) as one JSON object.")
+  in
+  let certify_arg =
+    Arg.(value & flag
+           & info [ "certify" ]
+               ~doc:"Also statically certify the logic-level optimizer \
+                     rules against the target technology and print the \
+                     certificate table.")
+  in
+  let run path tech json certify =
+    protect ~file:path @@ fun () ->
+    let design = read_design path in
+    let technology = technology_of tech in
+    let target = Milo.Flow.target_of technology in
+    (* Facts are computed over the mapped (baseline) design: that is
+       the representation the optimizer rules — and their certificates —
+       operate on. *)
+    let mapped, db = Milo.Flow.human_baseline ~technology design in
+    let techs =
+      [ target.Milo_techmap.Table_map.tech; Milo_library.Generic.get () ]
+    in
+    let st =
+      Milo_absint.Absint.analyze
+        ~resolve:(Milo_compilers.Database.resolver db techs)
+        (Milo_absint.Absint.env_of_techs techs)
+        mapped
+    in
+    let name = Milo_netlist.Design.name design in
+    let diags = Milo_absint.Lint_facts.all st in
+    let certs =
+      if certify then
+        Milo_absint.Certify.certify_rules target
+          Milo_critic.Critic.all_logic_level
+      else []
+    in
+    if json then begin
+      let report =
+        { Milo_lint.Lint.design_name = name; stage = Some "analysis"; diags }
+      in
+      Printf.printf
+        "{\"summary\": %s, \"report\": %s, \"certificates\": [%s]}\n"
+        (Milo_absint.Absint.summary_to_json name
+           (Milo_absint.Absint.summary st))
+        (String.trim (Milo_lint.Lint.report_to_json report))
+        (String.concat ", "
+           (List.map Milo_absint.Certify.cert_to_json certs))
+    end
+    else begin
+      Format.printf "%s: %a@." name Milo_absint.Absint.pp_summary
+        (Milo_absint.Absint.summary st);
+      List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) diags;
+      if certify then begin
+        print_endline "certificates:";
+        List.iter
+          (fun c ->
+            Format.printf "  %a@." Milo_absint.Certify.pp_certificate c)
+          certs
+      end
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Abstract interpretation of the mapped design: proved-constant \
+             nets, dead and unobservable logic, stuck and floating pins, \
+             multi-driven nets.  With $(b,--certify), also prove each \
+             logic-level optimizer rule equivalence-preserving over the \
+             certification corpus and print the verdicts.")
+    Term.(ret (const run $ design_arg $ tech_arg $ json_arg $ certify_arg))
+
 let symbol_cmd =
   let spec_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"KINDSPEC")
@@ -521,5 +603,6 @@ let () =
             verify_cmd;
             stats_cmd;
             lint_cmd;
+            analyze_cmd;
             symbol_cmd;
           ]))

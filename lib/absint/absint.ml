@@ -1,0 +1,685 @@
+(* Abstract interpretation over the mapped netlist.
+
+   The domain is the flat ternary lattice 0 < ⊤ > 1 per net.  The
+   forward pass is a chaotic-iteration worklist over component
+   transfer functions: a component's concrete evaluator
+   ([Milo_sim.Eval]) is lifted pointwise by enumerating the unknown
+   (⊤) inputs — up to [max_enum] of them — and joining the outputs
+   across the assignments.  Using the very evaluator the simulator
+   uses is what makes the facts sound by construction against it.
+
+   Initialization is pessimistic in the simulator's own terms:
+   undriven nets read as [false] there, so they start at [Zero];
+   anything driven starts at [Top] and is only refined downwards
+   (⊤ → constant).  Nets with several drivers are poisoned to [Top]
+   permanently.  Sequential outputs and [Instance]s stay [Top].
+
+   Refinement is monotone (a net never moves between the two
+   constants; a conflict poisons it), so the fixpoint terminates even
+   on combinational cycles.
+
+   On top of the constant facts, two backward passes compute
+   liveness (structural reachability from output ports) and
+   observability (can toggling a net change an observable output,
+   with proved-constant side inputs held at their constants).
+   Observability marks only grow, so that pass terminates too. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Macro = Milo_library.Macro
+module Eval = Milo_sim.Eval
+module Simulator = Milo_sim.Simulator
+
+type value = Zero | One | Top
+
+let value_name = function Zero -> "0" | One -> "1" | Top -> "top"
+let of_bool b = if b then One else Zero
+
+(* Transfer functions enumerate at most this many unknown inputs;
+   past it the outputs stay ⊤ (and observability turns conservative). *)
+let max_enum = 8
+
+type env = string -> Macro.t option
+
+let env_of_techs techs =
+  let rec go techs name =
+    match techs with
+    | [] -> None
+    | t :: rest -> (
+        match Milo_library.Technology.find_opt t name with
+        | Some m -> Some m
+        | None -> go rest name)
+  in
+  go techs
+
+type stats = {
+  mutable full_runs : int;
+  mutable incremental_runs : int;
+  mutable transfers : int;
+}
+
+type t = {
+  ai_design : D.t;
+  ai_env : env;
+  ai_resolve : D.resolver;
+  values : (int, value) Hashtbl.t;
+  poisoned : (int, unit) Hashtbl.t;  (* pinned ⊤: multi-driven / conflict *)
+  multi : (int, unit) Hashtbl.t;  (* multi-driven nets *)
+  obs_nets : (int, unit) Hashtbl.t;
+  live_comps : (int, unit) Hashtbl.t;
+  dirty_nets : (int, unit) Hashtbl.t;
+  dirty_comps : (int, unit) Hashtbl.t;
+  mutable fresh : bool;  (* facts match the design *)
+  mutable full_needed : bool;
+  ai_stats : stats;
+}
+
+let design st = st.ai_design
+let stats st = st.ai_stats
+
+(* --- Kind classification ----------------------------------------------- *)
+
+let comp_macro st (c : D.comp) =
+  match c.D.kind with T.Macro m -> st.ai_env m | _ -> None
+
+(* Conservative: unknown macros and instances count as sequential
+   (their outputs stay ⊤ and their inputs stay observable). *)
+let comp_is_opaque st (c : D.comp) =
+  match c.D.kind with
+  | T.Instance _ -> true
+  | T.Macro m -> (
+      match st.ai_env m with
+      | Some mac -> Macro.is_sequential mac
+      | None -> true)
+  | k -> T.is_sequential_kind k
+
+(* Input pins of a combinational component, with their connected nets
+   ([None] = unconnected, reads [false]).  Raises for opaque kinds. *)
+let comb_input_pins st (c : D.comp) =
+  let pins =
+    match comp_macro st c with
+    | Some mac -> List.map (fun p -> (p, T.Input)) mac.Macro.inputs
+    | None -> T.pins_of_kind c.D.kind
+  in
+  List.filter_map
+    (fun (p, dir) ->
+      if dir = T.Input then Some (p, Hashtbl.find_opt c.D.conns p) else None)
+    pins
+
+let comb_eval st (c : D.comp) pvs =
+  match comp_macro st c with
+  | Some mac -> Eval.macro_comb_outputs mac pvs
+  | None -> Eval.comb_outputs c.D.kind pvs
+
+(* Connected output pins: (pin, net). *)
+let output_conns st (c : D.comp) =
+  Hashtbl.fold
+    (fun pin nid acc ->
+      match D.pin_dir ~resolve:st.ai_resolve st.ai_design c.D.id pin with
+      | T.Output -> (pin, nid) :: acc
+      | T.Input -> acc
+      | exception _ -> acc)
+    c.D.conns []
+
+(* --- Net initialization ------------------------------------------------ *)
+
+let count_drivers st (n : D.net) =
+  let pins =
+    List.fold_left
+      (fun acc (cid, pin) ->
+        match D.pin_dir ~resolve:st.ai_resolve st.ai_design cid pin with
+        | T.Output -> acc + 1
+        | T.Input -> acc
+        | exception _ -> acc + 1 (* unknown pin: assume it drives *))
+      0 n.D.npins
+  in
+  match n.D.nport with Some (_, T.Input) -> pins + 1 | _ -> pins
+
+let init_net st (n : D.net) =
+  Hashtbl.remove st.poisoned n.D.nid;
+  Hashtbl.remove st.multi n.D.nid;
+  let drivers = count_drivers st n in
+  let v =
+    if drivers > 1 then begin
+      Hashtbl.replace st.multi n.D.nid ();
+      Hashtbl.replace st.poisoned n.D.nid ();
+      Top
+    end
+    else if drivers = 0 then Zero (* undriven nets read as [false] *)
+    else Top
+  in
+  Hashtbl.replace st.values n.D.nid v
+
+let net_value_raw st nid =
+  match Hashtbl.find_opt st.values nid with Some v -> v | None -> Top
+
+(* --- The lifted transfer function -------------------------------------- *)
+
+(* Outputs of [c] under the current input facts: [None] per pin means
+   "stays ⊤".  Enumerates the ⊤ inputs; any evaluator exception makes
+   the whole component conservative. *)
+let transfer st (c : D.comp) : (int * value) list =
+  if comp_is_opaque st c then []
+  else
+    match comb_input_pins st c with
+    | exception _ -> []
+    | inputs ->
+        let outs = output_conns st c in
+        if outs = [] then []
+        else
+          let vals =
+            List.map
+              (fun (p, net) ->
+                let v =
+                  match net with
+                  | None -> Zero
+                  | Some nid -> net_value_raw st nid
+                in
+                (p, v))
+              inputs
+          in
+          let unknowns =
+            List.length (List.filter (fun (_, v) -> v = Top) vals)
+          in
+          if unknowns > max_enum then []
+          else begin
+            let results : (string, value) Hashtbl.t = Hashtbl.create 4 in
+            let ok =
+              try
+                for m = 0 to (1 lsl unknowns) - 1 do
+                  let _, pvs =
+                    List.fold_left
+                      (fun (i, acc) (p, v) ->
+                        match v with
+                        | Zero -> (i, (p, false) :: acc)
+                        | One -> (i, (p, true) :: acc)
+                        | Top -> (i + 1, (p, m land (1 lsl i) <> 0) :: acc))
+                      (0, []) vals
+                  in
+                  st.ai_stats.transfers <- st.ai_stats.transfers + 1;
+                  List.iter
+                    (fun (p, b) ->
+                      let v = of_bool b in
+                      match Hashtbl.find_opt results p with
+                      | None -> Hashtbl.replace results p v
+                      | Some v' when v' = v -> ()
+                      | Some _ -> Hashtbl.replace results p Top)
+                    (comb_eval st c pvs)
+                done;
+                true
+              with _ -> false
+            in
+            if not ok then []
+            else
+              List.filter_map
+                (fun (pin, nid) ->
+                  match Hashtbl.find_opt results pin with
+                  | Some ((Zero | One) as v) -> Some (nid, v)
+                  | Some Top | None -> None)
+                outs
+          end
+
+(* --- Constant fixpoint ------------------------------------------------- *)
+
+let run_const st seeds =
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let push cid =
+    if not (Hashtbl.mem queued cid) then begin
+      Hashtbl.replace queued cid ();
+      Queue.add cid queue
+    end
+  in
+  List.iter push seeds;
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    Hashtbl.remove queued cid;
+    match D.comp_opt st.ai_design cid with
+    | None -> ()
+    | Some c ->
+        List.iter
+          (fun (nid, v) ->
+            if not (Hashtbl.mem st.poisoned nid) then begin
+              let refined =
+                match (net_value_raw st nid, v) with
+                | Top, ((Zero | One) as nv) -> Some nv
+                | Zero, One | One, Zero -> Some Top (* conflict: poison *)
+                | _ -> None
+              in
+              match refined with
+              | None -> ()
+              | Some nv ->
+                  Hashtbl.replace st.values nid nv;
+                  if nv = Top then Hashtbl.replace st.poisoned nid ();
+                  List.iter
+                    (fun (scid, _) -> push scid)
+                    (D.sinks ~resolve:st.ai_resolve st.ai_design nid)
+            end)
+          (transfer st c)
+  done
+
+(* --- Liveness ----------------------------------------------------------- *)
+
+let run_liveness st =
+  Hashtbl.reset st.live_comps;
+  let seen = Hashtbl.create 64 in
+  let rec net nid =
+    if not (Hashtbl.mem seen nid) then begin
+      Hashtbl.replace seen nid ();
+      match D.driver ~resolve:st.ai_resolve st.ai_design nid with
+      | D.Src_comp (cid, _) -> comp cid
+      | D.Src_port _ | D.Src_none -> ()
+    end
+  and comp cid =
+    if not (Hashtbl.mem st.live_comps cid) then begin
+      Hashtbl.replace st.live_comps cid ();
+      match D.comp_opt st.ai_design cid with
+      | None -> ()
+      | Some c ->
+          Hashtbl.iter
+            (fun pin nid ->
+              match
+                D.pin_dir ~resolve:st.ai_resolve st.ai_design cid pin
+              with
+              | T.Input -> net nid
+              | T.Output -> ()
+              | exception _ -> net nid)
+            c.D.conns
+    end
+  in
+  List.iter
+    (fun (_, dir, nid) -> if dir = T.Output then net nid)
+    (D.ports st.ai_design)
+
+(* --- Observability ------------------------------------------------------ *)
+
+(* Does toggling input pin [p] of [c] ever change one of the
+   observable outputs [obs]?  Proved-constant side inputs are held at
+   their constants (that is where the don't-cares come from); the
+   remaining ⊤ side inputs are enumerated. *)
+let pin_propagates st (c : D.comp) inputs obs p =
+  let others = List.filter (fun (q, _) -> q <> p) inputs in
+  let vals =
+    List.map
+      (fun (q, net) ->
+        let v =
+          match net with None -> Zero | Some nid -> net_value_raw st nid
+        in
+        (q, v))
+      others
+  in
+  let unknowns = List.length (List.filter (fun (_, v) -> v = Top) vals) in
+  if unknowns > max_enum then true
+  else
+    try
+      let differs = ref false in
+      let m = ref 0 in
+      while (not !differs) && !m < 1 lsl unknowns do
+        let _, pvs =
+          List.fold_left
+            (fun (i, acc) (q, v) ->
+              match v with
+              | Zero -> (i, (q, false) :: acc)
+              | One -> (i, (q, true) :: acc)
+              | Top -> (i + 1, (q, !m land (1 lsl i) <> 0) :: acc))
+            (0, []) vals
+        in
+        st.ai_stats.transfers <- st.ai_stats.transfers + 2;
+        let lo = comb_eval st c ((p, false) :: pvs)
+        and hi = comb_eval st c ((p, true) :: pvs) in
+        if
+          List.exists
+            (fun out ->
+              Eval.get lo out <> Eval.get hi out)
+            obs
+        then differs := true;
+        incr m
+      done;
+      !differs
+    with _ -> true
+
+let run_observability st =
+  Hashtbl.reset st.obs_nets;
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let push cid =
+    if not (Hashtbl.mem queued cid) then begin
+      Hashtbl.replace queued cid ();
+      Queue.add cid queue
+    end
+  in
+  let mark nid =
+    if not (Hashtbl.mem st.obs_nets nid) then begin
+      Hashtbl.replace st.obs_nets nid ();
+      match D.driver ~resolve:st.ai_resolve st.ai_design nid with
+      | D.Src_comp (cid, _) -> push cid
+      | D.Src_port _ | D.Src_none -> ()
+    end
+  in
+  List.iter
+    (fun (_, dir, nid) -> if dir = T.Output then mark nid)
+    (D.ports st.ai_design);
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    Hashtbl.remove queued cid;
+    match D.comp_opt st.ai_design cid with
+    | None -> ()
+    | Some c ->
+        let obs_outs =
+          List.filter_map
+            (fun (pin, nid) ->
+              if Hashtbl.mem st.obs_nets nid then Some pin else None)
+            (output_conns st c)
+        in
+        if obs_outs <> [] then begin
+          let conservative () =
+            Hashtbl.iter
+              (fun pin nid ->
+                match
+                  D.pin_dir ~resolve:st.ai_resolve st.ai_design cid pin
+                with
+                | T.Input -> mark nid
+                | T.Output -> ()
+                | exception _ -> mark nid)
+              c.D.conns
+          in
+          if comp_is_opaque st c then conservative ()
+          else
+            match comb_input_pins st c with
+            | exception _ -> conservative ()
+            | inputs ->
+                List.iter
+                  (fun (p, net) ->
+                    match net with
+                    | None -> ()
+                    | Some nid ->
+                        if
+                          (not (Hashtbl.mem st.obs_nets nid))
+                          && pin_propagates st c inputs obs_outs p
+                        then mark nid)
+                  inputs
+        end
+  done
+
+(* --- Refresh ------------------------------------------------------------ *)
+
+let run_full st =
+  Hashtbl.reset st.values;
+  Hashtbl.reset st.poisoned;
+  Hashtbl.reset st.multi;
+  List.iter (fun n -> init_net st n) (D.nets st.ai_design);
+  run_const st (List.map (fun (c : D.comp) -> c.D.id) (D.comps st.ai_design));
+  st.ai_stats.full_runs <- st.ai_stats.full_runs + 1
+
+(* Forward closure of the touched nets: everything whose value may
+   depend on them, collected as (nets to re-initialize, components to
+   re-evaluate). *)
+let run_incremental st =
+  let cl_nets = Hashtbl.create 64 and cl_comps = Hashtbl.create 64 in
+  let rec net nid =
+    if not (Hashtbl.mem cl_nets nid) then begin
+      Hashtbl.replace cl_nets nid ();
+      match D.net_opt st.ai_design nid with
+      | None -> ()
+      | Some _ ->
+          List.iter
+            (fun (cid, _) -> comp cid)
+            (D.sinks ~resolve:st.ai_resolve st.ai_design nid)
+    end
+  and comp cid =
+    if not (Hashtbl.mem cl_comps cid) then begin
+      Hashtbl.replace cl_comps cid ();
+      match D.comp_opt st.ai_design cid with
+      | None -> ()
+      | Some c -> List.iter (fun (_, nid) -> net nid) (output_conns st c)
+    end
+  in
+  Hashtbl.iter (fun nid () -> net nid) st.dirty_nets;
+  Hashtbl.iter
+    (fun cid () ->
+      (* every net a dirty component touches, not just its outputs:
+         a reconnected output pin changes the driver census of the
+         net it now drives *)
+      comp cid;
+      match D.comp_opt st.ai_design cid with
+      | None -> ()
+      | Some c -> Hashtbl.iter (fun _ nid -> net nid) c.D.conns)
+    st.dirty_comps;
+  let seeds = Hashtbl.copy cl_comps in
+  Hashtbl.iter
+    (fun nid () ->
+      match D.net_opt st.ai_design nid with
+      | None ->
+          Hashtbl.remove st.values nid;
+          Hashtbl.remove st.poisoned nid;
+          Hashtbl.remove st.multi nid
+      | Some n -> (
+          init_net st n;
+          (* the (possibly unchanged) driver recomputes the value *)
+          match D.driver ~resolve:st.ai_resolve st.ai_design nid with
+          | D.Src_comp (cid, _) -> Hashtbl.replace seeds cid ()
+          | D.Src_port _ | D.Src_none -> ()))
+    cl_nets;
+  run_const st (Hashtbl.fold (fun cid () acc -> cid :: acc) seeds []);
+  st.ai_stats.incremental_runs <- st.ai_stats.incremental_runs + 1
+
+let refresh st =
+  if not st.fresh then begin
+    if st.full_needed then run_full st else run_incremental st;
+    run_liveness st;
+    run_observability st;
+    Hashtbl.reset st.dirty_nets;
+    Hashtbl.reset st.dirty_comps;
+    st.full_needed <- false;
+    st.fresh <- true
+  end
+
+(* --- Construction / invalidation --------------------------------------- *)
+
+let analyze ?resolve env design =
+  let resolve =
+    match resolve with
+    | Some r -> r
+    | None ->
+        Simulator.resolver_of_env
+          {
+            Simulator.find_macro =
+              (fun n ->
+                match env n with Some m -> m | None -> raise Not_found);
+          }
+  in
+  let st =
+    {
+      ai_design = design;
+      ai_env = env;
+      ai_resolve = resolve;
+      values = Hashtbl.create 256;
+      poisoned = Hashtbl.create 16;
+      multi = Hashtbl.create 16;
+      obs_nets = Hashtbl.create 256;
+      live_comps = Hashtbl.create 256;
+      dirty_nets = Hashtbl.create 16;
+      dirty_comps = Hashtbl.create 16;
+      fresh = false;
+      full_needed = true;
+      ai_stats = { full_runs = 0; incremental_runs = 0; transfers = 0 };
+    }
+  in
+  refresh st;
+  st
+
+let invalidate st =
+  st.fresh <- false;
+  st.full_needed <- true
+
+let advance st entries =
+  if entries <> [] then begin
+    st.fresh <- false;
+    List.iter
+      (fun e ->
+        match e with
+        | D.E_add_comp cid | D.E_set_kind (cid, _) ->
+            Hashtbl.replace st.dirty_comps cid ()
+        | D.E_remove_comp (cid, _, _, conns) ->
+            Hashtbl.replace st.dirty_comps cid ();
+            List.iter (fun (_, nid) -> Hashtbl.replace st.dirty_nets nid ()) conns
+        | D.E_connect (cid, _, prev) -> (
+            Hashtbl.replace st.dirty_comps cid ();
+            match prev with
+            | Some nid -> Hashtbl.replace st.dirty_nets nid ()
+            | None -> ())
+        | D.E_add_net nid | D.E_remove_net (nid, _, _) ->
+            Hashtbl.replace st.dirty_nets nid ())
+      entries
+  end
+
+(* --- Queries ------------------------------------------------------------ *)
+
+let net_value st nid =
+  refresh st;
+  match D.net_opt st.ai_design nid with
+  | None -> Top
+  | Some _ -> net_value_raw st nid
+
+let net_const st nid =
+  match net_value st nid with Zero -> Some false | One -> Some true | Top -> None
+
+let net_observable st nid =
+  refresh st;
+  Hashtbl.mem st.obs_nets nid
+
+let comp_live st cid =
+  refresh st;
+  Hashtbl.mem st.live_comps cid
+
+let comp_observable st cid =
+  refresh st;
+  match D.comp_opt st.ai_design cid with
+  | None -> false
+  | Some c ->
+      List.exists
+        (fun (_, nid) -> Hashtbl.mem st.obs_nets nid)
+        (output_conns st c)
+
+let const_nets st =
+  refresh st;
+  List.filter_map
+    (fun (n : D.net) ->
+      match net_value_raw st n.D.nid with
+      | Zero -> Some (n.D.nid, false)
+      | One -> Some (n.D.nid, true)
+      | Top -> None)
+    (D.nets st.ai_design)
+
+let dead_comps st =
+  refresh st;
+  List.filter_map
+    (fun (c : D.comp) ->
+      if Hashtbl.mem st.live_comps c.D.id then None else Some c.D.id)
+    (D.comps st.ai_design)
+
+let unobservable_comps st =
+  refresh st;
+  List.filter_map
+    (fun (c : D.comp) ->
+      if
+        Hashtbl.mem st.live_comps c.D.id
+        && not
+             (List.exists
+                (fun (_, nid) -> Hashtbl.mem st.obs_nets nid)
+                (output_conns st c))
+      then Some c.D.id
+      else None)
+    (D.comps st.ai_design)
+
+let stuck_pins st =
+  refresh st;
+  List.concat_map
+    (fun (c : D.comp) ->
+      Hashtbl.fold
+        (fun pin nid acc ->
+          match D.pin_dir ~resolve:st.ai_resolve st.ai_design c.D.id pin with
+          | T.Input -> (
+              match net_value_raw st nid with
+              | Zero -> (c.D.id, pin, false) :: acc
+              | One -> (c.D.id, pin, true) :: acc
+              | Top -> acc)
+          | T.Output -> acc
+          | exception _ -> acc)
+        c.D.conns [])
+    (D.comps st.ai_design)
+
+let floating_inputs st =
+  refresh st;
+  List.concat_map
+    (fun (c : D.comp) ->
+      if not (Hashtbl.mem st.live_comps c.D.id) then []
+      else
+        let pins =
+          match comp_macro st c with
+          | Some mac -> List.map (fun p -> (p, T.Input)) mac.Macro.inputs
+          | None -> (
+              try T.pins_of_kind ~resolve:st.ai_resolve c.D.kind
+              with _ -> [])
+        in
+        List.filter_map
+          (fun (p, dir) ->
+            if dir = T.Input && not (Hashtbl.mem c.D.conns p) then
+              Some (c.D.id, p)
+            else None)
+          pins)
+    (D.comps st.ai_design)
+
+let multi_driven st =
+  refresh st;
+  List.sort compare (Hashtbl.fold (fun nid () acc -> nid :: acc) st.multi [])
+
+(* --- Summary ------------------------------------------------------------ *)
+
+type summary = {
+  sum_comps : int;
+  sum_nets : int;
+  sum_const0 : int;
+  sum_const1 : int;
+  sum_stuck_pins : int;
+  sum_dead_comps : int;
+  sum_unobservable_comps : int;
+  sum_floating_inputs : int;
+  sum_multi_driven : int;
+  sum_transfers : int;
+}
+
+let summary st =
+  refresh st;
+  let consts = const_nets st in
+  {
+    sum_comps = D.num_comps st.ai_design;
+    sum_nets = D.num_nets st.ai_design;
+    sum_const0 = List.length (List.filter (fun (_, v) -> not v) consts);
+    sum_const1 = List.length (List.filter (fun (_, v) -> v) consts);
+    sum_stuck_pins = List.length (stuck_pins st);
+    sum_dead_comps = List.length (dead_comps st);
+    sum_unobservable_comps = List.length (unobservable_comps st);
+    sum_floating_inputs = List.length (floating_inputs st);
+    sum_multi_driven = List.length (multi_driven st);
+    sum_transfers = st.ai_stats.transfers;
+  }
+
+let summary_to_json name s =
+  Printf.sprintf
+    "{\"design\": \"%s\", \"comps\": %d, \"nets\": %d, \"const0\": %d, \
+     \"const1\": %d, \"stuck_pins\": %d, \"dead_comps\": %d, \
+     \"unobservable_comps\": %d, \"floating_inputs\": %d, \"multi_driven\": \
+     %d, \"transfers\": %d}"
+    (Milo_lint.Diagnostic.json_escape name)
+    s.sum_comps s.sum_nets s.sum_const0 s.sum_const1 s.sum_stuck_pins
+    s.sum_dead_comps s.sum_unobservable_comps s.sum_floating_inputs
+    s.sum_multi_driven s.sum_transfers
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d comps, %d nets: %d const (%d low, %d high), %d stuck pins, %d dead \
+     comps, %d unobservable comps, %d floating inputs, %d multi-driven nets"
+    s.sum_comps s.sum_nets (s.sum_const0 + s.sum_const1) s.sum_const0
+    s.sum_const1 s.sum_stuck_pins s.sum_dead_comps s.sum_unobservable_comps
+    s.sum_floating_inputs s.sum_multi_driven

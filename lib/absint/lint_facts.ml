@@ -1,0 +1,94 @@
+(* Lint passes over abstract-interpretation facts. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Diagnostic = Milo_lint.Diagnostic
+
+let comp_loc design cid =
+  match D.comp_opt design cid with
+  | Some c ->
+      Diagnostic.Comp { cname = c.D.cname; ckind = T.kind_name c.D.kind }
+  | None -> Diagnostic.Design
+
+let pin_loc design cid pin =
+  match D.comp_opt design cid with
+  | Some c ->
+      Diagnostic.Pin { cname = c.D.cname; ckind = T.kind_name c.D.kind; pin }
+  | None -> Diagnostic.Design
+
+let net_name design nid =
+  match D.net_opt design nid with
+  | Some n -> n.D.nname
+  | None -> string_of_int nid
+
+let constant_outputs st =
+  let design = Absint.design st in
+  List.filter_map
+    (fun (p, dir, nid) ->
+      if dir <> T.Output then None
+      else
+        match Absint.net_const st nid with
+        | Some v ->
+            Some
+              (Diagnostic.make ~rule:"absint-constant-output"
+                 ~severity:Diagnostic.Warning ~loc:(Diagnostic.Port p)
+                 "output port %s is constant %d" p
+                 (if v then 1 else 0))
+        | None -> None)
+    (D.ports design)
+
+let dead_macros st =
+  let design = Absint.design st in
+  List.map
+    (fun cid ->
+      Diagnostic.make ~rule:"absint-dead-macro" ~severity:Diagnostic.Warning
+        ~loc:(comp_loc design cid)
+        "no output port depends on this component")
+    (Absint.dead_comps st)
+
+let unobservable_cones st =
+  let design = Absint.design st in
+  List.map
+    (fun cid ->
+      Diagnostic.make ~rule:"absint-unobservable-cone"
+        ~severity:Diagnostic.Warning ~loc:(comp_loc design cid)
+        "outputs are masked on every path to an output port")
+    (Absint.unobservable_comps st)
+
+let stuck_inputs st =
+  let design = Absint.design st in
+  List.map
+    (fun (cid, pin, v) ->
+      Diagnostic.make ~rule:"absint-stuck-input" ~severity:Diagnostic.Info
+        ~loc:(pin_loc design cid pin)
+        "input is stuck at %d" (if v then 1 else 0))
+    (Absint.stuck_pins st)
+
+let floating_live_inputs st =
+  let design = Absint.design st in
+  List.map
+    (fun (cid, pin) ->
+      Diagnostic.make ~rule:"absint-floating-input" ~severity:Diagnostic.Error
+        ~loc:(pin_loc design cid pin)
+        "unconnected input on a component outputs depend on")
+    (Absint.floating_inputs st)
+
+let multi_driven_live st =
+  let design = Absint.design st in
+  List.map
+    (fun nid ->
+      let severity =
+        if Absint.net_observable st nid then Diagnostic.Error
+        else Diagnostic.Warning
+      in
+      Diagnostic.make ~rule:"absint-multi-driven" ~severity
+        ~loc:(Diagnostic.Net { nname = net_name design nid })
+        "net has multiple drivers%s"
+        (if severity = Diagnostic.Error then " and reaches an output port"
+         else ""))
+    (Absint.multi_driven st)
+
+let all st =
+  List.stable_sort Diagnostic.compare_diag
+    (constant_outputs st @ dead_macros st @ unobservable_cones st
+   @ stuck_inputs st @ floating_live_inputs st @ multi_driven_live st)

@@ -1,0 +1,31 @@
+(** Analysis-powered lint passes: diagnostics derived from abstract
+    interpretation facts, reported through the same structured
+    [Milo_lint.Diagnostic] currency as the structural passes (which
+    cannot see them — they need a fixpoint, not a scan). *)
+
+module Diagnostic = Milo_lint.Diagnostic
+
+val constant_outputs : Absint.t -> Diagnostic.t list
+(** Output ports proved constant ([absint-constant-output]). *)
+
+val dead_macros : Absint.t -> Diagnostic.t list
+(** Components no output port structurally depends on
+    ([absint-dead-macro]). *)
+
+val unobservable_cones : Absint.t -> Diagnostic.t list
+(** Live components whose outputs are all masked
+    ([absint-unobservable-cone]). *)
+
+val stuck_inputs : Absint.t -> Diagnostic.t list
+(** Input pins fed by proved-constant nets ([absint-stuck-input]). *)
+
+val floating_live_inputs : Absint.t -> Diagnostic.t list
+(** Unconnected input pins of live components
+    ([absint-floating-input]). *)
+
+val multi_driven_live : Absint.t -> Diagnostic.t list
+(** Multi-driven nets, severity raised to [Error] when observable
+    ([absint-multi-driven]). *)
+
+val all : Absint.t -> Diagnostic.t list
+(** Every pass, sorted by severity. *)

@@ -131,6 +131,12 @@ type result = {
   run_trace : Milo_trace.Trace.t option;
       (** the tracer passed to [run ?trace], flushed — queryable for
           spans, events, metrics and the profile *)
+  certificates : Milo_absint.Certify.certificate list;
+      (** static rule certificates established for the run (empty when
+          the guard was [Off] or [certify] was [false]) *)
+  analysis : Milo_absint.Absint.summary option;
+      (** abstract-interpretation facts over the optimized design
+          ([None] when linting was [Off]) *)
 }
 
 type partial = {
@@ -206,7 +212,7 @@ let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
     ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
-    ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) design =
+    ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) ?(certify = true) design =
   (* Install the tracer (if any) as the ambient one for the whole run,
      so every layer's probes report into it; restored on exit. *)
   (match trace with
@@ -298,6 +304,20 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
     hooks.before_stage stage d
   in
   let micro_applications = ref [] in
+  (* Static rule certification (the [lib/absint] replacement for
+     per-application re-simulation): rules whose LHS≡RHS is proved once
+     over the certification corpus are registered with the engine, whose
+     rule guard then skips the dynamic cone check for them.  The proof
+     is per (rule, technology) — independent of the user design — and
+     cached across runs, so the cost amortizes to nothing. *)
+  let certificates = ref [] in
+  if guard <> Guard.Off && certify then begin
+    certificates :=
+      Milo_absint.Certify.certify_rules target
+        Milo_critic.Critic.all_logic_level;
+    Milo_rules.Engine.set_certified
+      (Milo_absint.Certify.certified_names !certificates)
+  end;
   checkpoint Capture design;
   match
     let micro_design = D.copy design in
@@ -338,16 +358,34 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
     lint_stage ~techs:mapped "optimized" optimized;
     stage_guard "optimize" ~techs:mapped (ck_design Techmap) optimized;
     checkpoint Optimize optimized;
+    (* Analysis stage: abstract-interpretation facts over the final
+       design.  The fact-driven lint passes report through the same
+       findings channel as the structural ones. *)
+    let analysis =
+      if lint = Milo_lint.Lint.Off then None
+      else begin
+        let st =
+          Milo_absint.Absint.analyze
+            ~resolve:(Database.resolver db mapped)
+            (Milo_absint.Absint.env_of_techs mapped)
+            optimized
+        in
+        let diags = Milo_absint.Lint_facts.all st in
+        if diags <> [] then findings := ("analysis", diags) :: !findings;
+        Some (Milo_absint.Absint.summary st)
+      end
+    in
     let final =
       stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
         optimized
     in
-    (micro_design, optimized, final, optimizer_report)
+    (micro_design, optimized, final, optimizer_report, analysis)
   with
-  | micro_design, optimized, final, optimizer_report ->
+  | micro_design, optimized, final, optimizer_report, analysis ->
       (* Flush closes the open stage/root spans and runs the sinks, so
          the trace is complete before the caller sees the result. *)
       Milo_rules.Engine.clear_rule_guard ();
+      Milo_rules.Engine.clear_certified ();
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Complete
         {
@@ -365,12 +403,15 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           guard_stats = gstats;
           budget = Milo_rules.Budget.status budget;
           run_trace = trace;
+          certificates = !certificates;
+          analysis;
         }
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
   | exception e ->
       (* A faulted run still flushes: open spans are force-closed and
          streaming sinks see a well-formed trace up to the failure. *)
       Milo_rules.Engine.clear_rule_guard ();
+      Milo_rules.Engine.clear_certified ();
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Partial
         {
@@ -391,10 +432,10 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
         }
 
 let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-    ?guard design =
+    ?guard ?certify design =
   match
     run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-      ?guard design
+      ?guard ?certify design
   with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn

@@ -87,6 +87,13 @@ type result = {
       (** the tracer passed to [run ?trace], already flushed:
           queryable for spans, events, metrics and the
           [Milo_trace.Profile] attributions *)
+  certificates : Milo_absint.Certify.certificate list;
+      (** static rule certificates established for the run — one per
+          logic-level rule when [guard] was armed and [certify] left on,
+          empty otherwise *)
+  analysis : Milo_absint.Absint.summary option;
+      (** abstract-interpretation facts over the optimized design;
+          [None] when linting was [Off] *)
 }
 
 type partial = {
@@ -135,6 +142,7 @@ val run :
   ?hooks:hooks ->
   ?trace:Milo_trace.Trace.t ->
   ?guard:Milo_guard.Guard.policy ->
+  ?certify:bool ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -175,6 +183,15 @@ val run :
     [Sampled] checks a subset of rule applications with cheaper
     parameters; [Full] checks everything.
 
+    [certify] (default [true], only meaningful with the guard armed)
+    statically certifies the logic-level rules up front
+    ({!Milo_absint.Certify}): rules whose rewrite is proved equivalent
+    over the certification corpus skip the per-application cone
+    re-simulation, collapsing most of the [Full]-guard overhead.  The
+    certificates are cached per (rule, technology) across runs and
+    returned in [result.certificates].  Pass [~certify:false] to force
+    the pre-certification behaviour (every application re-simulated).
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -188,6 +205,7 @@ val run_exn :
   ?hooks:hooks ->
   ?trace:Milo_trace.Trace.t ->
   ?guard:Milo_guard.Guard.policy ->
+  ?certify:bool ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]

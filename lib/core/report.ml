@@ -118,6 +118,30 @@ let summary (res : Flow.result) =
           ^ Printf.sprintf " [%s]\n" stage))
       res.Flow.lint_findings
   end;
+  (match res.Flow.analysis with
+  | Some s ->
+      Buffer.add_string b
+        (Format.asprintf "analysis: %a\n" Milo_absint.Absint.pp_summary s)
+  | None -> ());
+  (match res.Flow.certificates with
+  | [] -> ()
+  | certs ->
+      let count v =
+        List.length
+          (List.filter
+             (fun (c : Milo_absint.Certify.certificate) ->
+               c.Milo_absint.Certify.cert_verdict = v)
+             certs)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "certificates: %d rules (%d certified, %d probabilistic, %d \
+            uncertified, %d refused)\n"
+           (List.length certs)
+           (count Milo_absint.Certify.Certified)
+           (count Milo_absint.Certify.Probabilistic)
+           (count Milo_absint.Certify.Uncertified)
+           (count Milo_absint.Certify.Refused)));
   add_resilience ~errors:res.Flow.quarantine_errors
     ~reasons:res.Flow.quarantine_reasons ~guard:res.Flow.guard_stats b
     ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;

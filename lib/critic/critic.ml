@@ -1,7 +1,7 @@
 (* Aggregated rule sets: the five experts of the logic optimizer
    (Figure 17) plus cleanups and the microarchitecture critic. *)
 
-let logic = Logic_rules.rules @ Muxff_rules.rules
+let logic = Logic_rules.rules @ Muxff_rules.rules @ Absint_rules.rules
 let timing = Timing_rules.rules
 let area = Area_rules.rules
 let power = Power_rules.rules

@@ -209,6 +209,7 @@ type stats = {
   mutable rule_checks : int;
   mutable rule_mismatches : int;
   mutable rule_skipped : int;
+  mutable rule_certified : int;
 }
 
 let fresh_stats () =
@@ -218,14 +219,16 @@ let fresh_stats () =
     rule_checks = 0;
     rule_mismatches = 0;
     rule_skipped = 0;
+    rule_certified = 0;
   }
 
 let stats_active s =
   s.stage_checks > 0 || s.stage_mismatches > 0 || s.rule_checks > 0
-  || s.rule_mismatches > 0 || s.rule_skipped > 0
+  || s.rule_mismatches > 0 || s.rule_skipped > 0 || s.rule_certified > 0
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "stage checks %d (%d mismatches), rule checks %d (%d miscompiles, %d skipped)"
+    "stage checks %d (%d mismatches), rule checks %d (%d miscompiles, %d \
+     skipped, %d certified)"
     s.stage_checks s.stage_mismatches s.rule_checks s.rule_mismatches
-    s.rule_skipped
+    s.rule_skipped s.rule_certified

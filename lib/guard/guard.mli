@@ -92,6 +92,9 @@ type stats = {
   mutable rule_checks : int;  (** cone-local rule checks performed *)
   mutable rule_mismatches : int;  (** miscompiles caught and reverted *)
   mutable rule_skipped : int;  (** sampled out, unverifiable, or over budget *)
+  mutable rule_certified : int;
+      (** applications exempted because the rule holds a static
+          Certified certificate (see [Milo_absint.Certify]) *)
 }
 
 val fresh_stats : unit -> stats

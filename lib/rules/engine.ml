@@ -182,6 +182,28 @@ let set_rule_guard ?budget ?stats policy =
 let clear_rule_guard () = rule_guard := None
 let rule_guard_stats () = Option.map (fun g -> g.rg_stats) !rule_guard
 
+(* --- Certified rules --------------------------------------------------- *)
+
+(* Rules holding a static Certified certificate (proved sound offline
+   by [Milo_absint.Certify] over exhaustive cone enumeration).  Their
+   applications skip the dynamic cone re-simulation: the per-apply
+   Full-guard cost collapses to the flow's stage-boundary checks.  The
+   engine only stores names — certification itself lives above this
+   layer — and the store is global like the quarantine: the flow
+   installs it per run.  Quarantine still dominates: a certified rule
+   that raises is quarantined like any other. *)
+let certified : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let set_certified names =
+  Hashtbl.reset certified;
+  List.iter (fun n -> Hashtbl.replace certified n ()) names
+
+let clear_certified () = Hashtbl.reset certified
+let is_certified name = Hashtbl.mem certified name
+
+let certified_rules () =
+  Hashtbl.fold (fun n () acc -> n :: acc) certified [] |> List.sort compare
+
 (* Sampling interval for the [Sampled] tier: the first application of
    each rule is always checked (a systematically wrong rule is caught
    immediately), then every Nth opportunity across all rules. *)
@@ -341,7 +363,11 @@ let guard_snapshot ctx r site =
   match !rule_guard with
   | None -> None
   | Some g ->
-      if not (should_check g r) then begin
+      if is_certified r.Rule.rule_name then begin
+        g.rg_stats.Guard.rule_certified <- g.rg_stats.Guard.rule_certified + 1;
+        None
+      end
+      else if not (should_check g r) then begin
         g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
         None
       end

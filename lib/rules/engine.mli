@@ -89,6 +89,27 @@ val clear_rule_guard : unit -> unit
 val rule_guard_stats : unit -> Milo_guard.Guard.stats option
 (** Counters of the currently armed rule guard, if any. *)
 
+(** {2 Certified rules}
+
+    Rules holding a static Certified certificate (proved sound offline
+    by [Milo_absint.Certify]: exhaustive truth-table enumeration over
+    their rewrite cones).  Their applications skip the dynamic cone
+    re-simulation entirely — counted in [stats.rule_certified] — so a
+    [Full] rule guard costs only the flow's stage-boundary checks.
+    Probabilistic and Uncertified rules keep the dynamic check.  The
+    store holds names only (certification lives above this layer) and
+    is global like the quarantine; the flow installs and clears it per
+    run.  Quarantine still dominates a certificate. *)
+
+val set_certified : string list -> unit
+(** Replace the certified-rule store with the given rule names. *)
+
+val clear_certified : unit -> unit
+val is_certified : string -> bool
+
+val certified_rules : unit -> string list
+(** Currently installed certified rule names, sorted. *)
+
 val guarded_find : Rule.context -> Rule.t -> Rule.site list
 (** [find] with quarantine: a raising or quarantined rule matches
     nothing. *)

@@ -1,0 +1,339 @@
+(* Abstract-interpretation and certification suite — tier-1 gate for
+   lib/absint.
+
+   - soundness fuzz: every net the analysis proves constant holds that
+     value in the simulator under random input vectors (and across
+     clock steps), on every mapped suite design;
+   - the facts stay sound on the optimized output of a Full-guarded
+     flow (invariance under guard-approved rewrites);
+   - incremental oracle: feeding committed change-log entries to
+     [advance] yields exactly the facts of a from-scratch analysis;
+   - certification: every built-in critic rule obtains a Certified or
+     Probabilistic certificate over the witness corpus, and every
+     planted miscompiling rule from [Milo_faults] is Refused;
+   - certificates are digest-signed: a tampered one fails [valid] and
+     is not served from the cache;
+   - JSON regression: lint reports and analysis summaries stay
+     well-formed JSON when design/net names contain quotes. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Rule = Milo_rules.Rule
+module Absint = Milo_absint.Absint
+module Certify = Milo_absint.Certify
+module Lint_facts = Milo_absint.Lint_facts
+module Simulator = Milo_sim.Simulator
+module Gate_comp = Milo_compilers.Gate_comp
+module Table_map = Milo_techmap.Table_map
+module Flow = Milo.Flow
+module Suite = Milo_designs.Suite
+module Lint = Milo_lint.Lint
+module Diagnostic = Milo_lint.Diagnostic
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let target () = Table_map.ecl_target ()
+
+let sim_env () =
+  Simulator.env_of_techs
+    [ (target ()).Table_map.tech; Milo_library.Generic.get () ]
+
+let absint_env () =
+  Absint.env_of_techs
+    [ (target ()).Table_map.tech; Milo_library.Generic.get () ]
+
+(* --- Soundness fuzz ----------------------------------------------------- *)
+
+let random_vector rng inputs =
+  List.map (fun p -> (p, Random.State.bool rng)) inputs
+
+(* Assert every proved-constant net settles to its constant under
+   [vectors] random input assignments, stepping the clock every few
+   vectors so sequential state moves off reset. *)
+let fuzz_soundness name design vectors =
+  let env = sim_env () in
+  let st = Absint.analyze (absint_env ()) design in
+  let consts = Absint.const_nets st in
+  match Simulator.create env design with
+  | exception _ -> () (* unsimulable designs prove nothing either way *)
+  | sim ->
+      let inputs =
+        List.filter_map
+          (fun (p, dir, _) -> if dir = T.Input then Some p else None)
+          (D.ports design)
+      in
+      let rng = Random.State.make [| 0xab51; Hashtbl.hash name |] in
+      (try
+         for i = 1 to vectors do
+           let vec = random_vector rng inputs in
+           let values = Simulator.settle sim vec in
+           List.iter
+             (fun (nid, v) ->
+               let simulated =
+                 match Hashtbl.find_opt values nid with
+                 | Some b -> b
+                 | None -> false
+               in
+               if simulated <> v then begin
+                 check
+                   (Printf.sprintf "%s: net %d proved %b but simulates %b"
+                      name nid v simulated)
+                   false;
+                 raise Exit
+               end)
+             consts;
+           if i mod 7 = 0 then Simulator.step sim vec
+         done
+       with
+      | Exit -> ()
+      | Simulator.Combinational_loop _ -> ());
+      ()
+
+let mapped_suite () =
+  List.filter_map
+    (fun (case : Suite.case) ->
+      match Flow.human_baseline case.Suite.case_design with
+      | mapped, _ -> Some (case.Suite.case_name, mapped)
+      | exception _ -> None)
+    (Suite.all ())
+
+let test_soundness () =
+  List.iter
+    (fun (name, mapped) -> fuzz_soundness name mapped 60)
+    (mapped_suite ());
+  (* and on the certification corpus itself *)
+  List.iteri
+    (fun i d -> fuzz_soundness (Printf.sprintf "corpus%d" i) d 60)
+    (Certify.default_corpus (target ()))
+
+(* --- Invariance under guard-approved rewrites --------------------------- *)
+
+let test_guarded_flow_soundness () =
+  List.iter
+    (fun mk ->
+      let case = mk () in
+      match
+        Flow.run ~guard:Milo_guard.Guard.Full
+          ~constraints:case.Suite.constraints case.Suite.case_design
+      with
+      | Flow.Complete res ->
+          fuzz_soundness
+            (case.Suite.case_name ^ ":optimized")
+            res.Flow.optimized 60
+      | Flow.Partial _ ->
+          check (case.Suite.case_name ^ ": full-guard flow completes") false)
+    [ Suite.design1; Suite.design3 ]
+
+(* --- Incremental oracle -------------------------------------------------- *)
+
+let facts_signature st =
+  ( List.sort compare (Absint.const_nets st),
+    List.sort compare (Absint.dead_comps st),
+    List.sort compare (Absint.unobservable_comps st),
+    List.sort compare (Absint.stuck_pins st) )
+
+let test_incremental () =
+  let tgt = target () in
+  let case = Suite.design1 () in
+  let mapped, _ = Flow.human_baseline case.Suite.case_design in
+  let env = absint_env () in
+  let st = Absint.analyze env mapped in
+  ignore (facts_signature st);
+  (* grow the design: a constant-fed gate chain and a dead inverter *)
+  let set = tgt.Table_map.set in
+  let log = D.new_log () in
+  let some_input =
+    match
+      List.find_opt (fun (_, dir, _) -> dir = T.Input) (D.ports mapped)
+    with
+    | Some (_, _, nid) -> nid
+    | None -> D.new_net ~log mapped
+  in
+  let vss = Gate_comp.add_const ~log mapped set T.Vss in
+  let tied = Gate_comp.add_gate ~log mapped set T.And [ some_input; vss ] in
+  ignore (Gate_comp.add_gate ~log mapped set T.Inv [ tied ]);
+  let entries = D.entries log in
+  D.commit log;
+  Absint.advance st entries;
+  let incr_facts = facts_signature st in
+  let fresh_facts = facts_signature (Absint.analyze env mapped) in
+  check "incremental advance matches from-scratch analysis"
+    (incr_facts = fresh_facts);
+  check "advance ran incrementally, not a full re-run"
+    ((Absint.stats st).Absint.full_runs = 1
+    && (Absint.stats st).Absint.incremental_runs = 1);
+  (* the tied gate's output must be proved constant low *)
+  check "constant chain proved" (Absint.net_const st tied = Some false)
+
+(* --- Certification ------------------------------------------------------- *)
+
+let test_certification () =
+  let tgt = target () in
+  let cache = Certify.create_cache () in
+  let certs =
+    Certify.certify_rules ~cache tgt Milo_critic.Critic.all_logic_level
+  in
+  check "every built-in rule yields a certificate"
+    (List.length certs = List.length Milo_critic.Critic.all_logic_level);
+  List.iter
+    (fun (c : Certify.certificate) ->
+      check
+        (Printf.sprintf "rule %s certified or probabilistic (got %s%s)"
+           c.Certify.cert_rule
+           (Certify.verdict_name c.Certify.cert_verdict)
+           (if c.Certify.cert_detail = "" then ""
+            else ": " ^ c.Certify.cert_detail))
+        (match c.Certify.cert_verdict with
+        | Certify.Certified | Certify.Probabilistic -> true
+        | Certify.Uncertified | Certify.Refused -> false);
+      check
+        (Printf.sprintf "certificate for %s is signed" c.Certify.cert_rule)
+        (Certify.valid c))
+    certs;
+  check "a solid majority of rules is fully certified"
+    (List.length (Certify.certified_names certs) * 2
+    > List.length certs);
+  (* cache round-trip *)
+  List.iter
+    (fun (c : Certify.certificate) ->
+      check "cache serves the certificate"
+        (Certify.lookup ~cache
+           ~tech:(Milo_library.Technology.name tgt.Table_map.tech)
+           c.Certify.cert_rule
+        = Some c))
+    certs;
+  (* a tampered certificate fails validation *)
+  (match certs with
+  | c :: _ ->
+      let forged = { c with Certify.cert_verdict = Certify.Certified } in
+      check "tampered certificate rejected"
+        (c.Certify.cert_verdict = Certify.Certified || not (Certify.valid forged))
+  | [] -> ());
+  (* planted miscompiling rules are refused *)
+  List.iter
+    (fun (rule : Rule.t) ->
+      let fcache = Certify.create_cache () in
+      match Certify.certify_rules ~cache:fcache tgt [ rule ] with
+      | [ c ] ->
+          check
+            (Printf.sprintf "fault rule %s refused (got %s)"
+               rule.Rule.rule_name
+               (Certify.verdict_name c.Certify.cert_verdict))
+            (c.Certify.cert_verdict = Certify.Refused);
+          check "refused rule is not in the certified set"
+            (Certify.certified_names [ c ] = [])
+      | _ -> check ("certify " ^ rule.Rule.rule_name) false)
+    (Milo_faults.miscompiling_rules ())
+
+(* --- Analysis-powered lint ----------------------------------------------- *)
+
+let test_lint_facts () =
+  let tgt = target () in
+  let set = tgt.Table_map.set in
+  let d = D.create "lintfacts" in
+  let a = D.add_port d "A" T.Input in
+  let b = D.add_port d "B" T.Input in
+  let vdd = Gate_comp.add_const d set T.Vdd in
+  (* constant output port *)
+  ignore (D.add_port ~net:(Gate_comp.add_gate d set T.Or [ a; vdd ]) d "YC"
+            T.Output);
+  (* dead gate *)
+  ignore (Gate_comp.add_gate d set T.And [ a; b ]);
+  (* masked (unobservable) cone *)
+  let u = Gate_comp.add_gate d set T.Xor [ a; b ] in
+  ignore (D.add_port ~net:(Gate_comp.add_gate d set T.Or [ u; vdd ]) d "YM"
+            T.Output);
+  (* floating input on a live gate *)
+  let fl = D.add_comp d (T.Macro "E_AND2") in
+  D.connect d fl "A0" a;
+  let fln = D.new_net d in
+  D.connect d fl "Y" fln;
+  ignore (D.add_port ~net:fln d "YF" T.Output);
+  let st = Absint.analyze (absint_env ()) d in
+  let diags = Lint_facts.all st in
+  let has rule =
+    List.exists (fun (g : Diagnostic.t) -> g.Diagnostic.rule = rule) diags
+  in
+  check "constant-output reported" (has "absint-constant-output");
+  check "dead-macro reported" (has "absint-dead-macro");
+  check "unobservable-cone reported" (has "absint-unobservable-cone");
+  check "stuck-input reported" (has "absint-stuck-input");
+  check "floating-input reported" (has "absint-floating-input")
+
+(* --- JSON escaping regression -------------------------------------------- *)
+
+(* Minimal JSON well-formedness scanner: strings with escapes, nesting
+   balance.  Enough to catch a raw quote leaking into output. *)
+let json_well_formed s =
+  let n = String.length s in
+  let rec skip_string i =
+    if i >= n then None
+    else
+      match s.[i] with
+      | '"' -> Some (i + 1)
+      | '\\' -> if i + 1 < n then skip_string (i + 2) else None
+      | _ -> skip_string (i + 1)
+  in
+  let rec go i depth in_obj =
+    if i >= n then depth = 0 && in_obj = 0
+    else
+      match s.[i] with
+      | '"' -> (
+          match skip_string (i + 1) with
+          | Some j -> go j depth in_obj
+          | None -> false)
+      | '{' | '[' -> go (i + 1) (depth + 1) in_obj
+      | '}' | ']' -> depth > 0 && go (i + 1) (depth - 1) in_obj
+      | _ -> go (i + 1) depth in_obj
+  in
+  go 0 0 0
+
+let test_json_escaping () =
+  let d = D.create "bad \"quoted\" design" in
+  let a = D.add_port d "A" T.Input in
+  let net = D.new_net ~name:"wire \"x\"\n" d in
+  let c = D.add_comp d ~name:"comp \"q\"" (T.Macro "E_INV") in
+  D.connect d c "A0" a;
+  D.connect d c "Y" net;
+  ignore (D.add_port ~net d "Y" T.Output);
+  let resolve =
+    Milo_library.Technology.resolver (target ()).Table_map.tech
+  in
+  let diags = Lint.run ~resolve d in
+  let report =
+    Lint.report_to_json
+      { Lint.design_name = D.name d; stage = Some "analysis"; diags }
+  in
+  check "lint JSON report with quoted names is well-formed"
+    (json_well_formed report);
+  let st = Absint.analyze (absint_env ()) d in
+  check "analysis summary JSON with quoted name is well-formed"
+    (json_well_formed (Absint.summary_to_json (D.name d) (Absint.summary st)));
+  List.iter
+    (fun g ->
+      check "diagnostic JSON is well-formed"
+        (json_well_formed (Diagnostic.to_json g)))
+    (Lint_facts.all st);
+  check "json_escape escapes quotes"
+    (Diagnostic.json_escape "a\"b" = "a\\\"b")
+
+(* --- Driver -------------------------------------------------------------- *)
+
+let () =
+  test_soundness ();
+  test_guarded_flow_soundness ();
+  test_incremental ();
+  test_certification ();
+  test_lint_facts ();
+  test_json_escaping ();
+  if !failures > 0 then begin
+    Printf.printf "%d absint suite failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "absint suite: all checks passed"
