@@ -968,6 +968,145 @@ let guard_overhead ~smoke_mode () =
     exit 1
   end
 
+(* --- E13: journal overhead + crash recovery ----------------------------- *)
+
+(* Wall-time of the flow with and without the write-ahead journal, plus
+   the cost of recovery: the journaled flow is killed after every
+   checkpoint record and resumed, and the resume wall-time reported.
+   Min-of-trials for the throughput comparison, like trace-overhead.
+   `journal smoke` runs on design3 and asserts journaling costs < 10%
+   (plus a 5 ms absolute slack for sub-100ms runs); it lives on its own
+   @journal_overhead alias rather than runtest so timing jitter can
+   never fail the tier-1 suite. *)
+
+let journal_bench ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E13 / journal smoke: write-ahead journal cost + crash recovery"
+     else "E13 / journal: write-ahead journal cost on the suite designs");
+  Milo_rules.Engine.quarantine_reset ();
+  let module J = Milo_journal.Journal in
+  let cases =
+    if smoke_mode then [ Milo_designs.Suite.design3 () ]
+    else Milo_designs.Suite.all ()
+  in
+  let name =
+    String.concat ","
+      (List.map
+         (fun (c : Milo_designs.Suite.case) -> c.Milo_designs.Suite.case_name)
+         cases)
+  in
+  let trials = if smoke_mode then 3 else 5 in
+  let max_steps = if smoke_mode then 10 else 200 in
+  let journal_path = Filename.temp_file "milo_bench_journal" ".mjl" in
+  let run_flow ?journal ?journal_fault () =
+    List.iter
+      (fun (case : Milo_designs.Suite.case) ->
+        let budget = Milo_rules.Budget.make ~max_steps () in
+        match
+          Milo.Flow.run ~technology:Milo.Flow.Ecl
+            ~constraints:case.Milo_designs.Suite.constraints ~budget ?journal
+            ?journal_fault case.Milo_designs.Suite.case_design
+        with
+        | Milo.Flow.Complete _ -> ()
+        | Milo.Flow.Partial p ->
+            Printf.printf "journal: flow degraded at %s: %s\n"
+              (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+              p.Milo.Flow.failure.Milo.Flow.err_message;
+            exit 1)
+      cases
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* warm-up: libraries, compiler memo tables, suite laziness *)
+  run_flow ();
+  let off_min = min_of (fun () -> run_flow ()) in
+  let on_min = min_of (fun () -> run_flow ~journal:journal_path ()) in
+  let journal_bytes = (Unix.stat journal_path).Unix.st_size in
+  let records = List.length (J.recover journal_path).J.r_records in
+  (* Recovery: kill the first case's journaled run after every
+     checkpoint record, resume each time, and report the mean resume
+     wall-time. *)
+  let case = List.hd cases in
+  let single n =
+    let budget = Milo_rules.Budget.make ~max_steps () in
+    match
+      Milo.Flow.run ~technology:Milo.Flow.Ecl
+        ~constraints:case.Milo_designs.Suite.constraints ~budget
+        ~journal:journal_path
+        ~journal_fault:(fun c -> if c >= n then raise (J.Crash c))
+        case.Milo_designs.Suite.case_design
+    with
+    | _ -> false
+    | exception J.Crash _ -> true
+  in
+  ignore (single max_int);
+  let ck_indices =
+    List.filteri (fun _ r -> match r with J.Checkpoint _ -> true | _ -> false)
+      (J.recover journal_path).J.r_records
+    |> List.length
+  in
+  let resumes = ref 0 and resume_total = ref 0.0 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | J.Checkpoint _ ->
+          if single (i + 1) then begin
+            let (), t = time (fun () -> ignore (Milo.Flow.resume journal_path)) in
+            incr resumes;
+            resume_total := !resume_total +. t
+          end
+      | _ -> ())
+    (J.recover journal_path).J.r_records;
+  Sys.remove journal_path;
+  let resume_mean =
+    if !resumes = 0 then 0.0 else !resume_total /. float_of_int !resumes
+  in
+  let pct base v = (v -. base) /. base *. 100.0 in
+  Printf.printf
+    "designs %s, %d trials (min), %d records (%d bytes), %d checkpoints\n\
+     off:       %8.2f ms\n\
+     journaled: %8.2f ms  (%+.1f%%)\n\
+     resume:    %8.2f ms mean over %d crash points\n%!"
+    name trials records journal_bytes ck_indices (off_min *. 1e3)
+    (on_min *. 1e3) (pct off_min on_min) (resume_mean *. 1e3) !resumes;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"designs\": %S,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"records\": %d,\n\
+      \  \"journal_bytes\": %d,\n\
+      \  \"checkpoints\": %d,\n\
+      \  \"off_ms\": %.3f,\n\
+      \  \"journaled_ms\": %.3f,\n\
+      \  \"journal_overhead_pct\": %.2f,\n\
+      \  \"resume_points\": %d,\n\
+      \  \"resume_mean_ms\": %.3f\n\
+       }\n"
+      name trials smoke_mode records journal_bytes ck_indices (off_min *. 1e3)
+      (on_min *. 1e3) (pct off_min on_min) !resumes (resume_mean *. 1e3)
+  in
+  (try
+     let oc = open_out "BENCH_journal.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_journal.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_journal.json: %s\n%!" msg);
+  if smoke_mode && on_min >= (off_min *. 1.10) +. 0.005 then begin
+    Printf.printf "journal smoke: journaling too slow (%.2f ms vs %.2f ms)\n"
+      (on_min *. 1e3) (off_min *. 1e3);
+    exit 1
+  end
+
 (* --- E12: abstract interpretation + static rule certification ----------- *)
 
 (* Three measurements: (a) the abstract-interpretation fixpoint
@@ -1212,9 +1351,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       analyze_bench ~smoke_mode ()
+  | Some "journal" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      journal_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal)\n"
         other;
       exit 1

@@ -5,6 +5,13 @@
      milo optimize DESIGN.mil -t ecl --delay 6.5 [-o OUT]
                                               the full MILO flow
      milo run      DESIGN.mil ...             alias of optimize
+     milo resume   JOURNAL [-o OUT]           continue an interrupted
+                                              --journal run from its
+                                              last committed checkpoint
+     milo replay   JOURNAL [--json]           re-execute a journal's
+                                              trajectory under the full
+                                              guard (exit 7 on
+                                              divergence)
      milo profile  DESIGN.mil [-t ecl]        flow under a tracer ->
                                               span-tree profile
      milo verify   A.mil B.mil                equivalence check (exit 7
@@ -42,7 +49,11 @@ let parse_fail ~file ?line fmt =
 (* Runtime (post-parse) failures also render compiler-style
    "file: error: message" lines, with distinct exit codes so scripts can
    tell failure classes apart: 1 parse/lint, 3 unmappable design,
-   4 invalid netlist edit, 5 bad argument, 6 degraded (partial) flow. *)
+   4 invalid netlist edit, 5 bad argument (including an unusable
+   journal), 6 degraded (partial) flow, 7 not equivalent (verify, and
+   replay divergence), 8 interrupted (SIGINT/SIGTERM: the streamed
+   trace is flushed and the journal is left at its last durable record,
+   ready for `milo resume`). *)
 let runtime_fail ~file ~code fmt =
   Printf.ksprintf
     (fun msg ->
@@ -63,7 +74,30 @@ let protect ~file f =
   | exception Milo_netlist.Design.Error e ->
       runtime_fail ~file ~code:4 "%s" (Milo_netlist.Design.error_to_string e)
   | exception Invalid_argument msg -> runtime_fail ~file ~code:5 "%s" msg
+  | exception Milo.Flow.Journal_error msg ->
+      runtime_fail ~file ~code:5 "journal: %s" msg
   | exception Sys_error msg -> runtime_fail ~file ~code:1 "%s" msg
+
+(* SIGINT/SIGTERM land on exit code 8 after flushing whatever streams
+   durability depends on.  The journal needs no help — every record is
+   flushed as it lands and checkpoints commit via rename — so the
+   handler's job is the streaming trace channel and a resume hint. *)
+let interrupt_flushers : (unit -> unit) list ref = ref []
+
+let install_interrupt_handlers ~journal () =
+  let handler _ =
+    List.iter (fun f -> try f () with _ -> ()) !interrupt_flushers;
+    (match journal with
+    | Some path ->
+        Printf.eprintf
+          "interrupted: journal %s is durable; `milo resume %s` continues \
+           the run\n"
+          path path
+    | None -> prerr_endline "interrupted");
+    exit 8
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
 
 let read_design path =
   let vhdl =
@@ -176,6 +210,15 @@ let guard_arg =
                flow; a caught rule miscompile is reverted and the rule \
                quarantined.")
 
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Record a durable write-ahead journal of the run to \
+               $(docv): the run header, every committed rule \
+               application and a full design snapshot at every stage \
+               checkpoint.  A run killed at any point leaves a journal \
+               that $(b,milo resume) can continue and $(b,milo replay) \
+               can re-execute.")
+
 let guard_of ~file name =
   match Milo_guard.Guard.policy_of_string name with
   | Some p -> p
@@ -215,8 +258,9 @@ let map_cmd =
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
 let optimize_run path tech delay area power timeout max_steps full_measure
-    check_measure trace_file trace_format guard out =
+    check_measure trace_file trace_format guard journal out =
   protect ~file:path @@ fun () ->
+  install_interrupt_handlers ~journal ();
   let design = read_design path in
   let technology = technology_of tech in
   let guard = guard_of ~file:path guard in
@@ -243,6 +287,7 @@ let optimize_run path tech delay area power timeout max_steps full_measure
         | "json" ->
             let oc = open_out file in
             trace_ch := Some oc;
+            interrupt_flushers := (fun () -> flush oc) :: !interrupt_flushers;
             Milo_trace.Trace.add_sink t (Milo_trace.Export.jsonl_sink oc)
         | "chrome" -> ()
         | other ->
@@ -254,10 +299,7 @@ let optimize_run path tech delay area power timeout max_steps full_measure
     match (trace, trace_file) with
     | Some t, Some file ->
         (match trace_format with
-        | "chrome" ->
-            let oc = open_out file in
-            Milo_trace.Export.write_chrome oc t;
-            close_out oc
+        | "chrome" -> Milo_trace.Export.save_chrome file t
         | _ -> ( match !trace_ch with Some oc -> close_out oc | None -> ()));
         Printf.eprintf "trace: wrote %s (%s)\n" file trace_format
     | _ -> ()
@@ -267,7 +309,7 @@ let optimize_run path tech delay area power timeout max_steps full_measure
     human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
   match
     Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
-      ?budget ?trace ~guard design
+      ?budget ?trace ~guard ?journal design
   with
   | Milo.Flow.Complete res ->
       finish_trace ();
@@ -290,7 +332,7 @@ let optimize_term =
   Term.(ret (const optimize_run $ design_arg $ tech_arg $ delay_arg $ area_arg
              $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
              $ check_measure_arg $ trace_arg $ trace_format_arg $ guard_arg
-             $ out_arg))
+             $ journal_arg $ out_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -301,6 +343,104 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Alias of optimize: run the full MILO flow.")
     optimize_term
+
+let resume_cmd =
+  let journal_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+  in
+  let run path out =
+    protect ~file:path @@ fun () ->
+    install_interrupt_handlers ~journal:(Some path) ();
+    match Milo.Flow.resume path with
+    | Milo.Flow.Complete res ->
+        print_string (Milo.Report.summary res);
+        (match out with
+        | Some _ -> write_design out res.Milo.Flow.optimized
+        | None -> ());
+        `Ok ()
+    | Milo.Flow.Partial p ->
+        prerr_string (Milo.Report.partial_summary p);
+        (match out with
+        | Some _ -> write_design out p.Milo.Flow.last_good.Milo.Flow.ck_design
+        | None -> ());
+        exit 6
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Continue an interrupted journaled run: recover the \
+             journal's longest valid prefix, restore the last committed \
+             checkpoint (design snapshot, remaining budget, semantic \
+             guard state) and re-run only the stages after it.  The \
+             resumed run re-journals into the same file, so it can \
+             itself be interrupted and resumed again.  The result \
+             matches the uninterrupted run's exactly.  A journal \
+             without a committed checkpoint has nothing to resume \
+             (exit 5) — re-run the flow from the input design.")
+    Term.(ret (const run $ journal_pos $ out_arg))
+
+let replay_cmd =
+  let journal_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let quote = json_quote in
+  let run path json =
+    protect ~file:path @@ fun () ->
+    let rep = Milo.Flow.replay path in
+    let divergence_line (d : Milo.Flow.divergence) =
+      Printf.sprintf "record %d [%s/%s]%s: %s" d.Milo.Flow.div_record
+        d.Milo.Flow.div_stage d.Milo.Flow.div_kind
+        (match d.Milo.Flow.div_label with
+        | None -> ""
+        | Some l -> " " ^ l)
+        d.Milo.Flow.div_detail
+    in
+    if json then
+      Printf.printf
+        "{\"journal\": %s, \"records\": %d, \"truncated_bytes\": %d, \
+         \"deltas\": %d, \"checks\": %d, \"finished\": %b, \
+         \"divergences\": [%s]}\n"
+        (quote path) rep.Milo.Flow.rep_records
+        rep.Milo.Flow.rep_truncated_bytes rep.Milo.Flow.rep_deltas
+        rep.Milo.Flow.rep_checks rep.Milo.Flow.rep_finished
+        (String.concat ", "
+           (List.map
+              (fun (d : Milo.Flow.divergence) ->
+                Printf.sprintf
+                  "{\"record\": %d, \"stage\": %s, \"label\": %s, \
+                   \"kind\": %s, \"detail\": %s}"
+                  d.Milo.Flow.div_record (quote d.Milo.Flow.div_stage)
+                  (match d.Milo.Flow.div_label with
+                  | None -> "null"
+                  | Some l -> quote l)
+                  (quote d.Milo.Flow.div_kind) (quote d.Milo.Flow.div_detail))
+              rep.Milo.Flow.rep_divergences))
+    else begin
+      Printf.printf
+        "replay %s: %d records (%d bytes torn), %d rule applications \
+         re-executed, %d equivalence checks, %s\n"
+        path rep.Milo.Flow.rep_records rep.Milo.Flow.rep_truncated_bytes
+        rep.Milo.Flow.rep_deltas rep.Milo.Flow.rep_checks
+        (if rep.Milo.Flow.rep_finished then "run finished cleanly"
+         else "run did not finish");
+      List.iter
+        (fun d -> print_endline ("  divergence: " ^ divergence_line d))
+        rep.Milo.Flow.rep_divergences;
+      if rep.Milo.Flow.rep_divergences = [] then
+        print_endline "no divergences: the trajectory re-executes exactly"
+    end;
+    if rep.Milo.Flow.rep_divergences <> [] then exit 7 else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Deterministically re-execute a journal's recorded \
+             trajectory: adopt the design-producing snapshots, re-apply \
+             every recorded rule application, and equivalence-check \
+             each one with the semantic guard in full mode.  Exits 7 \
+             when the trajectory diverges from the record.")
+    Term.(ret (const run $ journal_pos $ json_arg))
 
 let profile_cmd =
   let run path tech delay timeout max_steps guard =
@@ -599,6 +739,8 @@ let () =
             map_cmd;
             optimize_cmd;
             run_cmd;
+            resume_cmd;
+            replay_cmd;
             profile_cmd;
             verify_cmd;
             stats_cmd;

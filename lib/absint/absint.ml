@@ -518,17 +518,17 @@ let advance st entries =
     List.iter
       (fun e ->
         match e with
-        | D.E_add_comp cid | D.E_set_kind (cid, _) ->
+        | D.E_add_comp (cid, _, _) | D.E_set_kind (cid, _, _) ->
             Hashtbl.replace st.dirty_comps cid ()
         | D.E_remove_comp (cid, _, _, conns) ->
             Hashtbl.replace st.dirty_comps cid ();
             List.iter (fun (_, nid) -> Hashtbl.replace st.dirty_nets nid ()) conns
-        | D.E_connect (cid, _, prev) -> (
+        | D.E_connect (cid, _, prev, _) -> (
             Hashtbl.replace st.dirty_comps cid ();
             match prev with
             | Some nid -> Hashtbl.replace st.dirty_nets nid ()
             | None -> ())
-        | D.E_add_net nid | D.E_remove_net (nid, _, _) ->
+        | D.E_add_net (nid, _) | D.E_remove_net (nid, _, _) ->
             Hashtbl.replace st.dirty_nets nid ())
       entries
   end

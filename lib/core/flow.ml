@@ -15,12 +15,20 @@ module Database = Milo_compilers.Database
 module Compile = Milo_compilers.Compile
 module Table_map = Milo_techmap.Table_map
 module Guard = Milo_guard.Guard
+module J = Milo_journal.Journal
 
 type technology = Ecl | Cmos
 
 let target_of = function
   | Ecl -> Table_map.ecl_target ()
   | Cmos -> Table_map.cmos_target ()
+
+let technology_name = function Ecl -> "ecl" | Cmos -> "cmos"
+
+let technology_of_string = function
+  | "ecl" -> Some Ecl
+  | "cmos" -> Some Cmos
+  | _ -> None
 
 (* Sequential-kind classifier for the lint passes: the netlist layer
    only knows the micro components, so mapped flip-flop/counter macros
@@ -208,11 +216,96 @@ let micro_pass ?(max_steps = 16) ?budget db lib target constraints design =
       (a.Milo_rules.Engine.rule.R.rule_name, a.Milo_rules.Engine.site.R.descr))
     apps
 
+(* --- Journal integration ---------------------------------------------- *)
+
+exception Journal_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Journal_error msg -> Some ("journal error: " ^ msg)
+    | _ -> None)
+
+let stage_index = function
+  | Capture -> 0
+  | Micro -> 1
+  | Compile -> 2
+  | Techmap -> 3
+  | Optimize -> 4
+
+(* Everything a resumed run re-arms from the last committed checkpoint:
+   the recovered per-stage snapshots, the report fragments accumulated
+   before the kill, and the guard/quarantine counters whose continuation
+   keeps the resumed statistics identical to an uninterrupted run's. *)
+type resume_point = {
+  rp_stage : stage;  (* last committed checkpoint *)
+  rp_designs : (stage * D.t) list;
+  rp_micro : (string * string) list;
+  rp_levels : Milo_optimizer.Logic_optimizer.report_entry list;
+  rp_timing : Milo_optimizer.Time_opt.outcome option;
+  rp_guard : int array;
+  rp_tick : int;
+  rp_seen : string list;
+  rp_quarantine : (string * int * string * Milo_rules.Engine.reason) list;
+}
+
+let timing_to_journal (o : Milo_optimizer.Time_opt.outcome) =
+  {
+    J.t_met = o.Milo_optimizer.Time_opt.met;
+    t_final = o.Milo_optimizer.Time_opt.final_delay;
+    t_steps =
+      List.map
+        (fun (s : Milo_optimizer.Time_opt.step) ->
+          ( s.Milo_optimizer.Time_opt.step_strategy,
+            s.Milo_optimizer.Time_opt.step_detail,
+            s.Milo_optimizer.Time_opt.delay_before,
+            s.Milo_optimizer.Time_opt.delay_after ))
+        o.Milo_optimizer.Time_opt.steps;
+  }
+
+let timing_of_journal (t : J.timing) =
+  {
+    Milo_optimizer.Time_opt.met = t.J.t_met;
+    final_delay = t.J.t_final;
+    steps =
+      List.map
+        (fun (strat, detail, before, after) ->
+          {
+            Milo_optimizer.Time_opt.step_strategy = strat;
+            step_detail = detail;
+            delay_before = before;
+            delay_after = after;
+          })
+        t.J.t_steps;
+  }
+
+let levels_to_journal entries =
+  List.map
+    (fun (e : Milo_optimizer.Logic_optimizer.report_entry) ->
+      ( e.Milo_optimizer.Logic_optimizer.level_design,
+        e.Milo_optimizer.Logic_optimizer.applications,
+        e.Milo_optimizer.Logic_optimizer.area_before,
+        e.Milo_optimizer.Logic_optimizer.area_after ))
+    entries
+
+let levels_of_journal levels =
+  List.map
+    (fun (name, apps, before, after) ->
+      {
+        Milo_optimizer.Logic_optimizer.level_design = name;
+        applications = apps;
+        area_before = before;
+        area_after = after;
+      })
+    levels
+
+let reason_of_name = function
+  | "miscompiled" -> Milo_rules.Engine.Miscompiled
+  | _ -> Milo_rules.Engine.Raised
+
 (* --- Full MILO flow --------------------------------------------------- *)
 
-let run ?(technology = Ecl) ?(constraints = Constraints.none)
-    ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
-    ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) ?(certify = true) design =
+let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
+    ~guard ~certify ~journal ~journal_fault ~resume design =
   (* Install the tracer (if any) as the ambient one for the whole run,
      so every layer's probes report into it; restored on exit. *)
   (match trace with
@@ -228,6 +321,70 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
      stage-level equivalence checks below. *)
   let gstats = Guard.fresh_stats () in
   Milo_rules.Engine.set_rule_guard ~budget ~stats:gstats guard;
+  (* Journal writer: the header carries everything [resume] needs to
+     re-issue this call.  Created before the first checkpoint — and, on
+     a resume, after recovery has already read the previous image, so
+     truncating here is safe. *)
+  let jw =
+    match journal with
+    | None -> None
+    | Some path ->
+        let timeout, max_steps, max_evals = Milo_rules.Budget.limits budget in
+        Some
+          (J.create ?fault:journal_fault path
+             {
+               J.h_design = D.name design;
+               h_hash = J.design_hash design;
+               h_tech = technology_name technology;
+               h_required =
+                 Option.value ~default:infinity
+                   constraints.Constraints.required_delay;
+               h_arrivals = constraints.Constraints.input_arrivals;
+               h_lint = Milo_lint.Lint.level_name lint;
+               h_incremental = incremental;
+               h_guard = Guard.policy_name guard;
+               h_certify = certify;
+               h_timeout = timeout;
+               h_max_steps = max_steps;
+               h_max_evals = max_evals;
+             })
+  in
+  let micro_applications = ref [] in
+  let levels_ref = ref [] in
+  let timing_ref = ref None in
+  (* Re-arm recorded state before any stage runs, so a resumed run's
+     counters continue exactly where the interrupted run stopped. *)
+  (match resume with
+  | None -> ()
+  | Some rp ->
+      gstats.Guard.stage_checks <- rp.rp_guard.(0);
+      gstats.Guard.stage_mismatches <- rp.rp_guard.(1);
+      gstats.Guard.rule_checks <- rp.rp_guard.(2);
+      gstats.Guard.rule_mismatches <- rp.rp_guard.(3);
+      gstats.Guard.rule_skipped <- rp.rp_guard.(4);
+      gstats.Guard.rule_certified <- rp.rp_guard.(5);
+      Milo_rules.Engine.restore_guard_sample_state rp.rp_tick rp.rp_seen;
+      Milo_rules.Engine.quarantine_restore rp.rp_quarantine;
+      micro_applications := rp.rp_micro;
+      levels_ref := rp.rp_levels;
+      timing_ref := rp.rp_timing);
+  let resumed_past s =
+    match resume with
+    | Some rp -> stage_index rp.rp_stage >= stage_index s
+    | None -> false
+  in
+  let restored s =
+    match resume with
+    | Some rp -> Option.map D.copy (List.assoc_opt s rp.rp_designs)
+    | None -> None
+  in
+  let require_restored s =
+    match restored s with
+    | Some d -> d
+    | None ->
+        raise
+          (Journal_error ("journal lacks the " ^ stage_name s ^ " checkpoint"))
+  in
   Milo_trace.Trace.open_span ("flow:" ^ D.name design);
   Milo_trace.Trace.set_stage (stage_name Capture);
   Milo_trace.Trace.open_span ("stage:" ^ stage_name Capture);
@@ -255,6 +412,46 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   let checkpoint stage d =
     let ck = { ck_stage = stage; ck_design = D.copy d } in
     checkpoints := ck :: !checkpoints;
+    (* Journal commit: the snapshot plus every counter a resume must
+       re-arm, written with the tmp+rename discipline so the file always
+       holds a whole checkpoint or none of it. *)
+    (match jw with
+    | None -> ()
+    | Some w ->
+        let st = Milo_rules.Budget.status budget in
+        let tick, seen =
+          match Milo_rules.Engine.guard_sample_state () with
+          | Some s -> s
+          | None -> (0, [])
+        in
+        J.commit w
+          (J.Checkpoint
+             {
+               J.ck_stage = stage_name stage;
+               ck_steps = st.Milo_rules.Budget.steps_used;
+               ck_evals = st.Milo_rules.Budget.evals_used;
+               ck_elapsed = st.Milo_rules.Budget.elapsed;
+               ck_guard =
+                 [|
+                   gstats.Guard.stage_checks;
+                   gstats.Guard.stage_mismatches;
+                   gstats.Guard.rule_checks;
+                   gstats.Guard.rule_mismatches;
+                   gstats.Guard.rule_skipped;
+                   gstats.Guard.rule_certified;
+                 |];
+               ck_tick = tick;
+               ck_seen = seen;
+               ck_quarantine =
+                 List.map
+                   (fun (r, c, m, reason) ->
+                     (r, c, m, Milo_rules.Engine.reason_name reason))
+                   (Milo_rules.Engine.quarantine_dump ());
+               ck_micro = !micro_applications;
+               ck_levels = levels_to_journal !levels_ref;
+               ck_timing = Option.map timing_to_journal !timing_ref;
+               ck_design = ck.ck_design;
+             }));
     if Milo_trace.Trace.enabled () then
       Milo_trace.Trace.emit
         (Milo_trace.Trace.Checkpoint
@@ -301,9 +498,40 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
       Milo_trace.Trace.open_span ("stage:" ^ stage_name stage)
     end;
     current := stage;
+    (match jw with
+    | Some w -> J.append w (J.Stage (stage_name stage))
+    | None -> ());
     hooks.before_stage stage d
   in
-  let micro_applications = ref [] in
+  (* Delta tracking: the design the current stage transforms in place
+     gets a commit hook, so every committed change-log batch (rule and
+     strategy applications, electric cleanups) is appended to the
+     journal as it lands, tagged with the post-commit design hash.
+     Scratch copies (lookahead, the critic's inner evaluations) have no
+     hook and stay silent. *)
+  let tracked = ref None in
+  let untrack () =
+    (match !tracked with Some d -> D.set_commit_hook d None | None -> ());
+    tracked := None
+  in
+  let track d =
+    match jw with
+    | None -> ()
+    | Some w ->
+        untrack ();
+        tracked := Some d;
+        D.set_commit_hook d
+          (Some
+             (fun label entries ->
+               J.append w
+                 (J.Delta
+                    {
+                      d_stage = stage_name !current;
+                      d_label = label;
+                      d_hash = Some (J.design_hash d);
+                      d_entries = entries;
+                    })))
+  in
   (* Static rule certification (the [lib/absint] replacement for
      per-application re-simulation): rules whose LHS≡RHS is proved once
      over the certification corpus are registered with the engine, whose
@@ -320,43 +548,120 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
   end;
   checkpoint Capture design;
   match
-    let micro_design = D.copy design in
-    enter Micro micro_design;
-    micro_applications :=
-      micro_pass ~budget db lib target constraints micro_design;
-    lint_stage ~techs:generic "micro-critic" micro_design;
-    checkpoint Micro micro_design;
+    let micro_design =
+      if resumed_past Micro then begin
+        (* The critic's applications are part of the committed
+           checkpoint: restore its product and counters, skip the
+           pass. *)
+        let d = require_restored Micro in
+        enter Micro d;
+        track d;
+        checkpoint Micro d;
+        d
+      end
+      else begin
+        let d = D.copy design in
+        enter Micro d;
+        track d;
+        micro_applications := micro_pass ~budget db lib target constraints d;
+        lint_stage ~techs:generic "micro-critic" d;
+        checkpoint Micro d;
+        d
+      end
+    in
     enter Compile micro_design;
-    let expanded = Compile.expand_design db lib micro_design in
-    lint_stage ~techs:generic "compile" expanded;
-    if lint <> Milo_lint.Lint.Off then
-      List.iter
-        (fun name ->
-          lint_stage ~techs:generic ("compile:" ^ name) (Database.get db name))
-        (Database.names db);
-    (* The compile check flattens a copy, so a flattening bug is also
-       caught here rather than shipped into mapping. *)
-    stage_guard "compile" ~techs:generic (ck_design Micro)
-      (Database.flatten db (D.copy expanded));
-    checkpoint Compile expanded;
-    enter Techmap expanded;
+    let expanded_for_techmap =
+      if resumed_past Techmap then begin
+        (* The compile product is only consumed by the mapper; with a
+           restored techmap snapshot the expansion is skipped entirely
+           and the recorded compile snapshot re-checkpointed for the
+           result's history. *)
+        (match restored Compile with
+        | Some d -> checkpoint Compile d
+        | None -> ());
+        None
+      end
+      else begin
+        (* Compilation is deterministic from the micro design, so a
+           resume at the compile checkpoint recomputes it (the database
+           cannot be journaled) but skips the already-counted stage
+           checks. *)
+        let expanded = Compile.expand_design db lib micro_design in
+        if not (resumed_past Compile) then begin
+          lint_stage ~techs:generic "compile" expanded;
+          if lint <> Milo_lint.Lint.Off then
+            List.iter
+              (fun name ->
+                lint_stage ~techs:generic ("compile:" ^ name)
+                  (Database.get db name))
+              (Database.names db);
+          (* The compile check flattens a copy, so a flattening bug is
+             also caught here rather than shipped into mapping. *)
+          stage_guard "compile" ~techs:generic (ck_design Micro)
+            (Database.flatten db (D.copy expanded))
+        end;
+        checkpoint Compile expanded;
+        Some expanded
+      end
+    in
     let required =
       Option.value ~default:infinity constraints.Constraints.required_delay
     in
-    let optimized, optimizer_report =
-      Milo_optimizer.Logic_optimizer.optimize ~required
-        ~input_arrivals:constraints.Constraints.input_arrivals ~incremental
-        ~on_mapped:(fun d ->
-          lint_stage ~techs:mapped "techmap" d;
-          stage_guard "techmap" ~techs:mapped
-            (Database.flatten db (D.copy (ck_design Compile)))
-            d;
-          checkpoint Techmap d;
-          enter Optimize d)
-        ~budget db target expanded
+    let input_arrivals = constraints.Constraints.input_arrivals in
+    let optimized =
+      match expanded_for_techmap with
+      | Some expanded ->
+          enter Techmap expanded;
+          let optimized, report =
+            Milo_optimizer.Logic_optimizer.optimize ~required ~input_arrivals
+              ~incremental
+              ~on_mapped:(fun d levels ->
+                levels_ref := levels;
+                lint_stage ~techs:mapped "techmap" d;
+                stage_guard "techmap" ~techs:mapped
+                  (Database.flatten db (D.copy (ck_design Compile)))
+                  d;
+                checkpoint Techmap d;
+                enter Optimize d;
+                track d)
+              ~budget db target expanded
+          in
+          levels_ref := report.Milo_optimizer.Logic_optimizer.entries;
+          timing_ref := report.Milo_optimizer.Logic_optimizer.timing;
+          optimized
+      | None ->
+          if resumed_past Optimize then begin
+            (* Mapping and optimization both committed before the kill:
+               re-checkpoint the recorded snapshots; only the
+               downstream analysis and statistics are recomputed. *)
+            let tm = require_restored Techmap in
+            enter Techmap tm;
+            checkpoint Techmap tm;
+            let opt = require_restored Optimize in
+            enter Optimize opt;
+            track opt;
+            opt
+          end
+          else begin
+            (* Resume at the techmap checkpoint: re-enter the optimizer
+               at its flat phase on the restored snapshot. *)
+            let tm = require_restored Techmap in
+            enter Techmap tm;
+            checkpoint Techmap tm;
+            enter Optimize tm;
+            track tm;
+            let optimized, report =
+              Milo_optimizer.Logic_optimizer.optimize_flat ~required
+                ~input_arrivals ~incremental ~budget target tm
+            in
+            timing_ref := report.Milo_optimizer.Logic_optimizer.timing;
+            optimized
+          end
     in
-    lint_stage ~techs:mapped "optimized" optimized;
-    stage_guard "optimize" ~techs:mapped (ck_design Techmap) optimized;
+    if not (resumed_past Optimize) then begin
+      lint_stage ~techs:mapped "optimized" optimized;
+      stage_guard "optimize" ~techs:mapped (ck_design Techmap) optimized
+    end;
     checkpoint Optimize optimized;
     (* Analysis stage: abstract-interpretation facts over the final
        design.  The fact-driven lint passes report through the same
@@ -375,17 +680,35 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
         Some (Milo_absint.Absint.summary st)
       end
     in
-    let final =
-      stats_of ~input_arrivals:constraints.Constraints.input_arrivals target
-        optimized
+    let final = stats_of ~input_arrivals target optimized in
+    let optimizer_report =
+      {
+        Milo_optimizer.Logic_optimizer.entries = !levels_ref;
+        timing = !timing_ref;
+      }
     in
     (micro_design, optimized, final, optimizer_report, analysis)
   with
   | micro_design, optimized, final, optimizer_report, analysis ->
       (* Flush closes the open stage/root spans and runs the sinks, so
          the trace is complete before the caller sees the result. *)
+      untrack ();
       Milo_rules.Engine.clear_rule_guard ();
       Milo_rules.Engine.clear_certified ();
+      (match jw with
+      | Some w ->
+          J.commit w
+            (J.Finish
+               {
+                 f_outcome = "complete";
+                 f_delay = final.delay;
+                 f_area = final.area;
+                 f_power = final.power;
+                 f_gates = final.gates;
+                 f_comps = final.comps;
+               });
+          J.close w
+      | None -> ());
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Complete
         {
@@ -407,11 +730,40 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           analysis;
         }
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception (J.Crash _ as e) ->
+      (* Simulated kill from the fault harness: the journal file stays
+         exactly as the crash left it — no Finish record, no Partial
+         degradation — but the process-global engine state is cleared so
+         an in-process harness can keep running flows. *)
+      untrack ();
+      Milo_rules.Engine.clear_rule_guard ();
+      Milo_rules.Engine.clear_certified ();
+      (match jw with
+      | Some w -> ( try J.close w with Sys_error _ -> ())
+      | None -> ());
+      raise e
   | exception e ->
       (* A faulted run still flushes: open spans are force-closed and
          streaming sinks see a well-formed trace up to the failure. *)
+      untrack ();
       Milo_rules.Engine.clear_rule_guard ();
       Milo_rules.Engine.clear_certified ();
+      (match jw with
+      | Some w -> (
+          try
+            J.commit w
+              (J.Finish
+                 {
+                   f_outcome = "partial";
+                   f_delay = 0.0;
+                   f_area = 0.0;
+                   f_power = 0.0;
+                   f_gates = 0;
+                   f_comps = 0;
+                 });
+            J.close w
+          with Sys_error _ -> ())
+      | None -> ());
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Partial
         {
@@ -431,14 +783,256 @@ let run ?(technology = Ecl) ?(constraints = Constraints.none)
           partial_trace = trace;
         }
 
+let run ?(technology = Ecl) ?(constraints = Constraints.none)
+    ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
+    ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) ?(certify = true) ?journal
+    ?journal_fault design =
+  run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
+    ~guard ~certify ~journal ~journal_fault ~resume:None design
+
 let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-    ?guard ?certify design =
+    ?guard ?certify ?journal design =
   match
     run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-      ?guard ?certify design
+      ?guard ?certify ?journal design
   with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn
+
+(* --- Resume ------------------------------------------------------------ *)
+
+let resume ?(hooks = no_hooks) ?trace path =
+  let rc = J.recover path in
+  let header =
+    match J.header rc with
+    | Some h -> h
+    | None -> raise (Journal_error "no run header survived recovery")
+  in
+  let last =
+    match J.last_checkpoint rc with
+    | Some ck -> ck
+    | None -> raise (Journal_error "no committed checkpoint survived recovery")
+  in
+  let technology =
+    match technology_of_string header.J.h_tech with
+    | Some t -> t
+    | None -> raise (Journal_error ("unknown technology " ^ header.J.h_tech))
+  in
+  let lint =
+    match Milo_lint.Lint.level_of_string header.J.h_lint with
+    | Some l -> l
+    | None -> raise (Journal_error ("unknown lint level " ^ header.J.h_lint))
+  in
+  let guard =
+    match Guard.policy_of_string header.J.h_guard with
+    | Some g -> g
+    | None -> raise (Journal_error ("unknown guard policy " ^ header.J.h_guard))
+  in
+  let rp_stage =
+    match stage_of_string last.J.ck_stage with
+    | Some s -> s
+    | None -> raise (Journal_error ("unknown stage " ^ last.J.ck_stage))
+  in
+  let constraints =
+    {
+      Constraints.required_delay =
+        (if header.J.h_required = infinity then None
+         else Some header.J.h_required);
+      max_area = None;
+      max_power = None;
+      input_arrivals = header.J.h_arrivals;
+    }
+  in
+  (* Latest snapshot per stage wins — each run writes each stage once,
+     so this is belt and braces against hand-edited journals. *)
+  let designs =
+    List.fold_left
+      (fun acc (ck : J.checkpoint) ->
+        match stage_of_string ck.J.ck_stage with
+        | Some s -> (s, ck.J.ck_design) :: List.remove_assoc s acc
+        | None -> acc)
+      [] (J.checkpoints rc)
+  in
+  let need =
+    match rp_stage with
+    | Capture -> [ Capture ]
+    | Micro | Compile -> [ Capture; Micro ]
+    | Techmap -> [ Capture; Micro; Techmap ]
+    | Optimize -> [ Capture; Micro; Techmap; Optimize ]
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s designs) then
+        raise
+          (Journal_error ("journal lacks the " ^ stage_name s ^ " checkpoint")))
+    need;
+  let capture = D.copy (List.assoc Capture designs) in
+  let guard_counters = Array.make 6 0 in
+  Array.blit last.J.ck_guard 0 guard_counters 0
+    (min 6 (Array.length last.J.ck_guard));
+  (* Budgets are re-armed with the remainder: original limits, counters
+     pre-charged, wall clock back-dated by the recorded elapsed time. *)
+  let budget =
+    Milo_rules.Budget.resume ?timeout:header.J.h_timeout
+      ?max_steps:header.J.h_max_steps ?max_evals:header.J.h_max_evals
+      ~steps:last.J.ck_steps ~evals:last.J.ck_evals ~elapsed:last.J.ck_elapsed
+      ()
+  in
+  let rp =
+    {
+      rp_stage;
+      rp_designs = designs;
+      rp_micro = last.J.ck_micro;
+      rp_levels = levels_of_journal last.J.ck_levels;
+      rp_timing = Option.map timing_of_journal last.J.ck_timing;
+      rp_guard = guard_counters;
+      rp_tick = last.J.ck_tick;
+      rp_seen = last.J.ck_seen;
+      rp_quarantine =
+        List.map
+          (fun (r, c, m, reason) -> (r, c, m, reason_of_name reason))
+          last.J.ck_quarantine;
+    }
+  in
+  run_impl ~technology ~constraints ~lint ~incremental:header.J.h_incremental
+    ~budget:(Some budget) ~hooks ~trace ~guard ~certify:header.J.h_certify
+    ~journal:(Some path) ~journal_fault:None ~resume:(Some rp) capture
+
+(* --- Replay ------------------------------------------------------------ *)
+
+type divergence = {
+  div_record : int;  (** record index in the journal *)
+  div_stage : string;
+  div_label : string option;  (** rule/strategy of the diverging delta *)
+  div_kind : string;  (** ["redo"], ["state"], ["guard"], ["checkpoint"] or ["final"] *)
+  div_detail : string;
+}
+
+type replay_report = {
+  rep_path : string;
+  rep_records : int;
+  rep_truncated_bytes : int;
+  rep_deltas : int;  (** recorded rule applications re-executed *)
+  rep_checks : int;  (** full-guard equivalence checks performed *)
+  rep_finished : bool;
+  rep_divergences : divergence list;
+}
+
+let replay path =
+  let rc = J.recover path in
+  let header =
+    match J.header rc with
+    | Some h -> h
+    | None -> raise (Journal_error "no run header survived recovery")
+  in
+  let technology =
+    match technology_of_string header.J.h_tech with
+    | Some t -> t
+    | None -> raise (Journal_error ("unknown technology " ^ header.J.h_tech))
+  in
+  let target = target_of technology in
+  let lib = Milo_library.Generic.get () in
+  let generic = [ lib ] in
+  let mapped = [ target.Table_map.tech; lib ] in
+  let divergences = ref [] in
+  let deltas = ref 0 and checks = ref 0 in
+  let diverge idx stage label kind detail =
+    divergences :=
+      {
+        div_record = idx;
+        div_stage = stage;
+        div_label = label;
+        div_kind = kind;
+        div_detail = detail;
+      }
+      :: !divergences
+  in
+  (* In-place stages replay onto the tracked design; design-producing
+     stages (compile, techmap) adopt their committed snapshot, since
+     their deltas describe the construction of a different design. *)
+  let in_place stage = stage = "micro" || stage = "optimize" in
+  let techs_of stage = if stage = "optimize" then mapped else generic in
+  (* Every recorded application is re-simulated under the full guard
+     parameters, certificates and sampling ignored — replay is the
+     offline microscope for a divergence the cheap in-run checks let
+     through. *)
+  let guard_divergence stage refd cand =
+    incr checks;
+    let techs = techs_of stage in
+    let env = Milo_sim.Simulator.env_of_techs techs in
+    match
+      Guard.check ~params:Guard.full_params ~is_seq:(seq_classifier techs) env
+        refd env cand
+    with
+    | None -> None
+    | Some d -> Some (Guard.describe d)
+  in
+  let cur = ref None in
+  List.iteri
+    (fun idx record ->
+      match record with
+      | J.Header _ | J.Stage _ -> ()
+      | J.Delta { d_stage; d_label; d_hash; d_entries } -> (
+          match !cur with
+          | Some d when in_place d_stage -> (
+              incr deltas;
+              let pre = D.copy d in
+              match D.redo d d_entries with
+              | () -> (
+                  (match d_hash with
+                  | Some h when J.design_hash d <> h ->
+                      diverge idx d_stage d_label "state"
+                        "design hash after redo differs from the recorded one"
+                  | Some _ | None -> ());
+                  match guard_divergence d_stage pre d with
+                  | Some desc -> diverge idx d_stage d_label "guard" desc
+                  | None -> ())
+              | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+              | exception e ->
+                  diverge idx d_stage d_label "redo" (describe_error e);
+                  cur := Some pre)
+          | Some _ | None -> ())
+      | J.Checkpoint ck ->
+          (match !cur with
+          | Some d when in_place ck.J.ck_stage ->
+              if not (D.equal_structure d ck.J.ck_design) then
+                diverge idx ck.J.ck_stage None "checkpoint"
+                  "replayed design differs from the committed snapshot"
+          | Some _ | None -> ());
+          cur := Some (D.copy ck.J.ck_design)
+      | J.Finish f ->
+          if f.f_outcome = "complete" then (
+            match !cur with
+            | Some d ->
+                let s =
+                  stats_of ~input_arrivals:header.J.h_arrivals target d
+                in
+                let near a b =
+                  a = b || abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b)
+                in
+                if
+                  not
+                    (near s.delay f.f_delay && near s.area f.f_area
+                   && near s.power f.f_power && s.gates = f.f_gates
+                   && s.comps = f.f_comps)
+                then
+                  diverge idx "finish" None "final"
+                    (Printf.sprintf
+                       "recomputed %.3fns/%.1f/%.1fmW/%d gates/%d comps vs \
+                        recorded %.3fns/%.1f/%.1fmW/%d gates/%d comps"
+                       s.delay s.area s.power s.gates s.comps f.f_delay
+                       f.f_area f.f_power f.f_gates f.f_comps)
+            | None -> ()))
+    rc.J.r_records;
+  {
+    rep_path = path;
+    rep_records = List.length rc.J.r_records;
+    rep_truncated_bytes = rc.J.r_truncated_bytes;
+    rep_deltas = !deltas;
+    rep_checks = !checks;
+    rep_finished = J.finished rc;
+    rep_divergences = List.rev !divergences;
+  }
 
 (* --- Human baseline --------------------------------------------------- *)
 

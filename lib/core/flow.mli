@@ -8,6 +8,12 @@ type technology = Ecl | Cmos
 
 val target_of : technology -> Milo_techmap.Table_map.target
 
+val technology_name : technology -> string
+(** ["ecl"] / ["cmos"] — the names the journal header and the CLI
+    use. *)
+
+val technology_of_string : string -> technology option
+
 val seq_classifier :
   Milo_library.Technology.t list -> Milo_netlist.Types.kind -> bool
 (** Sequential-kind classifier for the lint passes: micro kinds via
@@ -143,6 +149,8 @@ val run :
   ?trace:Milo_trace.Trace.t ->
   ?guard:Milo_guard.Guard.policy ->
   ?certify:bool ->
+  ?journal:string ->
+  ?journal_fault:(int -> unit) ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -192,6 +200,22 @@ val run :
     returned in [result.certificates].  Pass [~certify:false] to force
     the pre-certification behaviour (every application re-simulated).
 
+    [journal] (default none — zero-overhead) opens a durable write-ahead
+    journal at the given path ({!Milo_journal.Journal}): the run header,
+    every stage entry, every committed change-log delta (appended and
+    flushed as it lands) and a full design snapshot at every stage
+    checkpoint (committed with the tmp+fsync+rename discipline), closed
+    by a Finish record.  A run killed at any byte leaves a journal whose
+    longest valid prefix {!resume} can re-enter and {!replay} can
+    re-execute.
+
+    [journal_fault] is the crash-injection hook for the fault harness:
+    called with the running record count after each journal record
+    reaches the file; raising {!Milo_journal.Journal.Crash} from it
+    simulates a kill at exactly that point (the journal file is left
+    as-is and the exception propagates — no [Partial] degradation, no
+    Finish record).
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -206,11 +230,75 @@ val run_exn :
   ?trace:Milo_trace.Trace.t ->
   ?guard:Milo_guard.Guard.policy ->
   ?certify:bool ->
+  ?journal:string ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]
     outcome.  Compatibility entry point for callers that want the
     pre-checkpointing behaviour. *)
+
+(** {2 Journal resume and replay} *)
+
+exception Journal_error of string
+(** A recovered journal cannot support the requested operation (no
+    header survived, no committed checkpoint, unknown technology/stage
+    names).  Distinct from recovery itself, which never refuses a
+    journal. *)
+
+val resume : ?hooks:hooks -> ?trace:Milo_trace.Trace.t -> string -> outcome
+(** [resume path] recovers the journal's longest valid prefix and
+    re-enters the flow at the last committed checkpoint: the recorded
+    snapshot is restored id-exactly, the budget re-armed with the
+    remaining allowance ({!Milo_rules.Budget.resume}), the semantic
+    guard's counters, sampling position and quarantine image restored,
+    and only the stages after the checkpoint re-run (stages whose
+    checkpoints committed are restored, not recomputed, so their guard
+    statistics are not double-counted).  The resumed run re-journals
+    into [path], so a second kill can be resumed again.  The result is
+    byte-for-byte the uninterrupted run's: same final design, same
+    guard statistics, same report cost.
+
+    Raises {!Journal_error} when the journal has no header or no
+    committed checkpoint (a run killed before its first commit has
+    nothing to resume — re-run the flow from the input design). *)
+
+type divergence = {
+  div_record : int;  (** record index in the journal *)
+  div_stage : string;
+  div_label : string option;  (** rule/strategy of the diverging delta *)
+  div_kind : string;
+      (** ["redo"] (the recorded delta no longer applies), ["state"]
+          (post-delta design hash mismatch), ["guard"] (the re-executed
+          application changed function under the full guard),
+          ["checkpoint"] (replayed design differs from the committed
+          snapshot) or ["final"] (recomputed cost differs from the
+          Finish record) *)
+  div_detail : string;
+}
+
+type replay_report = {
+  rep_path : string;
+  rep_records : int;
+  rep_truncated_bytes : int;
+  rep_deltas : int;  (** recorded rule applications re-executed *)
+  rep_checks : int;  (** full-guard equivalence checks performed *)
+  rep_finished : bool;  (** the journal ends with a Finish record *)
+  rep_divergences : divergence list;
+}
+
+val replay : string -> replay_report
+(** [replay path] deterministically re-executes the journal's recorded
+    trajectory: snapshots are adopted at the design-producing stages
+    (capture, compile, techmap), every recorded change-log delta of the
+    in-place stages (micro, optimize) is re-applied with
+    [Design.redo], and every re-application is equivalence-checked
+    with the semantic guard in [Full] mode — certificates and sampling
+    ignored.  Checkpoint snapshots and the Finish record's cost are
+    cross-checked along the way.  A clean journal of a sound run
+    replays with zero divergences; a quarantined miscompile shows up as
+    the exact record where function changed.
+
+    Raises {!Journal_error} when no header survived recovery. *)
 
 val human_baseline :
   ?technology:technology -> D.t -> D.t * Milo_compilers.Database.t

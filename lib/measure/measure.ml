@@ -171,13 +171,13 @@ let touched t entries =
   List.iter
     (fun (e : D.entry) ->
       match e with
-      | D.E_add_comp cid | D.E_set_kind (cid, _) ->
+      | D.E_add_comp (cid, _, _) | D.E_set_kind (cid, _, _) ->
           add_comp cid;
           comp_nets cid
       | D.E_remove_comp (cid, _, _, saved) ->
           add_comp cid;
           List.iter (fun (_, nid) -> add_net nid) saved
-      | D.E_connect (cid, pin, prev) -> (
+      | D.E_connect (cid, pin, prev, _) -> (
           add_comp cid;
           (match prev with Some nid -> add_net nid | None -> ());
           match D.comp_opt t.design cid with
@@ -186,7 +186,7 @@ let touched t entries =
               | Some nid -> add_net nid
               | None -> ())
           | None -> ())
-      | D.E_add_net nid | D.E_remove_net (nid, _, _) -> add_net nid)
+      | D.E_add_net (nid, _) | D.E_remove_net (nid, _, _) -> add_net nid)
     entries;
   ( Hashtbl.fold (fun nid () acc -> nid :: acc) nets [],
     Hashtbl.fold (fun cid () acc -> cid :: acc) comps [] )
@@ -204,9 +204,9 @@ let est_delta t entries =
   List.iter
     (fun (e : D.entry) ->
       match e with
-      | D.E_add_comp cid -> note cid None
+      | D.E_add_comp (cid, _, _) -> note cid None
       | D.E_remove_comp (cid, _, kind, _) -> note cid (Some kind)
-      | D.E_set_kind (cid, old) -> note cid (Some old)
+      | D.E_set_kind (cid, old, _) -> note cid (Some old)
       | D.E_connect _ | D.E_add_net _ | D.E_remove_net _ -> ())
     entries;
   Hashtbl.fold

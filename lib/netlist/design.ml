@@ -22,12 +22,12 @@ type net = {
 }
 
 type entry =
-  | E_add_comp of int
+  | E_add_comp of int * string * Types.kind
   | E_remove_comp of int * string * Types.kind * (string * int) list
-  | E_connect of int * string * int option
-  | E_add_net of int
+  | E_connect of int * string * int option * int option
+  | E_add_net of int * string
   | E_remove_net of int * string * (string * Types.dir) option
-  | E_set_kind of int * Types.kind
+  | E_set_kind of int * Types.kind * Types.kind
 
 type log = entry list ref
 
@@ -82,6 +82,10 @@ type t = {
   mutable ports : (string * Types.dir * int) list;
   mutable next_comp : int;
   mutable next_net : int;
+  mutable on_commit : (string option -> entry list -> unit) option;
+      (* observer fired by [commit ~design] with the committed entries;
+         deliberately per-design (scratch copies stay silent) and not
+         propagated by [copy]. *)
 }
 
 let new_log () : log = ref []
@@ -95,6 +99,7 @@ let create dname =
     ports = [];
     next_comp = 0;
     next_net = 0;
+    on_commit = None;
   }
 
 let name t = t.dname
@@ -133,7 +138,7 @@ let fresh_net_raw t nname =
 
 let new_net ?log ?(name = "") t =
   let nid = fresh_net_raw t name in
-  record log (E_add_net nid);
+  record log (E_add_net (nid, (Hashtbl.find t.nets nid).nname));
   nid
 
 let add_port ?net:reuse t pname dir =
@@ -163,7 +168,7 @@ let add_comp ?log ?(name = "") t kind =
   let cname = if name = "" then Printf.sprintf "u%d" id else name in
   let c = { id; cname; kind; conns = Hashtbl.create 8 } in
   Hashtbl.replace t.comps id c;
-  record log (E_add_comp id);
+  record log (E_add_comp (id, cname, kind));
   id
 
 let detach_pin t cid pin =
@@ -186,12 +191,12 @@ let attach_pin t cid pin nid =
 let connect ?log t cid pin nid =
   let prev = detach_pin t cid pin in
   attach_pin t cid pin nid;
-  record log (E_connect (cid, pin, prev))
+  record log (E_connect (cid, pin, prev, Some nid))
 
 let disconnect ?log t cid pin =
   match detach_pin t cid pin with
   | None -> ()
-  | Some prev -> record log (E_connect (cid, pin, Some prev))
+  | Some prev -> record log (E_connect (cid, pin, Some prev, None))
 
 let connection t cid pin = Hashtbl.find_opt (comp t cid).conns pin
 
@@ -224,10 +229,10 @@ let set_kind ?log t cid kind =
   let c = Hashtbl.find t.comps cid in
   let old = c.kind in
   c.kind <- kind;
-  record log (E_set_kind (cid, old))
+  record log (E_set_kind (cid, old, kind))
 
 let undo_entry t = function
-  | E_add_comp cid ->
+  | E_add_comp (cid, _, _) ->
       let c = Hashtbl.find t.comps cid in
       let pins = Hashtbl.fold (fun pin _ acc -> pin :: acc) c.conns [] in
       List.iter (fun pin -> ignore (detach_pin t cid pin)) pins;
@@ -236,13 +241,13 @@ let undo_entry t = function
       let c = { id = cid; cname; kind; conns = Hashtbl.create 8 } in
       Hashtbl.replace t.comps cid c;
       List.iter (fun (pin, nid) -> attach_pin t cid pin nid) saved
-  | E_connect (cid, pin, prev) -> (
+  | E_connect (cid, pin, prev, _) -> (
       ignore (detach_pin t cid pin);
       match prev with None -> () | Some nid -> attach_pin t cid pin nid)
-  | E_add_net nid -> Hashtbl.remove t.nets nid
+  | E_add_net (nid, _) -> Hashtbl.remove t.nets nid
   | E_remove_net (nid, nname, nport) ->
       Hashtbl.replace t.nets nid { nid; nname; npins = []; nport }
-  | E_set_kind (cid, old) ->
+  | E_set_kind (cid, old, _) ->
       let c = Hashtbl.find t.comps cid in
       c.kind <- old
 
@@ -250,9 +255,67 @@ let undo t (log : log) =
   List.iter (undo_entry t) !log;
   log := []
 
-let commit (log : log) = log := []
-
 let entries (log : log) = List.rev !log
+
+let commit ?label ?design (log : log) =
+  (match design with
+  | Some t when !log <> [] -> (
+      match t.on_commit with
+      | Some f -> f label (entries log)
+      | None -> ())
+  | Some _ | None -> ());
+  log := []
+
+let set_commit_hook t h = t.on_commit <- h
+
+(* Forward replay of committed entries: every entry carries enough
+   information to re-apply it (the redo half of the change log), so a
+   recorded trajectory can be re-executed decision-for-decision on a
+   restored snapshot.  Ids are preserved exactly — [next_comp]/
+   [next_net] advance past replayed ids so later fresh allocations
+   cannot collide. *)
+let redo_entry t = function
+  | E_add_comp (cid, cname, kind) ->
+      Hashtbl.replace t.comps cid
+        { id = cid; cname; kind; conns = Hashtbl.create 8 };
+      if cid >= t.next_comp then t.next_comp <- cid + 1
+  | E_remove_comp (cid, _, _, saved) ->
+      List.iter (fun (pin, _) -> ignore (detach_pin t cid pin)) saved;
+      Hashtbl.remove t.comps cid
+  | E_connect (cid, pin, _, now) -> (
+      ignore (detach_pin t cid pin);
+      match now with None -> () | Some nid -> attach_pin t cid pin nid)
+  | E_add_net (nid, nname) ->
+      Hashtbl.replace t.nets nid { nid; nname; npins = []; nport = None };
+      if nid >= t.next_net then t.next_net <- nid + 1
+  | E_remove_net (nid, _, _) -> Hashtbl.remove t.nets nid
+  | E_set_kind (cid, _, knew) -> (Hashtbl.find t.comps cid).kind <- knew
+
+let redo t es = List.iter (redo_entry t) es
+
+(* Id-exact reconstruction primitives for snapshot restore: unlike
+   [add_comp]/[new_net], these insert at a caller-chosen id so a
+   deserialized design is structurally identical (same ids, same
+   [signature]) to the one that was serialized. *)
+let restore_net t ~id ~name:nname =
+  if Hashtbl.mem t.nets id then
+    design_error ~op:"restore_net" ~design:t.dname ~net:nname
+      "net id %d already present" id;
+  Hashtbl.replace t.nets id { nid = id; nname; npins = []; nport = None };
+  if id >= t.next_net then t.next_net <- id + 1
+
+let restore_comp t ~id ~name:cname kind =
+  if Hashtbl.mem t.comps id then
+    design_error ~op:"restore_comp" ~design:t.dname ~comp:cname
+      "comp id %d already present" id;
+  Hashtbl.replace t.comps id { id; cname; kind; conns = Hashtbl.create 8 };
+  if id >= t.next_comp then t.next_comp <- id + 1
+
+let set_counters t ~next_comp ~next_net =
+  t.next_comp <- max t.next_comp next_comp;
+  t.next_net <- max t.next_net next_net
+
+let counters t = (t.next_comp, t.next_net)
 
 (* --- Queries -------------------------------------------------------- *)
 

@@ -24,18 +24,23 @@ type net = {
       (** design port bound to this net, if any *)
 }
 
-(** One undoable edit, with the inverse information needed to revert
-    it.  Public so incremental observers (the measurement layer) can
-    fold a log into their own state; treat as read-only. *)
+(** One edit, carrying both the inverse information needed to revert it
+    ({!undo}) and the forward information needed to re-apply it
+    ({!redo}) — the latter is what makes a committed change log a
+    durable, replayable trajectory (the journal subsystem).  Public so
+    incremental observers (the measurement layer) can fold a log into
+    their own state; treat as read-only. *)
 type entry =
-  | E_add_comp of int
+  | E_add_comp of int * string * Types.kind  (** id, name, kind *)
   | E_remove_comp of int * string * Types.kind * (string * int) list
       (** id, name, kind, saved (pin, net) connections *)
-  | E_connect of int * string * int option
-      (** comp, pin, previous net (if any) *)
-  | E_add_net of int
+  | E_connect of int * string * int option * int option
+      (** comp, pin, previous net (if any), new net ([None] for a
+          disconnect) *)
+  | E_add_net of int * string  (** id, name *)
   | E_remove_net of int * string * (string * Types.dir) option
-  | E_set_kind of int * Types.kind  (** comp, previous kind *)
+  | E_set_kind of int * Types.kind * Types.kind
+      (** comp, previous kind, new kind *)
 
 type log = entry list ref
 
@@ -101,11 +106,47 @@ val set_kind : ?log:log -> t -> int -> Types.kind -> unit
 val undo : t -> log -> unit
 (** Undo every recorded edit (most recent first) and clear the log. *)
 
-val commit : log -> unit
-(** Drop the recorded edits, keeping the changes. *)
+val commit : ?label:string -> ?design:t -> log -> unit
+(** Drop the recorded edits, keeping the changes.  When [design] is
+    given and it has a commit hook installed ({!set_commit_hook}), the
+    hook observes the committed entries (in application order) first,
+    tagged with [label] (e.g. the rule or strategy that produced them).
+    Without [design] the commit is silent — scratch copies and
+    evaluation-only logs never reach the hook. *)
+
+val set_commit_hook :
+  t -> (string option -> entry list -> unit) option -> unit
+(** Install (or clear, with [None]) this design's commit observer.
+    Used by the flow journal to persist every committed change-log
+    delta.  Not propagated by {!copy}. *)
+
+val redo : t -> entry list -> unit
+(** Re-apply committed entries forward (application order) — the
+    inverse of {!undo}, used to replay a recorded trajectory onto a
+    restored snapshot.  Ids are reproduced exactly; the fresh-id
+    counters advance past every replayed id. *)
 
 val entries : log -> entry list
 (** Recorded edits in application order. *)
+
+(** {2 Snapshot restore}
+
+    Id-exact reconstruction: {!restore_net}/{!restore_comp} insert at a
+    caller-chosen id (unlike [new_net]/[add_comp], which allocate), so
+    a deserialized snapshot is structurally identical — same ids, same
+    {!signature} — to the design that was serialized.  @raise Error on
+    an id collision. *)
+
+val restore_net : t -> id:int -> name:string -> unit
+val restore_comp : t -> id:int -> name:string -> Types.kind -> unit
+
+val set_counters : t -> next_comp:int -> next_net:int -> unit
+(** Raise the fresh-id counters to at least the given values (never
+    lowers them), so allocation resumes exactly where the serialized
+    design left off. *)
+
+val counters : t -> int * int
+(** Current [(next_comp, next_net)] fresh-id counters. *)
 
 (** Where a net's value comes from. *)
 type source = Src_comp of int * string | Src_port of string | Src_none

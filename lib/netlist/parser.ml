@@ -178,6 +178,8 @@ let parse_kind lineno fields : Types.kind =
   | [ "inst"; i ] -> Instance i
   | _ -> fail lineno "cannot parse component kind: %s" (String.concat " " fields)
 
+let kind_of_string s = parse_kind 0 (split_fields (String.trim s))
+
 let of_string text =
   let lines = String.split_on_char '\n' text in
   let design = ref None in

@@ -7,3 +7,7 @@ exception Parse_error of int * string
 
 val of_string : string -> Design.t
 val of_file : string -> Design.t
+
+val kind_of_string : string -> Types.kind
+(** Parse a {!Writer.kind_spec} back into a kind (the inverse used by
+    snapshot deserialization).  @raise Parse_error on malformed input. *)

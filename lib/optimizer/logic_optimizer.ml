@@ -106,6 +106,43 @@ let optimize_level ?budget db tech_db target design =
     area_after = cost ();
   }
 
+(* 3. Electric correctness, then timing against the constraint, then
+   area recovery off the critical paths — everything that happens on the
+   flat technology-mapped design.  Split out so a journal resume can
+   re-enter here with a restored Techmap snapshot. *)
+let flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
+    target d =
+  let ctx = make_ctx db tech_db target d in
+  let electric () =
+    Milo_trace.Trace.with_span "electric" (fun () ->
+        let log = D.new_log () in
+        Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
+        D.commit ~label:"electric" ~design:d log)
+  in
+  electric ();
+  (* One incremental measurer for the whole flat optimization stage:
+     the timing and area passes below share it through the context, so
+     candidate evaluation costs a cone re-propagation instead of a
+     full-design STA + estimate fold. *)
+  if incremental then
+    ctx.R.measurer :=
+      Some (Milo_measure.Measure.create ~input_arrivals target.Table_map.tech d);
+  let timing =
+    if required < infinity then
+      Some
+        (Time_opt.optimize ~required ~input_arrivals ?budget
+           ~cleanups:Milo_critic.Critic.cleanup ctx)
+    else None
+  in
+  let _ =
+    Area_opt.optimize ~required ~input_arrivals ?budget
+      ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
+      ~cleanups:Milo_critic.Critic.cleanup ctx
+  in
+  ctx.R.measurer := None;
+  electric ();
+  timing
+
 (* Optimize a hierarchical generic design bottom-up, producing one flat
    technology-specific design (Figure 18's process), then run the time
    optimizer against the constraint and recover area off the critical
@@ -144,37 +181,22 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
   done;
   (* The design is now flat and fully technology-mapped; let the caller
      inspect it (the flow lints here) before timing/area optimization. *)
-  (match on_mapped with Some f -> f !top | None -> ());
-  (* 3. Electric correctness, then timing against the constraint, then
-     area recovery off the critical paths. *)
-  let d = !top in
-  let ctx = make_ctx db tech_db target d in
-  Milo_trace.Trace.with_span "electric" (fun () ->
-      let log = D.new_log () in
-      Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
-      D.commit log);
-  (* One incremental measurer for the whole flat optimization stage:
-     the timing and area passes below share it through the context, so
-     candidate evaluation costs a cone re-propagation instead of a
-     full-design STA + estimate fold. *)
-  if incremental then
-    ctx.R.measurer :=
-      Some (Milo_measure.Measure.create ~input_arrivals target.Table_map.tech d);
+  (match on_mapped with Some f -> f !top (List.rev !entries) | None -> ());
   let timing =
-    if required < infinity then
-      Some
-        (Time_opt.optimize ~required ~input_arrivals ?budget
-           ~cleanups:Milo_critic.Critic.cleanup ctx)
-    else None
+    flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
+      target !top
   in
-  let _ =
-    Area_opt.optimize ~required ~input_arrivals ?budget
-      ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
-      ~cleanups:Milo_critic.Critic.cleanup ctx
+  (!top, { entries = List.rev !entries; timing })
+
+(* Re-enter the optimizer at the flat, technology-mapped design (step 3
+   only) — the journal-resume entry point: a restored Techmap snapshot
+   has no [Instance] kinds left, so an empty technology database
+   resolves every kind it can contain. *)
+let optimize_flat ?(required = infinity) ?(input_arrivals = [])
+    ?(incremental = true) ?budget target d =
+  let tech_db = Database.create () in
+  let timing =
+    flat_passes ~required ~input_arrivals ~incremental ?budget tech_db
+      tech_db target d
   in
-  ctx.R.measurer := None;
-  Milo_trace.Trace.with_span "electric" (fun () ->
-      let log = D.new_log () in
-      Milo_rules.Engine.run_cleanups ctx Milo_critic.Critic.electric log;
-      D.commit log);
-  (d, { entries = List.rev !entries; timing })
+  (d, { entries = []; timing })

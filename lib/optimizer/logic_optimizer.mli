@@ -23,7 +23,7 @@ val optimize :
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?incremental:bool ->
-  ?on_mapped:(D.t -> unit) ->
+  ?on_mapped:(D.t -> report_entry list -> unit) ->
   ?budget:Milo_rules.Budget.t ->
   Milo_compilers.Database.t ->
   Milo_techmap.Table_map.target ->
@@ -32,7 +32,9 @@ val optimize :
 (** [optimize db target design] takes a hierarchical generic design
     (from [Compile.expand_design]) and returns the flat, optimized,
     technology-specific design with a per-level report.  [on_mapped] is
-    called on the flat technology-mapped design before the timing/area
+    called on the flat technology-mapped design — together with the
+    per-level report entries accumulated so far, which the flow's
+    journal records at the techmap checkpoint — before the timing/area
     optimization phase (the flow's post-techmap lint hook).  [budget]
     bounds every optimization pass (per-level greedy, timing strategies,
     area recovery); mapping and flattening always complete, so an
@@ -42,3 +44,18 @@ val optimize :
     area passes evaluate candidates by delta-STA and streaming totals
     instead of full recomputes; pass [false] to force the full
     measurement path. *)
+
+val optimize_flat :
+  ?required:float ->
+  ?input_arrivals:(string * float) list ->
+  ?incremental:bool ->
+  ?budget:Milo_rules.Budget.t ->
+  Milo_techmap.Table_map.target ->
+  D.t ->
+  D.t * report
+(** Re-enter the optimizer at step 3 with an already flat,
+    technology-mapped design (a restored Techmap checkpoint): electric
+    cleanups, timing against the constraint, area recovery, electric
+    again.  The journal-resume entry point.  The report's [entries] are
+    empty — per-level history belongs to the interrupted run and is
+    restored from its checkpoint record. *)

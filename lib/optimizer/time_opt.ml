@@ -80,7 +80,8 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
                        delay_after = after;
                      });
               if kept then begin
-                D.commit log;
+                D.commit ~label:s.Strategies.strat_name ~design:ctx.R.design
+                  log;
                 Milo_rules.Engine.measure_keep ctx step;
                 (match budget with
                 | Some b -> Milo_rules.Budget.step b

@@ -32,6 +32,25 @@ let make ?timeout ?max_steps ?max_evals () =
 
 let unlimited () = make ()
 
+(* Re-arm a budget from recorded consumption (journal resume): the
+   counters start at the recorded values and the deadline is shortened
+   by the time the interrupted run already spent, so the resumed run
+   gets exactly the remainder, not a fresh allowance. *)
+let resume ?timeout ?max_steps ?max_evals ~steps ~evals ~elapsed () =
+  let now = Unix.gettimeofday () in
+  {
+    deadline = Option.map (fun s -> now +. s -. elapsed) timeout;
+    max_steps;
+    max_evals;
+    started = now -. elapsed;
+    steps;
+    evals;
+    flagged = false;
+  }
+
+let limits t =
+  (Option.map (fun d -> d -. t.started) t.deadline, t.max_steps, t.max_evals)
+
 let step t = t.steps <- t.steps + 1
 let eval t = t.evals <- t.evals + 1
 

@@ -24,6 +24,20 @@ val make : ?timeout:float -> ?max_steps:int -> ?max_evals:int -> unit -> t
 (** [make ~timeout ~max_steps ~max_evals ()] starts the wall clock now;
     [timeout] is in seconds.  Omitted limits are unbounded. *)
 
+val resume :
+  ?timeout:float -> ?max_steps:int -> ?max_evals:int ->
+  steps:int -> evals:int -> elapsed:float -> unit -> t
+(** Re-arm a budget from recorded consumption (journal resume): the
+    original limits, with counters pre-charged to [steps]/[evals] and
+    the wall clock back-dated by [elapsed], so the resumed run only
+    gets what the interrupted run had left. *)
+
+val limits : t -> float option * int option * int option
+(** The budget's original [(timeout, max_steps, max_evals)] limits —
+    what {!make} (or {!resume}) was given, independent of consumption.
+    Journaled in the run header so a resume can re-arm the same
+    bounds. *)
+
 val step : t -> unit
 (** Count one committed rule application. *)
 

@@ -110,6 +110,20 @@ let quarantine : (string, int * string * reason) Hashtbl.t = Hashtbl.create 16
 let quarantine_reset () = Hashtbl.reset quarantine
 let is_quarantined name = Hashtbl.mem quarantine name
 
+(* Full quarantine image, for journal checkpoints: a resumed run
+   restores it so rules trapped before the crash stay trapped. *)
+let quarantine_dump () =
+  Hashtbl.fold
+    (fun name (n, msg, reason) acc -> (name, n, msg, reason) :: acc)
+    quarantine []
+  |> List.sort compare
+
+let quarantine_restore dump =
+  Hashtbl.reset quarantine;
+  List.iter
+    (fun (name, n, msg, reason) -> Hashtbl.replace quarantine name (n, msg, reason))
+    dump
+
 let quarantined () =
   Hashtbl.fold (fun name (n, _, _) acc -> (name, n) :: acc) quarantine []
   |> List.sort compare
@@ -181,6 +195,27 @@ let set_rule_guard ?budget ?stats policy =
 
 let clear_rule_guard () = rule_guard := None
 let rule_guard_stats () = Option.map (fun g -> g.rg_stats) !rule_guard
+
+(* Journal-resume support: the [Sampled] tier's position (tick counter
+   and first-application set) is part of the run's deterministic state
+   — a resumed run must re-enter the sampling sequence exactly where
+   the interrupted one left off, or its guard counters diverge from
+   the uninterrupted run's. *)
+let guard_sample_state () =
+  Option.map
+    (fun g ->
+      ( g.rg_tick,
+        Hashtbl.fold (fun n () acc -> n :: acc) g.rg_seen []
+        |> List.sort compare ))
+    !rule_guard
+
+let restore_guard_sample_state tick seen =
+  match !rule_guard with
+  | None -> ()
+  | Some g ->
+      g.rg_tick <- tick;
+      Hashtbl.reset g.rg_seen;
+      List.iter (fun n -> Hashtbl.replace g.rg_seen n ()) seen
 
 (* --- Certified rules --------------------------------------------------- *)
 
@@ -609,7 +644,7 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
       if guarded_apply ctx app.rule app.site log then begin
         run_cleanups ctx cleanups log;
         measure_keep ctx (measure_step ctx log);
-        D.commit log;
+        D.commit ~label:app.rule.Rule.rule_name ~design:ctx.Rule.design log;
         (match budget with Some b -> Budget.step b | None -> ());
         if traced then begin
           Trace.note_rule ~rule:app.rule.Rule.rule_name
@@ -718,7 +753,7 @@ let ops_cycle ctx st rules =
       in
       let log = D.new_log () in
       let applied = r.Rule.apply ctx site log in
-      D.commit log;
+      D.commit ~label:r.Rule.rule_name ~design:ctx.Rule.design log;
       if applied then lint_after ctx r.Rule.rule_name;
       Hashtbl.replace st.fired (r.Rule.rule_name, site.Rule.site_comps) ();
       if applied then ops_touch st site.Rule.site_comps;
@@ -832,7 +867,7 @@ let ops_run_incremental ?(max_cycles = 100000) ?(radius = 2) ctx rules =
           if Rule.site_alive ctx site && still_matches () then begin
             let log = D.new_log () in
             let applied = r.Rule.apply ctx site log in
-            D.commit log;
+            D.commit ~label:r.Rule.rule_name ~design:ctx.Rule.design log;
             if applied then begin
               lint_after ctx r.Rule.rule_name;
               incr cycles;

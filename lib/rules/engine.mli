@@ -64,6 +64,14 @@ val quarantined_reasons : unit -> (string * reason) list
 (** Why each quarantined rule was quarantined (the reason of its first
     trapped failure).  Sorted by name. *)
 
+val quarantine_dump : unit -> (string * int * string * reason) list
+(** Full quarantine image — rule, trapped-failure count, first error
+    message, reason — sorted by name.  Journaled at flow checkpoints so
+    a resumed run can restore it. *)
+
+val quarantine_restore : (string * int * string * reason) list -> unit
+(** Replace the quarantine with a recorded image (journal resume). *)
+
 (** {2 Semantic rule guard}
 
     When armed, every successful [guarded_apply] may be re-simulated
@@ -88,6 +96,15 @@ val clear_rule_guard : unit -> unit
 
 val rule_guard_stats : unit -> Milo_guard.Guard.stats option
 (** Counters of the currently armed rule guard, if any. *)
+
+val guard_sample_state : unit -> (int * string list) option
+(** The [Sampled] tier's deterministic position — tick counter and the
+    set of rules already checked once — journaled at flow checkpoints;
+    [None] when no rule guard is armed. *)
+
+val restore_guard_sample_state : int -> string list -> unit
+(** Re-enter the sampling sequence at a recorded position (journal
+    resume).  No-op when no rule guard is armed. *)
 
 (** {2 Certified rules}
 

@@ -162,7 +162,7 @@ let search ?(params = default_params) ?stats ?budget ctx ~cost ~cleanups rules
             if Engine.guarded_apply ctx r site log then begin
               Engine.run_cleanups ctx cleanups log;
               Engine.measure_keep ctx (Engine.measure_step ctx log);
-              D.commit log;
+              D.commit ~label:r.Rule.rule_name ~design:ctx.Rule.design log;
               (match budget with Some b -> Budget.step b | None -> ());
               if Milo_trace.Trace.enabled () then
                 Milo_trace.Trace.emit

@@ -231,3 +231,29 @@ let chrome_to_string tr =
 let write_chrome oc tr =
   output_string oc (chrome_to_string tr);
   flush oc
+
+(* --- Atomic file export ------------------------------------------- *)
+
+(* Whole-file exports commit with the tmp + fsync + rename discipline:
+   readers only ever see the previous complete file or the new one,
+   never a torn export.  The streaming [jsonl_sink] is the opposite
+   trade — it survives crashes by leaving a valid line prefix. *)
+let save_atomic path write_body =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     write_body oc;
+     flush oc;
+     Unix.fsync fd
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Unix.rename tmp path
+
+let save_jsonl path tr = save_atomic path (fun oc -> write_jsonl oc tr)
+let save_chrome path tr = save_atomic path (fun oc -> write_chrome oc tr)

@@ -26,3 +26,14 @@ val chrome_to_string : Trace.t -> string
     trailing ["C"] sample. *)
 
 val write_chrome : out_channel -> Trace.t -> unit
+
+val save_jsonl : string -> Trace.t -> unit
+(** Atomically dump the trace in JSONL form to a file: written to
+    [path.tmp], flushed, fsynced and renamed over [path], so a crash
+    mid-export leaves either the previous complete file or the new one
+    — never a torn export.  For crash-survivable streaming instead,
+    attach {!jsonl_sink}. *)
+
+val save_chrome : string -> Trace.t -> unit
+(** Atomically write the Chrome [trace_event] document to a file, with
+    the same tmp + fsync + rename commit as {!save_jsonl}. *)

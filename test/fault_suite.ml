@@ -9,7 +9,11 @@
      design produced and [budget_exhausted] set;
    - a rule raising mid-edit is rolled back through its own sub-log
      (design restored exactly) and quarantined for the rest of the
-     pass. *)
+     pass;
+   - torn writes: a journal truncated at every byte offset recovers to
+     its longest valid record prefix without raising, and a streamed
+     JSONL trace truncated anywhere in its final line keeps every
+     complete line intact. *)
 
 module D = Milo_netlist.Design
 module Flow = Milo.Flow
@@ -195,6 +199,127 @@ let quarantine_reporting () =
   | exception e ->
       fail "quarantine report: uncaught %s" (Printexc.to_string e)
 
+(* --- Torn writes -------------------------------------------------------- *)
+
+module J = Milo_journal.Journal
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Truncate a finished journal at every byte offset and recover each
+   image: recovery must never raise, the recovered records must be a
+   prefix of the full record list, the count must grow monotonically
+   with the cut point, and a cut inside the final record must recover
+   exactly all records before it with the torn tail reported. *)
+let torn_journal () =
+  let case = List.hd (Suite.all ()) in
+  let journal = Filename.temp_file "milo_torn_journal" ".mjl" in
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+       ~journal case.Suite.case_design
+   with
+  | Flow.Complete _ -> ()
+  | Flow.Partial _ | (exception _) -> fail "torn journal: reference run failed");
+  let bytes = read_file journal in
+  let full = J.recover journal in
+  let total = List.length full.J.r_records in
+  if full.J.r_truncated_bytes <> 0 then
+    fail "torn journal: clean journal reports a torn tail";
+  let cut = Filename.temp_file "milo_torn_cut" ".mjl" in
+  let prefix l1 l2 =
+    List.length l1 <= List.length l2
+    && List.for_all2 (fun a b -> a = b) l1
+         (List.filteri (fun i _ -> i < List.length l1) l2)
+  in
+  let last_count = ref (-1) in
+  for len = 0 to String.length bytes - 1 do
+    write_file cut (String.sub bytes 0 len);
+    match J.recover cut with
+    | rc ->
+        let n = List.length rc.J.r_records in
+        if n < !last_count then
+          fail "torn journal: cut at %d recovered %d records, cut before \
+                recovered %d"
+            len n !last_count;
+        last_count := max !last_count n;
+        if n >= total then
+          fail "torn journal: cut at %d/%d recovered all %d records" len
+            (String.length bytes) total;
+        if not (prefix rc.J.r_records full.J.r_records) then
+          fail "torn journal: cut at %d recovered a non-prefix" len;
+        if rc.J.r_truncated_bytes < 0 || rc.J.r_truncated_bytes > len then
+          fail "torn journal: cut at %d reports %d torn bytes" len
+            rc.J.r_truncated_bytes
+    | exception e ->
+        fail "torn journal: recovery raised at cut %d: %s" len
+          (Printexc.to_string e)
+  done;
+  Sys.remove cut;
+  Sys.remove journal;
+  Printf.printf "ok   torn journal (%d records, %d cut points)\n" total
+    (String.length bytes)
+
+(* Truncate a streamed JSONL trace at every byte offset of its final
+   line: every complete line of the cut image must be byte-identical to
+   the corresponding line of the full file — the torn tail only ever
+   costs the line it landed in. *)
+let torn_trace () =
+  let case = List.hd (Suite.all ()) in
+  let path = Filename.temp_file "milo_torn_trace" ".jsonl" in
+  let oc = open_out_bin path in
+  let t = Milo_trace.Trace.create () in
+  Milo_trace.Trace.add_sink t (Milo_trace.Export.jsonl_sink oc);
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints ~trace:t
+       case.Suite.case_design
+   with
+  | Flow.Complete _ -> ()
+  | Flow.Partial _ | (exception _) -> fail "torn trace: reference run failed");
+  close_out oc;
+  let bytes = read_file path in
+  let full_lines = String.split_on_char '\n' bytes in
+  let complete_lines s =
+    (* lines before the last newline; a trailing fragment is torn *)
+    match List.rev (String.split_on_char '\n' s) with
+    | _fragment :: rest -> List.rev rest
+    | [] -> []
+  in
+  let full = complete_lines bytes in
+  if List.length full < 4 then fail "torn trace: suspiciously short trace";
+  List.iter
+    (fun l ->
+      if l = "" || l.[0] <> '{' || l.[String.length l - 1] <> '}' then
+        fail "torn trace: malformed full line %S" l)
+    full;
+  let last_line_start =
+    String.length bytes - String.length (List.nth full_lines (List.length full_lines - 2)) - 1
+  in
+  for len = last_line_start to String.length bytes - 1 do
+    let kept = complete_lines (String.sub bytes 0 len) in
+    if List.length kept <> List.length full - 1 then
+      fail "torn trace: cut at %d kept %d lines, expected %d" len
+        (List.length kept)
+        (List.length full - 1);
+    List.iteri
+      (fun i l ->
+        if l <> List.nth full i then
+          fail "torn trace: cut at %d corrupted line %d" len i)
+      kept
+  done;
+  Sys.remove path;
+  Printf.printf "ok   torn trace (%d lines, %d cut points)\n"
+    (List.length full)
+    (String.length bytes - last_line_start)
+
 let () =
   let cases = Suite.all () in
   let stages = [ Flow.Micro; Flow.Compile; Flow.Techmap; Flow.Optimize ] in
@@ -204,6 +329,8 @@ let () =
   engine_rollback ();
   engine_raising ();
   quarantine_reporting ();
+  torn_journal ();
+  torn_trace ();
   if !failures > 0 then begin
     Printf.printf "fault_suite: %d failure(s)\n" !failures;
     exit 1

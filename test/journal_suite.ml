@@ -1,0 +1,429 @@
+(* Journal suite — durability tier-1 gate.
+
+   - record round-trip: every record type written through the framing
+     survives recovery bit-exactly, and a design snapshot restores
+     id-exactly (same structure, same hash, same counters);
+   - crash fuzz: for every Figure 19 suite design, a journaled flow
+     killed after each journal record and resumed from the file yields
+     the same final design, guard statistics, budget consumption and
+     report cost as the uninterrupted run;
+   - replay: a clean run's journal replays with zero divergences under
+     the Full guard; a tampered trajectory is pinpointed;
+   - resume refusal: a journal without a committed checkpoint raises
+     [Flow.Journal_error] instead of fabricating state. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module J = Milo_journal.Journal
+module Flow = Milo.Flow
+module Guard = Milo_guard.Guard
+module Budget = Milo_rules.Budget
+module Suite = Milo_designs.Suite
+module Faults = Milo_faults
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let temp_journal tag =
+  Filename.temp_file ("milo_journal_" ^ tag ^ "_") ".mjl"
+
+let cleanup path =
+  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp")
+
+(* --- Record round-trip -------------------------------------------------- *)
+
+let sample_design () =
+  let d = D.create "rt" in
+  let a = D.add_port d "a" T.Input in
+  let b = D.add_port d "b" T.Input in
+  let y = D.add_port d "y" T.Output in
+  let g = D.add_comp ~name:"weird \"name\"\n\ttab" d (T.Gate (T.And, 2)) in
+  D.connect d g "A0" a;
+  D.connect d g "A1" b;
+  D.connect d g "Y" y;
+  (* burn some ids so the counters are ahead of the live objects *)
+  let scratch = D.add_comp d (T.Gate (T.Inv, 1)) in
+  let n = D.new_net d in
+  ignore n;
+  D.remove_comp d scratch;
+  d
+
+let round_trip () =
+  let path = temp_journal "roundtrip" in
+  let d = sample_design () in
+  let header =
+    {
+      J.h_design = "rt";
+      h_hash = J.design_hash d;
+      h_tech = "ecl";
+      h_required = 5.5;
+      h_arrivals = [ ("a", 0.5); ("b", 1.25) ];
+      h_lint = "warn";
+      h_incremental = true;
+      h_guard = "sampled";
+      h_certify = false;
+      h_timeout = Some 12.5;
+      h_max_steps = None;
+      h_max_evals = Some 77;
+    }
+  in
+  let records =
+    [
+      J.Stage "micro";
+      J.Delta
+        {
+          d_stage = "micro";
+          d_label = Some "some rule";
+          d_hash = Some (J.design_hash d);
+          d_entries =
+            [
+              D.E_add_comp (9, "c \"q\"", T.Gate (T.Nand, 3));
+              D.E_connect (9, "I1", None, Some 2);
+              D.E_connect (9, "I2", Some 2, None);
+              D.E_add_net (12, "n12");
+              D.E_remove_net (13, "gone", Some ("p", T.Output));
+              D.E_set_kind (9, T.Gate (T.Nand, 3), T.Gate (T.Nor, 3));
+              D.E_remove_comp (9, "c", T.Gate (T.Nor, 3), [ ("I1", 2) ]);
+            ];
+        };
+      J.Checkpoint
+        {
+          J.ck_stage = "micro";
+          ck_steps = 3;
+          ck_evals = 41;
+          ck_elapsed = 0.125;
+          ck_guard = [| 1; 0; 17; 2; 3; 4 |];
+          ck_tick = 9;
+          ck_seen = [ "r1"; "r2 with space" ];
+          ck_quarantine = [ ("bad-rule", 2, "it raised: \"x\"", "raised") ];
+          ck_micro = [ ("carry-select", "adder u1") ];
+          ck_levels = [ ("sub", 4, 100.5, 90.25) ];
+          ck_timing =
+            Some
+              {
+                J.t_met = true;
+                t_final = 4.75;
+                t_steps = [ ("resize", "gate g3", 6.5, 4.75) ];
+              };
+          ck_design = d;
+        };
+      J.Finish
+        {
+          f_outcome = "complete";
+          f_delay = 4.75;
+          f_area = 90.25;
+          f_power = 12.5;
+          f_gates = 30;
+          f_comps = 11;
+        };
+    ]
+  in
+  let w = J.create path header in
+  List.iter
+    (fun r -> match r with J.Checkpoint _ -> J.commit w r | r -> J.append w r)
+    records;
+  J.close w;
+  let rc = J.recover path in
+  if rc.J.r_truncated_bytes <> 0 then
+    fail "round-trip: %d bytes reported torn on a clean journal"
+      rc.J.r_truncated_bytes;
+  (match rc.J.r_records with
+  | J.Header h :: rest ->
+      if h <> header then fail "round-trip: header changed";
+      List.iter2
+        (fun written recovered ->
+          match (written, recovered) with
+          | J.Checkpoint a, J.Checkpoint b ->
+              if
+                { a with J.ck_design = b.J.ck_design } <> b
+                || not (D.equal_structure a.J.ck_design b.J.ck_design)
+              then fail "round-trip: checkpoint changed";
+              if J.design_hash a.J.ck_design <> J.design_hash b.J.ck_design
+              then fail "round-trip: snapshot hash changed";
+              if D.counters a.J.ck_design <> D.counters b.J.ck_design then
+                fail "round-trip: snapshot counters changed"
+          | a, b -> if a <> b then fail "round-trip: record changed")
+        records rest
+  | _ -> fail "round-trip: header not first");
+  if not (J.finished rc) then fail "round-trip: Finish not detected";
+  cleanup path;
+  if !failures = 0 then Printf.printf "ok   record round-trip\n"
+
+(* --- Crash fuzz --------------------------------------------------------- *)
+
+let guard_counters (g : Guard.stats) =
+  [
+    g.Guard.stage_checks;
+    g.Guard.stage_mismatches;
+    g.Guard.rule_checks;
+    g.Guard.rule_mismatches;
+    g.Guard.rule_skipped;
+    g.Guard.rule_certified;
+  ]
+
+let same_stats (a : Flow.stats) (b : Flow.stats) =
+  a.Flow.delay = b.Flow.delay
+  && a.Flow.area = b.Flow.area
+  && a.Flow.power = b.Flow.power
+  && a.Flow.gates = b.Flow.gates
+  && a.Flow.comps = b.Flow.comps
+
+let report_cost (r : Milo_optimizer.Logic_optimizer.report) =
+  ( List.map
+      (fun (e : Milo_optimizer.Logic_optimizer.report_entry) ->
+        ( e.Milo_optimizer.Logic_optimizer.level_design,
+          e.Milo_optimizer.Logic_optimizer.applications,
+          e.Milo_optimizer.Logic_optimizer.area_before,
+          e.Milo_optimizer.Logic_optimizer.area_after ))
+      r.Milo_optimizer.Logic_optimizer.entries,
+    match r.Milo_optimizer.Logic_optimizer.timing with
+    | None -> None
+    | Some t ->
+        Some
+          ( t.Milo_optimizer.Time_opt.met,
+            t.Milo_optimizer.Time_opt.final_delay,
+            List.length t.Milo_optimizer.Time_opt.steps ) )
+
+let compare_results what (ref_res : Flow.result) (res : Flow.result) =
+  if not (D.equal_structure ref_res.Flow.optimized res.Flow.optimized) then
+    fail "%s: final design diverged" what;
+  if not (same_stats ref_res.Flow.final res.Flow.final) then
+    fail "%s: final stats diverged" what;
+  if
+    guard_counters ref_res.Flow.guard_stats
+    <> guard_counters res.Flow.guard_stats
+  then fail "%s: guard stats diverged" what;
+  if ref_res.Flow.micro_applications <> res.Flow.micro_applications then
+    fail "%s: micro applications diverged" what;
+  if ref_res.Flow.quarantined <> res.Flow.quarantined then
+    fail "%s: quarantine diverged" what;
+  if report_cost ref_res.Flow.optimizer_report
+     <> report_cost res.Flow.optimizer_report
+  then fail "%s: optimizer report diverged" what;
+  if
+    ref_res.Flow.budget.Budget.steps_used <> res.Flow.budget.Budget.steps_used
+    || ref_res.Flow.budget.Budget.evals_used
+       <> res.Flow.budget.Budget.evals_used
+  then
+    fail "%s: budget consumption diverged (%d/%d vs %d/%d)" what
+      ref_res.Flow.budget.Budget.steps_used
+      ref_res.Flow.budget.Budget.evals_used res.Flow.budget.Budget.steps_used
+      res.Flow.budget.Budget.evals_used
+
+let crash_fuzz (case : Suite.case) =
+  let name = case.Suite.case_name in
+  let path = temp_journal ("fuzz_" ^ name) in
+  (* Reference: the uninterrupted journaled run. *)
+  let reference =
+    match
+      Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+        ~guard:Guard.Sampled ~journal:path case.Suite.case_design
+    with
+    | Flow.Complete r -> r
+    | Flow.Partial p ->
+        fail "%s: reference run degraded at %s" name
+          (Flow.stage_name p.Flow.failed_stage);
+        raise Exit
+    | exception e ->
+        fail "%s: reference run raised %s" name (Printexc.to_string e);
+        raise Exit
+  in
+  let total =
+    let rc = J.recover path in
+    if rc.J.r_truncated_bytes <> 0 then
+      fail "%s: clean journal reports a torn tail" name;
+    if not (J.finished rc) then fail "%s: clean journal lacks Finish" name;
+    List.length rc.J.r_records
+  in
+  let kills = ref 0 in
+  for n = 1 to total do
+    let what = Printf.sprintf "%s killed after record %d" name n in
+    match
+      Faults.run_journaled_killed ~technology:Flow.Ecl
+        ~constraints:case.Suite.constraints ~guard:Guard.Sampled ~journal:path
+        n case.Suite.case_design
+    with
+    | Some (Flow.Complete r) ->
+        (* The flow finished before writing n records — only possible
+           when n exceeds the record count, i.e. never inside the
+           loop's range except at the last record, where the kill fires
+           after the file is already complete. *)
+        compare_results what reference r
+    | Some (Flow.Partial p) ->
+        fail "%s: degraded at %s instead of crashing" what
+          (Flow.stage_name p.Flow.failed_stage)
+    | None -> (
+        incr kills;
+        match Flow.resume path with
+        | Flow.Complete r -> compare_results what reference r
+        | Flow.Partial p ->
+            fail "%s: resume degraded at %s (%s)" what
+              (Flow.stage_name p.Flow.failed_stage)
+              p.Flow.failure.Flow.err_message
+        | exception Flow.Journal_error msg ->
+            (* Killed before the first checkpoint committed: nothing to
+               resume, and the error must say so. *)
+            if n > 1 then fail "%s: resume refused: %s" what msg
+        | exception e -> fail "%s: resume raised %s" what (Printexc.to_string e)
+        )
+  done;
+  cleanup path;
+  Printf.printf "ok   crash fuzz %-8s (%d records, %d kill points)\n" name
+    total !kills
+
+(* --- Replay ------------------------------------------------------------- *)
+
+let replay_clean (case : Suite.case) =
+  let name = case.Suite.case_name in
+  let path = temp_journal ("replay_" ^ name) in
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+       ~guard:Guard.Sampled ~journal:path case.Suite.case_design
+   with
+  | Flow.Complete _ -> ()
+  | Flow.Partial p ->
+      fail "%s: replay reference degraded at %s" name
+        (Flow.stage_name p.Flow.failed_stage)
+  | exception e ->
+      fail "%s: replay reference raised %s" name (Printexc.to_string e));
+  (match Flow.replay path with
+  | rep ->
+      if rep.Flow.rep_divergences <> [] then begin
+        fail "%s: clean replay found %d divergence(s)" name
+          (List.length rep.Flow.rep_divergences);
+        List.iter
+          (fun d ->
+            Printf.printf "     record %d [%s/%s]: %s\n" d.Flow.div_record
+              d.Flow.div_stage d.Flow.div_kind d.Flow.div_detail)
+          rep.Flow.rep_divergences
+      end;
+      if not rep.Flow.rep_finished then fail "%s: replay lost Finish" name;
+      if rep.Flow.rep_truncated_bytes <> 0 then
+        fail "%s: replay saw a torn tail on a clean journal" name;
+      Printf.printf "ok   replay %-8s clean (%d deltas, %d checks)\n" name
+        rep.Flow.rep_deltas rep.Flow.rep_checks
+  | exception e -> fail "%s: replay raised %s" name (Printexc.to_string e));
+  cleanup path
+
+(* Tamper with a recorded trajectory: drop the last entry of the last
+   non-empty delta.  The replayed design must then diverge — the
+   post-delta hash no longer matches, and the next in-place checkpoint
+   comparison fails. *)
+let replay_tampered () =
+  let case = List.hd (Suite.all ()) in
+  let path = temp_journal "tamper" in
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+       ~journal:path case.Suite.case_design
+   with
+  | Flow.Complete _ -> ()
+  | Flow.Partial _ | (exception _) -> fail "tamper: reference run failed");
+  let rc = J.recover path in
+  let last_delta =
+    List.fold_left
+      (fun (i, best) r ->
+        match r with
+        | J.Delta { d_entries = _ :: _; _ } -> (i + 1, Some i)
+        | _ -> (i + 1, best))
+      (0, None) rc.J.r_records
+    |> snd
+  in
+  (match (last_delta, J.header rc) with
+  | Some di, Some header ->
+      let w = J.create path header in
+      List.iteri
+        (fun i r ->
+          match r with
+          | J.Header _ -> ()
+          | J.Delta { d_stage; d_label; d_hash; d_entries } when i = di ->
+              J.append w
+                (J.Delta
+                   {
+                     d_stage;
+                     d_label;
+                     d_hash;
+                     d_entries = List.rev (List.tl (List.rev d_entries));
+                   })
+          | J.Checkpoint _ | J.Finish _ -> J.commit w r
+          | r -> J.append w r)
+        rc.J.r_records;
+      J.close w;
+      (match Flow.replay path with
+      | rep ->
+          if rep.Flow.rep_divergences = [] then
+            fail "tamper: dropped entry not detected"
+          else
+            Printf.printf "ok   replay pinpoints tampering (%d divergence(s))\n"
+              (List.length rep.Flow.rep_divergences)
+      | exception e -> fail "tamper: replay raised %s" (Printexc.to_string e))
+  | _ -> fail "tamper: reference journal had no non-empty delta");
+  cleanup path
+
+(* --- Resume refusal ------------------------------------------------------ *)
+
+let resume_refusal () =
+  (* A header-only journal (killed before the capture checkpoint
+     committed) has nothing to resume. *)
+  let path = temp_journal "refusal" in
+  let d = sample_design () in
+  let w =
+    J.create path
+      {
+        J.h_design = "rt";
+        h_hash = J.design_hash d;
+        h_tech = "ecl";
+        h_required = infinity;
+        h_arrivals = [];
+        h_lint = "off";
+        h_incremental = true;
+        h_guard = "off";
+        h_certify = true;
+        h_timeout = None;
+        h_max_steps = None;
+        h_max_evals = None;
+      }
+  in
+  J.close w;
+  (match Flow.resume path with
+  | _ -> fail "refusal: resumed a journal without a checkpoint"
+  | exception Flow.Journal_error _ ->
+      Printf.printf "ok   resume refuses a checkpoint-free journal\n"
+  | exception e -> fail "refusal: unexpected %s" (Printexc.to_string e));
+  cleanup path;
+  (* An empty file recovers to zero records and resume refuses it the
+     same way — recovery itself never raises on content. *)
+  let path = temp_journal "empty" in
+  let oc = open_out path in
+  close_out oc;
+  (match J.recover path with
+  | rc ->
+      if rc.J.r_records <> [] then fail "refusal: records in an empty file"
+  | exception e ->
+      fail "refusal: recovery raised on an empty file: %s"
+        (Printexc.to_string e));
+  (match Flow.resume path with
+  | _ -> fail "refusal: resumed an empty file"
+  | exception Flow.Journal_error _ ->
+      Printf.printf "ok   resume refuses an empty journal\n"
+  | exception e -> fail "refusal: unexpected %s" (Printexc.to_string e));
+  cleanup path
+
+let () =
+  round_trip ();
+  let cases = Suite.all () in
+  List.iter (fun c -> try crash_fuzz c with Exit -> ()) cases;
+  List.iter replay_clean cases;
+  replay_tampered ();
+  resume_refusal ();
+  if !failures > 0 then begin
+    Printf.printf "journal_suite: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "journal_suite: all clean"

@@ -278,3 +278,26 @@ let semantic_corrupting_hooks ~at () =
 (* A budget that is exhausted before the first step: every bounded pass
    must terminate immediately with best-so-far (nothing). *)
 let exhausted_budget () = Milo_rules.Budget.make ~max_steps:0 ()
+
+(* --- Journal crash injection ------------------------------------------ *)
+
+(* Kill the flow (by raising [Journal.Crash]) the moment the [n]-th
+   journal record reaches the file.  In-process this approximates a
+   process death exactly at that write: the journal file holds precisely
+   the first [n] records (checkpoints whole, via their tmp+rename
+   commit), nothing after the kill point touches it, and the flow
+   neither degrades to [Partial] nor writes a Finish record. *)
+let kill_after n count =
+  if count >= n then raise (Milo_journal.Journal.Crash count)
+
+(* Run a journaled flow, killing it after exactly [n] journal records.
+   Returns [Some outcome] when the flow finished before writing [n]
+   records (no kill happened), [None] when the kill fired. *)
+let run_journaled_killed ?technology ?constraints ?lint ?incremental ?budget
+    ?guard ?certify ~journal n design =
+  match
+    Flow.run ?technology ?constraints ?lint ?incremental ?budget ?guard
+      ?certify ~journal ~journal_fault:(kill_after n) design
+  with
+  | outcome -> Some outcome
+  | exception Milo_journal.Journal.Crash _ -> None
