@@ -1305,6 +1305,214 @@ let analyze_bench ~smoke_mode () =
     exit 1
   end
 
+(* --- E14: bit-parallel simulation throughput --------------------------- *)
+
+(* Packed-vs-scalar settle throughput on the mapped suite datapaths
+   (design6-8: the sequential workloads where the guard's cost is
+   paid), plus the end-to-end equivalence-check cost — what `milo
+   verify` and the Full stage guard pay — before/after the packed
+   engine.  The "before" reference re-implements the pre-packed
+   one-vector-per-settle check on the scalar path; "after" is
+   Guard.check as shipped.  `sim smoke` lives on runtest and asserts
+   the packed engine clears a 10x throughput floor on every measured
+   design: the floor is architectural (a ~63-lane engine measuring
+   well above it), not a jitter-prone few-percent margin. *)
+
+let sim_bench ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E14 / sim smoke: bit-parallel vs scalar simulation throughput"
+     else "E14 / sim: bit-parallel vs scalar simulation + verify cost");
+  let lanes = Milo_sim.Simulator.lanes in
+  let trials = if smoke_mode then 3 else 5 in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let env_mapped () =
+    Milo_sim.Simulator.env_of_techs
+      [ Milo_library.Ecl.get (); Milo_library.Generic.get () ]
+  in
+  let input_ports d =
+    List.filter_map
+      (fun (p, dir, _) -> if dir = T.Input then Some p else None)
+      (D.ports d)
+  in
+  let word rng =
+    Random.State.bits rng
+    lor (Random.State.bits rng lsl 30)
+    lor (Random.State.bits rng lsl 60)
+  in
+  (* Throughput: vectors/second through settle, same design, same
+     stimulus discipline, stimulus pre-generated outside the timed
+     region. *)
+  let scalar_settles = if smoke_mode then 128 else 512 in
+  let packed_settles = if smoke_mode then 64 else 256 in
+  let eval_rows =
+    List.map
+      (fun (case : Milo_designs.Suite.case) ->
+        let name = "design" ^ case.Milo_designs.Suite.case_name in
+        let mapped, _ =
+          Milo.Flow.human_baseline case.Milo_designs.Suite.case_design
+        in
+        let s = Milo_sim.Simulator.create (env_mapped ()) mapped in
+        let ins = input_ports mapped in
+        let rng = Random.State.make [| 0xbe9c |] in
+        let scalar_vecs =
+          Array.init scalar_settles (fun _ ->
+              List.map (fun p -> (p, Random.State.bool rng)) ins)
+        in
+        let packed_vecs =
+          Array.init packed_settles (fun _ ->
+              List.map (fun p -> (p, word rng)) ins)
+        in
+        ignore (Milo_sim.Simulator.outputs s scalar_vecs.(0));
+        ignore (Milo_sim.Simulator.outputs_packed s packed_vecs.(0));
+        let t_scalar =
+          min_of (fun () ->
+              Array.iter
+                (fun v -> ignore (Milo_sim.Simulator.outputs s v))
+                scalar_vecs)
+        in
+        let t_packed =
+          min_of (fun () ->
+              Array.iter
+                (fun w -> ignore (Milo_sim.Simulator.outputs_packed s w))
+                packed_vecs)
+        in
+        let scalar_vps = float_of_int scalar_settles /. t_scalar in
+        let packed_vps = float_of_int (packed_settles * lanes) /. t_packed in
+        let speedup = packed_vps /. scalar_vps in
+        Printf.printf
+          "%-9s %4d comps: scalar %10.0f vec/s, packed %12.0f vec/s \
+           (%5.1fx)\n%!"
+          name (D.num_comps mapped) scalar_vps packed_vps speedup;
+        (name, D.num_comps mapped, scalar_vps, packed_vps, speedup))
+      [
+        Milo_designs.Suite.design6 ();
+        Milo_designs.Suite.design7 ();
+        Milo_designs.Suite.design8 ();
+      ]
+  in
+  (* Equivalence-check cost, raw vs mapped design8 (sequential
+     lock-step, the expensive tier): the pre-packed one-vector scalar
+     loop against Guard.check as shipped. *)
+  let params =
+    if smoke_mode then Milo_guard.Guard.sampled_params
+    else Milo_guard.Guard.full_params
+  in
+  let raw = (Milo_designs.Suite.design8 ()).Milo_designs.Suite.case_design in
+  let mapped, _ = Milo.Flow.human_baseline raw in
+  let env_raw =
+    Milo_sim.Simulator.env_of_techs [ Milo_library.Generic.get () ]
+  in
+  let scalar_reference_check () =
+    let ins = input_ports raw in
+    let rng = Random.State.make [| params.Milo_guard.Guard.seed |] in
+    let clean = ref true in
+    for _ = 1 to params.Milo_guard.Guard.runs do
+      let s1 = Milo_sim.Simulator.create env_raw raw in
+      let s2 = Milo_sim.Simulator.create (env_mapped ()) mapped in
+      Milo_sim.Simulator.reset s1;
+      Milo_sim.Simulator.reset s2;
+      for _ = 1 to params.Milo_guard.Guard.cycles do
+        let inputs = List.map (fun p -> (p, Random.State.bool rng)) ins in
+        let o1 = Milo_sim.Simulator.outputs s1 inputs
+        and o2 = Milo_sim.Simulator.outputs s2 inputs in
+        if List.sort compare o1 <> List.sort compare o2 then clean := false;
+        Milo_sim.Simulator.step s1 inputs;
+        Milo_sim.Simulator.step s2 inputs
+      done
+    done;
+    if not !clean then begin
+      Printf.printf "sim bench: scalar reference check found a mismatch\n";
+      exit 1
+    end
+  in
+  let is_seq =
+    Milo.Flow.seq_classifier
+      [ Milo_library.Ecl.get (); Milo_library.Generic.get () ]
+  in
+  let packed_check () =
+    match
+      Milo_guard.Guard.check ~params ~is_seq env_raw raw (env_mapped ())
+        mapped
+    with
+    | None -> ()
+    | Some d ->
+        Printf.printf "sim bench: guard found a mismatch: %s\n"
+          (Milo_guard.Guard.describe d);
+        exit 1
+  in
+  scalar_reference_check ();
+  packed_check ();
+  let before_min = min_of scalar_reference_check in
+  let after_min = min_of packed_check in
+  let verify_speedup = before_min /. after_min in
+  Printf.printf
+    "verify design8 vs mapped (%dx%d cycles): scalar %8.2f ms, packed \
+     %8.2f ms (%.1fx)\n%!"
+    params.Milo_guard.Guard.runs params.Milo_guard.Guard.cycles
+    (before_min *. 1e3) (after_min *. 1e3) verify_speedup;
+  let min_speedup =
+    List.fold_left (fun acc (_, _, _, _, s) -> Float.min acc s) infinity
+      eval_rows
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"lanes\": %d,\n\
+      \  \"trials\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"eval\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"min_eval_speedup\": %.2f,\n\
+      \  \"verify\": {\n\
+      \    \"design\": \"design8\",\n\
+      \    \"runs\": %d,\n\
+      \    \"cycles\": %d,\n\
+      \    \"scalar_ms\": %.3f,\n\
+      \    \"packed_ms\": %.3f,\n\
+      \    \"speedup\": %.2f\n\
+      \  }\n\
+       }\n"
+      lanes trials smoke_mode
+      (String.concat ",\n"
+         (List.map
+            (fun (n, comps, svps, pvps, sp) ->
+              Printf.sprintf
+                "    {\"design\": %S, \"comps\": %d, \"scalar_vps\": %.0f, \
+                 \"packed_vps\": %.0f, \"speedup\": %.2f}"
+                n comps svps pvps sp)
+            eval_rows))
+      min_speedup params.Milo_guard.Guard.runs params.Milo_guard.Guard.cycles
+      (before_min *. 1e3) (after_min *. 1e3) verify_speedup
+  in
+  (try
+     let oc = open_out "BENCH_sim.json" in
+     output_string oc json;
+     close_out oc;
+     Printf.printf "wrote BENCH_sim.json\n%!"
+   with Sys_error msg ->
+     Printf.printf "could not write BENCH_sim.json: %s\n%!" msg);
+  if smoke_mode && min_speedup < 10.0 then begin
+    Printf.printf "sim smoke: packed engine below the 10x floor (%.1fx)\n"
+      min_speedup;
+    exit 1
+  end;
+  if smoke_mode && after_min >= before_min +. 0.005 then begin
+    Printf.printf
+      "sim smoke: packed verify not faster than scalar reference (%.2f ms \
+       vs %.2f ms)\n"
+      (after_min *. 1e3) (before_min *. 1e3);
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -1356,9 +1564,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       journal_bench ~smoke_mode ()
+  | Some "sim" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      sim_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal|sim)\n"
         other;
       exit 1

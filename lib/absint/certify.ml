@@ -106,6 +106,34 @@ let site_out_nets ctx (site : R.site) =
 
 type witness = Ex | Rand
 
+(* Packed sweeps: minterm masks are processed in groups of up to
+   [Eval.Packed.lanes], one lane per mask, so a 2^12 exhaustive sweep
+   is ~65 word-level cone evaluations. *)
+let lanes = Eval.Packed.lanes
+let group_mask n = if n >= lanes then -1 else (1 lsl n) - 1
+
+let rec chunk_list n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let g, rest = take n [] l in
+      g :: chunk_list n rest
+
+(* Leaf input words for one group: bit [l] of leaf [i]'s word is bit
+   [i] of the group's [l]-th mask. *)
+let group_words leaves group =
+  List.mapi
+    (fun i leaf ->
+      let w = ref 0 in
+      List.iteri
+        (fun l m -> if m lsr i land 1 <> 0 then w := !w lor (1 lsl l))
+        group;
+      (leaf, !w))
+    leaves
+
 (* Pre-apply truth vectors of a net over its cone leaves: all 2^n
    assignments up to [exhaustive_leaves], seeded random vectors up to
    [random_leaves], nothing past that. *)
@@ -122,21 +150,23 @@ let snapshot ctx rng nid =
                 Random.State.int rng (1 lsl min n 30)) )
       in
       let kind, masks = masks in
-      let assignment m =
-        List.mapi (fun i leaf -> (leaf, m land (1 lsl i) <> 0)) leaves
-      in
+      let groups = chunk_list lanes masks in
       let pre =
-        try Some (List.map (fun m -> Cone.eval ctx cone (assignment m)) masks)
+        try
+          Some
+            (List.map
+               (fun g -> Cone.eval_packed ctx cone (group_words leaves g))
+               groups)
         with _ -> None
       in
-      Option.map (fun pre -> (kind, nid, leaves, masks, pre)) pre
+      Option.map (fun pre -> (kind, nid, leaves, groups, pre)) pre
   | Some _ | None -> None
 
 exception Unverifiable
 
-(* Post-apply value of [nid0] under a leaf assignment, expanding
-   through combinational macro drivers (mirror of the engine's
-   [eval_after]). *)
+(* Post-apply value word of [nid0] under a packed leaf assignment,
+   expanding through combinational macro drivers (mirror of the
+   engine's [eval_after]). *)
 let eval_after ctx assignment nid0 =
   let memo = Hashtbl.create 16 in
   let visiting = Hashtbl.create 16 in
@@ -158,10 +188,10 @@ let eval_after ctx assignment nid0 =
                         ( pin,
                           match D.connection ctx.R.design c.D.id pin with
                           | Some n -> value n
-                          | None -> false ))
+                          | None -> 0 ))
                       m.Macro.inputs
                   in
-                  let outs = Eval.macro_comb_outputs m pvs in
+                  let outs = Eval.Packed.macro_comb_outputs m pvs in
                   List.assoc (List.nth m.Macro.outputs 0) outs
               | None -> raise Unverifiable)
         in
@@ -195,17 +225,15 @@ let compare_snapshots ctx snaps =
   let verified_ex = ref 0 and verified_rand = ref 0 and skipped = ref 0 in
   let mismatch = ref None in
   List.iter
-    (fun (kind, nid, leaves, masks, pre) ->
+    (fun (kind, nid, leaves, groups, pre) ->
       if !mismatch = None && D.net_opt ctx.R.design nid <> None then begin
-        let assignment m =
-          List.mapi (fun i leaf -> (leaf, m land (1 lsl i) <> 0)) leaves
-        in
         match
           List.iter2
-            (fun m expect ->
-              if eval_after ctx (assignment m) nid <> expect then
+            (fun g expect ->
+              let v = eval_after ctx (group_words leaves g) nid in
+              if (v lxor expect) land group_mask (List.length g) <> 0 then
                 raise (Failure (Printf.sprintf "net %d diverges" nid)))
-            masks pre
+            groups pre
         with
         | () -> (
             match kind with

@@ -995,7 +995,8 @@ let replay path =
       | J.Checkpoint ck ->
           (match !cur with
           | Some d when in_place ck.J.ck_stage ->
-              if not (D.equal_structure d ck.J.ck_design) then
+              if not (Milo_netlist.Hashcons.equal_structure d ck.J.ck_design)
+              then
                 diverge idx ck.J.ck_stage None "checkpoint"
                   "replayed design differs from the committed snapshot"
           | Some _ | None -> ());

@@ -149,14 +149,19 @@ let localize ~resolve ~is_seq design port =
 let has_state is_seq d =
   List.exists (fun (c : D.comp) -> is_seq c.D.kind) (D.comps d)
 
+(* Ports whose values differ; a port present on either side only is a
+   mismatch (the fold must cover both assignments, not just [o1]'s
+   ports — a candidate that dropped an output would otherwise compare
+   clean from the reference's perspective). *)
 let mismatching_ports o1 o2 =
-  List.rev
-    (List.fold_left
-       (fun acc (p, v) ->
-         match List.assoc_opt p o2 with
-         | Some v2 when v2 = v -> acc
-         | Some _ | None -> p :: acc)
-       [] o1)
+  let ports = List.sort_uniq compare (List.map fst o1 @ List.map fst o2) in
+  List.filter
+    (fun p ->
+      match (List.assoc_opt p o1, List.assoc_opt p o2) with
+      | Some v1, Some v2 -> v1 <> v2
+      | Some _, None | None, Some _ -> true
+      | None, None -> false)
+    ports
 
 let check ?(params = full_params) ~is_seq env_ref ref_d env_cand cand_d =
   let seq = has_state is_seq ref_d || has_state is_seq cand_d in

@@ -209,10 +209,10 @@ let snapshot_to_buffer ?(counters = true) b d =
         (D.connections d c.D.id))
     (D.comps d)
 
-let design_hash d =
-  let b = Buffer.create 1024 in
-  snapshot_to_buffer ~counters:false b d;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+(* Hash-consed: memoized per design and invalidated by its generation
+   counter, so the repeated hashing the journal does (header, every
+   checkpoint, replay verification) is O(1) on an unchanged design. *)
+let design_hash = Milo_netlist.Hashcons.design_digest
 
 (* Rebuild a design from snapshot lines (already lexed).  Order within
    the snapshot is the serialization order: the "d" line first, nets

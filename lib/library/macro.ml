@@ -32,6 +32,12 @@ type behavior =
       has_reset : bool;
       has_enable : bool;
     }
+  | Seq_custom of {
+      state_bits : int;
+      state_only : string list;
+      custom_outputs : state:int -> (string * bool) list -> (string * bool) list;
+      custom_next : state:int -> (string * bool) list -> int;
+    }
 
 type t = {
   mname : string;
@@ -100,13 +106,14 @@ let worst_delay m =
 
 let is_sequential m =
   match m.behavior with
-  | Seq_dff _ | Seq_counter _ -> true
+  | Seq_dff _ | Seq_counter _ | Seq_custom _ -> true
   | Combinational _ | Comb_eval _ -> false
 
 let single_output_tt m =
   match (m.behavior, m.outputs) with
   | Combinational [ (_, tt) ], [ _ ] -> Some tt
-  | Combinational _, _ | Comb_eval _, _ | Seq_dff _, _ | Seq_counter _, _ ->
+  | Combinational _, _ | Comb_eval _, _ | Seq_dff _, _ | Seq_counter _, _
+  | Seq_custom _, _ ->
       None
 
 let eval_comb m input =
@@ -115,8 +122,28 @@ let eval_comb m input =
       let arr = Array.of_list (List.map (fun (_, tt) -> Truth_table.eval tt input) outs) in
       arr
   | Comb_eval f -> f input
-  | Seq_dff _ | Seq_counter _ ->
+  | Seq_dff _ | Seq_counter _ | Seq_custom _ ->
       invalid_arg (Printf.sprintf "Macro.eval_comb: %s is sequential" m.mname)
+
+(* Outputs that are a function of the stored state alone — the set a
+   simulator may seed before the component's inputs are known.  A
+   counter's COUT is input-dependent when the direction comes from a
+   pin; everything else sequential here depends only on the state. *)
+let state_only_outputs m =
+  match m.behavior with
+  | Combinational _ | Comb_eval _ -> []
+  | Seq_dff _ -> m.outputs
+  | Seq_counter { bits; has_updown; _ } ->
+      List.init bits (fun b -> Printf.sprintf "Q%d" b)
+      @ (if has_updown then [] else [ "COUT" ])
+  | Seq_custom { state_only; _ } -> state_only
+
+let state_bits m =
+  match m.behavior with
+  | Combinational _ | Comb_eval _ -> 0
+  | Seq_dff _ -> 1
+  | Seq_counter { bits; _ } -> bits
+  | Seq_custom { state_bits; _ } -> state_bits
 
 let in_same_symmetry_group m a b =
   List.exists (fun g -> List.mem a g && List.mem b g) m.symmetric

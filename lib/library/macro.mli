@@ -29,6 +29,15 @@ type behavior =
       has_reset : bool;
       has_enable : bool;
     }
+  | Seq_custom of {
+      state_bits : int;
+      state_only : string list;
+          (** outputs that depend on the stored state alone *)
+      custom_outputs : state:int -> (string * bool) list -> (string * bool) list;
+      custom_next : state:int -> (string * bool) list -> int;
+    }  (** escape hatch for sequential behaviours outside the two
+           built-in shapes; simulated lane-by-lane in the packed
+           engine *)
 
 type t = {
   mname : string;
@@ -80,5 +89,13 @@ val single_output_tt : t -> Truth_table.t option
 val eval_comb : t -> bool array -> bool array
 (** Evaluate a combinational macro on inputs ordered as [inputs];
     raises on sequential macros. *)
+
+val state_only_outputs : t -> string list
+(** Output pins that are a function of the stored state alone (safe to
+    seed before the component's inputs are known); empty for
+    combinational macros. *)
+
+val state_bits : t -> int
+(** Width of the stored state; 0 for combinational macros. *)
 
 val in_same_symmetry_group : t -> string -> string -> bool

@@ -82,6 +82,11 @@ type t = {
   mutable ports : (string * Types.dir * int) list;
   mutable next_comp : int;
   mutable next_net : int;
+  mutable generation : int;
+      (* bumped on every structural mutation; lets observers (e.g.
+         Hashcons digests) cache per-design derived data and detect
+         staleness in O(1).  Over-bumping is harmless — it only costs a
+         recompute — so every low-level mutator touches it. *)
   mutable on_commit : (string option -> entry list -> unit) option;
       (* observer fired by [commit ~design] with the committed entries;
          deliberately per-design (scratch copies stay silent) and not
@@ -99,10 +104,13 @@ let create dname =
     ports = [];
     next_comp = 0;
     next_net = 0;
+    generation = 0;
     on_commit = None;
   }
 
 let name t = t.dname
+let generation t = t.generation
+let touch t = t.generation <- t.generation + 1
 let comp t id = Hashtbl.find t.comps id
 let comp_opt t id = Hashtbl.find_opt t.comps id
 let net t id = Hashtbl.find t.nets id
@@ -129,6 +137,7 @@ let find_comp t cname =
   match found with Some c -> c | None -> raise Not_found
 
 let fresh_net_raw t nname =
+  touch t;
   let nid = t.next_net in
   t.next_net <- nid + 1;
   let nname = if nname = "" then Printf.sprintf "n%d" nid else nname in
@@ -142,6 +151,7 @@ let new_net ?log ?(name = "") t =
   nid
 
 let add_port ?net:reuse t pname dir =
+  touch t;
   if List.exists (fun (p, _, _) -> p = pname) t.ports then
     design_error ~op:"add_port" ~design:t.dname "duplicate port %s" pname;
   let nid = match reuse with Some nid -> nid | None -> fresh_net_raw t pname in
@@ -163,6 +173,7 @@ let port_net t pname =
   go t.ports
 
 let add_comp ?log ?(name = "") t kind =
+  touch t;
   let id = t.next_comp in
   t.next_comp <- id + 1;
   let cname = if name = "" then Printf.sprintf "u%d" id else name in
@@ -172,6 +183,7 @@ let add_comp ?log ?(name = "") t kind =
   id
 
 let detach_pin t cid pin =
+  touch t;
   let c = Hashtbl.find t.comps cid in
   match Hashtbl.find_opt c.conns pin with
   | None -> None
@@ -183,6 +195,7 @@ let detach_pin t cid pin =
       Some nid
 
 let attach_pin t cid pin nid =
+  touch t;
   let c = Hashtbl.find t.comps cid in
   let n = Hashtbl.find t.nets nid in
   Hashtbl.replace c.conns pin nid;
@@ -205,6 +218,7 @@ let connections t cid =
   |> List.sort compare
 
 let remove_comp ?log t cid =
+  touch t;
   let c = Hashtbl.find t.comps cid in
   let saved = connections t cid in
   List.iter (fun (pin, _) -> ignore (detach_pin t cid pin)) saved;
@@ -212,6 +226,7 @@ let remove_comp ?log t cid =
   record log (E_remove_comp (cid, c.cname, c.kind, saved))
 
 let remove_net ?log t nid =
+  touch t;
   let n = Hashtbl.find t.nets nid in
   if n.npins <> [] then begin
     let (cid, pin) = List.hd n.npins in
@@ -226,12 +241,15 @@ let remove_net ?log t nid =
   record log (E_remove_net (nid, n.nname, n.nport))
 
 let set_kind ?log t cid kind =
+  touch t;
   let c = Hashtbl.find t.comps cid in
   let old = c.kind in
   c.kind <- kind;
   record log (E_set_kind (cid, old, kind))
 
-let undo_entry t = function
+let undo_entry t =
+  touch t;
+  function
   | E_add_comp (cid, _, _) ->
       let c = Hashtbl.find t.comps cid in
       let pins = Hashtbl.fold (fun pin _ acc -> pin :: acc) c.conns [] in
@@ -274,7 +292,9 @@ let set_commit_hook t h = t.on_commit <- h
    restored snapshot.  Ids are preserved exactly — [next_comp]/
    [next_net] advance past replayed ids so later fresh allocations
    cannot collide. *)
-let redo_entry t = function
+let redo_entry t =
+  touch t;
+  function
   | E_add_comp (cid, cname, kind) ->
       Hashtbl.replace t.comps cid
         { id = cid; cname; kind; conns = Hashtbl.create 8 };
@@ -298,6 +318,7 @@ let redo t es = List.iter (redo_entry t) es
    deserialized design is structurally identical (same ids, same
    [signature]) to the one that was serialized. *)
 let restore_net t ~id ~name:nname =
+  touch t;
   if Hashtbl.mem t.nets id then
     design_error ~op:"restore_net" ~design:t.dname ~net:nname
       "net id %d already present" id;
@@ -305,6 +326,7 @@ let restore_net t ~id ~name:nname =
   if id >= t.next_net then t.next_net <- id + 1
 
 let restore_comp t ~id ~name:cname kind =
+  touch t;
   if Hashtbl.mem t.comps id then
     design_error ~op:"restore_comp" ~design:t.dname ~comp:cname
       "comp id %d already present" id;

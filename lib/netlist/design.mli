@@ -67,6 +67,11 @@ val new_log : unit -> log
 val create : string -> t
 val name : t -> string
 
+val generation : t -> int
+(** Monotonic counter bumped on every structural mutation (including
+    undo/redo and restore).  Derived data keyed on a design (digests,
+    caches) is valid exactly while the generation is unchanged. *)
+
 val comp : t -> int -> comp
 val comp_opt : t -> int -> comp option
 val net : t -> int -> net

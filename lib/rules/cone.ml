@@ -29,7 +29,8 @@ let expandable ctx nid =
              && List.length m.Macro.outputs = 1
              && (match m.Macro.behavior with
                 | Macro.Combinational _ -> true
-                | Macro.Comb_eval _ | Macro.Seq_dff _ | Macro.Seq_counter _ ->
+                | Macro.Comb_eval _ | Macro.Seq_dff _ | Macro.Seq_counter _
+                | Macro.Seq_custom _ ->
                     false) ->
           Some (c, m)
       | Some _ | None -> None)
@@ -81,6 +82,47 @@ let extract ctx ~max_leaves out_net =
   if List.length leaves > max_leaves then None
   else Some { out_net; leaves; comps = !comps }
 
+(* Canonical structural digest of the cone's logic: a DFS
+   serialization from the output with leaves replaced by their
+   variable index and component kinds replaced by interned kind ids,
+   with backreferences for shared subtrees.  Two cones with equal
+   digests compute the same function of their leaves (within one
+   technology — macro kinds carry only the macro name, so cache keys
+   must include the library).  This is what lets the guard's
+   truth-vector snapshots be shared across structurally identical
+   cones instead of re-simulated. *)
+let digest ctx cone =
+  let buf = Buffer.create 64 in
+  let leaf_ix = List.mapi (fun i nid -> (nid, i)) cone.leaves in
+  let memo = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rec go nid =
+    match Hashtbl.find_opt memo nid with
+    | Some l -> Buffer.add_string buf (Printf.sprintf "#%d" l)
+    | None ->
+        Hashtbl.replace memo nid !counter;
+        incr counter;
+        (match List.assoc_opt nid leaf_ix with
+        | Some i -> Buffer.add_string buf (Printf.sprintf "L%d" i)
+        | None -> (
+            match expandable ctx nid with
+            | Some (c, m) when List.mem c.D.id cone.comps ->
+                Buffer.add_string buf
+                  (Printf.sprintf "(%d"
+                     (Milo_netlist.Hashcons.kind_id c.D.kind));
+                List.iter
+                  (fun pin ->
+                    Buffer.add_char buf ' ';
+                    match D.connection ctx.R.design c.D.id pin with
+                    | Some n -> go n
+                    | None -> Buffer.add_char buf '_')
+                  m.Macro.inputs;
+                Buffer.add_char buf ')'
+            | Some _ | None -> Buffer.add_char buf '_'))
+  in
+  go cone.out_net;
+  Buffer.contents buf
+
 (* Evaluate the cone output under a leaf assignment. *)
 let eval ctx cone assignment =
   let memo = Hashtbl.create 16 in
@@ -109,6 +151,41 @@ let eval ctx cone assignment =
         in
         Hashtbl.replace memo nid v;
         v
+  in
+  value cone.out_net
+
+(* Bit-parallel cone evaluation: leaf assignments and the result are
+   words carrying [Eval.Packed.lanes] vectors, one per bit position.
+   Cone components are single-output [Combinational] macros (that is
+   what [expandable] admits), so every step is a word-level
+   truth-table evaluation. *)
+let eval_packed ctx cone assignment =
+  let memo = Hashtbl.create 16 in
+  let rec value nid =
+    match Hashtbl.find_opt memo nid with
+    | Some w -> w
+    | None ->
+        let w =
+          match List.assoc_opt nid assignment with
+          | Some w -> w
+          | None -> (
+              match expandable ctx nid with
+              | Some (c, m) when List.mem c.D.id cone.comps ->
+                  let ws =
+                    List.map
+                      (fun pin ->
+                        ( pin,
+                          match D.connection ctx.R.design c.D.id pin with
+                          | Some n -> value n
+                          | None -> 0 ))
+                      m.Macro.inputs
+                  in
+                  let outs = Milo_sim.Eval.Packed.macro_comb_outputs m ws in
+                  List.assoc (List.nth m.Macro.outputs 0) outs
+              | Some _ | None -> 0)
+        in
+        Hashtbl.replace memo nid w;
+        w
   in
   value cone.out_net
 

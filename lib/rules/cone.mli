@@ -10,6 +10,18 @@ type t = { out_net : int; leaves : int list; comps : int list }
 val expandable : R.context -> int -> (D.comp * Milo_library.Macro.t) option
 val extract : R.context -> max_leaves:int -> int -> t option
 val eval : R.context -> t -> (int * bool) list -> bool
+
+val eval_packed : R.context -> t -> (int * int) list -> int
+(** Word-level [eval]: each leaf carries [Eval.Packed.lanes] vectors,
+    one per bit position; the result word holds the cone output of
+    every lane. *)
+
+val digest : R.context -> t -> string
+(** Canonical structural digest of the cone's logic over its leaf
+    variables: equal digests mean equal functions within one
+    technology (kinds carry only macro names — include the library in
+    any cross-design cache key). *)
+
 val truth_table : R.context -> t -> Truth_table.t option
 (** [None] when the cone has more than 6 leaves. *)
 

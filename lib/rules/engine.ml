@@ -286,6 +286,54 @@ let site_out_nets ctx (site : Rule.site) =
     site.Rule.site_comps
   |> List.sort_uniq compare
 
+(* Packed truth vectors: chunk [c] of the array holds minterms
+   [c*lanes .. c*lanes+lanes-1], lane [l] in bit position [l].  Leaf
+   [i]'s input word for chunk [c] therefore has bit [l] equal to bit
+   [i] of minterm [c*lanes + l]. *)
+let lanes = Milo_sim.Eval.Packed.lanes
+
+let leaf_words leaves c =
+  let base = c * lanes in
+  List.mapi
+    (fun i leaf ->
+      let w = ref 0 in
+      for l = 0 to lanes - 1 do
+        if (base + l) lsr i land 1 <> 0 then w := !w lor (1 lsl l)
+      done;
+      (leaf, !w))
+    leaves
+
+let chunks_for n = ((1 lsl n) + lanes - 1) / lanes
+
+(* Truth vectors are a function of the cone's structure alone, so
+   structurally identical cones — ubiquitous in mapped datapaths —
+   share one packed sweep through a digest-keyed cache.  Keys include
+   the library name: cone digests intern macro *names*, whose
+   behavior is per-technology. *)
+let tv_cache : (string, int array) Hashtbl.t = Hashtbl.create 256
+let tv_cache_bound = 4096
+let tv_hits = ref 0
+let tv_misses = ref 0
+
+let cone_truth_vector ctx cone =
+  let key =
+    Milo_library.Technology.name ctx.Rule.tech ^ ":" ^ Cone.digest ctx cone
+  in
+  match Hashtbl.find_opt tv_cache key with
+  | Some tv ->
+      incr tv_hits;
+      tv
+  | None ->
+      incr tv_misses;
+      let n = List.length cone.Cone.leaves in
+      let tv =
+        Array.init (chunks_for n) (fun c ->
+            Cone.eval_packed ctx cone (leaf_words cone.Cone.leaves c))
+      in
+      if Hashtbl.length tv_cache >= tv_cache_bound then Hashtbl.reset tv_cache;
+      Hashtbl.replace tv_cache key tv;
+      tv
+
 (* Truth vectors of the verifiable site outputs over their cone
    leaves.  Cones with no components (the driver is not an expandable
    combinational macro — e.g. micro-level kinds) are unverifiable
@@ -295,24 +343,17 @@ let snapshot_cones ctx nets =
     (fun nid ->
       match Cone.extract ctx ~max_leaves:guard_max_leaves nid with
       | Some cone when cone.Cone.comps <> [] ->
-          let n = List.length cone.Cone.leaves in
-          let tv =
-            Array.init (1 lsl n) (fun m ->
-                Cone.eval ctx cone
-                  (List.mapi
-                     (fun i leaf -> (leaf, m land (1 lsl i) <> 0))
-                     cone.Cone.leaves))
-          in
-          Some (nid, cone.Cone.leaves, tv)
+          Some (nid, cone.Cone.leaves, cone_truth_vector ctx cone)
       | Some _ | None -> None)
     nets
 
 exception Unverifiable
 
-(* Evaluate [nid]'s post-apply function under a leaf assignment,
-   expanding through combinational macro drivers.  A net that is
-   neither assigned nor expandable — or a combinational cycle — makes
-   the comparison meaningless: [Unverifiable]. *)
+(* Evaluate [nid]'s post-apply function under a packed leaf
+   assignment (one word = [lanes] vectors), expanding through
+   combinational macro drivers.  A net that is neither assigned nor
+   expandable — or a combinational cycle — makes the comparison
+   meaningless: [Unverifiable]. *)
 let eval_after ctx assignment nid0 =
   let memo = Hashtbl.create 16 in
   let visiting = Hashtbl.create 16 in
@@ -334,10 +375,10 @@ let eval_after ctx assignment nid0 =
                         ( pin,
                           match D.connection ctx.Rule.design c.D.id pin with
                           | Some n -> value n
-                          | None -> false ))
+                          | None -> 0 ))
                       m.Milo_library.Macro.inputs
                   in
-                  let outs = Milo_sim.Eval.macro_comb_outputs m pvs in
+                  let outs = Milo_sim.Eval.Packed.macro_comb_outputs m pvs in
                   List.assoc (List.nth m.Milo_library.Macro.outputs 0) outs
               | None -> raise Unverifiable)
         in
@@ -377,14 +418,30 @@ let check_snapshot ctx snaps =
         if D.net_opt ctx.Rule.design nid = None then nets rest
         else begin
           let n = List.length leaves in
-          let rec vec m =
-            if m >= 1 lsl n then None
+          let total = 1 lsl n in
+          let rec vec c =
+            if c >= Array.length tv then None
             else
-              let assignment =
-                List.mapi (fun i leaf -> (leaf, m land (1 lsl i) <> 0)) leaves
-              in
+              let base = c * lanes in
+              let live = min lanes (total - base) in
+              let mask = if live >= lanes then -1 else (1 lsl live) - 1 in
+              let assignment = leaf_words leaves c in
               match eval_after ctx assignment nid with
-              | v -> if v <> tv.(m) then Some (describe nid assignment) else vec (m + 1)
+              | v ->
+                  let diff = (v lxor tv.(c)) land mask in
+                  if diff = 0 then vec (c + 1)
+                  else
+                    (* First mismatching lane, as a scalar witness. *)
+                    let l = ref 0 in
+                    while diff land (1 lsl !l) = 0 do
+                      incr l
+                    done;
+                    let m = base + !l in
+                    Some
+                      (describe nid
+                         (List.mapi
+                            (fun i leaf -> (leaf, m lsr i land 1 <> 0))
+                            leaves))
               | exception Unverifiable -> None
           in
           match vec 0 with Some d -> Some d | None -> nets rest

@@ -1,7 +1,19 @@
 (* Equivalence checking by simulation.  Designs are compared on their
    shared port interface: exhaustively when the input count is small,
    with random vectors otherwise; sequential designs are compared in
-   lock-step from the reset state over random stimulus. *)
+   lock-step from the reset state over random stimulus.
+
+   Both checks run on the packed engine: each settle evaluates
+   [Simulator.lanes] vectors at once, so a 2^12 exhaustive sweep costs
+   ~65 packed passes instead of 4096 scalar ones.  Vectors are
+   streamed chunk by chunk — nothing proportional to 2^n is ever
+   materialized — and the exhaustive bound is clamped below the word
+   size so [1 lsl n] cannot overflow.
+
+   Port interfaces are validated symmetrically on both input and
+   output sets, for sequential designs too: a candidate that drops or
+   renames an output port is rejected up front rather than silently
+   compared on the surviving ports. *)
 
 module D = Milo_netlist.Design
 module T = Milo_netlist.Types
@@ -24,86 +36,150 @@ let output_ports d =
     (fun (p, dir, _) -> if dir = T.Output then Some p else None)
     (D.ports d)
 
-let vector_of_int names v =
-  List.mapi (fun i p -> (p, v land (1 lsl i) <> 0)) names
+let validate_ports fname d1 d2 =
+  if List.sort compare (input_ports d1) <> List.sort compare (input_ports d2)
+  then invalid_arg (fname ^ ": input port mismatch");
+  if List.sort compare (output_ports d1) <> List.sort compare (output_ports d2)
+  then invalid_arg (fname ^ ": output port mismatch")
 
-let random_vector rng names =
-  List.map (fun p -> (p, Random.State.bool rng)) names
+let lanes = Simulator.lanes
+let lane_mask n = if n >= lanes then -1 else (1 lsl n) - 1
 
-(* All output ports whose values differ (a port missing on one side
-   counts as differing). *)
-let compare_outputs outs1 outs2 =
-  List.rev
-    (List.fold_left
-       (fun acc (p, v) ->
-         match List.assoc_opt p outs2 with
-         | Some v2 when v2 = v -> acc
-         | Some _ | None -> p :: acc)
-       [] outs1)
+let lowest_bit w =
+  let rec go i = if w land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+(* Per-port difference words between two packed output assignments,
+   restricted to [mask]'s lanes.  A port present on only one side
+   differs on every lane (unreachable after [validate_ports], but kept
+   symmetric for safety). *)
+let packed_diffs o1 o2 mask =
+  let ports =
+    List.sort_uniq compare (List.map fst o1 @ List.map fst o2)
+  in
+  List.filter_map
+    (fun p ->
+      let d =
+        match (List.assoc_opt p o1, List.assoc_opt p o2) with
+        | Some w1, Some w2 -> (w1 lxor w2) land mask
+        | Some _, None | None, Some _ -> mask
+        | None, None -> 0
+      in
+      if d = 0 then None else Some (p, d))
+    ports
+
+(* Extract the first mismatching lane as a scalar counterexample. *)
+let mismatch_of_diffs ~cycle in_words diffs =
+  let all = List.fold_left (fun acc (_, d) -> acc lor d) 0 diffs in
+  let l = lowest_bit all in
+  let bit w = w land (1 lsl l) <> 0 in
+  Mismatch
+    {
+      inputs = List.map (fun (p, w) -> (p, bit w)) in_words;
+      ports = List.filter_map (fun (p, d) -> if bit d then Some p else None) diffs;
+      cycle;
+    }
+
+let check_chunk ~cycle s1 s2 in_words mask =
+  let o1 = Simulator.outputs_packed s1 in_words
+  and o2 = Simulator.outputs_packed s2 in_words in
+  match packed_diffs o1 o2 mask with
+  | [] -> None
+  | diffs -> Some (mismatch_of_diffs ~cycle in_words diffs)
+
+(* Input words for lanes [v0 .. v0+chunk-1] of the exhaustive order:
+   lane [l]'s value of input [i] is bit [i] of [v0 + l]. *)
+let exhaustive_words ins v0 chunk =
+  List.mapi
+    (fun i p ->
+      let w = ref 0 in
+      for l = 0 to chunk - 1 do
+        if (v0 + l) lsr i land 1 <> 0 then w := !w lor (1 lsl l)
+      done;
+      (p, !w))
+    ins
+
+(* Random input words drawn lane-major then input-minor, matching the
+   draw order of one scalar vector per lane. *)
+let random_words rng ins chunk =
+  let ws = Array.make (List.length ins) 0 in
+  for l = 0 to chunk - 1 do
+    List.iteri
+      (fun i _ -> if Random.State.bool rng then ws.(i) <- ws.(i) lor (1 lsl l))
+      ins
+  done;
+  List.mapi (fun i p -> (p, ws.(i))) ins
 
 (* Combinational equivalence; [max_exhaustive] bounds the exhaustive
-   sweep (default 2^12 vectors), beyond which [vectors] random vectors
-   are used. *)
+   sweep (default 2^12 vectors, clamped below the word size), beyond
+   which [vectors] random vectors are used. *)
 let combinational ?(max_exhaustive = 12) ?(vectors = 512) ?(seed = 0x5eed)
     env1 d1 env2 d2 =
+  validate_ports "Equiv.combinational" d1 d2;
   let ins = input_ports d1 in
-  let ins2 = input_ports d2 in
-  if List.sort compare ins <> List.sort compare ins2 then
-    invalid_arg "Equiv.combinational: input port mismatch";
-  if List.sort compare (output_ports d1) <> List.sort compare (output_ports d2)
-  then invalid_arg "Equiv.combinational: output port mismatch";
   let s1 = Simulator.create env1 d1 and s2 = Simulator.create env2 d2 in
-  let check inputs =
-    let o1 = Simulator.outputs s1 inputs and o2 = Simulator.outputs s2 inputs in
-    match compare_outputs o1 o2 with
-    | [] -> None
-    | ports -> Some (Mismatch { inputs; ports; cycle = None })
-  in
   let n = List.length ins in
-  let trial_inputs =
-    if n <= max_exhaustive then
-      List.init (1 lsl n) (fun v -> vector_of_int ins v)
-    else
-      let rng = Random.State.make [| seed |] in
-      List.init vectors (fun _ -> random_vector rng ins)
-  in
-  let rec go = function
-    | [] -> Equivalent
-    | inputs :: rest -> (
-        match check inputs with None -> go rest | Some m -> m)
-  in
-  go trial_inputs
+  (* [1 lsl n] must stay a positive [int]; beyond that an exhaustive
+     sweep is unrepresentable, so fall through to random vectors. *)
+  let max_exhaustive = min max_exhaustive (Sys.int_size - 2) in
+  if n <= max_exhaustive then begin
+    let total = 1 lsl n in
+    let rec sweep v0 =
+      if v0 >= total then Equivalent
+      else
+        let chunk = min lanes (total - v0) in
+        let in_words = exhaustive_words ins v0 chunk in
+        match check_chunk ~cycle:None s1 s2 in_words (lane_mask chunk) with
+        | Some m -> m
+        | None -> sweep (v0 + lanes)
+    in
+    sweep 0
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let rec sweep done_ =
+      if done_ >= vectors then Equivalent
+      else
+        let chunk = min lanes (vectors - done_) in
+        let in_words = random_words rng ins chunk in
+        match check_chunk ~cycle:None s1 s2 in_words (lane_mask chunk) with
+        | Some m -> m
+        | None -> sweep (done_ + chunk)
+    in
+    sweep 0
+  end
 
 (* Sequential equivalence over [cycles] random input vectors applied in
-   lock-step from reset, comparing outputs before each edge. *)
+   lock-step from reset, comparing outputs before each edge.  Runs are
+   packed into lanes: one chunk of up to [lanes] independent runs
+   advances cycle by cycle in a single pair of simulators. *)
 let sequential ?(cycles = 256) ?(runs = 8) ?(seed = 0x5eed) env1 d1 env2 d2 =
+  validate_ports "Equiv.sequential" d1 d2;
   let ins = input_ports d1 in
-  if List.sort compare ins <> List.sort compare (input_ports d2) then
-    invalid_arg "Equiv.sequential: input port mismatch";
   let rng = Random.State.make [| seed |] in
-  let rec run r =
-    if r >= runs then Equivalent
+  let rec run_chunk r0 =
+    if r0 >= runs then Equivalent
     else begin
+      let chunk = min lanes (runs - r0) in
+      let mask = lane_mask chunk in
       let s1 = Simulator.create env1 d1 and s2 = Simulator.create env2 d2 in
       Simulator.reset s1;
       Simulator.reset s2;
       let rec cycle c =
         if c >= cycles then None
         else
-          let inputs = random_vector rng ins in
-          let o1 = Simulator.outputs s1 inputs
-          and o2 = Simulator.outputs s2 inputs in
-          match compare_outputs o1 o2 with
-          | _ :: _ as ports -> Some (Mismatch { inputs; ports; cycle = Some c })
-          | [] ->
-              Simulator.step s1 inputs;
-              Simulator.step s2 inputs;
+          let in_words = random_words rng ins chunk in
+          match check_chunk ~cycle:(Some c) s1 s2 in_words mask with
+          | Some m -> Some m
+          | None ->
+              Simulator.step_packed s1 in_words;
+              Simulator.step_packed s2 in_words;
               cycle (c + 1)
       in
-      match cycle 0 with None -> run (r + 1) | Some m -> m
+      match cycle 0 with None -> run_chunk (r0 + chunk) | Some m -> m
     end
   in
-  run 0
+  run_chunk 0
 
 let is_equivalent = function Equivalent -> true | Mismatch _ -> false
 

@@ -1,6 +1,13 @@
 (** Equivalence checking by simulation: exhaustive for small input
     counts, random-vector otherwise; lock-step state simulation for
-    sequential designs. *)
+    sequential designs.
+
+    Both checks run bit-parallel on {!Simulator}'s packed engine
+    ([Simulator.lanes] vectors per settle) and stream their vectors —
+    no sweep materializes anything proportional to [2^n].  Input and
+    output port sets are validated symmetrically on both designs
+    before any simulation; [Invalid_argument] is raised on any
+    drop/rename. *)
 
 module D = Milo_netlist.Design
 
@@ -22,8 +29,8 @@ val combinational :
   D.t ->
   result
 (** Compare two designs with identical port interfaces.  Exhaustive up
-    to [max_exhaustive] inputs (default 12), then [vectors] random
-    vectors. *)
+    to [max_exhaustive] inputs (default 12, clamped below the native
+    word size), then [vectors] random vectors. *)
 
 val sequential :
   ?cycles:int ->

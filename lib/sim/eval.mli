@@ -29,3 +29,49 @@ val macro_comb_outputs : Milo_library.Macro.t -> pin_values -> pin_values
 val macro_next_state : Milo_library.Macro.t -> state:int -> pin_values -> int
 val macro_seq_outputs :
   Milo_library.Macro.t -> state:int -> pin_values -> pin_values
+
+val state_only_outputs : T.kind -> string list
+(** Outputs of a sequential micro component that depend on the stored
+    state alone (safe to seed before the inputs are known); empty for
+    combinational kinds.  Replaces the old "pin starts with Q"
+    heuristic. *)
+
+val macro_state_only_outputs : Milo_library.Macro.t -> string list
+val state_bits : T.kind -> int
+
+(** Bit-parallel mirror of the scalar semantics: every pin carries one
+    native int word, bit [l] of which is the value of simulation lane
+    [l].  Sequential state is stored as bit-planes (plane [b] = bit [b]
+    of every lane's register). *)
+module Packed : sig
+  val lanes : int
+  (** Lanes per word = [Sys.int_size] (63 on 64-bit). *)
+
+  val zero : int
+  val ones : int
+
+  type pin_words = (string * int) list
+
+  val getw : pin_words -> string -> int
+  val mux2 : int -> int -> int -> int
+  (** [mux2 c a b] is per-lane [if c then a else b]. *)
+
+  val eval_tt : Milo_boolfunc.Truth_table.t -> int array -> int
+  (** Evaluate a truth table over word literals (variable [i] =
+      [ws.(i)]); compiled once per table into a sum of products and
+      cached. *)
+
+  val lane_of_words : int array -> int -> bool array
+  val state_of_planes : int array -> int -> int
+  val planes_of_state : int -> int -> int array
+
+  val comb_outputs : T.kind -> pin_words -> pin_words
+  val seq_outputs : T.kind -> planes:int array -> pin_words -> pin_words
+  val next_planes : T.kind -> planes:int array -> pin_words -> int array
+
+  val macro_comb_outputs : Milo_library.Macro.t -> pin_words -> pin_words
+  val macro_seq_outputs :
+    Milo_library.Macro.t -> planes:int array -> pin_words -> pin_words
+  val macro_next_planes :
+    Milo_library.Macro.t -> planes:int array -> pin_words -> int array
+end

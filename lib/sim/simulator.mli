@@ -1,5 +1,15 @@
 (** Levelized logic simulation of mixed microarchitecture / macro
-    designs with an implicit global clock. *)
+    designs with an implicit global clock.
+
+    Two engines share one evaluation schedule, computed once per
+    design at [create]:
+
+    - the scalar path ([settle]/[outputs]/[step]) evaluates one input
+      vector per pass through the reference semantics in {!Eval};
+    - the packed path ([settle_packed]/[outputs_packed]/[step_packed])
+      evaluates [lanes] vectors per pass, one per bit position of a
+      native [int] word, through the word-level semantics in
+      {!Eval.Packed}. *)
 
 module D = Milo_netlist.Design
 
@@ -16,8 +26,13 @@ val create : env -> D.t -> t
 (** All sequential state starts at zero. *)
 
 val reset : t -> unit
+
 val set_state : t -> int -> int -> unit
+(** Set a sequential component's state, broadcast to every packed
+    lane, so scalar and packed runs observe the same initial state. *)
+
 val get_state : t -> int -> int option
+(** State as seen by the scalar engine (packed lane 0). *)
 
 exception Combinational_loop of string list
 (** Component names that never settled. *)
@@ -33,4 +48,32 @@ val step : t -> (string * bool) list -> unit
 (** Apply one synchronous clock edge. *)
 
 val net_value : t -> int -> bool option
-(** Value of a net in the most recent [settle]. *)
+(** Value of a net in the most recent scalar [settle]. *)
+
+(** {2 Packed (bit-parallel) engine}
+
+    Ports carry one word each; bit [l] of a word is input vector [l]'s
+    value, for [l < lanes].  A packed pass evaluates all lanes at
+    once. *)
+
+val lanes : int
+(** Vectors evaluated per packed pass ([Sys.int_size]: 63 on 64-bit). *)
+
+val settle_packed : t -> (string * int) list -> unit
+(** Packed combinational settle; absent input ports read as all-zero.
+    Results are read with [outputs_packed] / [packed_net_value]. *)
+
+val outputs_packed : t -> (string * int) list -> (string * int) list
+(** Output-port words under the given packed inputs (no clock edge). *)
+
+val step_packed : t -> (string * int) list -> unit
+(** One synchronous clock edge on all lanes at once. *)
+
+val packed_net_value : t -> int -> int option
+(** Word value of a net after the most recent packed settle. *)
+
+val get_state_planes : t -> int -> int array option
+(** Raw per-lane state bit-planes of a sequential component: word [b]
+    holds bit [b] of every lane's state. *)
+
+val set_state_planes : t -> int -> int array -> unit

@@ -1,0 +1,229 @@
+(* Differential fuzz: the packed (bit-parallel) simulator against the
+   scalar reference path, lane by lane, over every suite design — raw
+   micro form and conservatively mapped form — plus the accumulator
+   and the examples/ inputs.  Combinational designs get random packed
+   chunks (and an exhaustive sweep when the interface is narrow);
+   sequential designs run in lock-step for a number of cycles with an
+   independent scalar simulator shadowing a sample of lanes.
+
+   The two engines share the levelized schedule but nothing else: the
+   scalar path calls the one-vector reference semantics in [Eval], the
+   packed path the word-level semantics in [Eval.Packed], so a
+   divergence here is a real semantics bug in one of them.
+
+   Also runnable on its own via `dune build @sim_suite`. *)
+
+module D = Milo_netlist.Design
+module T = Milo_netlist.Types
+module Sim = Milo_sim.Simulator
+module Macro = Milo_library.Macro
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n%!" s)
+    fmt
+
+let lanes = Sim.lanes
+
+let input_ports d =
+  List.filter_map
+    (fun (p, dir, _) -> if dir = T.Input then Some p else None)
+    (D.ports d)
+
+let is_seq_design (env : Sim.env) d =
+  List.exists
+    (fun (c : D.comp) ->
+      match c.D.kind with
+      | T.Register _ | T.Counter _ -> true
+      | T.Macro m -> (
+          match env.Sim.find_macro m with
+          | mac -> Macro.is_sequential mac
+          | exception _ -> false)
+      | _ -> false)
+    (D.comps d)
+
+let random_words rng ins chunk =
+  List.map
+    (fun p ->
+      let w = ref 0 in
+      for l = 0 to chunk - 1 do
+        if Random.State.bool rng then w := !w lor (1 lsl l)
+      done;
+      (p, !w))
+    ins
+
+let lane_inputs words l =
+  List.map (fun (p, w) -> (p, w land (1 lsl l) <> 0)) words
+
+(* Compare one lane of a packed output assignment against a scalar
+   one.  The port sets must agree exactly. *)
+let compare_lane what ~cycle scalar packed l =
+  let sp = List.sort compare (List.map fst scalar)
+  and pp = List.sort compare (List.map fst packed) in
+  if sp <> pp then
+    fail "%s: output port sets differ (scalar %s, packed %s)" what
+      (String.concat "," sp) (String.concat "," pp)
+  else
+    List.iter
+      (fun (p, v) ->
+        let w = List.assoc p packed in
+        if w land (1 lsl l) <> 0 <> v then
+          fail "%s: port %s lane %d%s: scalar %b, packed %b" what p l
+            (match cycle with
+            | None -> ""
+            | Some c -> Printf.sprintf " cycle %d" c)
+            v
+            (w land (1 lsl l) <> 0))
+      scalar
+
+(* --- Combinational: packed chunk vs per-lane scalar runs -------------- *)
+
+let fuzz_comb what env d =
+  let ins = input_ports d in
+  let s = Sim.create env d in
+  let check_chunk words chunk =
+    let packed = Sim.outputs_packed s words in
+    for l = 0 to chunk - 1 do
+      let scalar = Sim.outputs s (lane_inputs words l) in
+      compare_lane what ~cycle:None scalar packed l
+    done
+  in
+  let rng = Random.State.make [| 0xd1f; String.length what |] in
+  for _ = 1 to 8 do
+    check_chunk (random_words rng ins lanes) lanes
+  done;
+  let n = List.length ins in
+  if n <= 10 then begin
+    (* Exhaustive: every vector, streamed in packed chunks. *)
+    let total = 1 lsl n in
+    let v0 = ref 0 in
+    while !v0 < total do
+      let chunk = min lanes (total - !v0) in
+      let words =
+        List.mapi
+          (fun i p ->
+            let w = ref 0 in
+            for l = 0 to chunk - 1 do
+              if (!v0 + l) lsr i land 1 <> 0 then w := !w lor (1 lsl l)
+            done;
+            (p, !w))
+          ins
+      in
+      check_chunk words chunk;
+      v0 := !v0 + lanes
+    done
+  end;
+  Printf.printf "ok   %s comb packed=scalar (%d inputs)\n%!" what n
+
+(* --- Sequential: packed lanes vs shadow scalar simulators ------------- *)
+
+let shadow_lanes = 4
+let seq_cycles = 24
+
+let fuzz_seq what env d =
+  let ins = input_ports d in
+  let p = Sim.create env d in
+  Sim.reset p;
+  let shadows = Array.init shadow_lanes (fun _ ->
+      let s = Sim.create env d in
+      Sim.reset s;
+      s)
+  in
+  let rng = Random.State.make [| 0x5e41; String.length what |] in
+  for c = 0 to seq_cycles - 1 do
+    let words = random_words rng ins lanes in
+    let packed = Sim.outputs_packed p words in
+    Array.iteri
+      (fun j s ->
+        let scalar = Sim.outputs s (lane_inputs words j) in
+        compare_lane what ~cycle:(Some c) scalar packed j)
+      shadows;
+    Sim.step_packed p words;
+    Array.iteri (fun j s -> Sim.step s (lane_inputs words j)) shadows
+  done;
+  Printf.printf "ok   %s seq packed=scalar (%d cycles, %d lanes shadowed)\n%!"
+    what seq_cycles shadow_lanes
+
+let fuzz what env d =
+  match if is_seq_design env d then fuzz_seq what env d else fuzz_comb what env d with
+  | () -> ()
+  | exception Sim.Combinational_loop _ ->
+      Printf.printf "skip %s (combinational loop)\n%!" what
+  | exception e -> fail "%s: %s" what (Printexc.to_string e)
+
+(* --- Corpus ------------------------------------------------------------ *)
+
+let env_gen () = Sim.env_of_techs [ Milo_library.Generic.get () ]
+
+let env_mapped () =
+  Sim.env_of_techs [ Milo_library.Ecl.get (); Milo_library.Generic.get () ]
+
+let sweep_suite () =
+  List.iter
+    (fun (case : Milo_designs.Suite.case) ->
+      let name = "design" ^ case.Milo_designs.Suite.case_name in
+      let d = case.Milo_designs.Suite.case_design in
+      fuzz name (env_gen ()) d;
+      match Milo.Flow.human_baseline d with
+      | mapped, _ -> fuzz (name ^ "/mapped") (env_mapped ()) mapped
+      | exception e ->
+          fail "%s: human_baseline raised %s" name (Printexc.to_string e))
+    (Milo_designs.Suite.all ());
+  fuzz "accumulator" (env_gen ()) (Milo_designs.Suite.accumulator ())
+
+(* examples/ inputs, compiled and conservatively mapped first (they mix
+   micro kinds, hierarchy and behavioural sources the raw simulator
+   does not accept). *)
+let find_examples () =
+  let rec go dir depth =
+    if depth > 4 then None
+    else
+      let cand = Filename.concat dir "examples" in
+      if Sys.file_exists cand && Sys.is_directory cand then Some cand
+      else go (Filename.concat dir "..") (depth + 1)
+  in
+  go "." 0
+
+let read_input path =
+  if Filename.check_suffix path ".pla" then
+    Some
+      (Milo_pla.Pla.to_design
+         ~name:(Filename.remove_extension (Filename.basename path))
+         (Milo_pla.Pla.of_file path))
+  else if Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
+  then Some (Milo_vhdl.Elaborate.design_of_file path)
+  else if Filename.check_suffix path ".mil" then
+    Some (Milo_netlist.Parser.of_file path)
+  else None
+
+let sweep_examples () =
+  match find_examples () with
+  | None -> Printf.printf "skip examples/ (directory not found)\n"
+  | Some dir ->
+      Array.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          match read_input path with
+          | None -> ()
+          | Some design -> (
+              match Milo.Flow.human_baseline design with
+              | mapped, _ -> fuzz ("examples/" ^ f) (env_mapped ()) mapped
+              | exception e ->
+                  fail "examples/%s: human_baseline raised %s" f
+                    (Printexc.to_string e))
+          | exception e ->
+              fail "examples/%s: cannot read (%s)" f (Printexc.to_string e))
+        (Sys.readdir dir)
+
+let () =
+  sweep_suite ();
+  sweep_examples ();
+  if !failures > 0 then begin
+    Printf.printf "%d differential failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "sim_suite: all packed/scalar differentials clean\n"

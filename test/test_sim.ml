@@ -133,6 +133,134 @@ let test_equiv_detects_difference () =
     (Milo_sim.Equiv.is_equivalent
        (Milo_sim.Equiv.combinational env (mk T.And) env (mk T.And)))
 
+(* Regression: the equivalence checker must reject a candidate that
+   drops or renames an output port — on the sequential path too, and
+   regardless of which side is missing the port.  Before the fix,
+   [sequential] validated only input ports and the output comparison
+   folded over one side's ports, so a dropped output compared clean. *)
+let test_equiv_output_port_validation () =
+  let mk_ff extra_out =
+    let d = D.create "ff" in
+    let din = D.add_port d "D" T.Input in
+    let q = D.add_port d "Q" T.Output in
+    let ff = D.add_comp d (T.Macro "DFF") in
+    D.connect d ff "D" din;
+    D.connect d ff "Q" q;
+    (match extra_out with
+    | Some name ->
+        let o = D.add_port d name T.Output in
+        let b = D.add_comp d (T.Macro "BUF") in
+        D.connect d b "A0" q;
+        D.connect d b "Y" o
+    | None -> ());
+    d
+  in
+  let env = Util.env_gen () in
+  let rejects f = match f () with
+    | (_ : Milo_sim.Equiv.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "sequential: candidate drops an output" true
+    (rejects (fun () ->
+         Milo_sim.Equiv.sequential env (mk_ff (Some "Q2")) env (mk_ff None)));
+  Alcotest.(check bool) "sequential: candidate grows an output" true
+    (rejects (fun () ->
+         Milo_sim.Equiv.sequential env (mk_ff None) env (mk_ff (Some "Q2"))));
+  Alcotest.(check bool) "sequential: candidate renames an output" true
+    (rejects (fun () ->
+         Milo_sim.Equiv.sequential env
+           (mk_ff (Some "Q2"))
+           env
+           (mk_ff (Some "QX"))));
+  Alcotest.(check bool) "combinational: candidate drops an output" true
+    (rejects (fun () ->
+         let mk out =
+           let d = D.create "c" in
+           let a = D.add_port d "A" T.Input in
+           let y = D.add_port d out T.Output in
+           let b = D.add_comp d (T.Macro "BUF") in
+           D.connect d b "A0" a;
+           D.connect d b "Y" y;
+           d
+         in
+         Milo_sim.Equiv.combinational env (mk "Y") env (mk "Z")))
+
+(* Regression: sequential output seeding must come from explicit
+   state-only metadata, not from the pin name starting with 'Q'.  QRDY
+   here is an *input-dependent* output of a sequential macro whose
+   name begins with 'Q': the old heuristic seeded it before its GO
+   input was known and the downstream buffer (a component created
+   earlier, so visited first by the old worklist) latched the stale
+   value. *)
+let test_state_output_metadata_not_name () =
+  let qmac =
+    Milo_library.Macro.make ~delay:1.0 ~area:1.0 ~power:1.0 ~gates:1.0 "QMAC"
+      [ ("GO", T.Input); ("Q", T.Output); ("QRDY", T.Output) ]
+      (Milo_library.Macro.Seq_custom
+         {
+           state_bits = 1;
+           state_only = [ "Q" ];
+           custom_outputs =
+             (fun ~state pins ->
+               let go = Option.value ~default:false (List.assoc_opt "GO" pins) in
+               [ ("Q", state land 1 <> 0); ("QRDY", state land 1 <> 0 && go) ]);
+           custom_next = (fun ~state _ -> state);
+         })
+  in
+  let gen = Util.env_gen () in
+  let env =
+    {
+      Milo_sim.Simulator.find_macro =
+        (fun name -> if name = "QMAC" then qmac else gen.Milo_sim.Simulator.find_macro name);
+    }
+  in
+  let d = D.create "qrdy" in
+  let go = D.add_port d "GO" T.Input in
+  let r = D.add_port d "R" T.Output in
+  let n = D.new_net d in
+  (* The buffer gets the smaller component id on purpose. *)
+  let buf = D.add_comp d (T.Macro "BUF") in
+  D.connect d buf "A0" n;
+  D.connect d buf "Y" r;
+  let m = D.add_comp d (T.Macro "QMAC") in
+  D.connect d m "GO" go;
+  D.connect d m "QRDY" n;
+  let s = Milo_sim.Simulator.create env d in
+  Milo_sim.Simulator.set_state s m 1;
+  Alcotest.(check bool) "R follows state && GO" true
+    (List.assoc "R" (Milo_sim.Simulator.outputs s [ ("GO", true) ]));
+  Alcotest.(check bool) "R low when GO low" false
+    (List.assoc "R" (Milo_sim.Simulator.outputs s [ ("GO", false) ]))
+
+(* Regression: an exhaustive bound at or above the word size must not
+   overflow [1 lsl n].  64 input ports with [max_exhaustive = 64]
+   made the old code size its vector list with [1 lsl 64]; the clamp
+   routes wide interfaces to the random sweep, which must still find
+   the planted difference. *)
+let test_exhaustive_clamp () =
+  let mk flip =
+    let d = D.create "wide" in
+    for i = 0 to 63 do
+      let a = D.add_port d (Printf.sprintf "A%d" i) T.Input in
+      let y = D.add_port d (Printf.sprintf "Y%d" i) T.Output in
+      let g =
+        D.add_comp d (T.Macro (if flip && i = 0 then "INV" else "BUF"))
+      in
+      D.connect d g "A0" a;
+      D.connect d g "Y" y
+    done;
+    d
+  in
+  let env = Util.env_gen () in
+  Alcotest.(check bool) "wide self-equivalence" true
+    (Milo_sim.Equiv.is_equivalent
+       (Milo_sim.Equiv.combinational ~max_exhaustive:64 env (mk false) env
+          (mk false)));
+  Alcotest.(check bool) "wide planted difference found" false
+    (Milo_sim.Equiv.is_equivalent
+       (Milo_sim.Equiv.combinational ~max_exhaustive:64 env (mk false) env
+          (mk true)))
+
 let test_muxff_macro () =
   (* E_MUXFF2 behaves as mux-then-dff *)
   let d = D.create "mf" in
@@ -174,6 +302,17 @@ let () =
           Alcotest.test_case "counter" `Quick test_micro_counter_semantics;
         ] );
       ( "equiv",
-        [ Alcotest.test_case "detects difference" `Quick test_equiv_detects_difference ]
-      );
+        [
+          Alcotest.test_case "detects difference" `Quick
+            test_equiv_detects_difference;
+          Alcotest.test_case "output port validation" `Quick
+            test_equiv_output_port_validation;
+          Alcotest.test_case "exhaustive bound clamp" `Quick
+            test_exhaustive_clamp;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "state-only metadata, not pin names" `Quick
+            test_state_output_metadata_not_name;
+        ] );
     ]
