@@ -26,6 +26,24 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Every BENCH_*.json artifact goes through this emitter: keys sorted,
+   one per line — so checked-in artifacts diff cleanly across runs and
+   branches regardless of the order fields were computed in. *)
+let bench_json fields =
+  let fields = List.sort (fun (a, _) (b, _) -> compare a b) fields in
+  "{\n"
+  ^ String.concat ",\n"
+      (List.map (fun (k, v) -> Printf.sprintf "  %S: %s" k v) fields)
+  ^ "\n}\n"
+
+let write_bench file fields =
+  try
+    let oc = open_out file in
+    output_string oc (bench_json fields);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" file
+  with Sys_error msg -> Printf.printf "could not write %s: %s\n%!" file msg
+
 (* --- E1: Figure 19 ---------------------------------------------------- *)
 
 let fig19 () =
@@ -685,39 +703,28 @@ let measure_bench ~smoke_mode () =
      speedup (with cleanup lookahead):   %.2fx\n\
      env cache hit rate: %.3f\n%!"
     !n_cands trials full_eps incr_eps speedup_median speedup_cleanups hit_rate;
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"design\": %S,\n\
-      \  \"comps\": %d,\n\
-      \  \"candidates\": %d,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"full_evals_per_sec\": %.2f,\n\
-      \  \"incremental_evals_per_sec\": %.2f,\n\
-      \  \"speedup_median\": %.3f,\n\
-      \  \"speedups\": [%s],\n\
-      \  \"speedup_with_cleanups\": %.3f,\n\
-      \  \"env_cache_hit_rate\": %.4f,\n\
-      \  \"advances\": %d,\n\
-      \  \"retreats\": %d,\n\
-      \  \"oracle_checks\": %d,\n\
-      \  \"divergences\": 0\n\
-       }\n"
-      name (D.num_comps mapped) !n_cands trials smoke_mode full_eps incr_eps
-      speedup_median
-      (String.concat ", "
-         (List.map (Printf.sprintf "%.3f") (List.rev !speedups)))
-      speedup_cleanups hit_rate stats.Measure.advances stats.Measure.retreats
-      oracle_checks
-  in
-  (try
-     let oc = open_out "BENCH_measure.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_measure.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_measure.json: %s\n%!" msg);
+  write_bench "BENCH_measure.json"
+    [
+      ("design", Printf.sprintf "%S" name);
+      ("comps", string_of_int (D.num_comps mapped));
+      ("candidates", string_of_int !n_cands);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ("full_evals_per_sec", Printf.sprintf "%.2f" full_eps);
+      ("incremental_evals_per_sec", Printf.sprintf "%.2f" incr_eps);
+      ("speedup_median", Printf.sprintf "%.3f" speedup_median);
+      ( "speedups",
+        "["
+        ^ String.concat ", "
+            (List.map (Printf.sprintf "%.3f") (List.rev !speedups))
+        ^ "]" );
+      ("speedup_with_cleanups", Printf.sprintf "%.3f" speedup_cleanups);
+      ("env_cache_hit_rate", Printf.sprintf "%.4f" hit_rate);
+      ("advances", string_of_int stats.Measure.advances);
+      ("retreats", string_of_int stats.Measure.retreats);
+      ("oracle_checks", string_of_int oracle_checks);
+      ("divergences", "0");
+    ];
   if smoke_mode && speedup_median < 1.2 then begin
     Printf.printf
       "measure smoke: incremental slower than full (%.2fx < 1.2x)\n"
@@ -811,33 +818,130 @@ let trace_overhead ~smoke_mode () =
      jsonl:     %8.2f ms  (%+.1f%%)\n%!"
     name trials !last_events (off_min *. 1e3) (mem_min *. 1e3)
     (pct off_min mem_min) (jsonl_min *. 1e3) (pct off_min jsonl_min);
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"design\": %S,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"events\": %d,\n\
-      \  \"off_ms\": %.3f,\n\
-      \  \"in_memory_ms\": %.3f,\n\
-      \  \"jsonl_ms\": %.3f,\n\
-      \  \"in_memory_overhead_pct\": %.2f,\n\
-      \  \"jsonl_overhead_pct\": %.2f\n\
-       }\n"
-      name trials smoke_mode !last_events (off_min *. 1e3) (mem_min *. 1e3)
-      (jsonl_min *. 1e3) (pct off_min mem_min) (pct off_min jsonl_min)
-  in
-  (try
-     let oc = open_out "BENCH_trace.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_trace.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_trace.json: %s\n%!" msg);
+  write_bench "BENCH_trace.json"
+    [
+      ("design", Printf.sprintf "%S" name);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ("events", string_of_int !last_events);
+      ("off_ms", Printf.sprintf "%.3f" (off_min *. 1e3));
+      ("in_memory_ms", Printf.sprintf "%.3f" (mem_min *. 1e3));
+      ("jsonl_ms", Printf.sprintf "%.3f" (jsonl_min *. 1e3));
+      ("in_memory_overhead_pct", Printf.sprintf "%.2f" (pct off_min mem_min));
+      ("jsonl_overhead_pct", Printf.sprintf "%.2f" (pct off_min jsonl_min));
+    ];
   if smoke_mode && mem_min >= (off_min *. 1.05) +. 0.005 then begin
     Printf.printf
       "trace-overhead smoke: in-memory tracer too slow (%.2f ms vs %.2f ms)\n"
       (mem_min *. 1e3) (off_min *. 1e3);
+    exit 1
+  end
+
+(* --- E14: trajectory-recording overhead --------------------------------- *)
+
+(* Wall-time of the full flow with the provenance recorder off, on
+   (in-memory), and with the trajectory JSONL sink streaming.  Same
+   min-of-trials discipline as trace-overhead.  `trajectory smoke`
+   asserts the in-memory recorder costs < 5% (plus a 5 ms absolute
+   slack for sub-100ms runs) and writes BENCH_trajectory.json; it lives
+   on its own @trajectory_overhead alias rather than runtest so timing
+   jitter can never fail the tier-1 suite. *)
+
+let trajectory_bench ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E14 / trajectory smoke: provenance recording cost on design3"
+     else
+       "E14 / trajectory: provenance recording cost on the largest suite \
+        design");
+  Milo_rules.Engine.quarantine_reset ();
+  let case =
+    if smoke_mode then Milo_designs.Suite.design3 ()
+    else
+      List.fold_left
+        (fun (acc : Milo_designs.Suite.case) (c : Milo_designs.Suite.case) ->
+          let m, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              c.Milo_designs.Suite.case_design
+          in
+          let ma, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              acc.Milo_designs.Suite.case_design
+          in
+          if D.num_comps m > D.num_comps ma then c else acc)
+        (Milo_designs.Suite.design1 ())
+        (Milo_designs.Suite.all ())
+  in
+  let name = case.Milo_designs.Suite.case_name in
+  let trials = if smoke_mode then 3 else 5 in
+  let max_steps = if smoke_mode then 10 else 200 in
+  let run_flow ?provenance () =
+    let budget = Milo_rules.Budget.make ~max_steps () in
+    match
+      Milo.Flow.run ?provenance ~technology:Milo.Flow.Ecl
+        ~constraints:case.Milo_designs.Suite.constraints ~budget
+        case.Milo_designs.Suite.case_design
+    with
+    | Milo.Flow.Complete _ -> ()
+    | Milo.Flow.Partial p ->
+        Printf.printf "trajectory: flow degraded at %s: %s\n"
+          (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+          p.Milo.Flow.failure.Milo.Flow.err_message;
+        exit 1
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* warm-up: libraries, compiler memo tables, suite laziness *)
+  run_flow ();
+  let off_min = min_of (fun () -> run_flow ()) in
+  let last_events = ref 0 in
+  let on_min =
+    min_of (fun () ->
+        let p = Milo_provenance.Provenance.create () in
+        run_flow ~provenance:p ();
+        last_events := List.length (Milo_provenance.Provenance.events p))
+  in
+  let jsonl_min =
+    min_of (fun () ->
+        let path = Filename.temp_file "milo_traj" ".jsonl" in
+        let oc = open_out path in
+        let p = Milo_provenance.Provenance.create () in
+        Milo_provenance.Provenance.add_sink p
+          (Milo_provenance.Trajectory.sink oc);
+        run_flow ~provenance:p ();
+        close_out oc;
+        Sys.remove path)
+  in
+  let pct base v = (v -. base) /. base *. 100.0 in
+  Printf.printf
+    "design %s, %d trials (min), %d events per recorded run\n\
+     off:      %8.2f ms\n\
+     recorded: %8.2f ms  (%+.1f%%)\n\
+     jsonl:    %8.2f ms  (%+.1f%%)\n%!"
+    name trials !last_events (off_min *. 1e3) (on_min *. 1e3)
+    (pct off_min on_min) (jsonl_min *. 1e3) (pct off_min jsonl_min);
+  write_bench "BENCH_trajectory.json"
+    [
+      ("design", Printf.sprintf "%S" name);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ("events", string_of_int !last_events);
+      ("off_ms", Printf.sprintf "%.3f" (off_min *. 1e3));
+      ("recorded_ms", Printf.sprintf "%.3f" (on_min *. 1e3));
+      ("jsonl_ms", Printf.sprintf "%.3f" (jsonl_min *. 1e3));
+      ("recorded_overhead_pct", Printf.sprintf "%.2f" (pct off_min on_min));
+      ("jsonl_overhead_pct", Printf.sprintf "%.2f" (pct off_min jsonl_min));
+    ];
+  if smoke_mode && on_min >= (off_min *. 1.05) +. 0.005 then begin
+    Printf.printf
+      "trajectory smoke: provenance recorder too slow (%.2f ms vs %.2f ms)\n"
+      (on_min *. 1e3) (off_min *. 1e3);
     exit 1
   end
 
@@ -927,40 +1031,27 @@ let guard_overhead ~smoke_mode () =
     (pct off_min sampled_min)
     (pp_guard sampled_stats) (full_min *. 1e3) (pct off_min full_min)
     (pp_guard full_stats);
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"designs\": %S,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"off_ms\": %.3f,\n\
-      \  \"sampled_ms\": %.3f,\n\
-      \  \"full_ms\": %.3f,\n\
-      \  \"sampled_overhead_pct\": %.2f,\n\
-      \  \"full_overhead_pct\": %.2f,\n\
-      \  \"sampled_stage_checks\": %d,\n\
-      \  \"sampled_rule_checks\": %d,\n\
-      \  \"sampled_rule_skipped\": %d,\n\
-      \  \"full_stage_checks\": %d,\n\
-      \  \"full_rule_checks\": %d\n\
-       }\n"
-      name trials smoke_mode (off_min *. 1e3) (sampled_min *. 1e3)
-      (full_min *. 1e3)
-      (pct off_min sampled_min)
-      (pct off_min full_min)
-      sampled_stats.Milo_guard.Guard.stage_checks
-      sampled_stats.Milo_guard.Guard.rule_checks
-      sampled_stats.Milo_guard.Guard.rule_skipped
-      full_stats.Milo_guard.Guard.stage_checks
-      full_stats.Milo_guard.Guard.rule_checks
-  in
-  (try
-     let oc = open_out "BENCH_guard.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_guard.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_guard.json: %s\n%!" msg);
+  write_bench "BENCH_guard.json"
+    [
+      ("designs", Printf.sprintf "%S" name);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ("off_ms", Printf.sprintf "%.3f" (off_min *. 1e3));
+      ("sampled_ms", Printf.sprintf "%.3f" (sampled_min *. 1e3));
+      ("full_ms", Printf.sprintf "%.3f" (full_min *. 1e3));
+      ("sampled_overhead_pct", Printf.sprintf "%.2f" (pct off_min sampled_min));
+      ("full_overhead_pct", Printf.sprintf "%.2f" (pct off_min full_min));
+      ( "sampled_stage_checks",
+        string_of_int sampled_stats.Milo_guard.Guard.stage_checks );
+      ( "sampled_rule_checks",
+        string_of_int sampled_stats.Milo_guard.Guard.rule_checks );
+      ( "sampled_rule_skipped",
+        string_of_int sampled_stats.Milo_guard.Guard.rule_skipped );
+      ( "full_stage_checks",
+        string_of_int full_stats.Milo_guard.Guard.stage_checks );
+      ( "full_rule_checks",
+        string_of_int full_stats.Milo_guard.Guard.rule_checks );
+    ];
   if smoke_mode && sampled_min >= (off_min *. 1.10) +. 0.005 then begin
     Printf.printf
       "guard-overhead smoke: sampled tier too slow (%.2f ms vs %.2f ms)\n"
@@ -1076,31 +1167,20 @@ let journal_bench ~smoke_mode () =
      resume:    %8.2f ms mean over %d crash points\n%!"
     name trials records journal_bytes ck_indices (off_min *. 1e3)
     (on_min *. 1e3) (pct off_min on_min) (resume_mean *. 1e3) !resumes;
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"designs\": %S,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"records\": %d,\n\
-      \  \"journal_bytes\": %d,\n\
-      \  \"checkpoints\": %d,\n\
-      \  \"off_ms\": %.3f,\n\
-      \  \"journaled_ms\": %.3f,\n\
-      \  \"journal_overhead_pct\": %.2f,\n\
-      \  \"resume_points\": %d,\n\
-      \  \"resume_mean_ms\": %.3f\n\
-       }\n"
-      name trials smoke_mode records journal_bytes ck_indices (off_min *. 1e3)
-      (on_min *. 1e3) (pct off_min on_min) !resumes (resume_mean *. 1e3)
-  in
-  (try
-     let oc = open_out "BENCH_journal.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_journal.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_journal.json: %s\n%!" msg);
+  write_bench "BENCH_journal.json"
+    [
+      ("designs", Printf.sprintf "%S" name);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ("records", string_of_int records);
+      ("journal_bytes", string_of_int journal_bytes);
+      ("checkpoints", string_of_int ck_indices);
+      ("off_ms", Printf.sprintf "%.3f" (off_min *. 1e3));
+      ("journaled_ms", Printf.sprintf "%.3f" (on_min *. 1e3));
+      ("journal_overhead_pct", Printf.sprintf "%.2f" (pct off_min on_min));
+      ("resume_points", string_of_int !resumes);
+      ("resume_mean_ms", Printf.sprintf "%.3f" (resume_mean *. 1e3));
+    ];
   if smoke_mode && on_min >= (off_min *. 1.10) +. 0.005 then begin
     Printf.printf "journal smoke: journaling too slow (%.2f ms vs %.2f ms)\n"
       (on_min *. 1e3) (off_min *. 1e3);
@@ -1254,45 +1334,34 @@ let analyze_bench ~smoke_mode () =
      full, certs:    %8.2f ms  (overhead %8.2f ms, %.1fx reduction)\n%!"
     name trials (off_min *. 1e3) (nocert_min *. 1e3) (over_nocert *. 1e3)
     (cert_min *. 1e3) (over_cert *. 1e3) ratio;
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"designs\": %S,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"fixpoints\": [%s],\n\
-      \  \"rules_total\": %d,\n\
-      \  \"rules_certified\": %d,\n\
-      \  \"rules_probabilistic\": %d,\n\
-      \  \"certified_fraction\": %.3f,\n\
-      \  \"prove_ms\": %.3f,\n\
-      \  \"off_ms\": %.3f,\n\
-      \  \"full_nocert_ms\": %.3f,\n\
-      \  \"full_cert_ms\": %.3f,\n\
-      \  \"overhead_nocert_ms\": %.3f,\n\
-      \  \"overhead_cert_ms\": %.3f,\n\
-      \  \"overhead_reduction\": %.2f\n\
-       }\n"
-      name trials smoke_mode
-      (String.concat ", "
-         (List.map
-            (fun (n, comps, t) ->
-              Printf.sprintf
-                "{\"design\": %S, \"comps\": %d, \"fixpoint_ms\": %.3f}" n
-                comps (t *. 1e3))
-            fixpoints))
-      n_total n_cert n_prob certified_fraction (prove_time *. 1e3)
-      (off_min *. 1e3) (nocert_min *. 1e3) (cert_min *. 1e3)
-      (over_nocert *. 1e3) (over_cert *. 1e3)
-      (if ratio = infinity then 999.0 else ratio)
-  in
-  (try
-     let oc = open_out "BENCH_absint.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_absint.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_absint.json: %s\n%!" msg);
+  write_bench "BENCH_absint.json"
+    [
+      ("designs", Printf.sprintf "%S" name);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ( "fixpoints",
+        "["
+        ^ String.concat ", "
+            (List.map
+               (fun (n, comps, t) ->
+                 Printf.sprintf
+                   "{\"comps\": %d, \"design\": %S, \"fixpoint_ms\": %.3f}"
+                   comps n (t *. 1e3))
+               fixpoints)
+        ^ "]" );
+      ("rules_total", string_of_int n_total);
+      ("rules_certified", string_of_int n_cert);
+      ("rules_probabilistic", string_of_int n_prob);
+      ("certified_fraction", Printf.sprintf "%.3f" certified_fraction);
+      ("prove_ms", Printf.sprintf "%.3f" (prove_time *. 1e3));
+      ("off_ms", Printf.sprintf "%.3f" (off_min *. 1e3));
+      ("full_nocert_ms", Printf.sprintf "%.3f" (nocert_min *. 1e3));
+      ("full_cert_ms", Printf.sprintf "%.3f" (cert_min *. 1e3));
+      ("overhead_nocert_ms", Printf.sprintf "%.3f" (over_nocert *. 1e3));
+      ("overhead_cert_ms", Printf.sprintf "%.3f" (over_cert *. 1e3));
+      ( "overhead_reduction",
+        Printf.sprintf "%.2f" (if ratio = infinity then 999.0 else ratio) );
+    ];
   (* The payoff assert: certification must recover >= 3x of the
      Full-guard overhead — unless the certified overhead is already
      under the 2 ms absolute slack, in which case there is nothing
@@ -1462,44 +1531,30 @@ let sim_bench ~smoke_mode () =
     List.fold_left (fun acc (_, _, _, _, s) -> Float.min acc s) infinity
       eval_rows
   in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"lanes\": %d,\n\
-      \  \"trials\": %d,\n\
-      \  \"smoke\": %b,\n\
-      \  \"eval\": [\n\
-       %s\n\
-      \  ],\n\
-      \  \"min_eval_speedup\": %.2f,\n\
-      \  \"verify\": {\n\
-      \    \"design\": \"design8\",\n\
-      \    \"runs\": %d,\n\
-      \    \"cycles\": %d,\n\
-      \    \"scalar_ms\": %.3f,\n\
-      \    \"packed_ms\": %.3f,\n\
-      \    \"speedup\": %.2f\n\
-      \  }\n\
-       }\n"
-      lanes trials smoke_mode
-      (String.concat ",\n"
-         (List.map
-            (fun (n, comps, svps, pvps, sp) ->
-              Printf.sprintf
-                "    {\"design\": %S, \"comps\": %d, \"scalar_vps\": %.0f, \
-                 \"packed_vps\": %.0f, \"speedup\": %.2f}"
-                n comps svps pvps sp)
-            eval_rows))
-      min_speedup params.Milo_guard.Guard.runs params.Milo_guard.Guard.cycles
-      (before_min *. 1e3) (after_min *. 1e3) verify_speedup
-  in
-  (try
-     let oc = open_out "BENCH_sim.json" in
-     output_string oc json;
-     close_out oc;
-     Printf.printf "wrote BENCH_sim.json\n%!"
-   with Sys_error msg ->
-     Printf.printf "could not write BENCH_sim.json: %s\n%!" msg);
+  write_bench "BENCH_sim.json"
+    [
+      ("lanes", string_of_int lanes);
+      ("trials", string_of_int trials);
+      ("smoke", string_of_bool smoke_mode);
+      ( "eval",
+        "[\n"
+        ^ String.concat ",\n"
+            (List.map
+               (fun (n, comps, svps, pvps, sp) ->
+                 Printf.sprintf
+                   "    {\"comps\": %d, \"design\": %S, \"packed_vps\": \
+                    %.0f, \"scalar_vps\": %.0f, \"speedup\": %.2f}"
+                   comps n pvps svps sp)
+               eval_rows)
+        ^ "\n  ]" );
+      ("min_eval_speedup", Printf.sprintf "%.2f" min_speedup);
+      ( "verify",
+        Printf.sprintf
+          "{\"cycles\": %d, \"design\": \"design8\", \"packed_ms\": %.3f, \
+           \"runs\": %d, \"scalar_ms\": %.3f, \"speedup\": %.2f}"
+          params.Milo_guard.Guard.cycles (after_min *. 1e3)
+          params.Milo_guard.Guard.runs (before_min *. 1e3) verify_speedup );
+    ];
   if smoke_mode && min_speedup < 10.0 then begin
     Printf.printf "sim smoke: packed engine below the 10x floor (%.1fx)\n"
       min_speedup;
@@ -1569,9 +1624,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       sim_bench ~smoke_mode ()
+  | Some "trajectory" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      trajectory_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal|sim)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal|sim|trajectory)\n"
         other;
       exit 1

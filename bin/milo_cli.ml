@@ -8,12 +8,25 @@
      milo resume   JOURNAL [-o OUT]           continue an interrupted
                                               --journal run from its
                                               last committed checkpoint
-     milo replay   JOURNAL [--json]           re-execute a journal's
+     milo replay   JOURNAL [--json] [--trajectory TRAJ]
+                                              re-execute a journal's
                                               trajectory under the full
                                               guard (exit 7 on
-                                              divergence)
-     milo profile  DESIGN.mil [-t ecl]        flow under a tracer ->
+                                              divergence), cross-checking
+                                              a recorded trajectory file
+     milo profile  DESIGN.mil [-t ecl] [--json]
+                                              flow under a tracer ->
                                               span-tree profile
+     milo explain  DESIGN.mil [-t ecl] [--json]
+                                              flow under the provenance
+                                              recorder -> cost
+                                              attribution, conservation,
+                                              critical-path blame
+     milo trajectory record DESIGN.mil [-t ecl] [-o TRAJ] [--journal J]
+     milo trajectory dump   JOURNAL [-o TRAJ]
+                                              record a run's trajectory /
+                                              reconstruct one offline
+                                              from a journal
      milo verify   A.mil B.mil                equivalence check (exit 7
                                               when not equivalent)
      milo stats    DESIGN.mil -t ecl          baseline statistics
@@ -385,10 +398,24 @@ let replay_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
+  let traj_arg =
+    Arg.(value & opt (some file) None
+         & info [ "trajectory" ] ~docv:"TRAJ"
+             ~doc:"Also cross-check this recorded trajectory (JSONL, \
+                   from $(b,milo trajectory record)) against the \
+                   journal, record for record.  Any mismatch exits 7.")
+  in
   let quote = json_quote in
-  let run path json =
+  let run path traj json =
     protect ~file:path @@ fun () ->
     let rep = Milo.Flow.replay path in
+    let traj_mismatches =
+      match traj with
+      | None -> []
+      | Some tf ->
+          Milo_provenance.Trajectory.crosscheck ~journal:path
+            (Milo_provenance.Trajectory.load tf)
+    in
     let divergence_line (d : Milo.Flow.divergence) =
       Printf.sprintf "record %d [%s/%s]%s: %s" d.Milo.Flow.div_record
         d.Milo.Flow.div_stage d.Milo.Flow.div_kind
@@ -401,7 +428,7 @@ let replay_cmd =
       Printf.printf
         "{\"journal\": %s, \"records\": %d, \"truncated_bytes\": %d, \
          \"deltas\": %d, \"checks\": %d, \"finished\": %b, \
-         \"divergences\": [%s]}\n"
+         \"divergences\": [%s]%s}\n"
         (quote path) rep.Milo.Flow.rep_records
         rep.Milo.Flow.rep_truncated_bytes rep.Milo.Flow.rep_deltas
         rep.Milo.Flow.rep_checks rep.Milo.Flow.rep_finished
@@ -417,6 +444,18 @@ let replay_cmd =
                   | Some l -> quote l)
                   (quote d.Milo.Flow.div_kind) (quote d.Milo.Flow.div_detail))
               rep.Milo.Flow.rep_divergences))
+        (match traj with
+        | None -> ""
+        | Some tf ->
+            Printf.sprintf ", \"trajectory\": %s, \"trajectory_mismatches\": [%s]"
+              (quote tf)
+              (String.concat ", "
+                 (List.map
+                    (fun (m : Milo_provenance.Trajectory.mismatch) ->
+                      Printf.sprintf "{\"record\": %d, \"detail\": %s}"
+                        m.Milo_provenance.Trajectory.mis_index
+                        (quote m.Milo_provenance.Trajectory.mis_detail))
+                    traj_mismatches)))
     else begin
       Printf.printf
         "replay %s: %d records (%d bytes torn), %d rule applications \
@@ -429,9 +468,22 @@ let replay_cmd =
         (fun d -> print_endline ("  divergence: " ^ divergence_line d))
         rep.Milo.Flow.rep_divergences;
       if rep.Milo.Flow.rep_divergences = [] then
-        print_endline "no divergences: the trajectory re-executes exactly"
+        print_endline "no divergences: the trajectory re-executes exactly";
+      (match traj with
+      | None -> ()
+      | Some tf ->
+          List.iter
+            (fun (m : Milo_provenance.Trajectory.mismatch) ->
+              Printf.printf "  trajectory mismatch at record %d: %s\n"
+                m.Milo_provenance.Trajectory.mis_index
+                m.Milo_provenance.Trajectory.mis_detail)
+            traj_mismatches;
+          if traj_mismatches = [] then
+            Printf.printf
+              "trajectory %s cross-checks against the journal exactly\n" tf)
     end;
-    if rep.Milo.Flow.rep_divergences <> [] then exit 7 else `Ok ()
+    if rep.Milo.Flow.rep_divergences <> [] || traj_mismatches <> [] then exit 7
+    else `Ok ()
   in
   Cmd.v
     (Cmd.info "replay"
@@ -440,10 +492,57 @@ let replay_cmd =
              every recorded rule application, and equivalence-check \
              each one with the semantic guard in full mode.  Exits 7 \
              when the trajectory diverges from the record.")
-    Term.(ret (const run $ journal_pos $ json_arg))
+    Term.(ret (const run $ journal_pos $ traj_arg $ json_arg))
+
+(* Finite JSON number (JSON has no inf/nan; the quantities here are
+   finite on any sane run, so clamping the escape hatch to 0 beats
+   emitting an unparsable token). *)
+let json_num v = if Float.is_finite v then Printf.sprintf "%.12g" v else "0"
+
+(* The whole profile as one JSON object with keys in sorted order, so
+   byte-level diffs of two profiles line up. *)
+let profile_json path t =
+  let module Profile = Milo_trace.Profile in
+  let rec span_json (n : Profile.node) =
+    Printf.sprintf "{\"children\": [%s], \"name\": %s, \"self\": %s, \"total\": %s}"
+      (String.concat ", " (List.map span_json n.Profile.children))
+      (json_quote n.Profile.span.Milo_trace.Trace.name)
+      (json_num n.Profile.self) (json_num n.Profile.total)
+  in
+  let rule_json (name, (s : Milo_trace.Trace.rule_stat)) =
+    Printf.sprintf
+      "{\"applies\": %d, \"evals\": %d, \"gain\": %s, \"name\": %s, \
+       \"refusals\": %d, \"rollbacks\": %d, \"time_s\": %s}"
+      s.Milo_trace.Trace.applies s.Milo_trace.Trace.evals
+      (json_num s.Milo_trace.Trace.gain) (json_quote name)
+      s.Milo_trace.Trace.refusals s.Milo_trace.Trace.rollbacks
+      (json_num s.Milo_trace.Trace.time_s)
+  in
+  let m = Milo_trace.Trace.metrics t in
+  Printf.sprintf
+    "{\"counters\": {%s}, \"design\": %s, \"gauges\": {%s}, \"rules\": [%s], \
+     \"spans\": [%s]}"
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s: %d" (json_quote k) v)
+          (Milo_trace.Metrics.counters m)))
+    (json_quote path)
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s: %s" (json_quote k) (json_num v))
+          (Milo_trace.Metrics.gauges m)))
+    (String.concat ", "
+       (List.map rule_json (Milo_trace.Profile.hot_rules_by_time t)))
+    (String.concat ", " (List.map span_json (Milo_trace.Profile.tree t)))
 
 let profile_cmd =
-  let run path tech delay timeout max_steps guard =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the profile as JSON (span tree, per-rule \
+                   attribution, metric registry) instead of text.")
+  in
+  let run path tech delay timeout max_steps guard json =
     protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
@@ -459,15 +558,19 @@ let profile_cmd =
       Milo.Flow.run ~technology ~constraints ?budget ~trace:t ~guard design
     with
     | Milo.Flow.Complete res ->
-        print_string (Milo_trace.Profile.render t);
-        let g = res.Milo.Flow.guard_stats in
-        if Milo_guard.Guard.stats_active g then
-          Format.printf "semantic guard: %a@." Milo_guard.Guard.pp_stats g;
+        if json then print_endline (profile_json path t)
+        else begin
+          print_string (Milo_trace.Profile.render t);
+          let g = res.Milo.Flow.guard_stats in
+          if Milo_guard.Guard.stats_active g then
+            Format.printf "semantic guard: %a@." Milo_guard.Guard.pp_stats g
+        end;
         `Ok ()
     | Milo.Flow.Partial p ->
         (* The profile up to the failure is still printed — that is the
            point of profiling a run that went wrong. *)
-        print_string (Milo_trace.Profile.render t);
+        if json then print_endline (profile_json path t)
+        else print_string (Milo_trace.Profile.render t);
         prerr_string (Milo.Report.partial_summary p);
         exit 6
   in
@@ -476,7 +579,291 @@ let profile_cmd =
        ~doc:"Run the flow under a tracer and print the span-tree profile \
              with per-stage self-times and per-rule attribution.")
     Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ timeout_arg
-               $ max_steps_arg $ guard_arg))
+               $ max_steps_arg $ guard_arg $ json_arg))
+
+let explain_cmd =
+  let module P = Milo_provenance.Provenance in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the attribution report as JSON instead of text.")
+  in
+  let run path tech delay timeout max_steps guard json =
+    protect ~file:path @@ fun () ->
+    let design = read_design path in
+    let technology = technology_of tech in
+    let guard = guard_of ~file:path guard in
+    let constraints = Milo.Constraints.make ?required_delay:delay () in
+    let budget =
+      match (timeout, max_steps) with
+      | None, None -> None
+      | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
+    in
+    let t = Milo_trace.Trace.create () in
+    let p = P.create () in
+    match
+      Milo.Flow.run ~technology ~constraints ?budget ~trace:t ~guard
+        ~provenance:p design
+    with
+    | Milo.Flow.Partial pp ->
+        prerr_string (Milo.Report.partial_summary pp);
+        exit 6
+    | Milo.Flow.Complete res ->
+        let optimized = res.Milo.Flow.optimized in
+        let env name =
+          Milo_library.Technology.find
+            (Milo.Flow.target_of technology).Milo_techmap.Table_map.tech name
+        in
+        let blame =
+          match
+            Milo_timing.Sta.critical_path
+              (Milo_timing.Sta.analyze env optimized)
+          with
+          | None -> None
+          | Some path -> Some (path, P.blame p path)
+        in
+        let top = Milo_trace.Profile.hot_rules_by_gain_rate t in
+        let label_of = function None -> "(unlabeled)" | Some l -> l in
+        if json then begin
+          let row_json (r : P.row) =
+            Printf.sprintf
+              "{\"applies\": %d, \"delay\": %s, \"area\": %s, \
+               \"label\": %s, \"measured\": %d, \"power\": %s, \
+               \"stage\": %s}"
+              r.P.row_applies (json_num r.P.row_delay) (json_num r.P.row_area)
+              (json_quote r.P.row_label) r.P.row_measured
+              (json_num r.P.row_power) (json_quote r.P.row_stage)
+          in
+          let conservation_json (c : P.conservation) =
+            Printf.sprintf
+              "{\"breaks\": %d, \"commits\": %d, \"measured\": %d, \
+               \"residual_area\": %s, \"residual_delay\": %s, \
+               \"residual_power\": %s, \"stage\": %s}"
+              c.P.co_breaks c.P.co_commits c.P.co_measured
+              (json_num c.P.co_residual.Milo_trace.Trace.area)
+              (json_num c.P.co_residual.Milo_trace.Trace.delay)
+              (json_num c.P.co_residual.Milo_trace.Trace.power)
+              (json_quote c.P.co_stage)
+          in
+          let hop_json ((h : Milo_timing.Sta.hop), tag) =
+            Printf.sprintf
+              "{\"comp\": %d, \"kind\": %s, \"label\": %s, \"stage\": %s, \
+               \"step\": %s}"
+              h.Milo_timing.Sta.comp
+              (json_quote
+                 (Milo_netlist.Hashcons.kind_spec
+                    (Milo_netlist.Design.comp optimized
+                       h.Milo_timing.Sta.comp)
+                      .Milo_netlist.Design.kind))
+              (match tag with
+              | Some tg -> json_quote (label_of tg.P.tag_label)
+              | None -> "null")
+              (match tag with
+              | Some tg -> json_quote tg.P.tag_stage
+              | None -> "null")
+              (match tag with
+              | Some tg -> string_of_int tg.P.tag_step
+              | None -> "null")
+          in
+          let rule_json (name, (s : Milo_trace.Trace.rule_stat)) =
+            Printf.sprintf
+              "{\"applies\": %d, \"gain\": %s, \"gain_per_ms\": %s, \
+               \"name\": %s, \"time_s\": %s}"
+              s.Milo_trace.Trace.applies (json_num s.Milo_trace.Trace.gain)
+              (json_num
+                 (if s.Milo_trace.Trace.time_s > 0.0 then
+                    s.Milo_trace.Trace.gain
+                    /. (s.Milo_trace.Trace.time_s *. 1000.0)
+                  else 0.0))
+              (json_quote name) (json_num s.Milo_trace.Trace.time_s)
+          in
+          Printf.printf
+            "{\"attribution\": [%s], \"conservation\": [%s], \
+             \"critical_path\": %s, \"design\": %s, \"top_gain_per_ms\": \
+             [%s]}\n"
+            (String.concat ", " (List.map row_json (P.ledger p)))
+            (String.concat ", "
+               (List.map conservation_json (P.conservation p)))
+            (match blame with
+            | None -> "null"
+            | Some (path, hops) ->
+                Printf.sprintf "{\"delay\": %s, \"hops\": [%s]}"
+                  (json_num path.Milo_timing.Sta.path_delay)
+                  (String.concat ", " (List.map hop_json hops)))
+            (json_quote path)
+            (String.concat ", " (List.map rule_json top))
+        end
+        else begin
+          Printf.printf "explain %s (%s)\n" path
+            (Milo.Flow.technology_name technology);
+          Printf.printf "\nattribution (per stage/rule):\n";
+          Printf.printf "  %-9s %-24s %7s %5s %9s %9s %9s\n" "stage" "rule"
+            "applies" "meas" "d.delay" "d.area" "d.power";
+          List.iter
+            (fun (r : P.row) ->
+              Printf.printf "  %-9s %-24s %7d %5d %+9.3f %+9.2f %+9.2f\n"
+                r.P.row_stage r.P.row_label r.P.row_applies r.P.row_measured
+                r.P.row_delay r.P.row_area r.P.row_power)
+            (P.ledger p);
+          Printf.printf "\nconservation (attributed deltas vs end-to-end):\n";
+          List.iter
+            (fun (c : P.conservation) ->
+              Printf.printf
+                "  %-9s %d commits, %d measured, %d breaks, residual \
+                 %.2g/%.2g/%.2g  [%s]\n"
+                c.P.co_stage c.P.co_commits c.P.co_measured c.P.co_breaks
+                c.P.co_residual.Milo_trace.Trace.delay
+                c.P.co_residual.Milo_trace.Trace.area
+                c.P.co_residual.Milo_trace.Trace.power
+                (if c.P.co_breaks = 0 then "ok" else "BROKEN"))
+            (P.conservation p);
+          (match blame with
+          | None -> Printf.printf "\ncritical path: none (no timed hops)\n"
+          | Some (path, hops) ->
+              Printf.printf "\ncritical path (%.2f ns, endpoint %s):\n"
+                path.Milo_timing.Sta.path_delay
+                (match path.Milo_timing.Sta.path_endpoint with
+                | Milo_timing.Sta.Ep_port p -> p
+                | Milo_timing.Sta.Ep_seq_pin (c, pin) ->
+                    Printf.sprintf "comp %d pin %s" c pin);
+              List.iter
+                (fun ((h : Milo_timing.Sta.hop), tag) ->
+                  let c =
+                    Milo_netlist.Design.comp optimized h.Milo_timing.Sta.comp
+                  in
+                  Printf.printf "  comp %-4d %-12s %s\n"
+                    h.Milo_timing.Sta.comp
+                    (Milo_netlist.Hashcons.kind_spec
+                       c.Milo_netlist.Design.kind)
+                    (match tag with
+                    | Some tg ->
+                        Printf.sprintf "<- %s step %d (%s)"
+                          (label_of tg.P.tag_label) tg.P.tag_step
+                          tg.P.tag_stage
+                    | None -> "<- unattributed (survives mapping)"))
+                hops);
+          Printf.printf "\ntop rules by gain per millisecond:\n";
+          if top = [] then Printf.printf "  (no kept rule applications)\n"
+          else
+            List.iteri
+              (fun i (name, (s : Milo_trace.Trace.rule_stat)) ->
+                if i < 5 then
+                  Printf.printf "  %-24s %d applies, gain %.3f, %.3f/ms\n"
+                    name s.Milo_trace.Trace.applies s.Milo_trace.Trace.gain
+                    (if s.Milo_trace.Trace.time_s > 0.0 then
+                       s.Milo_trace.Trace.gain
+                       /. (s.Milo_trace.Trace.time_s *. 1000.0)
+                     else 0.0))
+              top
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run the flow under the provenance recorder and report where \
+             the cost went: exact per-stage/per-rule delay/area/power \
+             attribution (with its conservation check), critical-path \
+             blame (which rule last touched each hop of the final \
+             critical path), and the rules with the best cost \
+             improvement per millisecond spent.")
+    Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ timeout_arg
+               $ max_steps_arg $ guard_arg $ json_arg))
+
+let trajectory_cmd =
+  let mode_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MODE"
+             ~doc:"$(b,record) runs the flow with the recorder and \
+                   streams the trajectory; $(b,dump) reconstructs one \
+                   offline from a journal.")
+  in
+  let path_pos =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"PATH"
+             ~doc:"$(b,record): the input DESIGN.mil.  $(b,dump): the \
+                   journal file.")
+  in
+  let traj_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"TRAJ"
+             ~doc:"Write the trajectory JSONL here (default stdout).")
+  in
+  let run mode path tech delay timeout max_steps guard journal out =
+    protect ~file:path @@ fun () ->
+    let with_out f =
+      match out with
+      | None -> f stdout
+      | Some file ->
+          let oc = open_out file in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    in
+    match mode with
+    | "dump" ->
+        let p = Milo_provenance.Trajectory.of_journal path in
+        let events = Milo_provenance.Provenance.events p in
+        if events = [] then
+          runtime_fail ~file:path ~code:5
+            "journal has no recoverable records to dump";
+        with_out (fun oc ->
+            List.iter
+              (fun e ->
+                output_string oc
+                  (Milo_provenance.Trajectory.line_of_event e);
+                output_char oc '\n')
+              events;
+            flush oc);
+        (match out with
+        | Some file ->
+            Printf.eprintf "trajectory: wrote %d events to %s\n"
+              (List.length events) file
+        | None -> ());
+        `Ok ()
+    | "record" ->
+        install_interrupt_handlers ~journal ();
+        let design = read_design path in
+        let technology = technology_of tech in
+        let guard = guard_of ~file:path guard in
+        let constraints = Milo.Constraints.make ?required_delay:delay () in
+        let budget =
+          match (timeout, max_steps) with
+          | None, None -> None
+          | _ -> Some (Milo_rules.Budget.make ?timeout ?max_steps ())
+        in
+        let p = Milo_provenance.Provenance.create () in
+        with_out (fun oc ->
+            (* Streamed, not saved at the end: a crashed run keeps its
+               prefix, mirroring the journal discipline. *)
+            Milo_provenance.Provenance.add_sink p
+              (Milo_provenance.Trajectory.sink oc);
+            interrupt_flushers := (fun () -> flush oc) :: !interrupt_flushers;
+            match
+              Milo.Flow.run ~technology ~constraints ?budget ~guard ?journal
+                ~provenance:p design
+            with
+            | Milo.Flow.Complete _ ->
+                flush oc;
+                Printf.eprintf "trajectory: recorded %d events\n"
+                  (List.length (Milo_provenance.Provenance.events p));
+                `Ok ()
+            | Milo.Flow.Partial pp ->
+                flush oc;
+                prerr_string (Milo.Report.partial_summary pp);
+                exit 6)
+    | other ->
+        runtime_fail ~file:path ~code:5
+          "unknown trajectory mode %s (record|dump)" other
+  in
+  Cmd.v
+    (Cmd.info "trajectory"
+       ~doc:"Record an optimization trajectory (the provenance event \
+             stream, one JSON object per line, mirroring the journal \
+             record for record) or dump one reconstructed offline from \
+             a journal — including a journal stitched across resume.  \
+             Cross-check a recorded trajectory against its journal with \
+             $(b,milo replay --trajectory).")
+    Term.(ret (const run $ mode_arg $ path_pos $ tech_arg $ delay_arg
+               $ timeout_arg $ max_steps_arg $ guard_arg $ journal_arg
+               $ traj_out_arg))
 
 let verify_cmd =
   let design_a =
@@ -742,6 +1129,8 @@ let () =
             resume_cmd;
             replay_cmd;
             profile_cmd;
+            explain_cmd;
+            trajectory_cmd;
             verify_cmd;
             stats_cmd;
             lint_cmd;

@@ -16,6 +16,7 @@ module Compile = Milo_compilers.Compile
 module Table_map = Milo_techmap.Table_map
 module Guard = Milo_guard.Guard
 module J = Milo_journal.Journal
+module P = Milo_provenance.Provenance
 
 type technology = Ecl | Cmos
 
@@ -245,6 +246,7 @@ type resume_point = {
   rp_guard : int array;
   rp_tick : int;
   rp_seen : string list;
+  rp_trace : int;  (* tracer event count at the checkpoint *)
   rp_quarantine : (string * int * string * Milo_rules.Engine.reason) list;
 }
 
@@ -305,12 +307,18 @@ let reason_of_name = function
 (* --- Full MILO flow --------------------------------------------------- *)
 
 let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
-    ~guard ~certify ~journal ~journal_fault ~resume design =
+    ~guard ~certify ~journal ~journal_fault ~provenance ~resume design =
   (* Install the tracer (if any) as the ambient one for the whole run,
      so every layer's probes report into it; restored on exit. *)
   (match trace with
   | None -> (fun f -> f ())
   | Some t -> Milo_trace.Trace.with_tracer t)
+  @@ fun () ->
+  (* Same ambient discipline for the provenance recorder: the engine's
+     attribution probes find it without any layer threading it down. *)
+  (match provenance with
+  | None -> (fun f -> f ())
+  | Some p -> P.with_recorder p)
   @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
@@ -349,6 +357,22 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
                h_max_evals = max_evals;
              })
   in
+  (* The recorder's run record mirrors the journal header, and its
+     budget probe snapshots consumption onto every step record.  The
+     probe is a closure so the provenance library stays below the
+     rules layer. *)
+  (match provenance with
+  | None -> ()
+  | Some p ->
+      P.set_run p ~design:(D.name design)
+        ~tech:(technology_name technology) ~hash:(J.design_hash design);
+      P.set_budget_probe p
+        (Some
+           (fun () ->
+             let st = Milo_rules.Budget.status budget in
+             ( st.Milo_rules.Budget.steps_used,
+               st.Milo_rules.Budget.evals_used,
+               st.Milo_rules.Budget.elapsed ))));
   let micro_applications = ref [] in
   let levels_ref = ref [] in
   let timing_ref = ref None in
@@ -365,6 +389,12 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
       gstats.Guard.rule_certified <- rp.rp_guard.(5);
       Milo_rules.Engine.restore_guard_sample_state rp.rp_tick rp.rp_seen;
       Milo_rules.Engine.quarantine_restore rp.rp_quarantine;
+      (* Tracer sequence numbers continue from the interrupted run, so
+         trace events (and trajectory records keyed to them) stay
+         aligned with the journal across the kill. *)
+      (match trace with
+      | Some t -> Milo_trace.Trace.restore_seq t rp.rp_trace
+      | None -> ());
       micro_applications := rp.rp_micro;
       levels_ref := rp.rp_levels;
       timing_ref := rp.rp_timing);
@@ -442,6 +472,10 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
                  |];
                ck_tick = tick;
                ck_seen = seen;
+               ck_trace =
+                 (match trace with
+                 | Some t -> Milo_trace.Trace.event_count t
+                 | None -> 0);
                ck_quarantine =
                  List.map
                    (fun (r, c, m, reason) ->
@@ -452,6 +486,9 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
                ck_timing = Option.map timing_to_journal !timing_ref;
                ck_design = ck.ck_design;
              }));
+    (match provenance with
+    | Some p -> P.observe_checkpoint p ~stage:(stage_name stage) d
+    | None -> ());
     if Milo_trace.Trace.enabled () then
       Milo_trace.Trace.emit
         (Milo_trace.Trace.Checkpoint
@@ -501,6 +538,9 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
     (match jw with
     | Some w -> J.append w (J.Stage (stage_name stage))
     | None -> ());
+    (match provenance with
+    | Some p -> P.observe_stage p (stage_name stage)
+    | None -> ());
     hooks.before_stage stage d
   in
   (* Delta tracking: the design the current stage transforms in place
@@ -515,22 +555,36 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
     tracked := None
   in
   let track d =
-    match jw with
-    | None -> ()
-    | Some w ->
-        untrack ();
-        tracked := Some d;
-        D.set_commit_hook d
-          (Some
-             (fun label entries ->
-               J.append w
-                 (J.Delta
-                    {
-                      d_stage = stage_name !current;
-                      d_label = label;
-                      d_hash = Some (J.design_hash d);
-                      d_entries = entries;
-                    })))
+    if Option.is_some jw || Option.is_some provenance then begin
+      (* Switching the tracked design switches id spaces (micro netlist
+         vs. flattened mapped design): the recorder's object tags from
+         the old space would silently mislabel objects in the new. *)
+      (match (!tracked, provenance) with
+      | Some prev, Some p when prev != d -> P.retarget p
+      | _ -> ());
+      untrack ();
+      tracked := Some d;
+      D.set_commit_hook d
+        (Some
+           (fun label entries ->
+             let hash = J.design_hash d in
+             (match jw with
+             | Some w ->
+                 J.append w
+                   (J.Delta
+                      {
+                        d_stage = stage_name !current;
+                        d_label = label;
+                        d_hash = Some hash;
+                        d_entries = entries;
+                      })
+             | None -> ());
+             match provenance with
+             | Some p ->
+                 P.observe_commit p ~stage:(stage_name !current) ~label ~hash
+                   d entries
+             | None -> ()))
+    end
   in
   (* Static rule certification (the [lib/absint] replacement for
      per-application re-simulation): rules whose LHS≡RHS is proved once
@@ -709,6 +763,15 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
                });
           J.close w
       | None -> ());
+      (match provenance with
+      | Some p ->
+          P.observe_finish p ~outcome:"complete"
+            {
+              Milo_trace.Trace.delay = final.delay;
+              area = final.area;
+              power = final.power;
+            }
+      | None -> ());
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Complete
         {
@@ -764,6 +827,11 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
             J.close w
           with Sys_error _ -> ())
       | None -> ());
+      (match provenance with
+      | Some p ->
+          P.observe_finish p ~outcome:"partial"
+            { Milo_trace.Trace.delay = 0.0; area = 0.0; power = 0.0 }
+      | None -> ());
       (match trace with Some t -> Milo_trace.Trace.flush t | None -> ());
       Partial
         {
@@ -786,22 +854,22 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
     ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
     ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) ?(certify = true) ?journal
-    ?journal_fault design =
+    ?journal_fault ?provenance design =
   run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
-    ~guard ~certify ~journal ~journal_fault ~resume:None design
+    ~guard ~certify ~journal ~journal_fault ~provenance ~resume:None design
 
 let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-    ?guard ?certify ?journal design =
+    ?guard ?certify ?journal ?provenance design =
   match
     run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-      ?guard ?certify ?journal design
+      ?guard ?certify ?journal ?provenance design
   with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn
 
 (* --- Resume ------------------------------------------------------------ *)
 
-let resume ?(hooks = no_hooks) ?trace path =
+let resume ?(hooks = no_hooks) ?trace ?provenance path =
   let rc = J.recover path in
   let header =
     match J.header rc with
@@ -888,6 +956,7 @@ let resume ?(hooks = no_hooks) ?trace path =
       rp_guard = guard_counters;
       rp_tick = last.J.ck_tick;
       rp_seen = last.J.ck_seen;
+      rp_trace = last.J.ck_trace;
       rp_quarantine =
         List.map
           (fun (r, c, m, reason) -> (r, c, m, reason_of_name reason))
@@ -896,7 +965,8 @@ let resume ?(hooks = no_hooks) ?trace path =
   in
   run_impl ~technology ~constraints ~lint ~incremental:header.J.h_incremental
     ~budget:(Some budget) ~hooks ~trace ~guard ~certify:header.J.h_certify
-    ~journal:(Some path) ~journal_fault:None ~resume:(Some rp) capture
+    ~journal:(Some path) ~journal_fault:None ~provenance ~resume:(Some rp)
+    capture
 
 (* --- Replay ------------------------------------------------------------ *)
 

@@ -151,6 +151,7 @@ val run :
   ?certify:bool ->
   ?journal:string ->
   ?journal_fault:(int -> unit) ->
+  ?provenance:Milo_provenance.Provenance.t ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -216,6 +217,15 @@ val run :
     as-is and the exception propagates — no [Partial] degradation, no
     Finish record).
 
+    [provenance] (default none — zero-overhead) installs the given
+    recorder as the ambient one for the run
+    ({!Milo_provenance.Provenance}): every committed change-log batch
+    on the tracked design becomes a step record carrying the engine's
+    exact cost attribution, object tags are maintained for
+    critical-path blame, and the event stream mirrors the journal
+    record for record so {!Milo_provenance.Trajectory.crosscheck} can
+    verify one against the other.
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -231,6 +241,7 @@ val run_exn :
   ?guard:Milo_guard.Guard.policy ->
   ?certify:bool ->
   ?journal:string ->
+  ?provenance:Milo_provenance.Provenance.t ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]
@@ -245,7 +256,12 @@ exception Journal_error of string
     names).  Distinct from recovery itself, which never refuses a
     journal. *)
 
-val resume : ?hooks:hooks -> ?trace:Milo_trace.Trace.t -> string -> outcome
+val resume :
+  ?hooks:hooks ->
+  ?trace:Milo_trace.Trace.t ->
+  ?provenance:Milo_provenance.Provenance.t ->
+  string ->
+  outcome
 (** [resume path] recovers the journal's longest valid prefix and
     re-enters the flow at the last committed checkpoint: the recorded
     snapshot is restored id-exactly, the budget re-armed with the
@@ -256,7 +272,10 @@ val resume : ?hooks:hooks -> ?trace:Milo_trace.Trace.t -> string -> outcome
     statistics are not double-counted).  The resumed run re-journals
     into [path], so a second kill can be resumed again.  The result is
     byte-for-byte the uninterrupted run's: same final design, same
-    guard statistics, same report cost.
+    guard statistics, same report cost.  A [trace] passed here has its
+    event sequence counter re-armed at the checkpoint's recorded
+    position, so resumed event numbering continues the interrupted
+    run's instead of restarting at zero.
 
     Raises {!Journal_error} when the journal has no header or no
     committed checkpoint (a run killed before its first commit has

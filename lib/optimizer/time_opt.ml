@@ -38,6 +38,20 @@ let area ctx =
       let env name = Milo_library.Technology.find ctx.R.tech name in
       Milo_estimate.Estimate.area env ctx.R.design
 
+(* The measurer's running totals as a trace/provenance cost; [None]
+   outside a measured window. *)
+let cost_of ctx =
+  match !(ctx.R.measurer) with
+  | None -> None
+  | Some m ->
+      let c = Milo_measure.Measure.current m in
+      Some
+        {
+          Milo_trace.Trace.delay = c.Milo_measure.Measure.delay;
+          area = c.Milo_measure.Measure.area;
+          power = c.Milo_measure.Measure.power;
+        }
+
 (* Try one strategy on the most critical path; keep the edit only if the
    worst delay strictly improves without a runaway area cost (the
    two-level collapse of an XOR-rich cone can explode, as the paper
@@ -51,6 +65,10 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
   | Some path -> (
       let before = Sta.worst_delay sta in
       let area_before = area ctx in
+      let observed =
+        Milo_trace.Trace.enabled () || Milo_provenance.Provenance.enabled ()
+      in
+      let before_cost = if observed then cost_of ctx else None in
       let log = D.new_log () in
       match s.Strategies.run ctx sta path log with
       | Strategies.Not_applicable ->
@@ -70,7 +88,8 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
               in
               let kept = after < before -. 1e-9 && area_ok in
               if Milo_trace.Trace.enabled () then
-                Milo_trace.Trace.emit
+                Milo_trace.Trace.emit ?before:before_cost
+                  ?after:(cost_of ctx)
                   (Milo_trace.Trace.Strategy_step
                      {
                        strategy = s.Strategies.strat_name;
@@ -80,9 +99,17 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
                        delay_after = after;
                      });
               if kept then begin
+                (* Keep the measurement before committing (mirroring
+                   [Engine.greedy_step]): if keeping forces a resync,
+                   the totals attached to the commit below are the
+                   resynced — final — ones, so attribution telescopes. *)
+                Milo_rules.Engine.measure_keep ctx step;
+                if Milo_provenance.Provenance.enabled () then
+                  Milo_provenance.Provenance.pending ~design:ctx.R.design
+                    ~label:s.Strategies.strat_name ?before:before_cost
+                    ?after:(cost_of ctx) ();
                 D.commit ~label:s.Strategies.strat_name ~design:ctx.R.design
                   log;
-                Milo_rules.Engine.measure_keep ctx step;
                 (match budget with
                 | Some b -> Milo_rules.Budget.step b
                 | None -> ());

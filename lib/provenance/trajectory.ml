@@ -1,0 +1,448 @@
+module P = Provenance
+module J = Milo_journal.Journal
+module D = Milo_netlist.Design
+module E = Milo_trace.Export
+
+let quote s = "\"" ^ E.json_escape s ^ "\""
+
+(* Floats must survive save→load bit-exactly or the loaded stream
+   would show telescoping breaks the live one did not have.  %.12g
+   round-trips almost always and reads well; fall back to %.17g. *)
+let num f =
+  if Float.is_nan f then "0"
+  else if f = infinity then "1e308"
+  else if f = neg_infinity then "-1e308"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let obj fields =
+  let fields = List.sort (fun (a, _) (b, _) -> compare a b) fields in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> quote k ^ ":" ^ v) fields)
+  ^ "}"
+
+let cost_fields prefix (c : P.cost) =
+  [
+    (prefix ^ "delay", num c.Milo_trace.Trace.delay);
+    (prefix ^ "area", num c.Milo_trace.Trace.area);
+    (prefix ^ "power", num c.Milo_trace.Trace.power);
+  ]
+
+let line_of_event (ev : P.event) =
+  match ev with
+  | P.Run r ->
+      obj
+        [
+          ("t", quote "run");
+          ("design", quote r.run_design);
+          ("tech", quote r.run_tech);
+          ("hash", quote r.run_hash);
+        ]
+  | P.Stage s -> obj [ ("t", quote "stage"); ("stage", quote s) ]
+  | P.Step s ->
+      let opt fs = function Some v -> fs v | None -> [] in
+      obj
+        ([
+           ("t", quote "step");
+           ("step", string_of_int s.P.st_step);
+           ("stage", quote s.P.st_stage);
+           ("entries", string_of_int s.P.st_entries);
+           ("hash", quote s.P.st_hash);
+           ("comps", string_of_int s.P.st_comps);
+           ("nets", string_of_int s.P.st_nets);
+         ]
+        @ opt (fun l -> [ ("label", quote l) ]) s.P.st_label
+        @ opt (fun d -> [ ("site", quote d) ]) s.P.st_site
+        @ opt
+            (fun v -> [ ("verdict", quote (P.verdict_name v)) ])
+            s.P.st_verdict
+        @ opt (cost_fields "before_") s.P.st_before
+        @ opt (cost_fields "after_") s.P.st_after
+        @ opt
+            (fun (steps, evals, elapsed) ->
+              [
+                ("budget_steps", string_of_int steps);
+                ("budget_evals", string_of_int evals);
+                ("budget_elapsed", num elapsed);
+              ])
+            s.P.st_budget)
+  | P.Debit d ->
+      obj
+        [
+          ("t", quote "debit");
+          ("stage", quote d.P.de_stage);
+          ("kind", quote d.P.de_kind);
+          ("rule", quote d.P.de_rule);
+        ]
+  | P.Check c ->
+      obj
+        [
+          ("t", quote "checkpoint");
+          ("stage", quote c.ck_stage);
+          ("hash", quote c.ck_hash);
+          ("comps", string_of_int c.ck_comps);
+          ("nets", string_of_int c.ck_nets);
+        ]
+  | P.Finish f ->
+      obj
+        ([ ("t", quote "finish"); ("outcome", quote f.fin_outcome) ]
+        @ cost_fields "" f.fin_cost)
+
+let sink oc ev =
+  output_string oc (line_of_event ev);
+  output_char oc '\n';
+  match ev with P.Finish _ -> flush oc | _ -> ()
+
+let save path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun ev ->
+          output_string oc (line_of_event ev);
+          output_char oc '\n')
+        events)
+
+(* --- parsing ------------------------------------------------------- *)
+
+type jfield = S of string | N of float
+
+(* Minimal JSON-object-of-scalars parser — the exact inverse of [obj]
+   above (string and number values only, no nesting). *)
+let parse_obj ln =
+  let n = String.length ln in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s at column %d" msg (!pos + 1)) in
+  let peek () = if !pos < n then ln.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let v =
+                (hex ln.[!pos + 1] lsl 12)
+                lor (hex ln.[!pos + 2] lsl 8)
+                lor (hex ln.[!pos + 3] lsl 4)
+                lor hex ln.[!pos + 4]
+              in
+              pos := !pos + 4;
+              if v > 0xff then fail "non-latin \\u escape";
+              Buffer.add_char b (Char.chr v)
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number_lit () =
+    let start = !pos in
+    let numeric c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numeric ln.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected value";
+    match float_of_string_opt (String.sub ln start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  expect '{';
+  let fields = ref [] in
+  if peek () = '}' then advance ()
+  else begin
+    let rec members () =
+      let key = string_lit () in
+      expect ':';
+      let v = if peek () = '"' then S (string_lit ()) else N (number_lit ()) in
+      fields := (key, v) :: !fields;
+      match peek () with
+      | ',' ->
+          advance ();
+          members ()
+      | '}' -> advance ()
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ()
+  end;
+  if !pos <> n then fail "trailing garbage";
+  List.rev !fields
+
+let event_of_line ln =
+  let fields = parse_obj ln in
+  let str k =
+    match List.assoc_opt k fields with
+    | Some (S s) -> s
+    | Some (N _) -> failwith (k ^ ": expected string")
+    | None -> failwith ("missing key " ^ k)
+  in
+  let str_opt k =
+    match List.assoc_opt k fields with
+    | Some (S s) -> Some s
+    | Some (N _) -> failwith (k ^ ": expected string")
+    | None -> None
+  in
+  let fnum k =
+    match List.assoc_opt k fields with
+    | Some (N f) -> f
+    | Some (S _) -> failwith (k ^ ": expected number")
+    | None -> failwith ("missing key " ^ k)
+  in
+  let int k = int_of_float (fnum k) in
+  let cost_opt prefix : P.cost option =
+    match List.assoc_opt (prefix ^ "delay") fields with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            Milo_trace.Trace.delay = fnum (prefix ^ "delay");
+            area = fnum (prefix ^ "area");
+            power = fnum (prefix ^ "power");
+          }
+  in
+  match str "t" with
+  | "run" ->
+      P.Run
+        { run_design = str "design"; run_tech = str "tech"; run_hash = str "hash" }
+  | "stage" -> P.Stage (str "stage")
+  | "step" ->
+      P.Step
+        {
+          st_step = int "step";
+          st_stage = str "stage";
+          st_label = str_opt "label";
+          st_site = str_opt "site";
+          st_verdict =
+            (match str_opt "verdict" with
+            | Some v -> (
+                match P.verdict_of_name v with
+                | Some _ as r -> r
+                | None -> failwith ("unknown verdict " ^ v))
+            | None -> None);
+          st_entries = int "entries";
+          st_hash = str "hash";
+          st_before = cost_opt "before_";
+          st_after = cost_opt "after_";
+          st_comps = int "comps";
+          st_nets = int "nets";
+          st_budget =
+            (match List.assoc_opt "budget_steps" fields with
+            | None -> None
+            | Some _ ->
+                Some
+                  (int "budget_steps", int "budget_evals", fnum "budget_elapsed"));
+        }
+  | "debit" ->
+      P.Debit
+        { de_stage = str "stage"; de_kind = str "kind"; de_rule = str "rule" }
+  | "checkpoint" ->
+      P.Check
+        {
+          ck_stage = str "stage";
+          ck_hash = str "hash";
+          ck_comps = int "comps";
+          ck_nets = int "nets";
+        }
+  | "finish" ->
+      P.Finish
+        {
+          fin_outcome = str "outcome";
+          fin_cost =
+            {
+              Milo_trace.Trace.delay = fnum "delay";
+              area = fnum "area";
+              power = fnum "power";
+            };
+        }
+  | t -> failwith ("unknown record type " ^ t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go (lineno + 1) acc
+        | ln -> (
+            match event_of_line ln with
+            | ev -> go (lineno + 1) (ev :: acc)
+            | exception Failure msg ->
+                failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      go 1 [])
+
+(* --- offline reconstruction from a journal ------------------------- *)
+
+let in_place stage = stage = "micro" || stage = "optimize"
+
+let of_journal path =
+  let rc = J.recover path in
+  let t = P.create () in
+  (match J.header rc with
+  | None -> failwith (path ^ ": no run header survived recovery")
+  | Some h -> P.set_run t ~design:h.J.h_design ~tech:h.J.h_tech ~hash:h.J.h_hash);
+  let cur = ref None in
+  List.iter
+    (fun record ->
+      match record with
+      | J.Header _ -> ()
+      | J.Stage s ->
+          (* Stage boundaries are where the live flow re-tracks (and so
+             re-targets) a different design; mirroring that here keeps
+             the final-stage tags identical to the live recording. *)
+          P.retarget t;
+          P.observe_stage t s
+      | J.Delta { d_stage; d_label; d_hash; d_entries } ->
+          (match !cur with
+          | Some d when in_place d_stage -> (
+              try D.redo d d_entries
+              with (Out_of_memory | Stack_overflow) as e -> raise e | _ -> ())
+          | Some _ | None -> ());
+          let d, hash =
+            match !cur with
+            | Some d when in_place d_stage ->
+                (d, match d_hash with Some h -> Some h | None -> None)
+            | _ -> (D.create "offline", Some (Option.value d_hash ~default:""))
+          in
+          P.observe_commit t ~stage:d_stage ~label:d_label ?hash d d_entries
+      | J.Checkpoint ck ->
+          P.observe_checkpoint t ~stage:ck.J.ck_stage ck.J.ck_design;
+          cur := Some (D.copy ck.J.ck_design)
+      | J.Finish f ->
+          P.observe_finish t ~outcome:f.f_outcome
+            {
+              Milo_trace.Trace.delay = f.f_delay;
+              area = f.f_area;
+              power = f.f_power;
+            })
+    rc.J.r_records;
+  t
+
+(* --- cross-check --------------------------------------------------- *)
+
+type mismatch = { mis_index : int; mis_detail : string }
+
+let crosscheck ~journal events =
+  let rc = J.recover journal in
+  let events =
+    List.filter (function P.Debit _ -> false | _ -> true) events
+  in
+  let mismatches = ref [] in
+  let bad idx fmt =
+    Printf.ksprintf
+      (fun detail -> mismatches := { mis_index = idx; mis_detail = detail } :: !mismatches)
+      fmt
+  in
+  let near a b = a = b || abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b) in
+  let rec zip idx records events =
+    match (records, events) with
+    | [], [] -> ()
+    | [], ev :: _ ->
+        bad idx "journal exhausted before trajectory (next: %s)"
+          (match ev with
+          | P.Run _ -> "run"
+          | P.Stage _ -> "stage"
+          | P.Step _ -> "step"
+          | P.Debit _ -> "debit"
+          | P.Check _ -> "checkpoint"
+          | P.Finish _ -> "finish")
+    | _ :: _, [] -> bad idx "trajectory exhausted before journal"
+    | record :: records, ev :: events ->
+        (match (record, ev) with
+        | J.Header h, P.Run r ->
+            if h.J.h_design <> r.run_design then
+              bad idx "design %S vs journal %S" r.run_design h.J.h_design;
+            if h.J.h_tech <> r.run_tech then
+              bad idx "technology %S vs journal %S" r.run_tech h.J.h_tech;
+            if h.J.h_hash <> r.run_hash then
+              bad idx "input hash %s vs journal %s" r.run_hash h.J.h_hash
+        | J.Stage s, P.Stage s' ->
+            if s <> s' then bad idx "stage %S vs journal %S" s' s
+        | J.Delta d, P.Step s ->
+            if d.d_stage <> s.P.st_stage then
+              bad idx "step %d stage %S vs journal %S" s.P.st_step s.P.st_stage
+                d.d_stage;
+            if d.d_label <> s.P.st_label then
+              bad idx "step %d label %S vs journal %S" s.P.st_step
+                (Option.value s.P.st_label ~default:"")
+                (Option.value d.d_label ~default:"");
+            if List.length d.d_entries <> s.P.st_entries then
+              bad idx "step %d has %d entries vs journal %d" s.P.st_step
+                s.P.st_entries
+                (List.length d.d_entries);
+            (match d.d_hash with
+            | Some h when h <> s.P.st_hash ->
+                bad idx "step %d hash %s vs journal %s" s.P.st_step s.P.st_hash h
+            | Some _ | None -> ())
+        | J.Checkpoint ck, P.Check c ->
+            if ck.J.ck_stage <> c.ck_stage then
+              bad idx "checkpoint stage %S vs journal %S" c.ck_stage
+                ck.J.ck_stage;
+            if J.design_hash ck.J.ck_design <> c.ck_hash then
+              bad idx "checkpoint hash %s vs journal snapshot" c.ck_hash;
+            if D.num_comps ck.J.ck_design <> c.ck_comps
+               || D.num_nets ck.J.ck_design <> c.ck_nets
+            then
+              bad idx "checkpoint features %d/%d vs journal %d/%d" c.ck_comps
+                c.ck_nets
+                (D.num_comps ck.J.ck_design)
+                (D.num_nets ck.J.ck_design)
+        | J.Finish f, P.Finish e ->
+            if f.f_outcome <> e.fin_outcome then
+              bad idx "outcome %S vs journal %S" e.fin_outcome f.f_outcome;
+            if
+              not
+                (near e.fin_cost.Milo_trace.Trace.delay f.f_delay
+                && near e.fin_cost.Milo_trace.Trace.area f.f_area
+                && near e.fin_cost.Milo_trace.Trace.power f.f_power)
+            then
+              bad idx "final cost %.6g/%.6g/%.6g vs journal %.6g/%.6g/%.6g"
+                e.fin_cost.Milo_trace.Trace.delay e.fin_cost.Milo_trace.Trace.area
+                e.fin_cost.Milo_trace.Trace.power f.f_delay f.f_area f.f_power
+        | _, _ ->
+            bad idx "record kind mismatch (trajectory %s)"
+              (match ev with
+              | P.Run _ -> "run"
+              | P.Stage _ -> "stage"
+              | P.Step _ -> "step"
+              | P.Debit _ -> "debit"
+              | P.Check _ -> "checkpoint"
+              | P.Finish _ -> "finish"));
+        zip (idx + 1) records events
+  in
+  zip 0 rc.J.r_records events;
+  List.rev !mismatches

@@ -14,6 +14,7 @@
 
 module D = Milo_netlist.Design
 module Trace = Milo_trace.Trace
+module Prov = Milo_provenance.Provenance
 
 type measure = Milo_measure.Measure.totals = {
   delay : float;
@@ -449,27 +450,39 @@ let check_snapshot ctx snaps =
   in
   nets snaps
 
+(* Guard verdict of the most recent [guard_snapshot] decision, for the
+   provenance recorder.  Read by [greedy_step] immediately after the
+   winning commit-time apply — before cleanups run their own applies
+   and overwrite it. *)
+let last_verdict = ref Prov.Unguarded
+
 (* Snapshot decision for one application: [None] when no check should
    run (guard off, sampled out, or nothing verifiable at the site). *)
 let guard_snapshot ctx r site =
   match !rule_guard with
-  | None -> None
+  | None ->
+      last_verdict := Prov.Unguarded;
+      None
   | Some g ->
       if is_certified r.Rule.rule_name then begin
         g.rg_stats.Guard.rule_certified <- g.rg_stats.Guard.rule_certified + 1;
+        last_verdict := Prov.Certified;
         None
       end
       else if not (should_check g r) then begin
         g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+        last_verdict := Prov.Skipped;
         None
       end
       else begin
         match snapshot_cones ctx (site_out_nets ctx site) with
         | [] ->
             g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+            last_verdict := Prov.Skipped;
             None
         | snaps ->
             g.rg_stats.Guard.rule_checks <- g.rg_stats.Guard.rule_checks + 1;
+            last_verdict := Prov.Checked;
             Some (g, snaps)
       end
 
@@ -520,6 +533,8 @@ let guarded_apply ctx (r : Rule.t) site log =
                   g.rg_stats.Guard.rule_mismatches + 1
             | None -> ());
             note_failure_msg ~reason:Miscompiled r ("miscompile: " ^ detail);
+            if Prov.enabled () then
+              Prov.debit ~kind:"miscompile" ~rule:r.Rule.rule_name;
             if Trace.enabled () then
               Trace.emit
                 (Trace.Rule_miscompiled
@@ -529,6 +544,8 @@ let guarded_apply ctx (r : Rule.t) site log =
     | exception e ->
         D.undo ctx.Rule.design local;
         note_failure r e;
+        if Prov.enabled () then
+          Prov.debit ~kind:"quarantine" ~rule:r.Rule.rule_name;
         false
 
 (* Apply every applicable cleanup rule until none fires (bounded).  The
@@ -610,6 +627,23 @@ let trace_cost ctx =
   | Some m ->
       let c = Milo_measure.Measure.current m in
       Some { Trace.delay = c.delay; area = c.area; power = c.power }
+
+(* Compact site identity for the provenance recorder, computed before
+   the apply rewrites the site: the matched description plus the
+   hash-consed kind spec of every live site component.  Two structurally
+   identical sites reached through different histories digest equal. *)
+let site_digest ctx (site : Rule.site) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b site.Rule.descr;
+  List.iter
+    (fun cid ->
+      match D.comp_opt ctx.Rule.design cid with
+      | Some c ->
+          Buffer.add_char b '|';
+          Buffer.add_string b (Milo_netlist.Hashcons.kind_spec c.D.kind)
+      | None -> ())
+    site.Rule.site_comps;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* Candidate evaluation: apply rule + cleanups, measure, undo.  A cost
    function that fails on the candidate state (an unmappable or
@@ -695,12 +729,22 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
   match best with
   | Some app when app.gain > min_gain ->
       let traced = Trace.enabled () in
+      let prov = Prov.enabled () in
       let t0 = if traced then Unix.gettimeofday () else 0.0 in
-      let before = if traced then trace_cost ctx else None in
+      let before = if traced || prov then trace_cost ctx else None in
+      let site = if prov then Some (site_digest ctx app.site) else None in
       let log = D.new_log () in
       if guarded_apply ctx app.rule app.site log then begin
+        let verdict = !last_verdict in
         run_cleanups ctx cleanups log;
         measure_keep ctx (measure_step ctx log);
+        (* Attribution note for the commit below: the measurer's totals
+           are final here (cleanups measured, step kept), so [after] is
+           exactly what the next kept application will see as [before]
+           — the conservation invariant. *)
+        if prov then
+          Prov.pending ~design:ctx.Rule.design ~label:app.rule.Rule.rule_name
+            ?site ~verdict ?before ?after:(trace_cost ctx) ();
         D.commit ~label:app.rule.Rule.rule_name ~design:ctx.Rule.design log;
         (match budget with Some b -> Budget.step b | None -> ());
         if traced then begin
@@ -723,6 +767,7 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
         (* The winning rule failed on commit (it was just quarantined);
            everything it recorded is already rolled back. *)
         D.undo ctx.Rule.design log;
+        if prov then Prov.debit ~kind:"rollback" ~rule:app.rule.Rule.rule_name;
         if traced then begin
           Trace.note_rule ~rule:app.rule.Rule.rule_name
             ~dt:(Unix.gettimeofday () -. t0)

@@ -27,10 +27,13 @@ let set_gauge t name v =
   | Some r -> r := v
   | None -> Hashtbl.replace t.gauges name (ref v)
 
-(* Bucket 0: v < 1.  Bucket i >= 1: 2^(i-1) <= v < 2^i.  The last
-   bucket is unbounded above. *)
+(* Bucket 0: v < 1 (including nan).  Bucket i >= 1: 2^(i-1) <= v <
+   2^i.  The last bucket is unbounded above — infinity included, which
+   must be caught before the float-to-int conversion (undefined on
+   non-finite values). *)
 let bucket_of v =
   if not (v >= 1.0) then 0
+  else if v = infinity then bucket_count - 1
   else
     let i = 1 + int_of_float (floor (log v /. log 2.)) in
     if i < 1 then 1 else if i > bucket_count - 1 then bucket_count - 1 else i

@@ -163,6 +163,12 @@ val events : t -> event list
 val event_count : t -> int
 (** Total events ever emitted (>= [List.length (events t)]). *)
 
+val restore_seq : t -> int -> unit
+(** Re-arm the event sequence counter at a recorded position (journal
+    resume): subsequent events are numbered from [n], so sequence
+    numbers stay aligned with the journal of the interrupted run they
+    continue.  Never moves the counter backwards. *)
+
 val spans : t -> span list
 (** All spans, in creation (start) order. *)
 

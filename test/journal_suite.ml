@@ -102,6 +102,7 @@ let round_trip () =
           ck_guard = [| 1; 0; 17; 2; 3; 4 |];
           ck_tick = 9;
           ck_seen = [ "r1"; "r2 with space" ];
+          ck_trace = 57;
           ck_quarantine = [ ("bad-rule", 2, "it raised: \"x\"", "raised") ];
           ck_micro = [ ("carry-select", "adder u1") ];
           ck_levels = [ ("sub", 4, 100.5, 90.25) ];
@@ -366,6 +367,62 @@ let replay_tampered () =
   | _ -> fail "tamper: reference journal had no non-empty delta");
   cleanup path
 
+(* --- Tracer sequence continuity across resume --------------------------- *)
+
+(* Regression: a resumed run used to restart its tracer's event
+   numbering at zero, misaligning resumed events (and trajectory
+   records) from the journal they continue.  A checkpoint now records
+   the tracer position and resume re-arms the fresh tracer from it, so
+   the first resumed event continues the interrupted sequence. *)
+let trace_seq_resume () =
+  let case = List.hd (Suite.all ()) in
+  let path = temp_journal "traceseq" in
+  (* Find a kill point whose last committed checkpoint recorded a
+     non-zero tracer position (the capture checkpoint commits before
+     any event fires, so the very first kills record zero). *)
+  let rec find n =
+    if n > 64 then None
+    else begin
+      cleanup path;
+      let t0 = Milo_trace.Trace.create () in
+      match
+        Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+          ~trace:t0 ~journal:path
+          ~journal_fault:(Faults.kill_after n)
+          case.Suite.case_design
+      with
+      | _ -> None (* completed before the kill fired *)
+      | exception J.Crash _ -> (
+          match J.last_checkpoint (J.recover path) with
+          | Some ck when ck.J.ck_trace > 0 -> Some ck
+          | Some _ | None -> find (n + 1))
+    end
+  in
+  (match find 2 with
+  | None -> fail "traceseq: no kill point left a traced checkpoint"
+  | Some ck -> (
+      let t1 = Milo_trace.Trace.create () in
+      match Flow.resume ~trace:t1 path with
+      | Flow.Complete _ -> (
+          match Milo_trace.Trace.events t1 with
+          | [] -> fail "traceseq: resumed run emitted no events"
+          | e :: _ ->
+              if e.Milo_trace.Trace.seq <> ck.J.ck_trace then
+                fail
+                  "traceseq: resumed events start at seq %d, checkpoint \
+                   recorded %d"
+                  e.Milo_trace.Trace.seq ck.J.ck_trace
+              else
+                Printf.printf
+                  "ok   tracer seq continues at %d across resume\n"
+                  ck.J.ck_trace)
+      | Flow.Partial p ->
+          fail "traceseq: resume degraded at %s"
+            (Flow.stage_name p.Flow.failed_stage)
+      | exception e ->
+          fail "traceseq: resume raised %s" (Printexc.to_string e)));
+  cleanup path
+
 (* --- Resume refusal ------------------------------------------------------ *)
 
 let resume_refusal () =
@@ -421,6 +478,7 @@ let () =
   List.iter (fun c -> try crash_fuzz c with Exit -> ()) cases;
   List.iter replay_clean cases;
   replay_tampered ();
+  trace_seq_resume ();
   resume_refusal ();
   if !failures > 0 then begin
     Printf.printf "journal_suite: %d failure(s)\n" !failures;

@@ -415,12 +415,141 @@ let check_faulted () =
         (%d spans, %d events)"
       !lines !spans !events
 
+(* --- Metrics registry edges --------------------------------------------- *)
+
+(* The log2 histogram's documented bucket map at its boundary inputs:
+   0.0 lands in bucket 0 (sub-1.0), 1.0 is the first value of bucket 1
+   ([2^0, 2^1)), exact powers of two start their bucket, and a value
+   beyond the last bucket's range is absorbed by the last bucket rather
+   than dropped. *)
+let check_metrics_edges () =
+  let module M = Milo_trace.Metrics in
+  let bucket_of h =
+    let b = ref (-1) in
+    Array.iteri (fun i n -> if n > 0 then b := i) h.M.buckets;
+    !b
+  in
+  let one v =
+    let m = M.create () in
+    M.observe m "h" v;
+    match List.assoc_opt "h" (M.histograms m) with
+    | Some h ->
+        if h.M.count <> 1 then fail "metrics: observe(%g) count %d" v h.M.count;
+        bucket_of h
+    | None ->
+        fail "metrics: observe(%g) registered no histogram" v;
+        -1
+  in
+  if one 0.0 <> 0 then fail "metrics: 0.0 not in bucket 0";
+  if one 0.999 <> 0 then fail "metrics: 0.999 not in bucket 0";
+  if one 1.0 <> 1 then fail "metrics: 1.0 not in bucket 1";
+  if one 2.0 <> 2 then fail "metrics: 2.0 not in bucket 2";
+  if one 3.9 <> 2 then fail "metrics: 3.9 not in bucket 2";
+  let last = M.bucket_count - 1 in
+  if one (float_of_int max_int) <> last then
+    fail "metrics: max_int not absorbed by last bucket %d" last;
+  if one infinity <> last then
+    fail "metrics: infinity not absorbed by last bucket";
+  (* Every bucket's lower bound must be consistent with where a value
+     equal to that bound actually lands. *)
+  for i = 1 to last do
+    let lo = M.bucket_lo i in
+    let b = one lo in
+    if b <> i then fail "metrics: bucket_lo %d = %g lands in bucket %d" i lo b
+  done;
+  (* Gauges keep only the latest value; observations never merge. *)
+  let m = M.create () in
+  M.set_gauge m "g" 1.5;
+  M.set_gauge m "g" (-2.5);
+  (match M.gauges m with
+  | [ ("g", v) ] ->
+      if v <> -2.5 then fail "metrics: gauge kept %g, expected -2.5" v
+  | l -> fail "metrics: expected 1 gauge, got %d" (List.length l));
+  (* Counters accumulate, and a fresh name reads 0 without side effects. *)
+  M.incr m "c" 2;
+  M.incr m "c" 3;
+  if M.counter m "c" <> 5 then fail "metrics: counter sum %d" (M.counter m "c");
+  if M.counter m "absent" <> 0 then fail "metrics: absent counter non-zero";
+  if List.mem_assoc "absent" (M.counters m) then
+    fail "metrics: reading a counter created it";
+  if !failures = 0 then ok "metrics registry edges (buckets, gauge, counter)"
+
+(* --- Profile span-tree golden ------------------------------------------- *)
+
+(* A hand-built trace with a known span nesting must produce exactly
+   that tree from [Profile.tree], with self times summing to totals,
+   and [Profile.render] must list the spans in tree order. *)
+let check_profile_tree () =
+  let module Profile = Milo_trace.Profile in
+  let t = Trace.create () in
+  Trace.set_current (Some t);
+  Trace.open_span "root";
+  Trace.open_span "child-a";
+  Trace.open_span "leaf";
+  Trace.close_span "leaf";
+  Trace.close_span "child-a";
+  Trace.open_span "child-b";
+  Trace.close_span "child-b";
+  Trace.close_span "root";
+  Trace.set_current None;
+  let shape n =
+    let open Profile in
+    let rec go n =
+      n.span.Trace.name
+      ^
+      match n.children with
+      | [] -> ""
+      | cs -> "(" ^ String.concat " " (List.map go cs) ^ ")"
+    in
+    go n
+  in
+  (match Profile.tree t with
+  | [ root ] ->
+      let s = shape root in
+      if s <> "root(child-a(leaf) child-b)" then
+        fail "profile: tree shape %s" s;
+      (* Self-times partition the totals: each node's self is its total
+         minus its direct children's, and nothing is negative. *)
+      let rec walk (n : Profile.node) =
+        let child_total =
+          List.fold_left (fun a c -> a +. c.Profile.total) 0.0 n.children
+        in
+        if n.Profile.self < 0.0 then
+          fail "profile: negative self time on %s" n.span.Trace.name;
+        if abs_float (n.Profile.self -. (n.Profile.total -. child_total)) > 1e-9
+        then fail "profile: self/total mismatch on %s" n.span.Trace.name;
+        List.iter walk n.children
+      in
+      walk root
+  | l -> fail "profile: expected 1 root, got %d" (List.length l));
+  let rendered = Profile.render t in
+  let order = [ "root"; "child-a"; "leaf"; "child-b" ] in
+  let rec in_order pos = function
+    | [] -> ()
+    | name :: rest -> (
+        match
+          let n = String.length rendered and m = String.length name in
+          let rec find i =
+            if i + m > n then None
+            else if String.sub rendered i m = name then Some i
+            else find (i + 1)
+          in
+          find pos
+        with
+        | Some i -> in_order (i + String.length name) rest
+        | None -> fail "profile: render misses span %S (in order)" name)
+  in
+  in_order 0 order;
+  if !failures = 0 then ok "profile span tree golden (shape, self times, render)"
+
 let () =
   let t, res = run_traced () in
   check_spans t res;
   check_events t res;
   check_chrome t;
   check_faulted ();
+  check_metrics_edges ();
+  check_profile_tree ();
   if !failures > 0 then begin
     Printf.printf "%d failure(s)\n" !failures;
     exit 1
