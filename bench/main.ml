@@ -1568,6 +1568,189 @@ let sim_bench ~smoke_mode () =
     exit 1
   end
 
+(* --- E16: supervised parallel runtime ----------------------------------- *)
+
+(* The domain-pool runtime must be observably invisible — bit-identical
+   final designs and costs at [--domains 1] and [--domains n] — and
+   fault-isolated: an injected task fault becomes a typed
+   [Task_failed], never an escaped exception or a hang.  This bench
+   measures both, plus honest wall-clock numbers, and writes
+   BENCH_parallel.json.  A host without a second core cannot show real
+   speedup (forced extra domains just oversubscribe the one core), so
+   the smoke gate there is identity + graceful degradation: the
+   unforced pooled run must carry the Degraded_to_sequential note and
+   match the inline run bit-for-bit.  The speedup floor is asserted
+   only on hosts with >= 4 cores, and the bench lives on its own
+   @parallel_overhead alias rather than runtest so timing jitter can
+   never fail the tier-1 suite. *)
+
+module Pool = Milo_parallel.Pool
+
+let parallel_bench ~smoke_mode () =
+  section
+    (if smoke_mode then
+       "E16 / parallel smoke: domain-pool identity, faults, degradation"
+     else "E16 / parallel: domain-pool speedup on the largest suite design");
+  Milo_rules.Engine.quarantine_reset ();
+  let host_cores = Domain.recommended_domain_count () in
+  let case =
+    if smoke_mode then Milo_designs.Suite.design3 ()
+    else
+      List.fold_left
+        (fun (acc : Milo_designs.Suite.case) (c : Milo_designs.Suite.case) ->
+          let m, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              c.Milo_designs.Suite.case_design
+          in
+          let ma, _ =
+            Milo.Flow.human_baseline ~technology:Milo.Flow.Ecl
+              acc.Milo_designs.Suite.case_design
+          in
+          if D.num_comps m > D.num_comps ma then c else acc)
+        (Milo_designs.Suite.design1 ())
+        (Milo_designs.Suite.all ())
+  in
+  let name = case.Milo_designs.Suite.case_name in
+  let trials = if smoke_mode then 3 else 5 in
+  let domains = if host_cores >= 2 then min 4 host_cores else 4 in
+  let run_flow ?(force = true) ~domains () =
+    match
+      Milo.Flow.run ~technology:Milo.Flow.Ecl
+        ~constraints:case.Milo_designs.Suite.constraints ~domains
+        ~force_domains:force case.Milo_designs.Suite.case_design
+    with
+    | Milo.Flow.Complete res -> res
+    | Milo.Flow.Partial p ->
+        Printf.printf "parallel: flow degraded at %s: %s\n"
+          (Milo.Flow.stage_name p.Milo.Flow.failed_stage)
+          p.Milo.Flow.failure.Milo.Flow.err_message;
+        exit 1
+  in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  (* Identity: the inline supervised path vs a real forced pool.  The
+     hash covers the full netlist structure; stats cover the cost
+     triple the flow reports. *)
+  let r1 = run_flow ~domains:1 () in
+  let rn = run_flow ~domains () in
+  let hash r = Milo_journal.Journal.design_hash r.Milo.Flow.optimized in
+  let divergences = ref 0 in
+  if hash r1 <> hash rn then begin
+    Printf.printf "parallel: domains 1 vs %d final design hashes differ\n"
+      domains;
+    incr divergences
+  end;
+  if r1.Milo.Flow.final <> rn.Milo.Flow.final then begin
+    Printf.printf "parallel: domains 1 vs %d final costs differ\n" domains;
+    incr divergences
+  end;
+  (* Degradation: without [force_domains], pool construction on a
+     single-core host must refuse and fall back inline — identical
+     results, note recorded.  On a multi-core host it must NOT refuse. *)
+  let ru = run_flow ~force:false ~domains () in
+  let degraded = List.mem "Degraded_to_sequential" ru.Milo.Flow.notes in
+  if hash ru <> hash r1 then begin
+    Printf.printf "parallel: unforced run diverges from inline run\n";
+    incr divergences
+  end;
+  (* Timing: min-of-trials wall clock, inline vs forced pool.  Honest
+     numbers — on a single-core host the pool is pure overhead and the
+     speedup lands below 1.0. *)
+  let seq_min = min_of (fun () -> ignore (run_flow ~domains:1 ())) in
+  let par_min =
+    Float.max (min_of (fun () -> ignore (run_flow ~domains ()))) 1e-9
+  in
+  let speedup = seq_min /. par_min in
+  (* Fault containment: a pooled batch where every fourth task raises.
+     Each injected fault must come back as [Task_failed (Raised _)] in
+     its own slot; every healthy task must return its value. *)
+  let fault_tasks = 16 in
+  let injected i = i mod 4 = 1 in
+  let outcomes =
+    let tasks =
+      List.init fault_tasks (fun i () ->
+          Pool.poll ();
+          if injected i then failwith (Printf.sprintf "injected fault %d" i);
+          i * i)
+    in
+    match Pool.create ~force:true ~domains () with
+    | Some p ->
+        let o = Pool.run p tasks in
+        Pool.shutdown p;
+        o
+    | None -> Pool.run_inline tasks
+  in
+  let fault_failures = ref 0 in
+  Array.iteri
+    (fun i o ->
+      match (o, injected i) with
+      | Pool.Done v, false when v = i * i -> ()
+      | Pool.Task_failed (Pool.Raised _), true -> incr fault_failures
+      | _ ->
+          Printf.printf "parallel: task %d misclassified (%s)\n" i
+            (match o with
+            | Pool.Done _ -> "Done"
+            | Pool.Task_failed f -> Pool.fault_message f);
+          exit 1)
+    outcomes;
+  let fault_rate = float_of_int !fault_failures /. float_of_int fault_tasks in
+  Printf.printf
+    "design %s, %d trials (min), host_cores=%d, domains=%d\n\
+     inline (domains 1): %8.2f ms\n\
+     pooled (domains %d): %8.2f ms  (%.2fx)\n\
+     divergences: %d, unforced degraded: %b\n\
+     faults: %d/%d contained (rate %.3f)\n%!"
+    name trials host_cores domains (seq_min *. 1e3) domains (par_min *. 1e3)
+    speedup !divergences degraded !fault_failures fault_tasks fault_rate;
+  write_bench "BENCH_parallel.json"
+    [
+      ("design", Printf.sprintf "%S" name);
+      ("smoke", string_of_bool smoke_mode);
+      ("trials", string_of_int trials);
+      ("domains", string_of_int domains);
+      ("host_cores", string_of_int host_cores);
+      ("degraded_unforced", string_of_bool degraded);
+      ("seq_ms", Printf.sprintf "%.3f" (seq_min *. 1e3));
+      ("par_ms", Printf.sprintf "%.3f" (par_min *. 1e3));
+      ("speedup", Printf.sprintf "%.2f" speedup);
+      ("divergences", string_of_int !divergences);
+      ("fault_tasks", string_of_int fault_tasks);
+      ("fault_failures", string_of_int !fault_failures);
+      ("fault_rate", Printf.sprintf "%.3f" fault_rate);
+    ];
+  if !divergences > 0 then begin
+    Printf.printf "parallel: %d divergence(s) between domain counts\n"
+      !divergences;
+    exit 1
+  end;
+  if !fault_failures <> fault_tasks / 4 then begin
+    Printf.printf "parallel: expected %d injected faults, saw %d\n"
+      (fault_tasks / 4) !fault_failures;
+    exit 1
+  end;
+  if host_cores < 2 && not degraded then begin
+    Printf.printf
+      "parallel: single-core host but unforced pooled run did not degrade\n";
+    exit 1
+  end;
+  if host_cores >= 2 && degraded then begin
+    Printf.printf
+      "parallel: %d-core host but unforced pooled run degraded\n" host_cores;
+    exit 1
+  end;
+  if smoke_mode && host_cores >= 4 && speedup < 1.2 then begin
+    Printf.printf
+      "parallel smoke: %d-core host below the 1.2x floor (%.2fx)\n" host_cores
+      speedup;
+    exit 1
+  end
+
 let all () =
   fig19 ();
   abadd ();
@@ -1629,9 +1812,14 @@ let () =
         Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
       in
       trajectory_bench ~smoke_mode ()
+  | Some "parallel" ->
+      let smoke_mode =
+        Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke"
+      in
+      parallel_bench ~smoke_mode ()
   | Some other ->
       Printf.eprintf
         "unknown experiment %s \
-         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal|sim|trajectory)\n"
+         (fig19|abadd|metarules|scaling|strategies|microcritic|estimator|dagon|disciplines|bechamel|smoke|measure|trace-overhead|guard-overhead|analyze|journal|sim|trajectory|parallel)\n"
         other;
       exit 1

@@ -223,6 +223,16 @@ let guard_arg =
                flow; a caught rule miscompile is reverted and the rule \
                quarantined.")
 
+let domains_arg =
+  let default = max 1 (Domain.recommended_domain_count () - 1) in
+  Arg.(value & opt int default & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for parallel candidate evaluation \
+               (default: cores - 1, at least 1).  1 runs the \
+               supervised tasks inline; results are bit-identical \
+               across every $(docv).  On hosts where a pool cannot be \
+               constructed the run degrades to inline execution and \
+               notes it.")
+
 let journal_arg =
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
          ~doc:"Record a durable write-ahead journal of the run to \
@@ -271,7 +281,7 @@ let map_cmd =
     Term.(ret (const run $ design_arg $ tech_arg $ out_arg))
 
 let optimize_run path tech delay area power timeout max_steps full_measure
-    check_measure trace_file trace_format guard journal out =
+    check_measure trace_file trace_format guard journal domains out =
   protect ~file:path @@ fun () ->
   install_interrupt_handlers ~journal ();
   let design = read_design path in
@@ -322,7 +332,7 @@ let optimize_run path tech delay area power timeout max_steps full_measure
     human.Milo.Flow.delay human.Milo.Flow.area human.Milo.Flow.power;
   match
     Milo.Flow.run ~technology ~constraints ~incremental:(not full_measure)
-      ?budget ?trace ~guard ?journal design
+      ?budget ?trace ~guard ?journal ~domains design
   with
   | Milo.Flow.Complete res ->
       finish_trace ();
@@ -345,7 +355,7 @@ let optimize_term =
   Term.(ret (const optimize_run $ design_arg $ tech_arg $ delay_arg $ area_arg
              $ power_arg $ timeout_arg $ max_steps_arg $ full_measure_arg
              $ check_measure_arg $ trace_arg $ trace_format_arg $ guard_arg
-             $ journal_arg $ out_arg))
+             $ journal_arg $ domains_arg $ out_arg))
 
 let optimize_cmd =
   Cmd.v
@@ -588,7 +598,7 @@ let explain_cmd =
          & info [ "json" ]
              ~doc:"Emit the attribution report as JSON instead of text.")
   in
-  let run path tech delay timeout max_steps guard json =
+  let run path tech delay timeout max_steps guard domains json =
     protect ~file:path @@ fun () ->
     let design = read_design path in
     let technology = technology_of tech in
@@ -603,7 +613,7 @@ let explain_cmd =
     let p = P.create () in
     match
       Milo.Flow.run ~technology ~constraints ?budget ~trace:t ~guard
-        ~provenance:p design
+        ~provenance:p ~domains design
     with
     | Milo.Flow.Partial pp ->
         prerr_string (Milo.Report.partial_summary pp);
@@ -767,7 +777,7 @@ let explain_cmd =
              critical path), and the rules with the best cost \
              improvement per millisecond spent.")
     Term.(ret (const run $ design_arg $ tech_arg $ delay_arg $ timeout_arg
-               $ max_steps_arg $ guard_arg $ json_arg))
+               $ max_steps_arg $ guard_arg $ domains_arg $ json_arg))
 
 let trajectory_cmd =
   let mode_arg =

@@ -146,6 +146,9 @@ type result = {
   analysis : Milo_absint.Absint.summary option;
       (** abstract-interpretation facts over the optimized design
           ([None] when linting was [Off]) *)
+  notes : string list;
+      (** structured run annotations, e.g. ["Degraded_to_sequential"]
+          when a requested domain pool could not be constructed *)
 }
 
 type partial = {
@@ -162,6 +165,7 @@ type partial = {
   partial_guard_stats : Guard.stats;
   partial_budget : Milo_rules.Budget.status;
   partial_trace : Milo_trace.Trace.t option;
+  partial_notes : string list;
 }
 
 type outcome = Complete of result | Partial of partial
@@ -307,7 +311,8 @@ let reason_of_name = function
 (* --- Full MILO flow --------------------------------------------------- *)
 
 let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
-    ~guard ~certify ~journal ~journal_fault ~provenance ~resume design =
+    ~guard ~certify ~journal ~journal_fault ~provenance ~domains ~force_domains
+    ~resume design =
   (* Install the tracer (if any) as the ambient one for the whole run,
      so every layer's probes report into it; restored on exit. *)
   (match trace with
@@ -323,7 +328,36 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
   let budget =
     match budget with Some b -> b | None -> Milo_rules.Budget.unlimited ()
   in
+  (* Parallel runtime: [None] keeps the legacy sequential engine paths;
+     [Some n] runs the fan-out sites under supervised-task semantics —
+     pooled across [n] domains when a pool comes up, inline on this
+     domain otherwise.  Inline and pooled merge identically, so the
+     degraded run is bit-identical to the parallel one; the degradation
+     is still recorded so operators can see the speedup was lost. *)
+  let run_notes = ref [] in
+  let pool, exec =
+    let deadline = Milo_rules.Budget.deadline_time budget in
+    match domains with
+    | None -> (None, Milo_parallel.Exec.sequential)
+    | Some n when n <= 1 -> (None, Milo_parallel.Exec.inline ?deadline ())
+    | Some n -> (
+        match
+          Milo_parallel.Pool.create ~force:force_domains ~domains:n ()
+        with
+        | Some p -> (Some p, Milo_parallel.Exec.pooled ?deadline p)
+        | None ->
+            run_notes := "Degraded_to_sequential" :: !run_notes;
+            (None, Milo_parallel.Exec.inline ?deadline ()))
+  in
+  let shutdown_pool () =
+    match pool with Some p -> Milo_parallel.Pool.shutdown p | None -> ()
+  in
   Milo_rules.Engine.quarantine_reset ();
+  if !run_notes <> [] && Milo_trace.Trace.enabled () then
+    Milo_trace.Trace.emit
+      (Milo_trace.Trace.Note
+         "Degraded_to_sequential: domain pool construction failed; \
+          continuing inline with identical results");
   (* Semantic guard: one stats record shared between the engine's
      rule-level cone checks (armed here, disarmed on exit) and the
      stage-level equivalence checks below. *)
@@ -355,6 +389,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
                h_timeout = timeout;
                h_max_steps = max_steps;
                h_max_evals = max_evals;
+               h_domains = domains;
              })
   in
   (* The recorder's run record mirrors the journal header, and its
@@ -667,8 +702,8 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
       | Some expanded ->
           enter Techmap expanded;
           let optimized, report =
-            Milo_optimizer.Logic_optimizer.optimize ~required ~input_arrivals
-              ~incremental
+            Milo_optimizer.Logic_optimizer.optimize ~exec ~required
+              ~input_arrivals ~incremental
               ~on_mapped:(fun d levels ->
                 levels_ref := levels;
                 lint_stage ~techs:mapped "techmap" d;
@@ -705,7 +740,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
             enter Optimize tm;
             track tm;
             let optimized, report =
-              Milo_optimizer.Logic_optimizer.optimize_flat ~required
+              Milo_optimizer.Logic_optimizer.optimize_flat ~exec ~required
                 ~input_arrivals ~incremental ~budget target tm
             in
             timing_ref := report.Milo_optimizer.Logic_optimizer.timing;
@@ -747,6 +782,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
       (* Flush closes the open stage/root spans and runs the sinks, so
          the trace is complete before the caller sees the result. *)
       untrack ();
+      shutdown_pool ();
       Milo_rules.Engine.clear_rule_guard ();
       Milo_rules.Engine.clear_certified ();
       (match jw with
@@ -791,6 +827,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
           run_trace = trace;
           certificates = !certificates;
           analysis;
+          notes = List.rev !run_notes;
         }
   | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
   | exception (J.Crash _ as e) ->
@@ -799,6 +836,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
          degradation — but the process-global engine state is cleared so
          an in-process harness can keep running flows. *)
       untrack ();
+      shutdown_pool ();
       Milo_rules.Engine.clear_rule_guard ();
       Milo_rules.Engine.clear_certified ();
       (match jw with
@@ -809,6 +847,7 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
       (* A faulted run still flushes: open spans are force-closed and
          streaming sinks see a well-formed trace up to the failure. *)
       untrack ();
+      shutdown_pool ();
       Milo_rules.Engine.clear_rule_guard ();
       Milo_rules.Engine.clear_certified ();
       (match jw with
@@ -849,27 +888,30 @@ let run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
           partial_guard_stats = gstats;
           partial_budget = Milo_rules.Budget.status budget;
           partial_trace = trace;
+          partial_notes = List.rev !run_notes;
         }
 
 let run ?(technology = Ecl) ?(constraints = Constraints.none)
     ?(lint = Milo_lint.Lint.Off) ?(incremental = true) ?budget
     ?(hooks = no_hooks) ?trace ?(guard = Guard.Off) ?(certify = true) ?journal
-    ?journal_fault ?provenance design =
+    ?journal_fault ?provenance ?domains ?(force_domains = false) design =
   run_impl ~technology ~constraints ~lint ~incremental ~budget ~hooks ~trace
-    ~guard ~certify ~journal ~journal_fault ~provenance ~resume:None design
+    ~guard ~certify ~journal ~journal_fault ~provenance ~domains ~force_domains
+    ~resume:None design
 
 let run_exn ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-    ?guard ?certify ?journal ?provenance design =
+    ?guard ?certify ?journal ?provenance ?domains ?force_domains design =
   match
     run ?technology ?constraints ?lint ?incremental ?budget ?hooks ?trace
-      ?guard ?certify ?journal ?provenance design
+      ?guard ?certify ?journal ?provenance ?domains ?force_domains design
   with
   | Complete r -> r
   | Partial p -> raise p.failure.err_exn
 
 (* --- Resume ------------------------------------------------------------ *)
 
-let resume ?(hooks = no_hooks) ?trace ?provenance path =
+let resume ?(hooks = no_hooks) ?trace ?provenance ?(force_domains = false)
+    path =
   let rc = J.recover path in
   let header =
     match J.header rc with
@@ -963,10 +1005,15 @@ let resume ?(hooks = no_hooks) ?trace ?provenance path =
           last.J.ck_quarantine;
     }
   in
+  (* The recorded domain count is re-entered exactly: a run journaled
+     at [--domains n] resumes under the same supervised-task semantics,
+     so the merged trajectory continues bit-identically (degrading to
+     inline if the pool no longer comes up changes nothing
+     observable). *)
   run_impl ~technology ~constraints ~lint ~incremental:header.J.h_incremental
     ~budget:(Some budget) ~hooks ~trace ~guard ~certify:header.J.h_certify
-    ~journal:(Some path) ~journal_fault:None ~provenance ~resume:(Some rp)
-    capture
+    ~journal:(Some path) ~journal_fault:None ~provenance
+    ~domains:header.J.h_domains ~force_domains ~resume:(Some rp) capture
 
 (* --- Replay ------------------------------------------------------------ *)
 

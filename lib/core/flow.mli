@@ -100,6 +100,11 @@ type result = {
   analysis : Milo_absint.Absint.summary option;
       (** abstract-interpretation facts over the optimized design;
           [None] when linting was [Off] *)
+  notes : string list;
+      (** structured run annotations; contains
+          ["Degraded_to_sequential"] when [domains] requested a pool
+          that could not be constructed and the run fell back to
+          inline (bit-identical) execution *)
 }
 
 type partial = {
@@ -118,6 +123,7 @@ type partial = {
   partial_trace : Milo_trace.Trace.t option;
       (** flushed even on failure: open spans are force-closed, so the
           trace of a degraded run is still balanced and well-formed *)
+  partial_notes : string list;  (** same annotations as [result.notes] *)
 }
 
 type outcome = Complete of result | Partial of partial
@@ -152,6 +158,8 @@ val run :
   ?journal:string ->
   ?journal_fault:(int -> unit) ->
   ?provenance:Milo_provenance.Provenance.t ->
+  ?domains:int ->
+  ?force_domains:bool ->
   D.t ->
   outcome
 (** Run the full flow.  [lint] (default [Off]) enables the stage
@@ -226,6 +234,23 @@ val run :
     record for record so {!Milo_provenance.Trajectory.crosscheck} can
     verify one against the other.
 
+    [domains] (default none — the legacy sequential engine paths,
+    byte-for-byte) runs the optimizer's fan-out sites (timing-strategy
+    dispatch, per-rule candidate evaluation, lookahead branch
+    exploration) as supervised tasks over a pool of [domains] worker
+    domains ({!Milo_parallel.Pool}).  Tasks evaluate on immutable
+    id-preserving design snapshots; a task that raises, overruns the
+    budget deadline or stops heartbeating is quarantined as a typed
+    fault without poisoning the run, and results merge in a
+    deterministic submission order — so [~domains:1] and [~domains:n]
+    produce bit-identical designs, ledgers, journals and traces.  When
+    the pool cannot be constructed (single-core host without
+    [force_domains], domain spawn failure) the run degrades gracefully
+    to inline supervised execution — same results, no speedup — and
+    records ["Degraded_to_sequential"] in [result.notes] and as a
+    trace [Note].  [force_domains] lifts the two-core floor so tests
+    can exercise real multi-domain supervision anywhere.
+
     Any other stage failure yields [Partial]: the last good checkpoint,
     the failing stage and a structured error.  [Out_of_memory] and
     [Stack_overflow] are always re-raised. *)
@@ -242,6 +267,8 @@ val run_exn :
   ?certify:bool ->
   ?journal:string ->
   ?provenance:Milo_provenance.Provenance.t ->
+  ?domains:int ->
+  ?force_domains:bool ->
   D.t ->
   result
 (** Like {!run} but re-raises the original exception on a [Partial]
@@ -260,6 +287,7 @@ val resume :
   ?hooks:hooks ->
   ?trace:Milo_trace.Trace.t ->
   ?provenance:Milo_provenance.Provenance.t ->
+  ?force_domains:bool ->
   string ->
   outcome
 (** [resume path] recovers the journal's longest valid prefix and
@@ -276,6 +304,11 @@ val resume :
     event sequence counter re-armed at the checkpoint's recorded
     position, so resumed event numbering continues the interrupted
     run's instead of restarting at zero.
+
+    A journal recorded with [~domains:n] re-enters with the same
+    domain count (the header carries it); [force_domains] is forwarded
+    to pool construction as in {!run}.  Degrading to inline execution
+    on resume changes nothing observable.
 
     Raises {!Journal_error} when the journal has no header or no
     committed checkpoint (a run killed before its first commit has

@@ -142,6 +142,9 @@ let summary (res : Flow.result) =
            (count Milo_absint.Certify.Probabilistic)
            (count Milo_absint.Certify.Uncertified)
            (count Milo_absint.Certify.Refused)));
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "note: %s\n" n))
+    res.Flow.notes;
   add_resilience ~errors:res.Flow.quarantine_errors
     ~reasons:res.Flow.quarantine_reasons ~guard:res.Flow.guard_stats b
     ~quarantined:res.Flow.quarantined ~budget:res.Flow.budget;
@@ -180,6 +183,9 @@ let partial_summary (p : Flow.partial) =
           ^ Printf.sprintf " [%s]\n" stage))
       p.Flow.partial_lint_findings
   end;
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "note: %s\n" n))
+    p.Flow.partial_notes;
   add_resilience ~errors:p.Flow.partial_quarantine_errors
     ~reasons:p.Flow.partial_quarantine_reasons ~guard:p.Flow.partial_guard_stats
     b ~quarantined:p.Flow.partial_quarantined ~budget:p.Flow.partial_budget;

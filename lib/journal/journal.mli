@@ -37,6 +37,10 @@ type header = {
   h_timeout : float option;  (** original budget limits, if any *)
   h_max_steps : int option;
   h_max_evals : int option;
+  h_domains : int option;
+      (** parallel domain count the run was started with; [None] for
+          sequential runs and for journals written before the field
+          existed *)
 }
 
 type timing = {

@@ -31,15 +31,26 @@ module D = Design
 let kind_table : (Types.kind, int * string) Hashtbl.t = Hashtbl.create 256
 let next_kind_id = ref 0
 
+(* The table is shared process-wide and parallel oracle workers may
+   intern kinds their scratch rewrites introduce, so every access is
+   serialized: an unsynchronized find racing a resize is undefined
+   behaviour.  Contention is negligible — the population of distinct
+   kinds is small and the hit path is one lookup. *)
+let kind_mutex = Mutex.create ()
+
 let intern kind =
-  match Hashtbl.find_opt kind_table kind with
-  | Some e -> e
-  | None ->
-      let id = !next_kind_id in
-      incr next_kind_id;
-      let e = (id, Writer.kind_spec kind) in
-      Hashtbl.replace kind_table kind e;
-      e
+  Mutex.lock kind_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock kind_mutex)
+    (fun () ->
+      match Hashtbl.find_opt kind_table kind with
+      | Some e -> e
+      | None ->
+          let id = !next_kind_id in
+          incr next_kind_id;
+          let e = (id, Writer.kind_spec kind) in
+          Hashtbl.replace kind_table kind e;
+          e)
 
 let kind_id kind = fst (intern kind)
 let kind_spec kind = snd (intern kind)

@@ -11,6 +11,7 @@ val cost_fn :
   float
 
 val optimize :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
@@ -19,8 +20,12 @@ val optimize :
   cleanups:R.t list ->
   R.context ->
   Milo_rules.Engine.application list
+(** With a parallel [exec] plan, candidate evaluation fans out per rule
+    onto supervised tasks ({!Milo_rules.Engine.greedy_pass_par});
+    [Sequential] (the default) is the legacy path byte-for-byte. *)
 
 val optimize_lookahead :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?params:Milo_rules.Search.params ->

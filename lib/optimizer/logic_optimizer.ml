@@ -110,8 +110,8 @@ let optimize_level ?budget db tech_db target design =
    area recovery off the critical paths — everything that happens on the
    flat technology-mapped design.  Split out so a journal resume can
    re-enter here with a restored Techmap snapshot. *)
-let flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
-    target d =
+let flat_passes ?(exec = Milo_parallel.Exec.sequential) ~required
+    ~input_arrivals ~incremental ?budget db tech_db target d =
   let ctx = make_ctx db tech_db target d in
   let electric () =
     Milo_trace.Trace.with_span "electric" (fun () ->
@@ -130,12 +130,12 @@ let flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
   let timing =
     if required < infinity then
       Some
-        (Time_opt.optimize ~required ~input_arrivals ?budget
+        (Time_opt.optimize ~exec ~required ~input_arrivals ?budget
            ~cleanups:Milo_critic.Critic.cleanup ctx)
     else None
   in
   let _ =
-    Area_opt.optimize ~required ~input_arrivals ?budget
+    Area_opt.optimize ~exec ~required ~input_arrivals ?budget
       ~rules:(Milo_critic.Critic.area @ Milo_critic.Critic.logic @ Milo_critic.Critic.power)
       ~cleanups:Milo_critic.Critic.cleanup ctx
   in
@@ -147,8 +147,8 @@ let flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
    technology-specific design (Figure 18's process), then run the time
    optimizer against the constraint and recover area off the critical
    paths. *)
-let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
-    ?on_mapped ?budget db target design =
+let optimize ?exec ?(required = infinity) ?(input_arrivals = [])
+    ?(incremental = true) ?on_mapped ?budget db target design =
   let tech_db = Database.create () in
   let entries = ref [] in
   (* 1. Map and optimize every sub-design, deepest first. *)
@@ -183,8 +183,8 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
      inspect it (the flow lints here) before timing/area optimization. *)
   (match on_mapped with Some f -> f !top (List.rev !entries) | None -> ());
   let timing =
-    flat_passes ~required ~input_arrivals ~incremental ?budget db tech_db
-      target !top
+    flat_passes ?exec ~required ~input_arrivals ~incremental ?budget db
+      tech_db target !top
   in
   (!top, { entries = List.rev !entries; timing })
 
@@ -192,11 +192,11 @@ let optimize ?(required = infinity) ?(input_arrivals = []) ?(incremental = true)
    only) — the journal-resume entry point: a restored Techmap snapshot
    has no [Instance] kinds left, so an empty technology database
    resolves every kind it can contain. *)
-let optimize_flat ?(required = infinity) ?(input_arrivals = [])
+let optimize_flat ?exec ?(required = infinity) ?(input_arrivals = [])
     ?(incremental = true) ?budget target d =
   let tech_db = Database.create () in
   let timing =
-    flat_passes ~required ~input_arrivals ~incremental ?budget tech_db
+    flat_passes ?exec ~required ~input_arrivals ~incremental ?budget tech_db
       tech_db target d
   in
   (d, { entries = []; timing })

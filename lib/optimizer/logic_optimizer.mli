@@ -20,6 +20,7 @@ val instance_order : Milo_compilers.Database.t -> D.t -> string list
 (** Sub-design names reachable from a design, deepest first. *)
 
 val optimize :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?incremental:bool ->
@@ -43,9 +44,16 @@ val optimize :
     per flat optimization stage in the rule context, so the timing and
     area passes evaluate candidates by delta-STA and streaming totals
     instead of full recomputes; pass [false] to force the full
-    measurement path. *)
+    measurement path.
+
+    [exec] is the parallel execution plan threaded into the flat
+    timing/area passes (strategy fan-out, per-rule candidate fan-out);
+    [Sequential] — the default — is the legacy path byte-for-byte.
+    Per-level greedy passes stay sequential: they are cheap cleanups
+    dominated by mapping time. *)
 
 val optimize_flat :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?incremental:bool ->

@@ -11,6 +11,7 @@ val cost_fn :
   float
 
 val optimize :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
@@ -19,3 +20,6 @@ val optimize :
   cleanups:R.t list ->
   R.context ->
   Milo_rules.Engine.application list
+(** With a parallel [exec] plan, candidate evaluation fans out per rule
+    onto supervised tasks; [Sequential] (the default) is the legacy
+    path byte-for-byte. *)

@@ -127,8 +127,77 @@ let try_strategy ?budget ctx ~input_arrivals ~cleanups (s : Strategies.strategy)
                 None
               end))
 
-let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
-    ~cleanups ctx =
+module Pool = Milo_parallel.Pool
+module Exec = Milo_parallel.Exec
+
+(* Quarantine key for a whole strategy: strategies are not rules, but
+   a faulting strategy task is contained the same way — under a
+   reserved name the rule tables cannot collide with. *)
+let strategy_key name = "strategy:" ^ name
+
+(* Parallel strategy fan-out for one optimizer iteration: every
+   non-quarantined strategy in [order] is tried speculatively by one
+   supervised task on a forked snapshot (a pure would-this-help
+   oracle), then the first success in strategy order is re-run
+   authoritatively on the real context — so trace, provenance, the
+   measurer and the budget see exactly one strategy application, the
+   same one a sequential scan of the oracle verdicts would pick.  A
+   faulting task quarantines its strategy for the rest of the run. *)
+let try_all_par ?budget ~exec ctx ~input_arrivals ~cleanups order =
+  let strategies =
+    List.filter_map
+      (fun id ->
+        let s = Strategies.by_id id in
+        if Milo_rules.Engine.is_quarantined (strategy_key s.Strategies.strat_name)
+        then None
+        else Some s)
+      order
+  in
+  if strategies = [] then None
+  else begin
+    (match budget with
+    | Some b -> List.iter (fun _ -> Milo_rules.Budget.eval b) strategies
+    | None -> ());
+    let tasks =
+      List.map
+        (fun (s : Strategies.strategy) () ->
+          Milo_rules.Engine.worker_task (fun () ->
+              let wctx = R.fork_context ctx in
+              try_strategy wctx ~input_arrivals ~cleanups s <> None))
+        strategies
+    in
+    let outcomes = Exec.map exec tasks in
+    let sarr = Array.of_list strategies in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Pool.Done (_, fails) -> Milo_rules.Engine.import_failures fails
+        | Pool.Task_failed fault ->
+            Milo_rules.Engine.note_failure_named
+              ~reason:Milo_rules.Engine.Raised
+              (strategy_key sarr.(i).Strategies.strat_name)
+              ("parallel task: " ^ Pool.fault_message fault))
+      outcomes;
+    let rec pick i =
+      if i >= Array.length sarr then None
+      else
+        match outcomes.(i) with
+        | Pool.Done (true, _) -> (
+            (* The oracle said this strategy improves; the
+               authoritative run re-verifies on the real context.  A
+               divergence (rare: the oracle measured from scratch, the
+               context may measure incrementally) just falls through
+               to the next candidate. *)
+            match try_strategy ?budget ctx ~input_arrivals ~cleanups sarr.(i) with
+            | Some step -> Some step
+            | None -> pick (i + 1))
+        | Pool.Done (false, _) | Pool.Task_failed _ -> pick (i + 1)
+    in
+    pick 0
+  end
+
+let optimize ?(exec = Exec.sequential) ?(required = 0.0) ?(input_arrivals = [])
+    ?(max_steps = 64) ?budget ~cleanups ctx =
   Milo_trace.Trace.with_span "time-opt" @@ fun () ->
   let steps = ref [] in
   let exhausted () =
@@ -152,7 +221,13 @@ let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
               | Some step -> Some step
               | None -> try_all rest)
       in
-      match try_all order with
+      let picked =
+        match (exec : Exec.t) with
+        | Exec.Sequential -> try_all order
+        | Exec.Inline _ | Exec.Pooled _ ->
+            try_all_par ?budget ~exec ctx ~input_arrivals ~cleanups order
+      in
+      match picked with
       | Some step ->
           steps := step :: !steps;
           loop (n + 1)
@@ -164,6 +239,6 @@ let optimize ?(required = 0.0) ?(input_arrivals = []) ?(max_steps = 64) ?budget
 
 (* Unconstrained "make it as fast as possible": iterate until no
    strategy improves. *)
-let minimize_delay ?(input_arrivals = []) ?(max_steps = 64) ?budget ~cleanups
-    ctx =
-  optimize ~required:0.0 ~input_arrivals ~max_steps ?budget ~cleanups ctx
+let minimize_delay ?exec ?(input_arrivals = []) ?(max_steps = 64) ?budget
+    ~cleanups ctx =
+  optimize ?exec ~required:0.0 ~input_arrivals ~max_steps ?budget ~cleanups ctx

@@ -27,6 +27,7 @@ val try_strategy :
   step option
 
 val optimize :
+  ?exec:Milo_parallel.Exec.t ->
   ?required:float ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
@@ -36,9 +37,17 @@ val optimize :
   outcome
 (** Stops at the constraint, [max_steps], strategy exhaustion, or
     budget exhaustion — in the last case the outcome reports the
-    best-so-far delay. *)
+    best-so-far delay.
+
+    With a parallel [exec] plan, each iteration tries every eligible
+    strategy speculatively as a supervised task on a forked snapshot
+    and re-applies the first success (in strategy order)
+    authoritatively; a faulting strategy task is quarantined under
+    ["strategy:NAME"] for the rest of the run.  [Sequential] (the
+    default) is the legacy path byte-for-byte. *)
 
 val minimize_delay :
+  ?exec:Milo_parallel.Exec.t ->
   ?input_arrivals:(string * float) list ->
   ?max_steps:int ->
   ?budget:Milo_rules.Budget.t ->

@@ -83,15 +83,31 @@ let create () =
     sinks = [];
   }
 
-let cur : t option ref = ref None
+(* Domain-local, mirroring [Trace]: the recorder lives on the
+   coordinating domain only, so worker-domain scratch evaluations
+   leave no provenance and the merged ledger is exactly the
+   coordinator's — bit-identical across domain counts. *)
+let cur_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_current o = cur := o
-let current () = !cur
-let enabled () = !cur != None
+let cur () = Domain.DLS.get cur_key
+
+let set_current o = cur () := o
+let current () = !(cur ())
+let enabled () = !(cur ()) != None
 
 let with_recorder t f =
+  let cur = cur () in
   let saved = !cur in
   cur := Some t;
+  Fun.protect ~finally:(fun () -> cur := saved) f
+
+(* Suppress recording on this domain for the callback: the inline
+   execution mode's oracle-worker discipline. *)
+let without f =
+  let cur = cur () in
+  let saved = !cur in
+  cur := None;
   Fun.protect ~finally:(fun () -> cur := saved) f
 
 let add_sink t f = t.sinks <- f :: t.sinks
@@ -104,7 +120,7 @@ let record t ev =
 (* --- engine-side probes -------------------------------------------- *)
 
 let pending ~design ~label ?site ?verdict ?before ?after () =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t ->
       t.note <-
@@ -119,7 +135,7 @@ let pending ~design ~label ?site ?verdict ?before ?after () =
           }
 
 let debit ~kind ~rule =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t ->
       record t (Debit { de_stage = t.stage; de_kind = kind; de_rule = rule })

@@ -95,7 +95,16 @@ val enabled : unit -> bool
 
 val with_recorder : t -> (unit -> 'a) -> 'a
 (** Install [t] for the duration of the callback, restoring the
-    previous recorder even on exceptions. *)
+    previous recorder even on exceptions.  The ambient slot is
+    domain-local: a recorder installed on the coordinating domain is
+    invisible to worker domains. *)
+
+val without : (unit -> 'a) -> 'a
+(** Run the callback with recording suppressed on this domain,
+    restoring the previous recorder even on exceptions.  Used by the
+    parallel runtime's inline execution mode so a worker task leaves
+    no provenance whether it runs on the coordinator or on a pool
+    domain. *)
 
 val add_sink : t -> (event -> unit) -> unit
 (** Streaming sink, called once per recorded event in order. *)

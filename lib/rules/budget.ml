@@ -51,6 +51,11 @@ let resume ?timeout ?max_steps ?max_evals ~steps ~evals ~elapsed () =
 let limits t =
   (Option.map (fun d -> d -. t.started) t.deadline, t.max_steps, t.max_evals)
 
+(* The absolute deadline, for the parallel runtime: supervised tasks
+   inherit it so a straggler is cancelled at the same wall-clock
+   instant the budget itself would flag exhaustion. *)
+let deadline_time t = t.deadline
+
 let step t = t.steps <- t.steps + 1
 let eval t = t.evals <- t.evals + 1
 

@@ -38,6 +38,12 @@ val limits : t -> float option * int option * int option
     Journaled in the run header so a resume can re-arm the same
     bounds. *)
 
+val deadline_time : t -> float option
+(** The absolute wall-clock deadline ([Unix.gettimeofday] scale), if
+    the budget has one.  The parallel runtime passes it to supervised
+    tasks so stragglers are cancelled when the budget would flag
+    exhaustion. *)
+
 val step : t -> unit
 (** Count one committed rule application. *)
 

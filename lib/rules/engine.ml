@@ -15,6 +15,8 @@
 module D = Milo_netlist.Design
 module Trace = Milo_trace.Trace
 module Prov = Milo_provenance.Provenance
+module Pool = Milo_parallel.Pool
+module Exec = Milo_parallel.Exec
 
 type measure = Milo_measure.Measure.totals = {
   delay : float;
@@ -108,8 +110,32 @@ let reason_name = function Raised -> "raised" | Miscompiled -> "miscompiled"
    first went wrong. *)
 let quarantine : (string, int * string * reason) Hashtbl.t = Hashtbl.create 16
 
+(* Oracle-worker discipline for the parallel fan-out: while candidate
+   evaluations run on forked design snapshots — on pool domains or
+   inline on the coordinator — the global quarantine table is
+   read-only.  A worker that traps a failure defers it into a
+   domain-local buffer; the coordinator imports the buffers in task
+   (= submission) order after the fan-out, so first-failure messages
+   and quarantine trace events are deterministic regardless of which
+   domain trapped what when. *)
+type deferred_failure = { df_rule : string; df_msg : string; df_reason : reason }
+
+let worker_key : deferred_failure list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let in_worker () = Domain.DLS.get worker_key <> None
+
 let quarantine_reset () = Hashtbl.reset quarantine
-let is_quarantined name = Hashtbl.mem quarantine name
+
+let is_quarantined name =
+  Hashtbl.mem quarantine name
+  ||
+  (* A failure trapped earlier in this worker task quarantines the rule
+     for the task's remaining sites, mirroring what the sequential pass
+     would do globally. *)
+  (match Domain.DLS.get worker_key with
+  | Some buf -> List.exists (fun d -> d.df_rule = name) !buf
+  | None -> false)
 
 (* Full quarantine image, for journal checkpoints: a resumed run
    restores it so rules trapped before the crash stay trapped. *)
@@ -137,18 +163,43 @@ let quarantined_reasons () =
   Hashtbl.fold (fun name (_, _, r) acc -> (name, r) :: acc) quarantine []
   |> List.sort compare
 
+let note_failure_named ~reason name msg =
+  match Domain.DLS.get worker_key with
+  | Some buf -> buf := { df_rule = name; df_msg = msg; df_reason = reason } :: !buf
+  | None -> (
+      match Hashtbl.find_opt quarantine name with
+      | Some (n, m, rs) -> Hashtbl.replace quarantine name (n + 1, m, rs)
+      | None ->
+          Hashtbl.replace quarantine name (1, msg, reason);
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Rule_quarantined { rule = name; failures = 1; message = msg }))
+
 let note_failure_msg ~reason (r : Rule.t) msg =
-  let name = r.Rule.rule_name in
-  match Hashtbl.find_opt quarantine name with
-  | Some (n, m, rs) -> Hashtbl.replace quarantine name (n + 1, m, rs)
-  | None ->
-      Hashtbl.replace quarantine name (1, msg, reason);
-      if Trace.enabled () then
-        Trace.emit
-          (Trace.Rule_quarantined { rule = name; failures = 1; message = msg })
+  note_failure_named ~reason r.Rule.rule_name msg
 
 let note_failure (r : Rule.t) exn =
   note_failure_msg ~reason:Raised r (Printexc.to_string exn)
+
+(* Run [f] as an oracle worker: quarantine writes are deferred into a
+   local buffer (returned oldest-first), and tracing / provenance are
+   suppressed on this domain, so a task behaves identically whether it
+   runs inline on the coordinator or on a pool domain.  The rule guard
+   never runs in a worker — see [guard_snapshot]. *)
+let worker_task f =
+  let buf = ref [] in
+  let saved = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key (Some buf);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set worker_key saved)
+    (fun () ->
+      let v = Trace.without (fun () -> Prov.without f) in
+      (v, List.rev_map (fun d -> (d.df_rule, d.df_msg, d.df_reason)) !buf))
+
+(* Coordinator side: fold a worker's deferred failures into the global
+   quarantine.  Call in task order. *)
+let import_failures fails =
+  List.iter (fun (rule, msg, reason) -> note_failure_named ~reason rule msg) fails
 
 (* --- Semantic rule guard ----------------------------------------------- *)
 
@@ -177,25 +228,32 @@ type rule_guard_state = {
   mutable rg_tick : int;  (* check opportunities, for sampling *)
 }
 
-let rule_guard : rule_guard_state option ref = ref None
+(* Domain-local: the flow arms the guard on the coordinating domain;
+   worker domains never see it (their [guard_snapshot] short-circuits
+   anyway), so its mutable sampling position is single-domain state
+   and needs no locking. *)
+let rule_guard_key : rule_guard_state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let rule_guard () = Domain.DLS.get rule_guard_key
 
 let set_rule_guard ?budget ?stats policy =
   match policy with
-  | Guard.Off -> rule_guard := None
+  | Guard.Off -> rule_guard () := None
   | Guard.Sampled | Guard.Full ->
-      rule_guard :=
-        Some
-          {
-            rg_policy = policy;
-            rg_budget = budget;
-            rg_stats =
-              (match stats with Some s -> s | None -> Guard.fresh_stats ());
-            rg_seen = Hashtbl.create 16;
-            rg_tick = 0;
-          }
+      rule_guard ()
+      := Some
+           {
+             rg_policy = policy;
+             rg_budget = budget;
+             rg_stats =
+               (match stats with Some s -> s | None -> Guard.fresh_stats ());
+             rg_seen = Hashtbl.create 16;
+             rg_tick = 0;
+           }
 
-let clear_rule_guard () = rule_guard := None
-let rule_guard_stats () = Option.map (fun g -> g.rg_stats) !rule_guard
+let clear_rule_guard () = rule_guard () := None
+let rule_guard_stats () = Option.map (fun g -> g.rg_stats) !(rule_guard ())
 
 (* Journal-resume support: the [Sampled] tier's position (tick counter
    and first-application set) is part of the run's deterministic state
@@ -208,10 +266,10 @@ let guard_sample_state () =
       ( g.rg_tick,
         Hashtbl.fold (fun n () acc -> n :: acc) g.rg_seen []
         |> List.sort compare ))
-    !rule_guard
+    !(rule_guard ())
 
 let restore_guard_sample_state tick seen =
-  match !rule_guard with
+  match !(rule_guard ()) with
   | None -> ()
   | Some g ->
       g.rg_tick <- tick;
@@ -228,17 +286,18 @@ let restore_guard_sample_state tick seen =
    layer — and the store is global like the quarantine: the flow
    installs it per run.  Quarantine still dominates: a certified rule
    that raises is quarantined like any other. *)
-let certified : (string, unit) Hashtbl.t = Hashtbl.create 16
+(* An immutable set behind an atomic, not a hashtable: worker domains
+   read it during parallel candidate evaluation while the coordinator
+   could in principle be between runs — a torn hashtable read would be
+   undefined behaviour, an atomic set swap is always coherent. *)
+module SS = Set.Make (String)
 
-let set_certified names =
-  Hashtbl.reset certified;
-  List.iter (fun n -> Hashtbl.replace certified n ()) names
+let certified : SS.t Atomic.t = Atomic.make SS.empty
 
-let clear_certified () = Hashtbl.reset certified
-let is_certified name = Hashtbl.mem certified name
-
-let certified_rules () =
-  Hashtbl.fold (fun n () acc -> n :: acc) certified [] |> List.sort compare
+let set_certified names = Atomic.set certified (SS.of_list names)
+let clear_certified () = Atomic.set certified SS.empty
+let is_certified name = SS.mem name (Atomic.get certified)
+let certified_rules () = SS.elements (Atomic.get certified)
 
 (* Sampling interval for the [Sampled] tier: the first application of
    each rule is always checked (a systematically wrong rule is caught
@@ -311,28 +370,41 @@ let chunks_for n = ((1 lsl n) + lanes - 1) / lanes
    share one packed sweep through a digest-keyed cache.  Keys include
    the library name: cone digests intern macro *names*, whose
    behavior is per-technology. *)
-let tv_cache : (string, int array) Hashtbl.t = Hashtbl.create 256
+type tv_state = {
+  tv_tbl : (string, int array) Hashtbl.t;
+  mutable tv_hits : int;
+  mutable tv_misses : int;
+}
+
+(* Domain-local: the guard only runs on the coordinating domain today,
+   but a shared hashtable mutated from a hot path is exactly the kind
+   of latent hazard the parallel runtime must not inherit — per-domain
+   caches need no locking and keep the bound per-domain too. *)
+let tv_key : tv_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tv_tbl = Hashtbl.create 256; tv_hits = 0; tv_misses = 0 })
+
 let tv_cache_bound = 4096
-let tv_hits = ref 0
-let tv_misses = ref 0
 
 let cone_truth_vector ctx cone =
+  let tv_cache = Domain.DLS.get tv_key in
   let key =
     Milo_library.Technology.name ctx.Rule.tech ^ ":" ^ Cone.digest ctx cone
   in
-  match Hashtbl.find_opt tv_cache key with
+  match Hashtbl.find_opt tv_cache.tv_tbl key with
   | Some tv ->
-      incr tv_hits;
+      tv_cache.tv_hits <- tv_cache.tv_hits + 1;
       tv
   | None ->
-      incr tv_misses;
+      tv_cache.tv_misses <- tv_cache.tv_misses + 1;
       let n = List.length cone.Cone.leaves in
       let tv =
         Array.init (chunks_for n) (fun c ->
             Cone.eval_packed ctx cone (leaf_words cone.Cone.leaves c))
       in
-      if Hashtbl.length tv_cache >= tv_cache_bound then Hashtbl.reset tv_cache;
-      Hashtbl.replace tv_cache key tv;
+      if Hashtbl.length tv_cache.tv_tbl >= tv_cache_bound then
+        Hashtbl.reset tv_cache.tv_tbl;
+      Hashtbl.replace tv_cache.tv_tbl key tv;
       tv
 
 (* Truth vectors of the verifiable site outputs over their cone
@@ -454,37 +526,51 @@ let check_snapshot ctx snaps =
    provenance recorder.  Read by [greedy_step] immediately after the
    winning commit-time apply — before cleanups run their own applies
    and overwrite it. *)
-let last_verdict = ref Prov.Unguarded
+let last_verdict_key : Prov.verdict ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Prov.Unguarded)
+
+let last_verdict () = Domain.DLS.get last_verdict_key
 
 (* Snapshot decision for one application: [None] when no check should
-   run (guard off, sampled out, or nothing verifiable at the site). *)
+   run (guard off, sampled out, or nothing verifiable at the site).
+
+   Oracle workers never guard: their applications are scratch
+   evaluations on forked snapshots whose results are discarded; only
+   the coordinator's authoritative re-application of the merged winner
+   is guarded (and ticks the sampling position), which is what keeps
+   guard stats bit-identical across domain counts. *)
 let guard_snapshot ctx r site =
-  match !rule_guard with
-  | None ->
-      last_verdict := Prov.Unguarded;
-      None
-  | Some g ->
-      if is_certified r.Rule.rule_name then begin
-        g.rg_stats.Guard.rule_certified <- g.rg_stats.Guard.rule_certified + 1;
-        last_verdict := Prov.Certified;
+  if in_worker () then begin
+    last_verdict () := Prov.Unguarded;
+    None
+  end
+  else
+    match !(rule_guard ()) with
+    | None ->
+        last_verdict () := Prov.Unguarded;
         None
-      end
-      else if not (should_check g r) then begin
-        g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
-        last_verdict := Prov.Skipped;
-        None
-      end
-      else begin
-        match snapshot_cones ctx (site_out_nets ctx site) with
-        | [] ->
-            g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
-            last_verdict := Prov.Skipped;
-            None
-        | snaps ->
-            g.rg_stats.Guard.rule_checks <- g.rg_stats.Guard.rule_checks + 1;
-            last_verdict := Prov.Checked;
-            Some (g, snaps)
-      end
+    | Some g ->
+        if is_certified r.Rule.rule_name then begin
+          g.rg_stats.Guard.rule_certified <- g.rg_stats.Guard.rule_certified + 1;
+          last_verdict () := Prov.Certified;
+          None
+        end
+        else if not (should_check g r) then begin
+          g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+          last_verdict () := Prov.Skipped;
+          None
+        end
+        else begin
+          match snapshot_cones ctx (site_out_nets ctx site) with
+          | [] ->
+              g.rg_stats.Guard.rule_skipped <- g.rg_stats.Guard.rule_skipped + 1;
+              last_verdict () := Prov.Skipped;
+              None
+          | snaps ->
+              g.rg_stats.Guard.rule_checks <- g.rg_stats.Guard.rule_checks + 1;
+              last_verdict () := Prov.Checked;
+              Some (g, snaps)
+        end
 
 (* Match sites, treating a raising [find] as "no sites" (and
    quarantining the rule).  A quarantined rule matches nothing. *)
@@ -493,7 +579,8 @@ let guarded_find ctx (r : Rule.t) =
   else
     match r.Rule.find ctx with
     | sites -> sites
-    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception ((Out_of_memory | Stack_overflow | Pool.Cancelled) as e) ->
+        raise e
     | exception e ->
         note_failure r e;
         []
@@ -507,6 +594,11 @@ let guarded_find ctx (r : Rule.t) =
    treated exactly like a raising apply — rolled back and quarantined
    — except the reason recorded is [Miscompiled]. *)
 let guarded_apply ctx (r : Rule.t) site log =
+  (* Cooperative cancellation point: inside a supervised parallel task
+     this heartbeats and raises [Pool.Cancelled] past the deadline —
+     before any edit, so the task's scratch snapshot is abandoned
+     cleanly.  A no-op on the authoritative path. *)
+  Pool.poll ();
   if is_quarantined r.Rule.rule_name then false
   else
     let snap = guard_snapshot ctx r site in
@@ -541,6 +633,12 @@ let guarded_apply ctx (r : Rule.t) site log =
                    { rule = r.Rule.rule_name; site = site.Rule.descr; detail });
             false)
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception Pool.Cancelled ->
+        (* Not a rule failure: the task's deadline passed mid-apply.
+           Undo this rule's edits and let the supervisor classify the
+           task; the snapshot is discarded anyway. *)
+        D.undo ctx.Rule.design local;
+        raise Pool.Cancelled
     | exception e ->
         D.undo ctx.Rule.design local;
         note_failure r e;
@@ -654,6 +752,7 @@ let site_digest ctx (site : Rule.site) =
    per-rule attribution table and the eval-latency histogram, and a
    rejected candidate emits a [Rule_refused] event naming the reason. *)
 let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
+  Pool.poll ();
   match budget with
   | Some b when Budget.exhausted b -> None
   | _ ->
@@ -699,12 +798,73 @@ let evaluate ?budget ctx ~cost ~cleanups (r : Rule.t) site =
                 D.undo ctx.Rule.design log;
                 measure_drop ctx step;
                 finish (Some (before -. after))
-            | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+            | exception ((Out_of_memory | Stack_overflow | Pool.Cancelled) as e)
+              ->
+                raise e
             | exception _ ->
                 D.undo ctx.Rule.design log;
                 measure_drop ctx step;
                 finish ~reason:"cost-failed" None)
       end
+
+(* Authoritative commit of a winning candidate: re-apply on the real
+   design (under the rule guard), run cleanups, keep the measurer step,
+   deposit the provenance note and commit.  Shared by the sequential
+   and parallel greedy steps — in the parallel path this is the only
+   place the winner touches the coordinator's design, so every
+   observable side effect (trace, ledger, guard stats, journal entries)
+   flows from the same code regardless of domain count. *)
+let commit_app ?budget ctx ~cleanups (app : application) =
+  let traced = Trace.enabled () in
+  let prov = Prov.enabled () in
+  let t0 = if traced then Unix.gettimeofday () else 0.0 in
+  let before = if traced || prov then trace_cost ctx else None in
+  let site = if prov then Some (site_digest ctx app.site) else None in
+  let log = D.new_log () in
+  if guarded_apply ctx app.rule app.site log then begin
+    let verdict = !(last_verdict ()) in
+    run_cleanups ctx cleanups log;
+    measure_keep ctx (measure_step ctx log);
+    (* Attribution note for the commit below: the measurer's totals
+       are final here (cleanups measured, step kept), so [after] is
+       exactly what the next kept application will see as [before]
+       — the conservation invariant. *)
+    if prov then
+      Prov.pending ~design:ctx.Rule.design ~label:app.rule.Rule.rule_name
+        ?site ~verdict ?before ?after:(trace_cost ctx) ();
+    D.commit ~label:app.rule.Rule.rule_name ~design:ctx.Rule.design log;
+    (match budget with Some b -> Budget.step b | None -> ());
+    if traced then begin
+      Trace.note_rule ~rule:app.rule.Rule.rule_name
+        ~dt:(Unix.gettimeofday () -. t0)
+        ~gain:app.gain ~outcome:`Applied;
+      Trace.count "engine.applies" 1;
+      Trace.emit ?before
+        ?after:(trace_cost ctx)
+        (Trace.Rule_applied
+           {
+             rule = app.rule.Rule.rule_name;
+             site = app.site.Rule.descr;
+             gain = app.gain;
+           })
+    end;
+    Some app
+  end
+  else begin
+    (* The winning rule failed on commit (it was just quarantined);
+       everything it recorded is already rolled back. *)
+    D.undo ctx.Rule.design log;
+    if prov then Prov.debit ~kind:"rollback" ~rule:app.rule.Rule.rule_name;
+    if traced then begin
+      Trace.note_rule ~rule:app.rule.Rule.rule_name
+        ~dt:(Unix.gettimeofday () -. t0)
+        ~gain:0.0 ~outcome:`Rolled_back;
+      Trace.emit
+        (Trace.Rule_rolled_back
+           { rule = app.rule.Rule.rule_name; site = app.site.Rule.descr })
+    end;
+    None
+  end
 
 (* One greedy step: evaluate all candidates, commit the best if it
    improves the cost.  Returns the applied candidate. *)
@@ -727,58 +887,85 @@ let greedy_step ?(min_gain = 1e-9) ?budget ctx ~cost ~cleanups rules =
       None candidates
   in
   match best with
-  | Some app when app.gain > min_gain ->
-      let traced = Trace.enabled () in
-      let prov = Prov.enabled () in
-      let t0 = if traced then Unix.gettimeofday () else 0.0 in
-      let before = if traced || prov then trace_cost ctx else None in
-      let site = if prov then Some (site_digest ctx app.site) else None in
-      let log = D.new_log () in
-      if guarded_apply ctx app.rule app.site log then begin
-        let verdict = !last_verdict in
-        run_cleanups ctx cleanups log;
-        measure_keep ctx (measure_step ctx log);
-        (* Attribution note for the commit below: the measurer's totals
-           are final here (cleanups measured, step kept), so [after] is
-           exactly what the next kept application will see as [before]
-           — the conservation invariant. *)
-        if prov then
-          Prov.pending ~design:ctx.Rule.design ~label:app.rule.Rule.rule_name
-            ?site ~verdict ?before ?after:(trace_cost ctx) ();
-        D.commit ~label:app.rule.Rule.rule_name ~design:ctx.Rule.design log;
-        (match budget with Some b -> Budget.step b | None -> ());
-        if traced then begin
-          Trace.note_rule ~rule:app.rule.Rule.rule_name
-            ~dt:(Unix.gettimeofday () -. t0)
-            ~gain:app.gain ~outcome:`Applied;
-          Trace.count "engine.applies" 1;
-          Trace.emit ?before
-            ?after:(trace_cost ctx)
-            (Trace.Rule_applied
-               {
-                 rule = app.rule.Rule.rule_name;
-                 site = app.site.Rule.descr;
-                 gain = app.gain;
-               })
-        end;
-        Some app
-      end
-      else begin
-        (* The winning rule failed on commit (it was just quarantined);
-           everything it recorded is already rolled back. *)
-        D.undo ctx.Rule.design log;
-        if prov then Prov.debit ~kind:"rollback" ~rule:app.rule.Rule.rule_name;
-        if traced then begin
-          Trace.note_rule ~rule:app.rule.Rule.rule_name
-            ~dt:(Unix.gettimeofday () -. t0)
-            ~gain:0.0 ~outcome:`Rolled_back;
-          Trace.emit
-            (Trace.Rule_rolled_back
-               { rule = app.rule.Rule.rule_name; site = app.site.Rule.descr })
-        end;
-        None
-      end
+  | Some app when app.gain > min_gain -> commit_app ?budget ctx ~cleanups app
   | Some _ | None -> None
+
+(* --- Parallel greedy ------------------------------------------------- *)
+
+(* One parallel greedy step.  The fan-out unit is the rule: candidates
+   are found on the coordinator (sequential semantics, including
+   find-failure quarantine), then each rule's site list is evaluated by
+   one supervised task on a forked snapshot of the design.  Grouping by
+   rule — never by domain count — is what keeps the merge deterministic:
+   a rule that fails mid-task skips its own remaining sites exactly as
+   the sequential pass would, and the (rule index, site ordinal) merge
+   order plus the sequential tie-break (earlier candidate wins ties)
+   reproduce the sequential winner whenever the measured gains agree.
+
+   Workers are pure oracles: no trace, no provenance, no guard, no
+   budget mutation.  The coordinator charges the budget (one eval per
+   candidate, deterministically), imports deferred quarantine failures
+   in task order, and re-applies only the merged winner through
+   [commit_app] — the same authoritative path the sequential step
+   uses. *)
+let greedy_step_par ?(min_gain = 1e-9) ?budget ~exec ~cost_factory ctx
+    ~cleanups rules =
+  match budget with
+  | Some b when Budget.exhausted b -> None
+  | _ ->
+      let groups =
+        List.filter_map
+          (fun (r : Rule.t) ->
+            match guarded_find ctx r with
+            | [] -> None
+            | sites -> Some (r, sites))
+          rules
+      in
+      if groups = [] then None
+      else begin
+        (match budget with
+        | Some b ->
+            List.iter
+              (fun (_, sites) -> List.iter (fun _ -> Budget.eval b) sites)
+              groups
+        | None -> ());
+        let tasks =
+          List.map
+            (fun ((r : Rule.t), sites) () ->
+              worker_task (fun () ->
+                  let wctx = Rule.fork_context ctx in
+                  let wcost = cost_factory wctx in
+                  List.map (fun site -> evaluate wctx ~cost:wcost ~cleanups r site) sites))
+            groups
+        in
+        let outcomes = Exec.map exec tasks in
+        let best = ref None in
+        List.iteri
+          (fun ti ((r : Rule.t), sites) ->
+            match outcomes.(ti) with
+            | Pool.Done (gains, fails) ->
+                import_failures fails;
+                List.iter2
+                  (fun site gain ->
+                    match gain with
+                    | None -> ()
+                    | Some gain -> (
+                        match !best with
+                        | Some { gain = g; _ } when g >= gain -> ()
+                        | _ -> best := Some { rule = r; site; gain }))
+                  sites gains
+            | Pool.Task_failed fault ->
+                (* The whole task is written off and its rule
+                   quarantined: a raising rule, a deadline overrun or a
+                   stall are all contained here, never escalated. *)
+                note_failure_named ~reason:Raised r.Rule.rule_name
+                  ("parallel task: " ^ Pool.fault_message fault))
+          groups;
+        match !best with
+        | Some app when app.gain > min_gain ->
+            commit_app ?budget ctx ~cleanups app
+        | Some _ | None -> None
+      end
 
 let greedy_pass ?(max_steps = 1000) ?budget ctx ~cost ~cleanups rules =
   let stop n =
@@ -794,6 +981,27 @@ let greedy_pass ?(max_steps = 1000) ?budget ctx ~cost ~cleanups rules =
   in
   go 0 []
 
+(* Parallel greedy pass: [Sequential] plans take the legacy path
+   byte-for-byte; [Inline] and [Pooled] plans share the fan-out step
+   above, which is what makes [--domains 1] and [--domains N]
+   bit-identical. *)
+let greedy_pass_par ?(max_steps = 1000) ?budget ~exec ~cost_factory ctx ~cost
+    ~cleanups rules =
+  match (exec : Exec.t) with
+  | Exec.Sequential -> greedy_pass ~max_steps ?budget ctx ~cost ~cleanups rules
+  | Exec.Inline _ | Exec.Pooled _ ->
+      let stop n =
+        n >= max_steps
+        || match budget with Some b -> Budget.exhausted b | None -> false
+      in
+      let rec go n acc =
+        if stop n then List.rev acc
+        else
+          match greedy_step_par ?budget ~exec ~cost_factory ctx ~cleanups rules with
+          | Some app -> go (n + 1) (app :: acc)
+          | None -> List.rev acc
+      in
+      go 0 []
 (* --- OPS-style strictly rule-based control --------------------------- *)
 
 type ops_state = {

@@ -72,6 +72,35 @@ val quarantine_dump : unit -> (string * int * string * reason) list
 val quarantine_restore : (string * int * string * reason) list -> unit
 (** Replace the quarantine with a recorded image (journal resume). *)
 
+val note_failure_named : reason:reason -> string -> string -> unit
+(** [note_failure_named ~reason key msg] quarantines [key] directly —
+    used by the strategy layer to quarantine whole strategies
+    (["strategy:NAME"]) when their parallel task faults.  Inside an
+    oracle worker the failure is deferred into the worker's buffer
+    like any rule failure. *)
+
+(** {2 Parallel oracle workers}
+
+    The parallel fan-out runs candidate evaluations as supervised
+    tasks on forked design snapshots ({!Rule.fork_context}).  Inside
+    {!worker_task}, the engine's observable machinery is suspended:
+    tracing and provenance are suppressed on the domain, the rule
+    guard short-circuits (verdict [Unguarded], no stats ticks), and
+    quarantine writes are deferred into a per-task buffer the
+    coordinator imports in task order.  Only the merged winner is then
+    re-applied authoritatively on the coordinator — which is what
+    keeps every observable stream bit-identical across domain
+    counts. *)
+
+val worker_task :
+  (unit -> 'a) -> 'a * (string * string * reason) list
+(** Run a task body in oracle-worker mode; returns its value and the
+    deferred failures (oldest first) as [(rule, message, reason)]. *)
+
+val import_failures : (string * string * reason) list -> unit
+(** Fold a worker's deferred failures into the global quarantine.
+    Call on the coordinator, in task-submission order. *)
+
 (** {2 Semantic rule guard}
 
     When armed, every successful [guarded_apply] may be re-simulated
@@ -202,6 +231,38 @@ val greedy_pass :
 (** Greedy steps until quiescence, [max_steps], or the budget is
     exhausted — in the last case the pass stops cleanly with the
     applications committed so far. *)
+
+val greedy_step_par :
+  ?min_gain:float ->
+  ?budget:Budget.t ->
+  exec:Milo_parallel.Exec.t ->
+  cost_factory:(Rule.context -> unit -> float) ->
+  Rule.context ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  application option
+(** One parallel greedy step: candidates are found on the coordinator,
+    each rule's sites are evaluated by one supervised task on a forked
+    snapshot ([cost_factory] builds the worker's cost function over
+    the fork), and the merged winner — (rule index, site ordinal)
+    order, sequential tie-break — is re-applied authoritatively.  A
+    faulting task quarantines its rule; the step never raises from a
+    task and never hangs on one. *)
+
+val greedy_pass_par :
+  ?max_steps:int ->
+  ?budget:Budget.t ->
+  exec:Milo_parallel.Exec.t ->
+  cost_factory:(Rule.context -> unit -> float) ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  application list
+(** {!greedy_pass} with a parallel execution plan.  A [Sequential]
+    plan takes the legacy path byte-for-byte (using [cost]); [Inline]
+    and [Pooled] plans share {!greedy_step_par}, which is what makes
+    [--domains 1] and [--domains N] produce identical results. *)
 
 type ops_state
 

@@ -60,6 +60,20 @@ let make_context ?(extra_resolve : D.resolver option) tech set design =
   in
   { design; tech; set; resolve; focus = ref None; measurer = ref None }
 
+(* Fork for a parallel oracle worker: an id-preserving snapshot of the
+   design (so sites — bare component/net ids — found on the original
+   resolve identically on the fork), sharing the immutable technology,
+   gate set and resolver, with fresh focus and measurer slots.  The
+   worker evaluates candidates on the copy and throws it away; nothing
+   it does is visible through the original context. *)
+let fork_context ctx =
+  {
+    ctx with
+    design = D.copy ctx.design;
+    focus = ref None;
+    measurer = ref None;
+  }
+
 let find_macro ctx name = Technology.find_opt ctx.tech name
 
 let macro_of ctx (c : D.comp) =

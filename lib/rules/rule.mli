@@ -30,6 +30,12 @@ val make_context :
   D.t ->
   context
 
+val fork_context : context -> context
+(** An oracle-worker fork: id-preserving copy of the design (sites
+    found on the original resolve identically on the fork), shared
+    immutable technology/set/resolver, fresh focus and measurer slots.
+    Nothing done through the fork is visible through the original. *)
+
 val scan_comps : context -> D.comp list
 (** Components eligible for matching (respects the focus set). *)
 

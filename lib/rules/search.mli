@@ -44,3 +44,38 @@ val run :
   float
 (** Iterate lookahead steps to quiescence, [max_steps], or budget
     exhaustion; returns the total gain. *)
+
+val search_par :
+  ?params:params ->
+  ?stats:stats ->
+  ?budget:Budget.t ->
+  exec:Milo_parallel.Exec.t ->
+  cost_factory:(Rule.context -> unit -> float) ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  float option
+(** One parallel lookahead step: root moves are scored by one
+    supervised task per rule on forked snapshots, the top-B branches
+    are each explored by their own task, and results merge in
+    submission order (stable rank, sequential tie-breaks) before the
+    winning prefix is re-applied authoritatively on the caller's
+    context.  Faulting tasks quarantine their rule; the step never
+    raises from a task and never hangs on one. *)
+
+val run_par :
+  ?params:params ->
+  ?max_steps:int ->
+  ?stats:stats ->
+  ?budget:Budget.t ->
+  exec:Milo_parallel.Exec.t ->
+  cost_factory:(Rule.context -> unit -> float) ->
+  Rule.context ->
+  cost:(unit -> float) ->
+  cleanups:Rule.t list ->
+  Rule.t list ->
+  float
+(** {!run} with a parallel execution plan.  A [Sequential] plan takes
+    the legacy path byte-for-byte; [Inline] and [Pooled] plans share
+    {!search_par}, making [--domains 1] and [--domains N] identical. *)

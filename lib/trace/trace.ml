@@ -116,15 +116,36 @@ let add_sink t s = t.sinks <- s :: t.sinks
 
 (* --- the ambient tracer ------------------------------------------- *)
 
-let cur : t option ref = ref None
+(* Domain-local: each domain has its own ambient tracer slot.  The
+   flow installs the run's tracer on the coordinating domain only;
+   worker domains spawned by the parallel runtime start with an empty
+   slot, so their scratch evaluations are untraced by construction —
+   the merged event stream is exactly the coordinator's, ordered by
+   its per-tracer clock, and stays bit-identical across domain
+   counts. *)
+let cur_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_current o = cur := o
-let current () = !cur
-let enabled () = !cur != None
+let cur () = Domain.DLS.get cur_key
+
+let set_current o = cur () := o
+let current () = !(cur ())
+let enabled () = !(cur ()) != None
 
 let with_tracer t f =
+  let cur = cur () in
   let saved = !cur in
   cur := Some t;
+  Fun.protect ~finally:(fun () -> cur := saved) f
+
+(* Run [f] with tracing suppressed on this domain: the oracle-worker
+   discipline for inline (single-domain) parallel execution, so a
+   worker task behaves identically whether it runs on the coordinator
+   or on a pool domain. *)
+let without f =
+  let cur = cur () in
+  let saved = !cur in
+  cur := None;
   Fun.protect ~finally:(fun () -> cur := saved) f
 
 (* --- spans --------------------------------------------------------- *)
@@ -167,19 +188,19 @@ let end_span_in t s =
   end
 
 let with_span ?attrs name f =
-  match !cur with
+  match !(cur ()) with
   | None -> f ()
   | Some t ->
       let s = begin_span_in t ?attrs name in
       Fun.protect ~finally:(fun () -> end_span_in t s) f
 
 let open_span ?attrs name =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t -> ignore (begin_span_in t ?attrs name)
 
 let close_span name =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t -> (
       match List.find_opt (fun s -> s.name = name) t.stack with
@@ -187,7 +208,7 @@ let close_span name =
       | Some s -> end_span_in t s)
 
 let attr key v =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t -> (
       match t.stack with
@@ -213,21 +234,21 @@ let emit_in t ?before ?after kind =
   List.iter (fun snk -> snk.sink_event e) t.sinks
 
 let emit ?before ?after kind =
-  match !cur with None -> () | Some t -> emit_in t ?before ?after kind
+  match !(cur ()) with None -> () | Some t -> emit_in t ?before ?after kind
 
 let set_stage name =
-  match !cur with None -> () | Some t -> t.stage <- name
+  match !(cur ()) with None -> () | Some t -> t.stage <- name
 
 (* --- metrics ------------------------------------------------------- *)
 
 let count name by =
-  match !cur with None -> () | Some t -> Metrics.incr t.m name by
+  match !(cur ()) with None -> () | Some t -> Metrics.incr t.m name by
 
 let set_gauge name v =
-  match !cur with None -> () | Some t -> Metrics.set_gauge t.m name v
+  match !(cur ()) with None -> () | Some t -> Metrics.set_gauge t.m name v
 
 let sample name v =
-  match !cur with None -> () | Some t -> Metrics.observe t.m name v
+  match !(cur ()) with None -> () | Some t -> Metrics.observe t.m name v
 
 let stat_of t rule =
   match Hashtbl.find_opt t.rules rule with
@@ -240,7 +261,7 @@ let stat_of t rule =
       s
 
 let note_rule ~rule ~dt ~gain ~outcome =
-  match !cur with
+  match !(cur ()) with
   | None -> ()
   | Some t ->
       let s = stat_of t rule in

@@ -117,7 +117,18 @@ val enabled : unit -> bool
 
 val with_tracer : t -> (unit -> 'a) -> 'a
 (** Install [t] for the duration of the callback (restoring the
-    previous tracer even on exceptions).  Does not flush. *)
+    previous tracer even on exceptions).  Does not flush.
+
+    The ambient slot is domain-local: a tracer installed on the
+    coordinating domain is invisible to worker domains, so parallel
+    scratch evaluations are untraced by construction. *)
+
+val without : (unit -> 'a) -> 'a
+(** Run the callback with tracing suppressed on this domain (restoring
+    the previous tracer even on exceptions).  Used by the parallel
+    runtime's inline execution mode so a worker task observes the same
+    (absent) tracer whether it runs on the coordinator or on a pool
+    domain. *)
 
 (** {1 Recording (all no-ops without an installed tracer)} *)
 

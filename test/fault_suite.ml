@@ -199,6 +199,177 @@ let quarantine_reporting () =
   | exception e ->
       fail "quarantine report: uncaught %s" (Printexc.to_string e)
 
+(* --- Domain-pool faults ------------------------------------------------- *)
+
+module Pool = Milo_parallel.Pool
+module Exec = Milo_parallel.Exec
+
+(* Every fault class a supervised task can exhibit — raise, deadline
+   overrun, stall — comes back as its typed [Task_failed]; healthy
+   tasks interleaved with them still settle [Done]; and after a stall
+   writes a worker off, the replacement keeps the pool serving.  The
+   whole batch must terminate (the suite would hang here if
+   supervision leaked). *)
+let pool_fault_classification () =
+  match Pool.create ~stall_timeout:0.2 ~force:true ~domains:2 () with
+  | None -> fail "pool faults: forced 2-domain pool did not construct"
+  | Some p ->
+      let deadline = Unix.gettimeofday () +. 0.4 in
+      let outcomes =
+        Pool.run p ~deadline
+          [
+            (fun () -> 7);
+            Faults.raising_task ();
+            Faults.looping_task ();
+            Faults.stalling_task ~seconds:1.2 ();
+          ]
+      in
+      (match outcomes.(0) with
+      | Pool.Done 7 -> ()
+      | _ -> fail "pool faults: healthy task did not settle Done");
+      (match outcomes.(1) with
+      | Pool.Task_failed (Pool.Raised { exn; _ }) ->
+          let has_sub s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i =
+              i + m <= n && (String.sub s i m = sub || go (i + 1))
+            in
+            go 0
+          in
+          if not (has_sub exn "Injected") then
+            fail "pool faults: raised fault lost the exception text (%s)" exn
+      | _ -> fail "pool faults: raising task not classified Raised");
+      (match outcomes.(2) with
+      | Pool.Task_failed Pool.Deadline -> ()
+      | _ -> fail "pool faults: polling looper not cancelled at the deadline");
+      (match outcomes.(3) with
+      | Pool.Task_failed Pool.Stalled -> ()
+      | _ -> fail "pool faults: non-polling task not abandoned as Stalled");
+      (* The stall wrote one worker off; the replacement must leave the
+         pool fully operational. *)
+      let again = Pool.run p [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ] in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Pool.Done v when v = i + 1 -> ()
+          | _ -> fail "pool faults: post-replacement task %d did not settle" i)
+        again;
+      Pool.shutdown p;
+      if !failures = 0 then
+        Printf.printf "ok   pool fault classification + worker replacement\n"
+
+(* Inline supervision: the same classification without any pool — the
+   [--domains 1] and degraded paths contain faults identically (stall
+   detection excepted, which needs a watchdog domain). *)
+let inline_fault_classification () =
+  let deadline = Unix.gettimeofday () +. 0.2 in
+  let outcomes =
+    Pool.run_inline ~deadline
+      [ (fun () -> 7); Faults.raising_task (); Faults.looping_task () ]
+  in
+  (match outcomes.(0) with
+  | Pool.Done 7 -> ()
+  | _ -> fail "inline faults: healthy task did not settle Done");
+  (match outcomes.(1) with
+  | Pool.Task_failed (Pool.Raised _) -> ()
+  | _ -> fail "inline faults: raising task not classified Raised");
+  (match outcomes.(2) with
+  | Pool.Task_failed Pool.Deadline -> ()
+  | _ -> fail "inline faults: polling looper not cancelled inline");
+  if !failures = 0 then Printf.printf "ok   inline fault classification\n"
+
+(* The engine's parallel greedy pass over injected faulty rules: each
+   faulting task quarantines its rule — the pass completes, commits
+   nothing from the faulty rule, and no exception escapes. *)
+let engine_parallel_faults () =
+  let run_with what exec rule expect_note =
+    Engine.quarantine_reset ();
+    let d = Suite.accumulator () in
+    let before = D.copy d in
+    let ctx = ctx_for d in
+    let cost () = float_of_int (D.num_comps d) in
+    let cost_factory wctx () =
+      float_of_int (D.num_comps wctx.Milo_rules.Rule.design)
+    in
+    match
+      Engine.greedy_pass_par ~exec ~cost_factory ctx ~cost ~cleanups:[]
+        [ rule ]
+    with
+    | apps ->
+        if apps <> [] then fail "%s: faulty rule committed" what;
+        if not (D.equal_structure before d) then
+          fail "%s: design mutated by a contained fault" what;
+        (match Engine.quarantined () with
+        | [ (name, _) ] ->
+            if name <> expect_note then
+              fail "%s: quarantined %s, expected %s" what name expect_note
+        | q ->
+            fail "%s: expected exactly one quarantined rule, got %d" what
+              (List.length q));
+        Engine.quarantine_reset ();
+        Printf.printf "ok   %s\n" what
+    | exception e ->
+        Engine.quarantine_reset ();
+        fail "%s: escaped exception %s" what (Printexc.to_string e)
+  in
+  (* Raising rule, inline plan: the engine-level quarantine fires inside
+     the worker task and is imported deterministically. *)
+  run_with "engine parallel raising (inline)"
+    (Exec.inline ())
+    (Faults.raising_rule ()) "fault-raising";
+  (* Looping rule under a deadline, inline plan: cancelled at its first
+     poll past the deadline, quarantined as a deadline fault. *)
+  run_with "engine parallel deadline (inline)"
+    (Exec.inline ~deadline:(Unix.gettimeofday () +. 0.2) ())
+    (Faults.looping_rule ()) "fault-looping";
+  (* The same two through a real (forced) pool. *)
+  (match Pool.create ~stall_timeout:0.25 ~force:true ~domains:2 () with
+  | None -> fail "engine parallel: forced pool did not construct"
+  | Some p ->
+      run_with "engine parallel raising (pooled)" (Exec.pooled p)
+        (Faults.raising_rule ()) "fault-raising";
+      run_with "engine parallel deadline (pooled)"
+        (Exec.pooled ~deadline:(Unix.gettimeofday () +. 0.2) p)
+        (Faults.looping_rule ()) "fault-looping";
+      (* Stalling rule: only the pooled watchdog can contain it. *)
+      run_with "engine parallel stall (pooled)" (Exec.pooled p)
+        (Faults.stalling_rule ~seconds:1.2 ()) "fault-stalling";
+      Pool.shutdown p)
+
+(* Flow-level degradation: when the pool cannot be constructed the run
+   completes sequentially and says so — the Degraded_to_sequential
+   note in the result and a Note event in the trace. *)
+let flow_degraded_to_sequential () =
+  let case = List.hd (Suite.all ()) in
+  Pool.fail_spawn_for_testing := true;
+  let t = Milo_trace.Trace.create () in
+  (match
+     Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+       ~trace:t ~domains:4 ~force_domains:true case.Suite.case_design
+   with
+  | Flow.Complete res ->
+      if not (List.mem "Degraded_to_sequential" res.Flow.notes) then
+        fail "degradation: no Degraded_to_sequential note in the result";
+      let noted =
+        List.exists
+          (fun (e : Milo_trace.Trace.event) ->
+            match e.Milo_trace.Trace.kind with
+            | Milo_trace.Trace.Note n ->
+                String.length n >= 23
+                && String.sub n 0 23 = "Degraded_to_sequential:"
+            | _ -> false)
+          (Milo_trace.Trace.events t)
+      in
+      if not noted then fail "degradation: no Note event in the trace"
+  | Flow.Partial p ->
+      fail "degradation: flow degraded at %s instead of running inline"
+        (Flow.stage_name p.Flow.failed_stage)
+  | exception e ->
+      fail "degradation: uncaught %s" (Printexc.to_string e));
+  Pool.fail_spawn_for_testing := false;
+  if !failures = 0 then
+    Printf.printf "ok   flow degrades to sequential with note + trace\n"
+
 (* --- Torn writes -------------------------------------------------------- *)
 
 module J = Milo_journal.Journal
@@ -329,6 +500,10 @@ let () =
   engine_rollback ();
   engine_raising ();
   quarantine_reporting ();
+  pool_fault_classification ();
+  inline_fault_classification ();
+  engine_parallel_faults ();
+  flow_degraded_to_sequential ();
   torn_journal ();
   torn_trace ();
   if !failures > 0 then begin

@@ -72,6 +72,7 @@ let round_trip () =
       h_timeout = Some 12.5;
       h_max_steps = None;
       h_max_evals = Some 77;
+      h_domains = Some 4;
     }
   in
   let records =
@@ -218,14 +219,19 @@ let compare_results what (ref_res : Flow.result) (res : Flow.result) =
       ref_res.Flow.budget.Budget.evals_used res.Flow.budget.Budget.steps_used
       res.Flow.budget.Budget.evals_used
 
-let crash_fuzz (case : Suite.case) =
-  let name = case.Suite.case_name in
+let crash_fuzz ?domains (case : Suite.case) =
+  let name =
+    match domains with
+    | None -> case.Suite.case_name
+    | Some n -> Printf.sprintf "%s@dom%d" case.Suite.case_name n
+  in
   let path = temp_journal ("fuzz_" ^ name) in
   (* Reference: the uninterrupted journaled run. *)
   let reference =
     match
       Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
-        ~guard:Guard.Sampled ~journal:path case.Suite.case_design
+        ~guard:Guard.Sampled ~journal:path ?domains ~force_domains:true
+        case.Suite.case_design
     with
     | Flow.Complete r -> r
     | Flow.Partial p ->
@@ -248,8 +254,8 @@ let crash_fuzz (case : Suite.case) =
     let what = Printf.sprintf "%s killed after record %d" name n in
     match
       Faults.run_journaled_killed ~technology:Flow.Ecl
-        ~constraints:case.Suite.constraints ~guard:Guard.Sampled ~journal:path
-        n case.Suite.case_design
+        ~constraints:case.Suite.constraints ~guard:Guard.Sampled ?domains
+        ~force_domains:true ~journal:path n case.Suite.case_design
     with
     | Some (Flow.Complete r) ->
         (* The flow finished before writing n records — only possible
@@ -262,7 +268,14 @@ let crash_fuzz (case : Suite.case) =
           (Flow.stage_name p.Flow.failed_stage)
     | None -> (
         incr kills;
-        match Flow.resume path with
+        (* The journal header carries the domain count, so resume
+           re-enters under the same supervised-task semantics the
+           killed run used. *)
+        (match (domains, J.header (J.recover path)) with
+        | Some n, Some h when h.J.h_domains <> Some n ->
+            fail "%s: journal header lost the domain count" what
+        | _ -> ());
+        match Flow.resume ~force_domains:true path with
         | Flow.Complete r -> compare_results what reference r
         | Flow.Partial p ->
             fail "%s: resume degraded at %s (%s)" what
@@ -445,6 +458,7 @@ let resume_refusal () =
         h_timeout = None;
         h_max_steps = None;
         h_max_evals = None;
+        h_domains = None;
       }
   in
   J.close w;
@@ -476,6 +490,10 @@ let () =
   round_trip ();
   let cases = Suite.all () in
   List.iter (fun c -> try crash_fuzz c with Exit -> ()) cases;
+  (* Kill+resume under a real (forced) 4-domain pool: the resumed
+     trajectory must continue bit-identically to the uninterrupted
+     parallel run's.  One case keeps the quadratic fuzz affordable. *)
+  (try crash_fuzz ~domains:4 (List.hd cases) with Exit -> ());
   List.iter replay_clean cases;
   replay_tampered ();
   trace_seq_resume ();

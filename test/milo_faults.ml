@@ -279,6 +279,70 @@ let semantic_corrupting_hooks ~at () =
    must terminate immediately with best-so-far (nothing). *)
 let exhausted_budget () = Milo_rules.Budget.make ~max_steps:0 ()
 
+(* --- Domain-level faults ----------------------------------------------- *)
+
+(* Injectors for the supervised domain pool: tasks and rules that
+   exercise each fault class the pool must contain — a raise inside
+   the task body, a loop that overruns the deadline while polling
+   cooperatively, and a stall that never heartbeats at all (the only
+   class that needs the watchdog).  fault_suite and parallel_suite use
+   them to assert the pool classifies every one as a typed
+   [Task_failed], replaces wedged workers, and never hangs or lets an
+   exception escape. *)
+
+module Pool = Milo_parallel.Pool
+
+(* Raises from inside the task body: must come back as
+   [Task_failed (Raised _)] with the exception text captured. *)
+let raising_task ?(exn = Injected "injected task failure") () () : int =
+  raise exn
+
+(* Loops forever but polls: cancelled cooperatively once the deadline
+   passes — [Task_failed Deadline].  Never run without a deadline. *)
+let looping_task () () : int =
+  while true do
+    Pool.poll ()
+  done;
+  0
+
+(* Runs without ever heartbeating (a sleep stands in for a wedged
+   computation): the watchdog abandons it as [Task_failed Stalled] and
+   writes off its worker.  [seconds] keeps the wedged domain's life
+   short so the test process exits promptly after the write-off. *)
+let stalling_task ?(seconds = 1.2) () () : int =
+  Unix.sleepf seconds;
+  0
+
+(* Rule-shaped versions of the same faults, for the engine's parallel
+   fan-out paths ([greedy_pass_par] and friends): the fault fires
+   inside a supervised task's [evaluate], so the engine must convert
+   it into a quarantine of the rule, never a hang or an escape. *)
+
+let every_comp_sites descr ctx =
+  List.map
+    (fun (c : D.comp) -> Rule.site ~comps:[ c.D.id ] descr)
+    (Rule.scan_comps ctx)
+
+(* [apply] loops past any deadline but polls: the worker task is
+   cancelled cooperatively and the rule quarantined with a deadline
+   fault. *)
+let looping_rule () =
+  Rule.make ~name:"fault-looping" ~cls:Rule.Cleanup
+    ~find:(every_comp_sites "looping fault")
+    ~apply:(fun _ _ _ ->
+      while true do
+        Pool.poll ()
+      done;
+      false)
+
+(* [apply] wedges without polling: only the watchdog can contain it. *)
+let stalling_rule ?(seconds = 1.2) () =
+  Rule.make ~name:"fault-stalling" ~cls:Rule.Cleanup
+    ~find:(every_comp_sites "stalling fault")
+    ~apply:(fun _ _ _ ->
+      Unix.sleepf seconds;
+      false)
+
 (* --- Journal crash injection ------------------------------------------ *)
 
 (* Kill the flow (by raising [Journal.Crash]) the moment the [n]-th
@@ -294,10 +358,11 @@ let kill_after n count =
    Returns [Some outcome] when the flow finished before writing [n]
    records (no kill happened), [None] when the kill fired. *)
 let run_journaled_killed ?technology ?constraints ?lint ?incremental ?budget
-    ?guard ?certify ~journal n design =
+    ?guard ?certify ?domains ?force_domains ~journal n design =
   match
     Flow.run ?technology ?constraints ?lint ?incremental ?budget ?guard
-      ?certify ~journal ~journal_fault:(kill_after n) design
+      ?certify ~journal ~journal_fault:(kill_after n) ?domains ?force_domains
+      design
   with
   | outcome -> Some outcome
   | exception Milo_journal.Journal.Crash _ -> None

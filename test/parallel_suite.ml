@@ -1,0 +1,224 @@
+(* Parallel-runtime determinism suite — the tentpole's tier-1 gate.
+
+   The supervised domain pool must be observably invisible: a flow run
+   at [--domains 1] (inline supervised tasks), at [--domains 4] (a
+   real forced pool, twice, so scheduling variance gets a chance to
+   show), and degraded back to inline by an injected pool-construction
+   failure must all produce bit-identical final designs, costs,
+   semantic-guard counters, quarantine sets, provenance ledger rows,
+   trajectory JSONL (wall-clock fields masked) and trace event
+   streams; every journal must replay with zero divergences; and the
+   degraded run — only that one — must carry the
+   Degraded_to_sequential note. *)
+
+module D = Milo_netlist.Design
+module Flow = Milo.Flow
+module Guard = Milo_guard.Guard
+module Suite = Milo_designs.Suite
+module J = Milo_journal.Journal
+module P = Milo_provenance.Provenance
+module Trajectory = Milo_provenance.Trajectory
+module Trace = Milo_trace.Trace
+module Pool = Milo_parallel.Pool
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let guard_counters (g : Guard.stats) =
+  [
+    g.Guard.stage_checks;
+    g.Guard.stage_mismatches;
+    g.Guard.rule_checks;
+    g.Guard.rule_mismatches;
+    g.Guard.rule_skipped;
+    g.Guard.rule_certified;
+  ]
+
+(* Strip one ["name":value] field from a sorted-key JSON object line:
+   the trajectory's [budget_elapsed] is wall-clock time, the only
+   legitimately non-deterministic byte in the stream. *)
+let strip_field name line =
+  let key = "\"" ^ name ^ "\":" in
+  let n = String.length line and m = String.length key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = key then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> line
+  | Some i ->
+      let j = ref (i + m) in
+      while !j < n && line.[!j] <> ',' && line.[!j] <> '}' do
+        incr j
+      done;
+      (* consume the separating comma on whichever side has one *)
+      if !j < n && line.[!j] = ',' then
+        String.sub line 0 i ^ String.sub line (!j + 1) (n - !j - 1)
+      else if i > 0 && line.[i - 1] = ',' then
+        String.sub line 0 (i - 1) ^ String.sub line !j (n - !j)
+      else String.sub line 0 i ^ String.sub line !j (n - !j)
+
+type snapshot = {
+  sn_design : D.t;
+  sn_hash : string;
+  sn_stats : Flow.stats;
+  sn_guard : int list;
+  sn_quarantined : (string * int) list;
+  sn_ledger : P.row list;
+  sn_traj : string list;
+  sn_trace : (string * Trace.event_kind) list;
+  sn_notes : string list;
+  sn_journal : string;
+}
+
+let snapshot_run ~what ~domains (case : Suite.case) =
+  let journal = Filename.temp_file "milo_parallel_suite" ".mjl" in
+  let t = Trace.create () in
+  let p = P.create () in
+  match
+    Flow.run ~technology:Flow.Ecl ~constraints:case.Suite.constraints
+      ~guard:Guard.Sampled ~journal ~trace:t ~provenance:p ~domains
+      ~force_domains:true case.Suite.case_design
+  with
+  | Flow.Complete res ->
+      Some
+        {
+          sn_design = res.Flow.optimized;
+          sn_hash = J.design_hash res.Flow.optimized;
+          sn_stats = res.Flow.final;
+          sn_guard = guard_counters res.Flow.guard_stats;
+          sn_quarantined = res.Flow.quarantined;
+          sn_ledger = P.ledger p;
+          sn_traj =
+            List.map
+              (fun ev -> strip_field "budget_elapsed" (Trajectory.line_of_event ev))
+              (P.events p);
+          sn_trace =
+            (* The degradation Note is the one event allowed to differ
+               between a pooled and a degraded run; everything after it
+               must line up, so it is dropped before comparison (its
+               presence is asserted via [notes]).  Sequence numbers are
+               checked for contiguity here rather than compared — the
+               dropped note shifts them by one. *)
+            (let evs = Trace.events t in
+             List.iteri
+               (fun i (e : Trace.event) ->
+                 if e.Trace.seq <> i then
+                   fail "%s: trace seq %d at position %d" what e.Trace.seq i)
+               evs;
+             List.filter_map
+               (fun (e : Trace.event) ->
+                 match e.Trace.kind with
+                 | Trace.Note n
+                   when String.length n >= 22
+                        && String.sub n 0 22 = "Degraded_to_sequential" ->
+                     None
+                 | k -> Some (e.Trace.stage, k))
+               evs);
+          sn_notes = res.Flow.notes;
+          sn_journal = journal;
+        }
+  | Flow.Partial pr ->
+      Sys.remove journal;
+      fail "%s: degraded at %s (%s)" what
+        (Flow.stage_name pr.Flow.failed_stage)
+        pr.Flow.failure.Flow.err_message;
+      None
+  | exception e ->
+      (try Sys.remove journal with Sys_error _ -> ());
+      fail "%s: uncaught %s" what (Printexc.to_string e);
+      None
+
+(* Every observable surface of [b] must be bit-identical to [a]'s
+   (notes excepted — degradation is allowed to differ there and is
+   asserted separately). *)
+let compare_snapshots what (a : snapshot) (b : snapshot) =
+  if not (D.equal_structure a.sn_design b.sn_design) then
+    fail "%s: final designs differ structurally" what;
+  if a.sn_hash <> b.sn_hash then
+    fail "%s: final design hashes differ (%s vs %s)" what a.sn_hash b.sn_hash;
+  if a.sn_stats <> b.sn_stats then
+    fail "%s: final costs differ (%.6f/%.3f/%.3f vs %.6f/%.3f/%.3f)" what
+      a.sn_stats.Flow.delay a.sn_stats.Flow.area a.sn_stats.Flow.power
+      b.sn_stats.Flow.delay b.sn_stats.Flow.area b.sn_stats.Flow.power;
+  if a.sn_guard <> b.sn_guard then
+    fail "%s: guard counters differ ([%s] vs [%s])" what
+      (String.concat ";" (List.map string_of_int a.sn_guard))
+      (String.concat ";" (List.map string_of_int b.sn_guard));
+  if a.sn_quarantined <> b.sn_quarantined then
+    fail "%s: quarantine sets differ" what;
+  if a.sn_ledger <> b.sn_ledger then fail "%s: ledger rows differ" what;
+  if List.length a.sn_traj <> List.length b.sn_traj then
+    fail "%s: trajectory lengths differ (%d vs %d)" what
+      (List.length a.sn_traj) (List.length b.sn_traj)
+  else
+    List.iteri
+      (fun i (la, lb) ->
+        if la <> lb then
+          fail "%s: trajectory line %d differs:\n  %s\n  %s" what i la lb)
+      (List.combine a.sn_traj b.sn_traj);
+  if a.sn_trace <> b.sn_trace then fail "%s: trace event streams differ" what
+
+let check_replay what (s : snapshot) =
+  match Flow.replay s.sn_journal with
+  | rep ->
+      if not rep.Flow.rep_finished then
+        fail "%s: journal does not end in a Finish record" what;
+      if rep.Flow.rep_divergences <> [] then
+        fail "%s: replay found %d divergence(s)" what
+          (List.length rep.Flow.rep_divergences)
+  | exception e -> fail "%s: replay raised %s" what (Printexc.to_string e)
+
+let check_case (case : Suite.case) =
+  let name = case.Suite.case_name in
+  let s1 = snapshot_run ~what:(name ^ " domains=1") ~domains:1 case in
+  let s4a = snapshot_run ~what:(name ^ " domains=4 (a)") ~domains:4 case in
+  let s4b = snapshot_run ~what:(name ^ " domains=4 (b)") ~domains:4 case in
+  Pool.fail_spawn_for_testing := true;
+  let sdeg = snapshot_run ~what:(name ^ " degraded") ~domains:4 case in
+  Pool.fail_spawn_for_testing := false;
+  (match (s1, s4a, s4b, sdeg) with
+  | Some s1, Some s4a, Some s4b, Some sdeg ->
+      compare_snapshots (name ^ ": domains 1 vs 4") s1 s4a;
+      compare_snapshots (name ^ ": domains 4 run a vs run b") s4a s4b;
+      compare_snapshots (name ^ ": domains 4 vs degraded") s4a sdeg;
+      if s1.sn_notes <> [] then
+        fail "%s: inline run carries unexpected notes" name;
+      if s4a.sn_notes <> [] || s4b.sn_notes <> [] then
+        fail "%s: pooled run carries unexpected notes" name;
+      if not (List.mem "Degraded_to_sequential" sdeg.sn_notes) then
+        fail "%s: degraded run lost its Degraded_to_sequential note" name;
+      check_replay (name ^ " domains=1 replay") s1;
+      check_replay (name ^ " domains=4 replay") s4a;
+      check_replay (name ^ " degraded replay") sdeg;
+      if !failures = 0 then
+        Printf.printf
+          "ok   %s: 1 == 4 == 4 == degraded (%d trace events, %d \
+           trajectory lines, replays clean)\n"
+          name
+          (List.length s4a.sn_trace)
+          (List.length s4a.sn_traj)
+  | _ -> ());
+  List.iter
+    (fun s ->
+      match s with
+      | Some s -> ( try Sys.remove s.sn_journal with Sys_error _ -> ())
+      | None -> ())
+    [ s1; s4a; s4b; sdeg ]
+
+let () =
+  Pool.fail_spawn_for_testing := false;
+  let cases = List.filteri (fun i _ -> i < 3) (Suite.all ()) in
+  List.iter check_case cases;
+  if !failures > 0 then begin
+    Printf.printf "parallel_suite: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "parallel_suite: all clean"
